@@ -1,0 +1,426 @@
+// Benchmarks reproducing the complexity shapes claimed by the paper; one
+// benchmark family per experiment of EXPERIMENTS.md. Run with:
+//
+//	go test -bench=. -benchmem
+package semwebdb_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"semwebdb/internal/closure"
+	"semwebdb/internal/containment"
+	"semwebdb/internal/core"
+	"semwebdb/internal/cq"
+	"semwebdb/internal/entail"
+	"semwebdb/internal/gen"
+	"semwebdb/internal/graph"
+	"semwebdb/internal/hom"
+	"semwebdb/internal/match"
+	"semwebdb/internal/mt"
+	"semwebdb/internal/ntriples"
+	"semwebdb/internal/query"
+	"semwebdb/internal/rdfs"
+	"semwebdb/internal/store"
+	"semwebdb/internal/term"
+)
+
+// --- E1/E2: simple entailment = graph homomorphism (Theorem 2.9) ---
+
+func BenchmarkEntailmentCycleToK3(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		src, dst := gen.ThreeColorabilityInstance(gen.Cycle(n))
+		b.Run(fmt.Sprintf("C%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !entail.SimpleEntails(dst, src) {
+					b.Fatal("expected entailment")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHomHardCliques(b *testing.B) {
+	// Unsatisfiable K_n → K_{n-1}: forces exhaustive search (NP shape).
+	for _, n := range []int{4, 5, 6} {
+		src := gen.Enc(gen.Clique(n), "v")
+		dst := gen.EncGround(gen.Clique(n-1), "k")
+		b.Run(fmt.Sprintf("K%dtoK%d", n, n-1), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if entail.SimpleEntails(dst, src) {
+					b.Fatal("impossible map found")
+				}
+			}
+		})
+	}
+}
+
+// --- E3: RDFS entailment via closure + map (Theorem 2.10) ---
+
+func BenchmarkRDFSEntail(b *testing.B) {
+	for _, n := range []int{50, 200} {
+		g := gen.ArtSchema(n/4, n/8+1, n, 42)
+		h := graph.New(graph.T(
+			term.NewIRI("urn:semwebdb:ind:1"), rdfs.Type, term.NewIRI("urn:semwebdb:Class:0")))
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !entail.Entails(g, h) {
+					b.Fatal("expected entailment")
+				}
+			}
+		})
+	}
+}
+
+// --- E4: acyclic vs cyclic query bodies (Yannakakis crossover) ---
+
+func BenchmarkAcyclicVsCyclic(b *testing.B) {
+	data := gen.EncGround(gen.RandomGraph(40, 200, 7), "d")
+	d := cq.FromGraphDatabase(data)
+	for _, n := range []int{6, 10} {
+		chain := cq.FromGraphQuery(gen.BlankChainBody(n))
+		cycle := cq.FromGraphQuery(gen.BlankCycleBody(n))
+		b.Run(fmt.Sprintf("chain%d/yannakakis", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cq.EvaluateYannakakis(chain, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("chain%d/backtrack", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cq.EvaluateBacktrack(chain, d)
+			}
+		})
+		b.Run(fmt.Sprintf("cycle%d/backtrack", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cq.EvaluateBacktrack(cycle, d)
+			}
+		})
+	}
+}
+
+// --- E5: closure size Θ(n²) and fast membership (Theorem 3.6) ---
+
+func BenchmarkClosureScChain(b *testing.B) {
+	for _, n := range []int{32, 128} {
+		g := gen.ScChain(n)
+		b.Run(fmt.Sprintf("seminaive/n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				closure.RDFSCl(g)
+			}
+		})
+	}
+}
+
+func BenchmarkClosureNaive(b *testing.B) {
+	// Ablation A2 partner of BenchmarkClosureScChain.
+	for _, n := range []int{32, 64} {
+		g := gen.ScChain(n)
+		b.Run(fmt.Sprintf("naive/n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				closure.NaiveRDFSCl(g)
+			}
+		})
+	}
+}
+
+func BenchmarkClosureMembership(b *testing.B) {
+	g := gen.ScChain(128)
+	probe := graph.T(term.NewIRI("urn:semwebdb:c:1"), rdfs.SubClassOf, term.NewIRI("urn:semwebdb:c:128"))
+	b.Run("fast", func(b *testing.B) {
+		mem := closure.NewMembership(g)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !mem.Contains(probe) {
+				b.Fatal("membership lost")
+			}
+		}
+	})
+	b.Run("materialize-every-time", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !closure.RDFSCl(g).Has(probe) {
+				b.Fatal("membership lost")
+			}
+		}
+	})
+}
+
+// --- E7/E8: cores and leanness (Theorems 3.10/3.12) ---
+
+func BenchmarkCore(b *testing.B) {
+	for _, nr := range []int{10, 30} {
+		g := gen.RedundantGraph(10, nr, 3)
+		b.Run(fmt.Sprintf("kernel10+blanks%d", nr), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.CoreGraph(g)
+			}
+		})
+	}
+}
+
+func BenchmarkLean(b *testing.B) {
+	for _, n := range []int{6, 10, 14} {
+		g := gen.Enc(gen.Cycle(n), "v")
+		b.Run(fmt.Sprintf("encC%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.IsLean(g)
+			}
+		})
+	}
+}
+
+// --- E10: normal forms (Theorem 3.19) ---
+
+func BenchmarkNormalForm(b *testing.B) {
+	g := gen.ArtSchema(6, 4, 12, 5)
+	b.Run("nf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.NormalForm(g)
+		}
+	})
+	rw := gen.EquivalentRewrite(g, 9)
+	b.Run("syntax-independence-check", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !core.SameNormalForm(g, rw) {
+				b.Fatal("normal forms differ")
+			}
+		}
+	})
+}
+
+// --- E11: deduction vs model theory (Theorem 2.6) ---
+
+func BenchmarkProve(b *testing.B) {
+	g := gen.ArtSchema(6, 4, 10, 5)
+	h := graph.New(graph.T(
+		term.NewIRI("urn:semwebdb:ind:1"), rdfs.Type, term.NewIRI("urn:semwebdb:Class:0")))
+	b.Run("prove", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := rdfs.Prove(g, h); !ok {
+				b.Fatal("expected proof")
+			}
+		}
+	})
+	b.Run("canonical-model", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !mt.CanonicalEntails(g, h) {
+				b.Fatal("expected entailment")
+			}
+		}
+	})
+}
+
+// --- E12: query vs data complexity (Theorem 6.1) ---
+
+func BenchmarkQueryDataComplexity(b *testing.B) {
+	x, y, z := term.NewVar("X"), term.NewVar("Y"), term.NewVar("Z")
+	p := gen.EdgePredicate
+	q := query.New(
+		[]graph.Triple{{S: x, P: p, O: z}},
+		[]graph.Triple{{S: x, P: p, O: y}, {S: y, P: p, O: z}},
+	)
+	for _, n := range []int{100, 400} {
+		d := gen.EncGround(gen.RandomGraph(n, 3*n, int64(n)), "d")
+		b.Run(fmt.Sprintf("D%d", 3*n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := query.Evaluate(q, d, query.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkQueryQueryComplexity(b *testing.B) {
+	for _, n := range []int{8, 12, 16} {
+		f := cq.ThreeSATInstance{NumVars: n, Clauses: gen.Random3SAT(n, int(4.3*float64(n)), int64(n))}
+		b.Run(fmt.Sprintf("3SATvars%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.Satisfiable()
+			}
+		})
+	}
+}
+
+// --- E13: redundancy elimination (Theorems 6.2/6.3) ---
+
+func BenchmarkRedundancyElimination(b *testing.B) {
+	x := term.NewVar("U")
+	q := query.New(
+		[]graph.Triple{{S: term.NewVar("S"), P: term.NewVar("P"), O: x}},
+		[]graph.Triple{{S: term.NewVar("S"), P: term.NewVar("P"), O: x}},
+	)
+	d := gen.RedundantGraph(10, 10, 11)
+	au, err := query.Evaluate(q, d, query.Options{Semantics: query.UnionSemantics})
+	if err != nil {
+		b.Fatal(err)
+	}
+	am, err := query.Evaluate(q, d, query.Options{Semantics: query.MergeSemantics})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("union-coNP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			query.IsLeanAnswer(au)
+		}
+	})
+	b.Run("merge-poly", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			query.IsLeanAnswer(am)
+		}
+	})
+}
+
+// --- E14/E16: containment (Theorems 5.6/5.12) ---
+
+func BenchmarkContainment(b *testing.B) {
+	vX, vY := term.NewVar("X"), term.NewVar("Y")
+	p := term.NewIRI("urn:b:p")
+	body := []graph.Triple{{S: vX, P: p, O: vY}, {S: vY, P: p, O: vX}}
+	q1 := query.New(body, body)
+	q2 := query.New(
+		[]graph.Triple{{S: vX, P: p, O: vY}},
+		[]graph.Triple{{S: vX, P: p, O: vY}},
+	)
+	b.Run("standard", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := containment.Standard(q2, q1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("entailment", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := containment.Entailment(q2, q1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkPremiseExpansion(b *testing.B) {
+	vX, vY := term.NewVar("X"), term.NewVar("Y")
+	qv, tt, s := term.NewIRI("urn:b:q"), term.NewIRI("urn:b:t"), term.NewIRI("urn:b:s")
+	for _, np := range []int{4, 8} {
+		prem := graph.New()
+		for i := 0; i < np; i++ {
+			prem.Add(graph.T(term.NewIRI(fmt.Sprintf("urn:b:a%d", i)), tt, s))
+		}
+		q := query.New(
+			[]graph.Triple{{S: vX, P: qv, O: vY}},
+			[]graph.Triple{{S: vX, P: qv, O: vY}, {S: vY, P: tt, O: s}},
+		).WithPremise(prem)
+		b.Run(fmt.Sprintf("P%d", np), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				containment.PremiseExpansion(q)
+			}
+		})
+	}
+}
+
+// --- A1/A3: matcher and store ablations ---
+
+func BenchmarkAblationIndexes(b *testing.B) {
+	g := gen.EncGround(gen.RandomGraph(100, 2000, 17), "d")
+	patterns := []graph.Triple{
+		{S: term.NewVar("X"), P: gen.EdgePredicate, O: term.NewVar("Y")},
+		{S: term.NewVar("Y"), P: gen.EdgePredicate, O: term.NewVar("Z")},
+	}
+	for _, mode := range []struct {
+		name string
+		m    match.IndexMode
+	}{
+		{"full", match.FullIndexes},
+		{"predicate-only", match.PredicateOnly},
+		{"scan-only", match.ScanOnly},
+	} {
+		ix := match.NewIndexMode(g, mode.m)
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n := 0
+				match.NewSolver(ix, match.Options{}).Solve(patterns, func(match.Binding) bool {
+					n++
+					return n < 2000
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkAblationOrdering(b *testing.B) {
+	src := gen.Enc(gen.Clique(4), "v")
+	dst := gen.EncGround(gen.Clique(3), "k")
+	pats := append(src.Triples(), graph.T(
+		term.NewBlank("v0"), term.NewIRI("urn:none"), term.NewBlank("v1")))
+	isUnknown := func(x term.Term) bool { return x.IsBlank() }
+	for _, noReorder := range []bool{false, true} {
+		name := "heuristic"
+		if noReorder {
+			name = "given-order"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				match.Solve(pats, dst, match.Options{IsUnknown: isUnknown, NoReorder: noReorder},
+					func(match.Binding) bool { return false })
+			}
+		})
+	}
+}
+
+func BenchmarkStoreMatch(b *testing.B) {
+	g := gen.EncGround(gen.RandomGraph(200, 5000, 23), "d")
+	st := store.FromGraph(g)
+	obj := term.NewIRI("urn:semwebdb:d:7")
+	b.Run("object-bound", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st.MatchTerms(term.Term{}, term.Term{}, obj, func(graph.Triple) bool { return true })
+		}
+	})
+	b.Run("add", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s2 := store.New()
+			g.Each(func(t graph.Triple) bool { s2.Add(t); return true })
+		}
+	})
+}
+
+// --- substrate: parser throughput ---
+
+func BenchmarkNTriplesParse(b *testing.B) {
+	g := gen.EncGround(gen.RandomGraph(200, 5000, 29), "d")
+	doc := ntriples.SerializeString(g)
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ntriples.ParseString(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNTriplesSerialize(b *testing.B) {
+	g := gen.EncGround(gen.RandomGraph(200, 5000, 29), "d")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		if err := ntriples.Serialize(&sb, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- isomorphism (used by Theorems 3.11/3.19 decision procedures) ---
+
+func BenchmarkIsomorphism(b *testing.B) {
+	g1 := gen.Enc(gen.Cycle(12), "a")
+	g2 := gen.Enc(gen.Cycle(12), "b")
+	b.Run("C12", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !hom.Isomorphic(g1, g2) {
+				b.Fatal("expected isomorphism")
+			}
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package semwebdb_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildTools compiles the command-line binaries once per test run.
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+func tools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "semwebdb-bin")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"rdfcheck", "rdfnorm", "rdfquery", "experiments"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
+			var out bytes.Buffer
+			cmd.Stderr = &out
+			if err := cmd.Run(); err != nil {
+				buildErr = err
+				t.Logf("build %s: %s", tool, out.String())
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return binDir
+}
+
+func run(t *testing.T, name string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(tools(t), name), args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v", name, args, err)
+	}
+	return out.String(), code
+}
+
+func TestRdfcheckEntailment(t *testing.T) {
+	out, code := run(t, "rdfcheck", "-op", "entails", "testdata/art.ttl", "testdata/consequence.nt")
+	if code != 0 {
+		t.Fatalf("entailment should hold (exit %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "true") {
+		t.Fatalf("output: %s", out)
+	}
+	// Reverse direction must fail with exit 1.
+	_, code = run(t, "rdfcheck", "-op", "entails", "testdata/consequence.nt", "testdata/art.ttl")
+	if code != 1 {
+		t.Fatalf("reverse entailment exit = %d, want 1", code)
+	}
+}
+
+func TestRdfcheckProof(t *testing.T) {
+	out, code := run(t, "rdfcheck", "-op", "entails", "-proof", "testdata/art.ttl", "testdata/consequence.nt")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "step proof") && !strings.Contains(out, "-step proof") {
+		t.Fatalf("proof output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "rule(") {
+		t.Fatalf("no rule lines in proof:\n%s", out)
+	}
+}
+
+func TestRdfcheckLeanAndIso(t *testing.T) {
+	out, code := run(t, "rdfcheck", "-op", "lean", "testdata/nonlean.nt")
+	if code != 1 || !strings.Contains(out, "false") {
+		t.Fatalf("nonlean.nt reported lean (exit %d):\n%s", code, out)
+	}
+	_, code = run(t, "rdfcheck", "-op", "iso", "testdata/nonlean.nt", "testdata/nonlean.nt")
+	if code != 0 {
+		t.Fatalf("self-isomorphism exit = %d", code)
+	}
+	out, code = run(t, "rdfcheck", "-op", "simple", "testdata/art.ttl")
+	if code != 1 || !strings.Contains(out, "false") {
+		t.Fatalf("schema graph reported simple (exit %d): %s", code, out)
+	}
+}
+
+func TestRdfcheckBadUsage(t *testing.T) {
+	_, code := run(t, "rdfcheck", "-op", "entails", "testdata/art.ttl")
+	if code != 2 {
+		t.Fatalf("missing-argument exit = %d, want 2", code)
+	}
+	_, code = run(t, "rdfcheck", "-op", "bogus", "testdata/art.ttl")
+	if code != 2 {
+		t.Fatalf("unknown-op exit = %d, want 2", code)
+	}
+	_, code = run(t, "rdfcheck", "-op", "lean", "testdata/does-not-exist.nt")
+	if code != 2 {
+		t.Fatalf("missing-file exit = %d, want 2", code)
+	}
+}
+
+func TestRdfnorm(t *testing.T) {
+	out, code := run(t, "rdfnorm", "-to", "closure", "testdata/art.ttl")
+	if code != 0 {
+		t.Fatalf("closure exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "<urn:art:picasso> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <urn:art:artist>") {
+		t.Fatalf("closure missing derived type:\n%s", out)
+	}
+	out, code = run(t, "rdfnorm", "-to", "core", "testdata/nonlean.nt")
+	if code != 0 {
+		t.Fatalf("core exit %d", code)
+	}
+	if strings.Contains(out, "_:") {
+		t.Fatalf("core kept the redundant blank:\n%s", out)
+	}
+	out, code = run(t, "rdfnorm", "-to", "nf", "-stats", "testdata/art.ttl")
+	if code != 0 || !strings.Contains(out, "triples") {
+		t.Fatalf("nf stats: exit %d\n%s", code, out)
+	}
+	out, code = run(t, "rdfnorm", "-to", "minimal", "testdata/art.ttl")
+	if code != 0 {
+		t.Fatalf("minimal exit %d:\n%s", code, out)
+	}
+}
+
+func TestRdfquery(t *testing.T) {
+	out, code := run(t, "rdfquery", "testdata/artists.rq", "testdata/art.ttl")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "<urn:art:picasso> <urn:art:isArtist> <urn:art:yes>") {
+		t.Fatalf("inferred artist missing:\n%s", out)
+	}
+	out, code = run(t, "rdfquery", "-stats", "testdata/artists.rq", "testdata/art.ttl")
+	if code != 0 || !strings.Contains(out, "single answers") {
+		t.Fatalf("stats output:\n%s", out)
+	}
+	out, code = run(t, "rdfquery", "-sem", "merge", "testdata/artists.rq", "testdata/art.ttl")
+	if code != 0 {
+		t.Fatalf("merge exit %d:\n%s", code, out)
+	}
+}
+
+func TestExperimentsCLI(t *testing.T) {
+	out, code := run(t, "experiments", "-list")
+	if code != 0 || !strings.Contains(out, "E15") {
+		t.Fatalf("list output:\n%s", out)
+	}
+	out, code = run(t, "experiments", "-quick", "-run", "E6,E15")
+	if code != 0 {
+		t.Fatalf("run exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "E6") || !strings.Contains(out, "E15") {
+		t.Fatalf("experiment output:\n%s", out)
+	}
+	_, code = run(t, "experiments", "-run", "E999")
+	if code != 2 {
+		t.Fatalf("unknown experiment exit = %d, want 2", code)
+	}
+}
+
+func TestRdfnormFingerprint(t *testing.T) {
+	// Equivalent inputs produce identical fingerprints.
+	fpA, code := run(t, "rdfnorm", "-fingerprint", "testdata/art.ttl")
+	if code != 0 {
+		t.Fatalf("fingerprint exit %d", code)
+	}
+	// A redundant variant of the same graph: append an entailed triple.
+	variant := filepath.Join(t.TempDir(), "variant.nt")
+	closure, _ := run(t, "rdfnorm", "-to", "closure", "testdata/art.ttl")
+	if err := os.WriteFile(variant, []byte(closure), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	fpB, code := run(t, "rdfnorm", "-fingerprint", variant)
+	if code != 0 {
+		t.Fatalf("fingerprint exit %d", code)
+	}
+	if fpA != fpB {
+		t.Fatalf("equivalent graphs have different fingerprints:\n%s\nvs\n%s", fpA, fpB)
+	}
+	fpC, _ := run(t, "rdfnorm", "-fingerprint", "testdata/nonlean.nt")
+	if fpA == fpC {
+		t.Fatal("different graphs share a fingerprint")
+	}
+	// -to canon round-trips as parseable N-Triples.
+	out, code := run(t, "rdfnorm", "-to", "canon", "testdata/nonlean.nt")
+	if code != 0 || !strings.Contains(out, "_:c0") {
+		t.Fatalf("canon output:\n%s", out)
+	}
+}

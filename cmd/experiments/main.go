@@ -1,0 +1,55 @@
+// Command experiments runs the reproduction experiments of
+// EXPERIMENTS.md (one per theorem/example of the paper) and prints their
+// tables.
+//
+// Usage:
+//
+//	experiments               # run everything, full scale
+//	experiments -quick        # reduced parameter sweeps
+//	experiments -run E5,E8    # selected experiments
+//	experiments -list         # list the registry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"semwebdb/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced parameter sweeps")
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list registered experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Quick: *quick}
+	if *run == "" {
+		if err := experiments.RunAll(os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, id := range strings.Split(*run, ",") {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		if err := experiments.RunOne(os.Stdout, e, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command rdfcheck decides the semantic relations of the paper between
+// two RDF files: entailment (Theorem 2.8), equivalence, isomorphism, and
+// single-graph properties (leanness, simplicity).
+//
+// Usage:
+//
+//	rdfcheck -op entails  g1.nt g2.nt   # G1 ⊨ G2 ?
+//	rdfcheck -op equiv    g1.nt g2.ttl  # G1 ≡ G2 ?
+//	rdfcheck -op iso      g1.nt g2.nt   # G1 ≅ G2 ?
+//	rdfcheck -op lean     g.nt          # is G lean?
+//	rdfcheck -op simple   g.nt          # is G a simple graph?
+//
+// With -proof, entailment also prints a checked derivation in the
+// deductive system of Section 2.3.2. Exit status: 0 when the relation
+// holds, 1 when it does not, 2 on errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"semwebdb/internal/core"
+	"semwebdb/internal/entail"
+	"semwebdb/internal/hom"
+	"semwebdb/internal/rdfio"
+	"semwebdb/internal/rdfs"
+)
+
+func main() {
+	op := flag.String("op", "entails", "operation: entails | equiv | iso | lean | simple")
+	proof := flag.Bool("proof", false, "with -op entails: print a checked proof (Definition 2.5)")
+	quiet := flag.Bool("q", false, "suppress output; use the exit status only")
+	flag.Parse()
+
+	say := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "rdfcheck:", err)
+		os.Exit(2)
+	}
+	needArgs := func(n int) []string {
+		if flag.NArg() != n {
+			fail(fmt.Errorf("operation %q needs %d file argument(s)", *op, n))
+		}
+		return flag.Args()
+	}
+
+	var holds bool
+	switch *op {
+	case "entails", "equiv", "iso":
+		args := needArgs(2)
+		g1, err := rdfio.Load(args[0])
+		if err != nil {
+			fail(err)
+		}
+		g2, err := rdfio.Load(args[1])
+		if err != nil {
+			fail(err)
+		}
+		switch *op {
+		case "entails":
+			if *proof {
+				p, ok := entail.EntailsWithProof(g1, g2)
+				holds = ok
+				if ok {
+					if err := p.Verify(g1, g2); err != nil {
+						fail(fmt.Errorf("internal: produced proof fails verification: %w", err))
+					}
+					say("G1 ⊨ G2 with a %d-step proof:", p.Len())
+					for i, st := range p.Steps {
+						if st.Rule == rdfs.RuleExistential {
+							say("  %2d. %s with map over %d blanks", i+1, st.Rule, len(st.Mu))
+						} else {
+							say("  %2d. %s", i+1, st.Inst)
+						}
+					}
+				} else {
+					say("G1 ⊭ G2")
+				}
+			} else {
+				holds = entail.Entails(g1, g2)
+				say("G1 ⊨ G2: %v", holds)
+			}
+		case "equiv":
+			holds = entail.Equivalent(g1, g2)
+			say("G1 ≡ G2: %v", holds)
+		case "iso":
+			holds = hom.Isomorphic(g1, g2)
+			say("G1 ≅ G2: %v", holds)
+		}
+	case "lean":
+		args := needArgs(1)
+		g, err := rdfio.Load(args[0])
+		if err != nil {
+			fail(err)
+		}
+		holds = core.IsLean(g)
+		say("lean: %v", holds)
+	case "simple":
+		args := needArgs(1)
+		g, err := rdfio.Load(args[0])
+		if err != nil {
+			fail(err)
+		}
+		holds = rdfs.IsSimple(g)
+		say("simple: %v", holds)
+	default:
+		fail(fmt.Errorf("unknown operation %q", *op))
+	}
+	if !holds {
+		os.Exit(1)
+	}
+}

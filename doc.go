@@ -1,0 +1,13 @@
+// Package semwebdb is a from-scratch Go reproduction of "Foundations of
+// Semantic Web databases" (Gutierrez, Hurtado, Mendelzon, Pérez; PODS
+// 2004 / JCSS 2011): the abstract RDF data model with RDFS semantics, its
+// deductive system and model theory, closures, cores and normal forms,
+// tableau queries with premises and constraints under union and merge
+// semantics, and the two query-containment notions, together with the
+// substrates (parsers, an indexed triple store, homomorphism search,
+// conjunctive-query machinery) and an experiment harness reproducing
+// every theorem and worked example of the paper.
+//
+// The implementation lives under internal/; see README.md for the map
+// and DESIGN.md for the per-experiment index.
+package semwebdb

@@ -1,0 +1,115 @@
+// Artgallery reproduces the paper's Fig. 1 scenario: an RDFS schema for
+// art resources where schema and data live at the same level, queried
+// through the RDFS semantics (subclass, subproperty, domain, range).
+//
+// Run with: go run ./examples/artgallery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semwebdb/internal/closure"
+	"semwebdb/internal/graph"
+	"semwebdb/internal/query"
+	"semwebdb/internal/rdfs"
+	"semwebdb/internal/term"
+	"semwebdb/internal/turtle"
+)
+
+const figure1 = `
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix art: <urn:art:> .
+
+# Schema (Fig. 1): classes and properties with RDFS semantics.
+art:sculptor rdfs:subClassOf art:artist .
+art:painter  rdfs:subClassOf art:artist .
+art:sculpts  rdfs:subPropertyOf art:creates .
+art:paints   rdfs:subPropertyOf art:creates .
+art:creates  rdfs:domain art:artist ;
+             rdfs:range  art:artifact .
+art:exhibited rdfs:domain art:artifact ;
+              rdfs:range  art:museum .
+
+# Data, at the same level as the schema.
+art:picasso  art:paints  art:guernica .
+art:rodin    art:sculpts art:thethinker .
+art:guernica art:exhibited art:reinasofia .
+art:picasso  a art:painter .
+`
+
+func main() {
+	db, err := turtle.Parse(figure1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fig. 1 graph: %d triples\n", db.Len())
+
+	art := func(s string) term.Term { return term.NewIRI("urn:art:" + s) }
+
+	// The RDFS closure derives: picasso and rodin are artists (via
+	// dom+sp), guernica and thethinker are artifacts (via range+sp),
+	// picasso creates guernica (via sp), reinasofia is a museum (range).
+	cl := closure.Cl(db)
+	fmt.Printf("closure: %d triples\n\n", cl.Len())
+	checks := []graph.Triple{
+		graph.T(art("picasso"), rdfs.Type, art("artist")),
+		graph.T(art("rodin"), rdfs.Type, art("artist")),
+		graph.T(art("guernica"), rdfs.Type, art("artifact")),
+		graph.T(art("picasso"), art("creates"), art("guernica")),
+		graph.T(art("reinasofia"), rdfs.Type, art("museum")),
+	}
+	mem := closure.NewMembership(db)
+	for _, c := range checks {
+		fmt.Printf("  %v ∈ cl(G): %v\n", c, mem.Contains(c))
+	}
+
+	// Query 1 (the paper's intro example): artifacts created by artists,
+	// exhibited at a given museum.
+	A, Y := term.NewVar("A"), term.NewVar("Y")
+	q1 := query.New(
+		[]graph.Triple{{S: A, P: art("createdWork"), O: Y}},
+		[]graph.Triple{
+			{S: A, P: rdfs.Type, O: art("artist")},
+			{S: A, P: art("creates"), O: Y},
+			{S: Y, P: art("exhibited"), O: art("reinasofia")},
+		},
+	)
+	ans1, err := query.Evaluate(q1, db, query.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nartists with works exhibited at the Reina Sofía:")
+	fmt.Print(ans1.Graph)
+
+	// Query 2: everything that is an artist — requires type inference
+	// through dom, range and sc.
+	q2 := query.New(
+		[]graph.Triple{{S: A, P: term.NewIRI("urn:art:isArtist"), O: term.NewLiteral("true")}},
+		[]graph.Triple{{S: A, P: rdfs.Type, O: art("artist")}},
+	)
+	ans2, err := query.Evaluate(q2, db, query.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nall inferred artists:")
+	fmt.Print(ans2.Graph)
+
+	// Query 3: a head with a blank node — report each creator paired
+	// with an anonymous "creation event" (Skolemized per binding).
+	E := term.NewBlank("Event")
+	q3 := query.New(
+		[]graph.Triple{
+			{S: E, P: art("by"), O: A},
+			{S: E, P: art("produced"), O: Y},
+		},
+		[]graph.Triple{{S: A, P: art("creates"), O: Y}},
+	)
+	ans3, err := query.Evaluate(q3, db, query.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncreation events (one skolem blank per creation):")
+	fmt.Print(ans3.Graph)
+}

@@ -1,0 +1,241 @@
+// Package canon computes canonical forms of RDF graphs: a deterministic
+// renaming of blank nodes such that two graphs receive identical
+// canonical forms exactly when they are isomorphic (blank-renaming
+// equivalent, Section 2.1 of the paper).
+//
+// Combined with the normal form of Section 3.3, this turns equivalence
+// of RDF graphs into string equality: G ≡ H iff the canonical
+// serializations of nf(G) and nf(H) coincide (Theorem 3.19) — a total
+// certificate usable as a database fingerprint.
+//
+// The algorithm is iterated color refinement (1-WL) over blank nodes,
+// with individualize-and-refine branching on ties; it is exact (not a
+// heuristic), with exponential worst-case time on highly symmetric
+// graphs, which Theorem 3.12's hardness results make unavoidable.
+package canon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"semwebdb/internal/graph"
+	"semwebdb/internal/term"
+)
+
+// Canonicalize returns an isomorphic copy of g whose blank nodes carry
+// canonical labels c0, c1, …: isomorphic inputs yield Equal outputs.
+func Canonicalize(g *graph.Graph) *graph.Graph {
+	m := CanonicalMap(g)
+	return m.Apply(g)
+}
+
+// String returns the canonical serialization of g: isomorphic graphs map
+// to identical strings, non-isomorphic ones to different strings.
+func String(g *graph.Graph) string {
+	return Canonicalize(g).String()
+}
+
+// CanonicalMap computes the canonical blank renaming of g.
+func CanonicalMap(g *graph.Graph) graph.Map {
+	blanks := g.BlankNodeList()
+	if len(blanks) == 0 {
+		return graph.Map{}
+	}
+	st := newState(g, blanks)
+	order := st.search(initialColors(st))
+	m := make(graph.Map, len(order))
+	for i, b := range order {
+		m[b] = term.NewBlank(fmt.Sprintf("c%d", i))
+	}
+	return m
+}
+
+// state holds the immutable per-graph structures of the search.
+type state struct {
+	g      *graph.Graph
+	blanks []term.Term
+	index  map[term.Term]int // blank -> position in blanks
+	// occurrences of each blank: (triple, position) descriptors.
+	occ map[term.Term][]occurrence
+}
+
+type occurrence struct {
+	t   graph.Triple
+	pos int // 0 = subject, 2 = object
+}
+
+func newState(g *graph.Graph, blanks []term.Term) *state {
+	st := &state{
+		g:      g,
+		blanks: blanks,
+		index:  make(map[term.Term]int, len(blanks)),
+		occ:    make(map[term.Term][]occurrence, len(blanks)),
+	}
+	for i, b := range blanks {
+		st.index[b] = i
+	}
+	for _, t := range g.Triples() {
+		if t.S.IsBlank() {
+			st.occ[t.S] = append(st.occ[t.S], occurrence{t, 0})
+		}
+		if t.O.IsBlank() {
+			st.occ[t.O] = append(st.occ[t.O], occurrence{t, 2})
+		}
+	}
+	return st
+}
+
+// coloring assigns each blank (by index) a rank; equal ranks mean
+// "indistinguishable so far".
+type coloring []int
+
+// initialColors starts with all blanks in one class.
+func initialColors(st *state) coloring {
+	return make(coloring, len(st.blanks))
+}
+
+// refine iterates signature-based splitting until the partition is
+// stable. Signatures include, per occurrence, the predicate, the
+// position, and the other endpoint (its ground identity, or its current
+// rank when blank), so the refinement respects exactly the structure a
+// blank-renaming isomorphism must preserve.
+func (st *state) refine(c coloring) coloring {
+	cur := append(coloring(nil), c...)
+	for {
+		sigs := make([]string, len(st.blanks))
+		for i, b := range st.blanks {
+			var parts []string
+			for _, o := range st.occ[b] {
+				other := o.t.O
+				if o.pos == 2 {
+					other = o.t.S
+				}
+				otherDesc := other.String()
+				if other.IsBlank() {
+					otherDesc = fmt.Sprintf("~%d", cur[st.index[other]])
+				}
+				parts = append(parts, fmt.Sprintf("%d|%s|%s", o.pos, o.t.P.String(), otherDesc))
+			}
+			sort.Strings(parts)
+			sigs[i] = fmt.Sprintf("%d(%s)", cur[i], strings.Join(parts, ";"))
+		}
+		// Rank-compress the signatures deterministically.
+		uniq := append([]string(nil), sigs...)
+		sort.Strings(uniq)
+		uniq = dedupe(uniq)
+		rank := make(map[string]int, len(uniq))
+		for r, s := range uniq {
+			rank[s] = r
+		}
+		next := make(coloring, len(st.blanks))
+		for i, s := range sigs {
+			next[i] = rank[s]
+		}
+		if equalColoring(cur, next) {
+			return next
+		}
+		cur = next
+	}
+}
+
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func equalColoring(a, b coloring) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// discrete reports whether every class is a singleton.
+func discrete(c coloring) bool {
+	seen := make(map[int]bool, len(c))
+	for _, r := range c {
+		if seen[r] {
+			return false
+		}
+		seen[r] = true
+	}
+	return true
+}
+
+// orderOf converts a discrete coloring to the blank ordering it induces.
+func (st *state) orderOf(c coloring) []term.Term {
+	type pair struct {
+		rank int
+		b    term.Term
+	}
+	ps := make([]pair, len(st.blanks))
+	for i, b := range st.blanks {
+		ps[i] = pair{c[i], b}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].rank < ps[j].rank })
+	out := make([]term.Term, len(ps))
+	for i, p := range ps {
+		out[i] = p.b
+	}
+	return out
+}
+
+// serializationFor renders the canonical string induced by an ordering.
+func (st *state) serializationFor(order []term.Term) string {
+	m := make(graph.Map, len(order))
+	for i, b := range order {
+		m[b] = term.NewBlank(fmt.Sprintf("c%d", i))
+	}
+	return m.Apply(st.g).String()
+}
+
+// search runs individualize-and-refine: refine; if discrete, done;
+// otherwise pick the first non-singleton class and branch on each of its
+// members, keeping the branch with the lexicographically smallest
+// canonical serialization. Exact by exhaustiveness.
+func (st *state) search(c coloring) []term.Term {
+	c = st.refine(c)
+	if discrete(c) {
+		return st.orderOf(c)
+	}
+	// Locate the smallest-rank class with ≥ 2 members.
+	classOf := map[int][]int{}
+	for i, r := range c {
+		classOf[r] = append(classOf[r], i)
+	}
+	ranks := make([]int, 0, len(classOf))
+	for r, members := range classOf {
+		if len(members) > 1 {
+			ranks = append(ranks, r)
+		}
+	}
+	sort.Ints(ranks)
+	target := classOf[ranks[0]]
+
+	bestStr := ""
+	var bestOrder []term.Term
+	for _, idx := range target {
+		branch := append(coloring(nil), c...)
+		// Individualize: give idx a rank below its whole class, keeping
+		// all ranks distinct from others by rescaling.
+		for j := range branch {
+			branch[j] *= 2
+		}
+		branch[idx]--
+		order := st.search(branch)
+		s := st.serializationFor(order)
+		if bestOrder == nil || s < bestStr {
+			bestStr = s
+			bestOrder = order
+		}
+	}
+	return bestOrder
+}

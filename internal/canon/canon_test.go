@@ -1,0 +1,147 @@
+package canon
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"semwebdb/internal/gen"
+	"semwebdb/internal/graph"
+	"semwebdb/internal/hom"
+	"semwebdb/internal/term"
+)
+
+func iri(s string) term.Term { return term.NewIRI(s) }
+func blk(s string) term.Term { return term.NewBlank(s) }
+
+func TestGroundGraphUnchanged(t *testing.T) {
+	g := graph.New(graph.T(iri("a"), iri("p"), iri("b")))
+	if !Canonicalize(g).Equal(g) {
+		t.Fatal("ground graph changed by canonicalization")
+	}
+}
+
+func TestCanonicalizeIsIsomorphicCopy(t *testing.T) {
+	g := gen.Enc(gen.Cycle(5), "v")
+	c := Canonicalize(g)
+	if !hom.Isomorphic(g, c) {
+		t.Fatal("canonical form not isomorphic to input")
+	}
+	// All blanks renamed to the canonical alphabet.
+	for b := range c.BlankNodes() {
+		if b.Value[0] != 'c' {
+			t.Fatalf("non-canonical blank label %v", b)
+		}
+	}
+}
+
+func TestIsomorphicGraphsSameString(t *testing.T) {
+	// Renamings of structured graphs canonicalize identically.
+	families := []func(label string) *graph.Graph{
+		func(l string) *graph.Graph { return gen.Enc(gen.Cycle(6), l) },
+		func(l string) *graph.Graph { return gen.Enc(gen.Clique(4), l) },
+		func(l string) *graph.Graph { return gen.Enc(gen.Path(5), l) },
+		func(l string) *graph.Graph {
+			return graph.New(
+				graph.T(blk(l+"1"), iri("p"), blk(l+"2")),
+				graph.T(blk(l+"2"), iri("q"), iri("g")),
+				graph.T(blk(l+"3"), iri("p"), blk(l+"2")),
+			)
+		},
+	}
+	for i, mk := range families {
+		a, b := mk("x"), mk("completely-different")
+		if String(a) != String(b) {
+			t.Errorf("family %d: isomorphic graphs canonicalize differently:\n%s\nvs\n%s",
+				i, String(a), String(b))
+		}
+	}
+}
+
+func TestNonIsomorphicGraphsDifferentString(t *testing.T) {
+	pairs := [][2]*graph.Graph{
+		{gen.Enc(gen.Cycle(5), "a"), gen.Enc(gen.Cycle(6), "b")},
+		{gen.Enc(gen.Path(4), "a"), gen.Enc(gen.Path(5), "b")},
+		{
+			graph.New(graph.T(blk("x"), iri("p"), blk("x"))),
+			graph.New(graph.T(blk("x"), iri("p"), blk("y"))),
+		},
+	}
+	for i, p := range pairs {
+		if String(p[0]) == String(p[1]) {
+			t.Errorf("pair %d: non-isomorphic graphs share a canonical string", i)
+		}
+	}
+}
+
+func TestCanonicalStringMatchesIsomorphismDecider(t *testing.T) {
+	// Random cross-validation: String equality ⇔ hom.Isomorphic.
+	rng := rand.New(rand.NewSource(71))
+	mk := func() *graph.Graph {
+		g := graph.New()
+		n := 3 + rng.Intn(3)
+		for k := 0; k < n; k++ {
+			s := blk(fmt.Sprintf("b%d", rng.Intn(4)))
+			var o term.Term
+			if rng.Intn(3) == 0 {
+				o = iri("g")
+			} else {
+				o = blk(fmt.Sprintf("b%d", rng.Intn(4)))
+			}
+			g.Add(graph.T(s, iri(fmt.Sprintf("p%d", rng.Intn(2))), o))
+		}
+		return g
+	}
+	for round := 0; round < 60; round++ {
+		g1, g2 := mk(), mk()
+		same := String(g1) == String(g2)
+		iso := hom.Isomorphic(g1, g2)
+		if same != iso {
+			t.Fatalf("round %d: canonical-string equality (%v) vs isomorphism (%v)\nG1:\n%v\nG2:\n%v",
+				round, same, iso, g1, g2)
+		}
+	}
+}
+
+func TestHighlySymmetricGraphs(t *testing.T) {
+	// Cliques and symmetric cycles exercise the individualize-and-refine
+	// branching (color refinement alone cannot split them).
+	for _, n := range []int{3, 4, 5} {
+		a := gen.Enc(gen.Clique(n), "x")
+		b := gen.Enc(gen.Clique(n), "y")
+		if String(a) != String(b) {
+			t.Errorf("K%d: renamed cliques canonicalize differently", n)
+		}
+	}
+	// Two disjoint 3-cycles vs one 6-cycle: same degree sequence,
+	// non-isomorphic.
+	two3 := graph.Union(gen.Enc(gen.Cycle(3), "a"), gen.Enc(gen.Cycle(3), "b"))
+	one6 := gen.Enc(gen.Cycle(6), "c")
+	if String(two3) == String(one6) {
+		t.Error("2×C3 and C6 share a canonical string")
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	g := gen.Enc(gen.Cycle(7), "v")
+	c1 := Canonicalize(g)
+	c2 := Canonicalize(c1)
+	if !c1.Equal(c2) {
+		t.Fatal("canonicalization not idempotent")
+	}
+}
+
+func TestMixedGroundAndBlank(t *testing.T) {
+	// Ground anchors must break symmetry deterministically.
+	g1 := graph.New(
+		graph.T(blk("x"), iri("p"), iri("a")),
+		graph.T(blk("y"), iri("p"), iri("b")),
+	)
+	g2 := graph.New(
+		graph.T(blk("u"), iri("p"), iri("b")),
+		graph.T(blk("w"), iri("p"), iri("a")),
+	)
+	if String(g1) != String(g2) {
+		t.Fatal("anchored renaming not canonical")
+	}
+}

@@ -1,0 +1,246 @@
+// Package closure implements the maximal representations of Section 3.1
+// of the paper: the closure RDFS-cl(G) of Definition 2.7 (the saturation
+// of G under rules (2)–(13)), the semantic closure cl(G) of Definition
+// 3.5 computed through skolemization (Lemma 3.4), and the
+// membership-without-materialization test of Theorem 3.6(4).
+package closure
+
+import (
+	"semwebdb/internal/graph"
+	"semwebdb/internal/rdfs"
+	"semwebdb/internal/term"
+)
+
+// RDFSCl returns RDFS-cl(G): the set of triples deducible from G using
+// rules (2)–(13) (Definition 2.7). The input graph is not modified.
+//
+// The computation is a semi-naive (delta-driven) fixpoint: every triple
+// is processed exactly once, joining against incrementally maintained
+// indexes, so no rule instantiation is re-derived from scratch per round.
+// NaiveRDFSCl is the round-based baseline (ablation A2).
+func RDFSCl(g *graph.Graph) *graph.Graph {
+	e := newEngine()
+	g.Each(func(t graph.Triple) bool {
+		e.add(t)
+		return true
+	})
+	// Rule (9): (p, sp, p) for every p ∈ rdfsV, unconditionally.
+	for _, p := range rdfs.Vocabulary() {
+		e.add(graph.T(p, rdfs.SubPropertyOf, p))
+	}
+	e.run()
+	return e.out
+}
+
+// Cl returns cl(G) following Definition 3.5 literally: skolemize G to the
+// ground graph G*, close it, and unskolemize the result (dropping triples
+// that become ill-formed). By Lemma 3.4 and Theorem 3.6(2) this coincides
+// with RDFSCl; the two code paths are property-tested against each other.
+func Cl(g *graph.Graph) *graph.Graph {
+	return graph.Unskolemize(RDFSCl(graph.Skolemize(g)))
+}
+
+// NaiveRDFSCl computes the closure by repeatedly enumerating every rule
+// instantiation until no new triple appears. It is the ablation baseline
+// (A2) and the executable transcription of Definition 2.7.
+func NaiveRDFSCl(g *graph.Graph) *graph.Graph {
+	out := g.Clone()
+	for _, p := range rdfs.Vocabulary() {
+		out.Add(graph.T(p, rdfs.SubPropertyOf, p))
+	}
+	for {
+		added := false
+		for _, inst := range rdfs.AllInstantiations(out) {
+			for _, c := range inst.Conclusions {
+				if out.Add(c) {
+					added = true
+				}
+			}
+		}
+		if !added {
+			return out
+		}
+	}
+}
+
+// engine is the semi-naive saturation state.
+type engine struct {
+	out   *graph.Graph
+	queue []graph.Triple
+
+	spOut map[term.Term]map[term.Term]struct{} // a -> {b : (a,sp,b)}
+	spIn  map[term.Term]map[term.Term]struct{}
+	scOut map[term.Term]map[term.Term]struct{}
+	scIn  map[term.Term]map[term.Term]struct{}
+
+	domOf   map[term.Term][]term.Term // A -> {B : (A,dom,B)}
+	rangeOf map[term.Term][]term.Term
+
+	byPred    map[term.Term][]graph.Triple // predicate -> triples
+	typeByObj map[term.Term][]term.Term    // class -> {x : (x,type,class)}
+}
+
+func newEngine() *engine {
+	return &engine{
+		out:       graph.New(),
+		spOut:     make(map[term.Term]map[term.Term]struct{}),
+		spIn:      make(map[term.Term]map[term.Term]struct{}),
+		scOut:     make(map[term.Term]map[term.Term]struct{}),
+		scIn:      make(map[term.Term]map[term.Term]struct{}),
+		domOf:     make(map[term.Term][]term.Term),
+		rangeOf:   make(map[term.Term][]term.Term),
+		byPred:    make(map[term.Term][]graph.Triple),
+		typeByObj: make(map[term.Term][]term.Term),
+	}
+}
+
+func addEdge(m map[term.Term]map[term.Term]struct{}, a, b term.Term) {
+	s, ok := m[a]
+	if !ok {
+		s = make(map[term.Term]struct{})
+		m[a] = s
+	}
+	s[b] = struct{}{}
+}
+
+// add inserts a triple (if well-formed and new), updates the indexes and
+// enqueues it for processing.
+func (e *engine) add(t graph.Triple) {
+	if !e.out.Add(t) {
+		return
+	}
+	e.byPred[t.P] = append(e.byPred[t.P], t)
+	switch t.P {
+	case rdfs.SubPropertyOf:
+		addEdge(e.spOut, t.S, t.O)
+		addEdge(e.spIn, t.O, t.S)
+	case rdfs.SubClassOf:
+		addEdge(e.scOut, t.S, t.O)
+		addEdge(e.scIn, t.O, t.S)
+	case rdfs.Domain:
+		e.domOf[t.S] = append(e.domOf[t.S], t.O)
+	case rdfs.Range:
+		e.rangeOf[t.S] = append(e.rangeOf[t.S], t.O)
+	case rdfs.Type:
+		e.typeByObj[t.O] = append(e.typeByObj[t.O], t.S)
+	}
+	e.queue = append(e.queue, t)
+}
+
+func (e *engine) run() {
+	for len(e.queue) > 0 {
+		t := e.queue[len(e.queue)-1]
+		e.queue = e.queue[:len(e.queue)-1]
+		e.process(t)
+	}
+}
+
+// process fires every rule that has t as one of its antecedents, joining
+// against the current indexes. Because indexes are updated at add time,
+// each antecedent pair/triple is joined when its last member is
+// processed, which covers all instantiations exactly once.
+func (e *engine) process(t graph.Triple) {
+	// Rules that see t as a generic triple (X, A, Y).
+	// Rule (8): (X,A,Y) ⊢ (A,sp,A).
+	e.add(graph.T(t.P, rdfs.SubPropertyOf, t.P))
+	// Rule (3): (A,sp,B), (X,A,Y) ⊢ (X,B,Y), for the new (X,A,Y) = t.
+	for b := range e.spOut[t.P] {
+		if b.CanPredicate() {
+			e.add(graph.T(t.S, b, t.O))
+		}
+	}
+	// Rules (6)/(7) with t as the body triple (X,C,Y): C sp A (or C = A,
+	// whose reflexive sp loop is handled when (C,sp,C) is processed).
+	for a := range e.spOut[t.P] {
+		for _, b := range e.domOf[a] {
+			e.add(graph.T(t.S, rdfs.Type, b))
+		}
+		for _, b := range e.rangeOf[a] {
+			e.add(graph.T(t.O, rdfs.Type, b))
+		}
+	}
+
+	switch t.P {
+	case rdfs.SubPropertyOf:
+		a, b := t.S, t.O
+		// Rule (2): transitivity, joining on both sides.
+		for c := range e.spOut[b] {
+			e.add(graph.T(a, rdfs.SubPropertyOf, c))
+		}
+		for z := range e.spIn[a] {
+			e.add(graph.T(z, rdfs.SubPropertyOf, b))
+		}
+		// Rule (11): reflexivity of both endpoints.
+		e.add(graph.T(a, rdfs.SubPropertyOf, a))
+		e.add(graph.T(b, rdfs.SubPropertyOf, b))
+		// Rule (3) with t as the (A,sp,B) antecedent.
+		if b.CanPredicate() {
+			for _, body := range e.byPred[a] {
+				e.add(graph.T(body.S, b, body.O))
+			}
+		}
+		// Rules (6)/(7) with t as the (C,sp,A) antecedent: C = a, A = b.
+		for _, cls := range e.domOf[b] {
+			for _, body := range e.byPred[a] {
+				e.add(graph.T(body.S, rdfs.Type, cls))
+			}
+		}
+		for _, cls := range e.rangeOf[b] {
+			for _, body := range e.byPred[a] {
+				e.add(graph.T(body.O, rdfs.Type, cls))
+			}
+		}
+	case rdfs.SubClassOf:
+		a, b := t.S, t.O
+		// Rule (4): transitivity.
+		for c := range e.scOut[b] {
+			e.add(graph.T(a, rdfs.SubClassOf, c))
+		}
+		for z := range e.scIn[a] {
+			e.add(graph.T(z, rdfs.SubClassOf, b))
+		}
+		// Rule (13): reflexivity of both endpoints.
+		e.add(graph.T(a, rdfs.SubClassOf, a))
+		e.add(graph.T(b, rdfs.SubClassOf, b))
+		// Rule (5) with t as the (A,sc,B) antecedent.
+		for _, x := range e.typeByObj[a] {
+			e.add(graph.T(x, rdfs.Type, b))
+		}
+	case rdfs.Domain:
+		// Rule (10) and rule (12).
+		e.add(graph.T(t.S, rdfs.SubPropertyOf, t.S))
+		e.add(graph.T(t.O, rdfs.SubClassOf, t.O))
+		// Rule (6) with t as the (A,dom,B) antecedent: join (C,sp,A) and
+		// bodies (X,C,Y).
+		e.fireDomRange(t.S, t.O, true)
+	case rdfs.Range:
+		e.add(graph.T(t.S, rdfs.SubPropertyOf, t.S))
+		e.add(graph.T(t.O, rdfs.SubClassOf, t.O))
+		e.fireDomRange(t.S, t.O, false)
+	case rdfs.Type:
+		x, a := t.S, t.O
+		// Rule (5) with t as the (X,type,A) antecedent.
+		for b := range e.scOut[a] {
+			e.add(graph.T(x, rdfs.Type, b))
+		}
+		// Rule (12).
+		e.add(graph.T(a, rdfs.SubClassOf, a))
+	}
+}
+
+// fireDomRange fires rule (6) (dom) or (7) (range) for a newly added
+// (A, dom/range, B) triple: for every C with (C,sp,A) already present and
+// every body (X,C,Y), emit the typing conclusion. The reflexive C = A
+// case is carried by the (A,sp,A) loop added by rule (10), which joins
+// back through the sp branch of process.
+func (e *engine) fireDomRange(a, b term.Term, isDom bool) {
+	for c := range e.spIn[a] {
+		for _, body := range e.byPred[c] {
+			if isDom {
+				e.add(graph.T(body.S, rdfs.Type, b))
+			} else {
+				e.add(graph.T(body.O, rdfs.Type, b))
+			}
+		}
+	}
+}

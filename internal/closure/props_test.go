@@ -1,0 +1,112 @@
+package closure
+
+import (
+	"math/rand"
+	"testing"
+
+	"semwebdb/internal/graph"
+	"semwebdb/internal/rdfs"
+	"semwebdb/internal/term"
+)
+
+func randClosureGraph(rng *rand.Rand, n int) *graph.Graph {
+	names := []term.Term{iri("a"), iri("b"), iri("c"), blk("x"), blk("y")}
+	preds := []term.Term{
+		iri("p"), iri("q"), rdfs.SubClassOf, rdfs.SubPropertyOf,
+		rdfs.Type, rdfs.Domain, rdfs.Range,
+	}
+	g := graph.New()
+	for k := 0; k < n; k++ {
+		g.Add(graph.T(names[rng.Intn(len(names))], preds[rng.Intn(len(preds))], names[rng.Intn(len(names))]))
+	}
+	return g
+}
+
+func TestClosureMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for round := 0; round < 40; round++ {
+		g := randClosureGraph(rng, 6)
+		h := g.Clone()
+		h.Add(graph.T(iri("extra"), iri("p"), iri("extra2")))
+		clG, clH := RDFSCl(g), RDFSCl(h)
+		if !clG.SubgraphOf(clH) {
+			t.Fatalf("round %d: closure not monotone:\nG:\n%v\nonly in cl(G): %v",
+				round, g, clG.Minus(clH))
+		}
+	}
+}
+
+func TestClosureUnionSuperset(t *testing.T) {
+	// cl(G1 ∪ G2) ⊇ cl(G1) ∪ cl(G2); equality can fail (cross rules).
+	rng := rand.New(rand.NewSource(53))
+	for round := 0; round < 30; round++ {
+		g1 := randClosureGraph(rng, 4)
+		g2 := randClosureGraph(rng, 4)
+		u := RDFSCl(graph.Union(g1, g2))
+		if !RDFSCl(g1).SubgraphOf(u) || !RDFSCl(g2).SubgraphOf(u) {
+			t.Fatalf("round %d: closure of union misses operand closure", round)
+		}
+	}
+}
+
+func TestClosureInflationary(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for round := 0; round < 40; round++ {
+		g := randClosureGraph(rng, 6)
+		if !g.SubgraphOf(RDFSCl(g)) {
+			t.Fatalf("round %d: closure dropped input triples", round)
+		}
+	}
+}
+
+func TestClosureIdempotentRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	for round := 0; round < 25; round++ {
+		g := randClosureGraph(rng, 6)
+		c1 := RDFSCl(g)
+		if !RDFSCl(c1).Equal(c1) {
+			t.Fatalf("round %d: closure not idempotent on\n%v", round, g)
+		}
+	}
+}
+
+func TestClosureCommutesWithSkolemization(t *testing.T) {
+	// Lemma 3.4 in property form: RDFS-cl(G) = (RDFS-cl(G*))⋆.
+	rng := rand.New(rand.NewSource(59))
+	for round := 0; round < 40; round++ {
+		g := randClosureGraph(rng, 6)
+		direct := RDFSCl(g)
+		viaSkolem := graph.Unskolemize(RDFSCl(graph.Skolemize(g)))
+		if !direct.Equal(viaSkolem) {
+			t.Fatalf("round %d: Lemma 3.4 violated on\n%v\nonly-direct: %v\nonly-skolem: %v",
+				round, g, direct.Minus(viaSkolem), viaSkolem.Minus(direct))
+		}
+	}
+}
+
+func TestMembershipNeverFalseNegativeOnInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for round := 0; round < 40; round++ {
+		g := randClosureGraph(rng, 6)
+		mem := NewMembership(g)
+		g.Each(func(tr graph.Triple) bool {
+			if !mem.Contains(tr) {
+				t.Fatalf("round %d: input triple %v not in its own closure", round, tr)
+			}
+			return true
+		})
+	}
+}
+
+func TestClosureWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for round := 0; round < 40; round++ {
+		g := randClosureGraph(rng, 7)
+		RDFSCl(g).Each(func(tr graph.Triple) bool {
+			if !tr.WellFormed() {
+				t.Fatalf("round %d: ill-formed closure triple %v", round, tr)
+			}
+			return true
+		})
+	}
+}

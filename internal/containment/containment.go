@@ -1,0 +1,302 @@
+// Package containment implements the query-containment theory of Section
+// 5 of the paper: the standard containment ⊆p and the entailment-based
+// containment ⊆m (Definition 5.1), their substitution characterizations
+// (Theorem 5.5), the extension to constraints (Theorem 5.7), and
+// containment of queries with premises via Theorem 5.8 and the Ω_q
+// premise-elimination rewrite (Propositions 5.9 and 5.11).
+//
+// Variables are "frozen" to reserved IRIs — the paper's fresh constants —
+// so that bodies and heads become RDF graphs and all the graph machinery
+// (normal forms, maps, isomorphism, entailment) applies directly.
+package containment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"semwebdb/internal/core"
+	"semwebdb/internal/entail"
+	"semwebdb/internal/graph"
+	"semwebdb/internal/hom"
+	"semwebdb/internal/match"
+	"semwebdb/internal/query"
+	"semwebdb/internal/term"
+)
+
+// VarPrefix is the reserved IRI prefix for frozen variables.
+const VarPrefix = "urn:semwebdb:var:"
+
+// freezeTerm maps a variable to its frozen constant, fixing other terms.
+func freezeTerm(x term.Term) term.Term {
+	if x.IsVar() {
+		return term.NewIRI(VarPrefix + x.Value)
+	}
+	return x
+}
+
+// isFrozenVar reports whether the term is a frozen variable.
+func isFrozenVar(x term.Term) bool {
+	return x.IsIRI() && strings.HasPrefix(x.Value, VarPrefix)
+}
+
+// freeze converts a pattern list into an RDF graph with variables frozen.
+func freeze(ts []graph.Triple) *graph.Graph {
+	g := graph.New()
+	for _, t := range ts {
+		g.Add(graph.T(freezeTerm(t.S), freezeTerm(t.P), freezeTerm(t.O)))
+	}
+	return g
+}
+
+// Decision reports a containment decision together with its witnesses.
+type Decision struct {
+	Holds bool
+	// Substitutions are the witnessing θ (one for ⊆p; the full matching
+	// family for ⊆m).
+	Substitutions []map[term.Term]term.Term
+}
+
+// Standard decides q ⊆p q' (Definition 5.1(1)) via the characterizations
+// of Theorems 5.5(1), 5.7(1) and 5.8(1), using the Ω_q rewrite when q has
+// a premise.
+func Standard(q, qp *query.Query) (Decision, error) {
+	return decide(q, qp, true)
+}
+
+// Entailment decides q ⊆m q' (Definition 5.1(2)) via Theorems 5.5(2),
+// 5.7(2) and 5.8(2), using the Ω_q rewrite when q has a premise.
+func Entailment(q, qp *query.Query) (Decision, error) {
+	return decide(q, qp, false)
+}
+
+func decide(q, qp *query.Query, standard bool) (Decision, error) {
+	if err := q.Validate(); err != nil {
+		return Decision{}, fmt.Errorf("containment: left query: %w", err)
+	}
+	if err := qp.Validate(); err != nil {
+		return Decision{}, fmt.Errorf("containment: right query: %w", err)
+	}
+	if q.Premise != nil && q.Premise.Len() > 0 {
+		// Proposition 5.9/5.11: expand the left premise away and require
+		// containment of every expanded query.
+		if len(q.Constraints) > 0 {
+			return Decision{}, fmt.Errorf("containment: premise expansion with constraints is not supported (the paper omits constraints in Section 5.4)")
+		}
+		for _, qm := range PremiseExpansion(q) {
+			d, err := decide(qm, qp, standard)
+			if err != nil {
+				return Decision{}, err
+			}
+			if !d.Holds {
+				return Decision{Holds: false}, nil
+			}
+		}
+		return Decision{Holds: true}, nil
+	}
+	return decideNoLeftPremise(q, qp, standard)
+}
+
+// decideNoLeftPremise implements Theorems 5.5/5.7/5.8 for a left query
+// without premise. The matching target is nf(B) when q' has no premise
+// (Theorem 5.5), or P' + B in the simple-query regime of Theorem 5.8.
+func decideNoLeftPremise(q, qp *query.Query, standard bool) (Decision, error) {
+	frozenB := freeze(q.Body)
+	frozenH := freeze(q.Head)
+
+	var target *graph.Graph
+	hasRightPremise := qp.Premise != nil && qp.Premise.Len() > 0
+	if hasRightPremise {
+		// Theorem 5.8 (simple queries): θ(B') ⊆ P' + B.
+		target = graph.Merge(frozenB, qp.Premise)
+	} else {
+		// Theorem 5.5: θ(B') ⊆ nf(B).
+		target = core.NormalForm(frozenB)
+	}
+
+	// Enumerate substitutions θ : vars(B') → terms(target) with
+	// θ(B') ⊆ target, filtering by the constraint condition (c) of
+	// Theorem 5.7 as refined below.
+	leftConstraints := map[term.Term]bool{}
+	for v := range q.Constraints {
+		leftConstraints[freezeTerm(v)] = true
+	}
+	admissible := func(unknown, value term.Term) bool {
+		if !qp.Constraints[unknown] {
+			return true
+		}
+		// θ(x') for x' ∈ C' must be guaranteed non-blank in every
+		// answer: a ground constant, or a variable of q that is itself
+		// constrained. (The paper states θ(C') ⊆ C; constants are
+		// non-blank by definition, which this refinement makes explicit.)
+		if value.IsBlank() {
+			return false
+		}
+		if isFrozenVar(value) {
+			return leftConstraints[value]
+		}
+		return true
+	}
+
+	var thetas []match.Binding
+	match.Solve(qp.Body, target, match.Options{Admissible: admissible}, func(b match.Binding) bool {
+		thetas = append(thetas, b.Clone())
+		return true
+	})
+
+	if standard {
+		for _, th := range thetas {
+			inst := applyTheta(qp.Head, th, "")
+			if inst == nil {
+				continue
+			}
+			if hom.Isomorphic(inst, frozenH) {
+				return Decision{Holds: true, Substitutions: []map[term.Term]term.Term{bindingMap(th)}}, nil
+			}
+		}
+		return Decision{Holds: false}, nil
+	}
+
+	// Entailment-based: U = ⋃_j θ_j(H') with the blanks of H' renamed
+	// apart per substitution (distinct bindings yield distinct Skolem
+	// values in real answers), then U ⊨ H.
+	u := graph.New()
+	var subs []map[term.Term]term.Term
+	for j, th := range thetas {
+		inst := applyTheta(qp.Head, th, fmt.Sprintf("!t%d", j))
+		if inst == nil {
+			continue
+		}
+		u.AddAll(inst)
+		subs = append(subs, bindingMap(th))
+	}
+	if entail.Entails(u, frozenH) {
+		return Decision{Holds: true, Substitutions: subs}, nil
+	}
+	return Decision{Holds: false}, nil
+}
+
+// applyTheta instantiates a head pattern under θ, freezing untouched
+// variables and renaming head blanks with the given suffix. It returns
+// nil when the result is not a well-formed graph.
+func applyTheta(head []graph.Triple, th match.Binding, blankSuffix string) *graph.Graph {
+	subst := func(x term.Term) term.Term {
+		if x.IsVar() {
+			if v, ok := th[x]; ok {
+				return v
+			}
+			return freezeTerm(x)
+		}
+		if x.IsBlank() && blankSuffix != "" {
+			return term.NewBlank(x.Value + blankSuffix)
+		}
+		return x
+	}
+	out := graph.New()
+	for _, t := range head {
+		inst := graph.T(subst(t.S), subst(t.P), subst(t.O))
+		if !inst.WellFormed() {
+			return nil
+		}
+		out.MustAdd(inst)
+	}
+	return out
+}
+
+func bindingMap(b match.Binding) map[term.Term]term.Term {
+	out := make(map[term.Term]term.Term, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// PremiseExpansion computes Ω_q (Proposition 5.9): the set of premise-
+// free queries q_μ = (μ(H), μ(B∖R), ∅) over all R ⊆ B and maps μ : R → P
+// such that μ(B∖R) has no blanks. The union of the answers of Ω_q equals
+// the answer of q on every database. Duplicate queries (up to renaming
+// nothing — textual identity of the canonical form) are removed.
+func PremiseExpansion(q *query.Query) []*query.Query {
+	n := len(q.Body)
+	var out []*query.Query
+	seen := map[string]bool{}
+
+	for mask := 0; mask < 1<<n; mask++ {
+		var r, rest []graph.Triple
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				r = append(r, q.Body[i])
+			} else {
+				rest = append(rest, q.Body[i])
+			}
+		}
+		// Enumerate maps μ : R → P (variables of R bound to premise
+		// terms).
+		if len(r) == 0 {
+			add(&out, seen, query.New(q.Head, q.Body).WithPremise(graph.New()))
+			continue
+		}
+		match.Solve(r, q.Premise, match.Options{}, func(b match.Binding) bool {
+			// μ(B∖R) must have no blanks: variables shared with R that
+			// got bound to premise blanks must not survive into B∖R.
+			restInst := substitutePatterns(rest, b)
+			for _, t := range restInst {
+				for _, x := range t.Terms() {
+					if x.IsBlank() {
+						return true // skip this μ
+					}
+				}
+			}
+			headInst := substitutePatterns(q.Head, b)
+			add(&out, seen, query.New(headInst, restInst).WithPremise(graph.New()))
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+func add(out *[]*query.Query, seen map[string]bool, q *query.Query) {
+	if err := q.Validate(); err != nil {
+		return // e.g. a head variable lost its body occurrence: not a query
+	}
+	key := q.String()
+	if !seen[key] {
+		seen[key] = true
+		*out = append(*out, q)
+	}
+}
+
+// substitutePatterns applies a binding to a pattern list, leaving unbound
+// variables in place.
+func substitutePatterns(ts []graph.Triple, b match.Binding) []graph.Triple {
+	subst := func(x term.Term) term.Term {
+		if x.IsVar() {
+			if v, ok := b[x]; ok {
+				return v
+			}
+		}
+		return x
+	}
+	out := make([]graph.Triple, len(ts))
+	for i, t := range ts {
+		out[i] = graph.T(subst(t.S), subst(t.P), subst(t.O))
+	}
+	return out
+}
+
+// Equivalent reports mutual containment under the given notion.
+func Equivalent(q, qp *query.Query, standard bool) (bool, error) {
+	d1, err := decide(q, qp, standard)
+	if err != nil {
+		return false, err
+	}
+	if !d1.Holds {
+		return false, nil
+	}
+	d2, err := decide(qp, q, standard)
+	if err != nil {
+		return false, err
+	}
+	return d2.Holds, nil
+}

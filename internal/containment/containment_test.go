@@ -1,0 +1,507 @@
+package containment
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"semwebdb/internal/entail"
+	"semwebdb/internal/graph"
+	"semwebdb/internal/hom"
+	"semwebdb/internal/query"
+	"semwebdb/internal/rdfs"
+	"semwebdb/internal/term"
+)
+
+func iri(s string) term.Term { return term.NewIRI(s) }
+func blk(s string) term.Term { return term.NewBlank(s) }
+func v(s string) term.Term   { return term.NewVar(s) }
+
+func std(t *testing.T, q, qp *query.Query) bool {
+	t.Helper()
+	d, err := Standard(q, qp)
+	if err != nil {
+		t.Fatalf("Standard: %v", err)
+	}
+	return d.Holds
+}
+
+func ent(t *testing.T, q, qp *query.Query) bool {
+	t.Helper()
+	d, err := Entailment(q, qp)
+	if err != nil {
+		t.Fatalf("Entailment: %v", err)
+	}
+	return d.Holds
+}
+
+func TestIdenticalQueriesContained(t *testing.T) {
+	q := query.New(
+		[]graph.Triple{{S: v("X"), P: iri("p"), O: v("Y")}},
+		[]graph.Triple{{S: v("X"), P: iri("p"), O: v("Y")}},
+	)
+	q2 := query.New(
+		[]graph.Triple{{S: v("A"), P: iri("p"), O: v("B")}},
+		[]graph.Triple{{S: v("A"), P: iri("p"), O: v("B")}},
+	)
+	if !std(t, q, q2) || !std(t, q2, q) {
+		t.Fatal("renamed copies must be mutually ⊆p-contained")
+	}
+	if !ent(t, q, q2) || !ent(t, q2, q) {
+		t.Fatal("renamed copies must be mutually ⊆m-contained")
+	}
+}
+
+func TestMoreRestrictiveBodyContained(t *testing.T) {
+	// q selects p-edges into b; q' selects all p-edges. q ⊆ q'.
+	q := query.New(
+		[]graph.Triple{{S: v("X"), P: iri("sel"), O: iri("b")}},
+		[]graph.Triple{{S: v("X"), P: iri("p"), O: iri("b")}},
+	)
+	qp := query.New(
+		[]graph.Triple{{S: v("X"), P: iri("sel"), O: v("Y")}},
+		[]graph.Triple{{S: v("X"), P: iri("p"), O: v("Y")}},
+	)
+	if !std(t, q, qp) {
+		t.Fatal("q ⊆p q' expected")
+	}
+	if std(t, qp, q) {
+		t.Fatal("q' ⊆p q must fail")
+	}
+	if !ent(t, q, qp) {
+		t.Fatal("q ⊆m q' expected")
+	}
+	if ent(t, qp, q) {
+		t.Fatal("q' ⊆m q must fail")
+	}
+}
+
+func TestProposition52StandardImpliesEntailment(t *testing.T) {
+	// Randomized: whenever ⊆p holds, ⊆m must hold.
+	rng := rand.New(rand.NewSource(19))
+	preds := []term.Term{iri("p"), iri("q")}
+	consts := []term.Term{iri("a"), iri("b")}
+	vars := []term.Term{v("X"), v("Y"), v("Z")}
+	pick := func(opts []term.Term) term.Term { return opts[rng.Intn(len(opts))] }
+	randPattern := func(n int) []graph.Triple {
+		out := make([]graph.Triple, 0, n)
+		for i := 0; i < n; i++ {
+			s := pick(append(vars, consts...))
+			o := pick(append(vars, consts...))
+			out = append(out, graph.Triple{S: s, P: pick(preds), O: o})
+		}
+		return out
+	}
+	checked := 0
+	for round := 0; round < 80; round++ {
+		b1 := randPattern(1 + rng.Intn(2))
+		b2 := randPattern(1 + rng.Intn(2))
+		q1 := query.New(b1, b1)
+		q2 := query.New(b2, b2)
+		if err := q1.Validate(); err != nil {
+			continue
+		}
+		if err := q2.Validate(); err != nil {
+			continue
+		}
+		if std(t, q1, q2) {
+			checked++
+			if !ent(t, q1, q2) {
+				t.Fatalf("round %d: ⊆p holds but ⊆m fails (Proposition 5.2 violated)\nq: %v\nq': %v", round, q1, q2)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no ⊆p pairs generated")
+	}
+}
+
+func TestExample53FirstPair(t *testing.T) {
+	// B: X sc Y, Y sc Z. B': same plus X sc Z. Heads = bodies.
+	// Mutual ⊆m, but no ⊆p in either direction.
+	b := []graph.Triple{
+		{S: v("X"), P: rdfs.SubClassOf, O: v("Y")},
+		{S: v("Y"), P: rdfs.SubClassOf, O: v("Z")},
+	}
+	bp := []graph.Triple{
+		{S: v("X"), P: rdfs.SubClassOf, O: v("Y")},
+		{S: v("Y"), P: rdfs.SubClassOf, O: v("Z")},
+		{S: v("X"), P: rdfs.SubClassOf, O: v("Z")},
+	}
+	q := query.New(b, b)
+	qp := query.New(bp, bp)
+	if !ent(t, q, qp) {
+		t.Error("q ⊆m q' expected")
+	}
+	if !ent(t, qp, q) {
+		t.Error("q' ⊆m q expected")
+	}
+	if std(t, q, qp) {
+		t.Error("q ⊆p q' must fail (head sizes differ)")
+	}
+	if std(t, qp, q) {
+		t.Error("q' ⊆p q must fail")
+	}
+}
+
+func TestExample53SecondPair(t *testing.T) {
+	// B = B'; H = {(c,q,?X)}, H' = {(Y,q,?X)} with blank Y.
+	// q' ⊆m q but q' ⊄p q.
+	body := []graph.Triple{{S: iri("c"), P: iri("q"), O: v("X")}}
+	q := query.New([]graph.Triple{{S: iri("c"), P: iri("q"), O: v("X")}}, body)
+	qp := query.New([]graph.Triple{{S: blk("Y"), P: iri("q"), O: v("X")}}, body)
+	if !ent(t, qp, q) {
+		t.Error("q' ⊆m q expected")
+	}
+	if std(t, qp, q) {
+		t.Error("q' ⊆p q must fail")
+	}
+	// The other direction ⊆m also holds?? No: ans(q',D) = {(Y,q,x)}
+	// does not entail ans(q,D) = {(c,q,x)} (blank cannot produce the
+	// constant c).
+	if ent(t, q, qp) {
+		t.Error("q ⊆m q' must fail")
+	}
+}
+
+func TestExample53ThirdPair(t *testing.T) {
+	// No rdfs vocabulary, no blanks. B = B' covering all variables;
+	// H = {(?X,q,?Y),(?Z,p,?Y)}, H' = {(?Z,p,?Y)}. q' ⊆m q, q' ⊄p q.
+	body := []graph.Triple{
+		{S: v("X"), P: iri("q"), O: v("Y")},
+		{S: v("Z"), P: iri("p"), O: v("Y")},
+	}
+	q := query.New([]graph.Triple{
+		{S: v("X"), P: iri("q"), O: v("Y")},
+		{S: v("Z"), P: iri("p"), O: v("Y")},
+	}, body)
+	qp := query.New([]graph.Triple{{S: v("Z"), P: iri("p"), O: v("Y")}}, body)
+	if !ent(t, qp, q) {
+		t.Error("q' ⊆m q expected")
+	}
+	if std(t, qp, q) {
+		t.Error("q' ⊆p q must fail (single answers have different shapes)")
+	}
+}
+
+func TestConstraintConditionTheorem57(t *testing.T) {
+	// q' requires ?X' non-blank; q does not constrain ?X. Binding
+	// θ(?X') = ?X (unconstrained var) violates condition (c): q ⊄ q'.
+	body := []graph.Triple{{S: v("X"), P: iri("p"), O: iri("b")}}
+	q := query.New(body, body)
+	qp := query.New(
+		[]graph.Triple{{S: v("X"), P: iri("p"), O: iri("b")}},
+		[]graph.Triple{{S: v("X"), P: iri("p"), O: iri("b")}},
+	).WithConstraints(v("X"))
+	if std(t, q, qp) {
+		t.Error("unconstrained query contained in constrained one")
+	}
+	// Reverse: q' ⊆ q holds (dropping a constraint only widens answers).
+	if !std(t, qp, q) {
+		t.Error("constrained query must be contained in unconstrained one")
+	}
+	// Same constraints on both sides: containment holds.
+	qc := query.New(body, body).WithConstraints(v("X"))
+	if !std(t, qc, qp) {
+		t.Error("equally-constrained queries must be contained")
+	}
+	// θ(x') = ground constant satisfies the constraint automatically.
+	qg := query.New(
+		[]graph.Triple{{S: iri("a"), P: iri("p"), O: iri("b")}},
+		[]graph.Triple{{S: iri("a"), P: iri("p"), O: iri("b")}},
+	)
+	qpg := query.New(
+		[]graph.Triple{{S: v("X"), P: iri("p"), O: iri("b")}},
+		[]graph.Triple{{S: v("X"), P: iri("p"), O: iri("b")}},
+	).WithConstraints(v("X"))
+	if !ent(t, qg, qpg) {
+		t.Error("constant binding must satisfy the right-hand constraint")
+	}
+}
+
+func TestEntailmentContainmentNeedsRenamedHeadBlanks(t *testing.T) {
+	// H' has a blank N linked to ?X. Two θ's bind ?X to different
+	// constants. If the blanks were shared across θ's, the union would
+	// wrongly entail a head demanding ONE blank with both links.
+	q := query.New(
+		[]graph.Triple{
+			{S: blk("M"), P: iri("q"), O: iri("a")},
+			{S: blk("M"), P: iri("q"), O: iri("b")},
+		},
+		[]graph.Triple{
+			{S: iri("a"), P: iri("p"), O: iri("a")},
+			{S: iri("a"), P: iri("p"), O: iri("b")},
+		},
+	)
+	qp := query.New(
+		[]graph.Triple{{S: blk("N"), P: iri("q"), O: v("X")}},
+		[]graph.Triple{{S: iri("a"), P: iri("p"), O: v("X")}},
+	)
+	// ans(q') = {(N1,q,a),(N2,q,b)} with distinct skolem blanks; it does
+	// NOT entail {(M,q,a),(M,q,b)} with shared M. So q ⊄m q'.
+	if ent(t, q, qp) {
+		t.Fatal("shared-blank head wrongly entailed: per-θ renaming is broken")
+	}
+}
+
+func TestPremiseExpansionExample510(t *testing.T) {
+	// q: (?X,p,?Y) ← (?X,q,?Y),(?Y,t,s) with P = {(a,t,s),(b,t,s)}.
+	// Ω_q = three queries: bindings ?Y=a, ?Y=b, and the premise-free q.
+	q := query.New(
+		[]graph.Triple{{S: v("X"), P: iri("p"), O: v("Y")}},
+		[]graph.Triple{
+			{S: v("X"), P: iri("q"), O: v("Y")},
+			{S: v("Y"), P: iri("t"), O: iri("s")},
+		},
+	).WithPremise(graph.New(
+		graph.T(iri("a"), iri("t"), iri("s")),
+		graph.T(iri("b"), iri("t"), iri("s")),
+	))
+	omega := PremiseExpansion(q)
+	if len(omega) != 3 {
+		for _, o := range omega {
+			t.Logf("  %v", o)
+		}
+		t.Fatalf("Ω_q has %d queries, want 3", len(omega))
+	}
+	// Answers agree on every database (Proposition 5.9).
+	dbs := []*graph.Graph{
+		graph.New(graph.T(iri("u"), iri("q"), iri("a"))),
+		graph.New(
+			graph.T(iri("u"), iri("q"), iri("a")),
+			graph.T(iri("u"), iri("q"), iri("c")),
+			graph.T(iri("c"), iri("t"), iri("s")),
+		),
+		graph.New(graph.T(iri("u"), iri("q"), iri("z"))),
+	}
+	for i, d := range dbs {
+		direct, err := query.Evaluate(q, d, query.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		union := graph.New()
+		for _, qm := range omega {
+			a, err := query.Evaluate(qm, d, query.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			union.AddAll(a.Graph)
+		}
+		if !direct.Graph.Equal(union) {
+			t.Fatalf("db %d: Ω_q answers differ from premise evaluation:\n%v\nvs\n%v",
+				i, direct.Graph, union)
+		}
+	}
+}
+
+func TestPremiseContainmentTheorem58(t *testing.T) {
+	// q asks for relatives with premise (son sp relative) — as a SIMPLE
+	// query (uninterpreted vocabulary, plain predicate "below").
+	// q': same body relying on an explicit (son,below,relative) premise
+	// triple.
+	body := []graph.Triple{
+		{S: v("X"), P: iri("son"), O: iri("peter")},
+		{S: iri("son"), P: iri("below"), O: iri("relative")},
+	}
+	q := query.New([]graph.Triple{{S: v("X"), P: iri("rel"), O: iri("peter")}}, body).
+		WithPremise(graph.New(graph.T(iri("son"), iri("below"), iri("relative"))))
+	qp := query.New([]graph.Triple{{S: v("X"), P: iri("rel"), O: iri("peter")}}, body).
+		WithPremise(graph.New(graph.T(iri("son"), iri("below"), iri("relative"))))
+	if !std(t, q, qp) || !ent(t, q, qp) {
+		t.Fatal("identical premise queries must be contained")
+	}
+	// Without its premise, the left query answers MORE databases'
+	// worth... actually: the premise-free version requires the below-
+	// triple in the data, so it is contained in the premised one.
+	qNoP := query.New(q.Head, body)
+	if !std(t, qNoP, qp) {
+		t.Fatal("premise-free variant must be ⊆p the premised query")
+	}
+	// The premised query is NOT contained in the premise-free one: on a
+	// database without the below-triple it still answers.
+	if std(t, q, qNoP) {
+		t.Fatal("premised query wrongly contained in premise-free one")
+	}
+	if ent(t, q, qNoP) {
+		t.Fatal("premised query wrongly ⊆m-contained in premise-free one")
+	}
+}
+
+func TestContainmentSoundAgainstEvaluation(t *testing.T) {
+	// Soundness on random databases: if q ⊆p q' then every single answer
+	// of q has an isomorphic single answer of q'; if q ⊆m q' then
+	// ans(q',D) ⊨ ans(q,D).
+	rng := rand.New(rand.NewSource(77))
+	preds := []term.Term{iri("p"), iri("q")}
+	consts := []term.Term{iri("a"), iri("b")}
+	vars := []term.Term{v("X"), v("Y")}
+	pick := func(opts []term.Term) term.Term { return opts[rng.Intn(len(opts))] }
+	randPattern := func(n int) []graph.Triple {
+		out := make([]graph.Triple, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, graph.Triple{
+				S: pick(append(vars, consts...)),
+				P: pick(preds),
+				O: pick(append(vars, consts...)),
+			})
+		}
+		return out
+	}
+	for round := 0; round < 40; round++ {
+		b1 := randPattern(1 + rng.Intn(2))
+		b2 := randPattern(1 + rng.Intn(2))
+		q1 := query.New(b1, b1)
+		q2 := query.New(b2, b2)
+		if q1.Validate() != nil || q2.Validate() != nil {
+			continue
+		}
+		holdsP := std(t, q1, q2)
+		holdsM := ent(t, q1, q2)
+		// Random database probe.
+		d := graph.New()
+		for k := 0; k < 5; k++ {
+			d.Add(graph.T(pick(consts), pick(preds), pick(append(consts, blk(fmt.Sprintf("w%d", k))))))
+		}
+		a1, err := query.Evaluate(q1, d, query.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := query.Evaluate(q2, d, query.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if holdsP {
+			for _, s := range a1.Singles {
+				found := false
+				for _, s2 := range a2.Singles {
+					if hom.Isomorphic(s, s2) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("round %d: ⊆p claimed but single answer %v of q has no isomorphic counterpart\nq: %v\nq': %v\nD:\n%v",
+						round, s, q1, q2, d)
+				}
+			}
+		}
+		if holdsM {
+			if !entail.Entails(a2.Graph, a1.Graph) {
+				t.Fatalf("round %d: ⊆m claimed but ans(q',D) ⊭ ans(q,D)\nq: %v\nq': %v\nD:\n%v",
+					round, q1, q2, d)
+			}
+		}
+	}
+}
+
+func TestEquivalentHelper(t *testing.T) {
+	b := []graph.Triple{{S: v("X"), P: iri("p"), O: v("Y")}}
+	q1 := query.New(b, b)
+	q2 := query.New(
+		[]graph.Triple{{S: v("A"), P: iri("p"), O: v("B")}},
+		[]graph.Triple{{S: v("A"), P: iri("p"), O: v("B")}},
+	)
+	eq, err := Equivalent(q1, q2, true)
+	if err != nil || !eq {
+		t.Fatalf("Equivalent = %v, %v", eq, err)
+	}
+	q3 := query.New(
+		[]graph.Triple{{S: v("A"), P: iri("q"), O: v("B")}},
+		[]graph.Triple{{S: v("A"), P: iri("q"), O: v("B")}},
+	)
+	eq, err = Equivalent(q1, q3, true)
+	if err != nil || eq {
+		t.Fatalf("different queries equivalent: %v, %v", eq, err)
+	}
+}
+
+func TestPremiseWithConstraintsRejected(t *testing.T) {
+	b := []graph.Triple{{S: v("X"), P: iri("p"), O: v("Y")}}
+	q := query.New(b, b).
+		WithPremise(graph.New(graph.T(iri("a"), iri("p"), iri("b")))).
+		WithConstraints(v("X"))
+	if _, err := Standard(q, query.New(b, b)); err == nil {
+		t.Fatal("premise+constraints must be rejected with a clear error")
+	}
+}
+
+func TestStandardContainmentComplete(t *testing.T) {
+	// Completeness probe (the "only if" of Theorem 5.5(1)): when the
+	// decider says q ⊄p q', the frozen body of q — the canonical
+	// database of the proof — must witness it: some single answer of q
+	// over it has no isomorphic counterpart among q''s answers.
+	rng := rand.New(rand.NewSource(91))
+	preds := []term.Term{iri("p"), iri("q")}
+	consts := []term.Term{iri("a"), iri("b")}
+	vars := []term.Term{v("X"), v("Y")}
+	pick := func(opts []term.Term) term.Term { return opts[rng.Intn(len(opts))] }
+	randPattern := func(n int) []graph.Triple {
+		out := make([]graph.Triple, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, graph.Triple{
+				S: pick(append(vars, consts...)),
+				P: pick(preds),
+				O: pick(append(vars, consts...)),
+			})
+		}
+		return out
+	}
+	freezeT := func(x term.Term) term.Term {
+		if x.IsVar() {
+			return iri("frozen:" + x.Value)
+		}
+		return x
+	}
+	checked := 0
+	for round := 0; round < 60 && checked < 15; round++ {
+		b1 := randPattern(1 + rng.Intn(2))
+		b2 := randPattern(1 + rng.Intn(2))
+		q1 := query.New(b1, b1)
+		q2 := query.New(b2, b2)
+		if q1.Validate() != nil || q2.Validate() != nil {
+			continue
+		}
+		d1, err := Standard(q1, q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1.Holds {
+			continue
+		}
+		checked++
+		// Canonical database: freeze q1's body.
+		db := graph.New()
+		for _, tr := range b1 {
+			db.Add(graph.T(freezeT(tr.S), freezeT(tr.P), freezeT(tr.O)))
+		}
+		a1, err := query.Evaluate(q1, db, query.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := query.Evaluate(q2, db, query.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		witness := false
+		for _, s := range a1.Singles {
+			found := false
+			for _, s2 := range a2.Singles {
+				if hom.Isomorphic(s, s2) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				witness = true
+				break
+			}
+		}
+		if !witness {
+			t.Fatalf("round %d: decider says q ⊄p q' but the canonical database shows containment\nq: %v\nq': %v",
+				round, q1, q2)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no non-contained pairs generated")
+	}
+}

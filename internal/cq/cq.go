@@ -1,0 +1,589 @@
+// Package cq implements the conjunctive-query side of the paper: the
+// correspondence between simple RDF graphs and Boolean conjunctive
+// queries / relational databases of Section 2.4 (Q_G and D_G), the
+// blank-node-induced-cycle test, GYO hypergraph acyclicity, join-tree
+// construction and Yannakakis semijoin evaluation of acyclic Boolean
+// queries (the polynomial entailment path), and the 3SAT encoding behind
+// Theorem 6.1.
+package cq
+
+import (
+	"fmt"
+	"sort"
+
+	"semwebdb/internal/graph"
+	"semwebdb/internal/term"
+)
+
+// Arg is an argument of an atom: either a constant or a variable.
+type Arg struct {
+	// Var is the variable name; empty for constants.
+	Var string
+	// Const is the constant value; meaningful when Var is "".
+	Const string
+}
+
+// V returns a variable argument.
+func V(name string) Arg { return Arg{Var: name} }
+
+// C returns a constant argument.
+func C(val string) Arg { return Arg{Const: val} }
+
+// IsVar reports whether the argument is a variable.
+func (a Arg) IsVar() bool { return a.Var != "" }
+
+func (a Arg) String() string {
+	if a.IsVar() {
+		return "?" + a.Var
+	}
+	return a.Const
+}
+
+// Atom is a relational atom R(a1, …, an).
+type Atom struct {
+	Rel  string
+	Args []Arg
+}
+
+func (a Atom) String() string {
+	s := a.Rel + "("
+	for i, g := range a.Args {
+		if i > 0 {
+			s += ", "
+		}
+		s += g.String()
+	}
+	return s + ")"
+}
+
+// vars returns the variable set of the atom.
+func (a Atom) vars() map[string]struct{} {
+	out := map[string]struct{}{}
+	for _, g := range a.Args {
+		if g.IsVar() {
+			out[g.Var] = struct{}{}
+		}
+	}
+	return out
+}
+
+// BCQ is a Boolean conjunctive query: an existentially closed conjunction
+// of atoms.
+type BCQ struct {
+	Atoms []Atom
+}
+
+func (q BCQ) String() string {
+	s := ""
+	for i, a := range q.Atoms {
+		if i > 0 {
+			s += " ∧ "
+		}
+		s += a.String()
+	}
+	return s
+}
+
+// Database maps relation names to sets of tuples.
+type Database struct {
+	Relations map[string][][]string
+
+	// index caches tuples by (relation, position, value); built lazily
+	// by candidates and invalidated by Add.
+	index map[idxKey][][]string
+}
+
+type idxKey struct {
+	rel   string
+	pos   int
+	value string
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{Relations: map[string][][]string{}}
+}
+
+// Add inserts a tuple into a relation.
+func (d *Database) Add(rel string, tuple ...string) {
+	d.Relations[rel] = append(d.Relations[rel], tuple)
+	d.index = nil
+}
+
+// candidates returns the tuples of rel compatible with the atom under the
+// current binding, narrowing by the first bound position via the lazy
+// index (full scan only for fully-unbound atoms).
+func (d *Database) candidates(a Atom, binding map[string]string) [][]string {
+	for i, arg := range a.Args {
+		val, bound := "", false
+		if arg.IsVar() {
+			if v, ok := binding[arg.Var]; ok {
+				val, bound = v, true
+			}
+		} else {
+			val, bound = arg.Const, true
+		}
+		if !bound {
+			continue
+		}
+		if d.index == nil {
+			d.index = map[idxKey][][]string{}
+		}
+		key := idxKey{a.Rel, i, val}
+		if _, built := d.index[idxKey{a.Rel, i, "\x00built"}]; !built {
+			for _, tup := range d.Relations[a.Rel] {
+				if i < len(tup) {
+					k := idxKey{a.Rel, i, tup[i]}
+					d.index[k] = append(d.index[k], tup)
+				}
+			}
+			d.index[idxKey{a.Rel, i, "\x00built"}] = nil
+		}
+		return d.index[key]
+	}
+	return d.Relations[a.Rel]
+}
+
+// FromGraphQuery builds Q_G from a simple RDF graph: one binary atom
+// R_p(s, o) per triple (s, p, o), with blank nodes as variables and URIs
+// (and literals) as constants (Section 2.4).
+func FromGraphQuery(g *graph.Graph) BCQ {
+	var q BCQ
+	for _, t := range g.Triples() {
+		q.Atoms = append(q.Atoms, Atom{
+			Rel:  relName(t.P),
+			Args: []Arg{argOf(t.S), argOf(t.O)},
+		})
+	}
+	return q
+}
+
+// FromGraphDatabase builds D_G: for every predicate p of G, a binary
+// relation R_p holding {(s, o) : (s, p, o) ∈ G}. Blank nodes are allowed
+// in the tuples (they are plain domain elements of the active domain).
+func FromGraphDatabase(g *graph.Graph) *Database {
+	d := NewDatabase()
+	for _, t := range g.Triples() {
+		d.Add(relName(t.P), constOf(t.S), constOf(t.O))
+	}
+	return d
+}
+
+func relName(p term.Term) string { return "R_" + p.Value }
+
+func argOf(x term.Term) Arg {
+	if x.IsBlank() {
+		return V("b_" + x.Value)
+	}
+	return C(constOf(x))
+}
+
+func constOf(x term.Term) string {
+	if x.IsBlank() {
+		return "_:" + x.Value
+	}
+	return x.String()
+}
+
+// EvaluateBacktrack decides D ⊨ Q by backtracking join, the generic
+// (exponential-worst-case) baseline.
+func EvaluateBacktrack(q BCQ, d *Database) bool {
+	binding := map[string]string{}
+	atoms := append([]Atom(nil), q.Atoms...)
+	// Most-constrained-first: sort by relation size.
+	sort.SliceStable(atoms, func(i, j int) bool {
+		return len(d.Relations[atoms[i].Rel]) < len(d.Relations[atoms[j].Rel])
+	})
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(atoms) {
+			return true
+		}
+		a := atoms[k]
+	tuple:
+		for _, tup := range d.candidates(a, binding) {
+			if len(tup) != len(a.Args) {
+				continue
+			}
+			var bound []string
+			for i, arg := range a.Args {
+				if !arg.IsVar() {
+					if tup[i] != arg.Const {
+						for _, v := range bound {
+							delete(binding, v)
+						}
+						continue tuple
+					}
+					continue
+				}
+				if val, ok := binding[arg.Var]; ok {
+					if val != tup[i] {
+						for _, v := range bound {
+							delete(binding, v)
+						}
+						continue tuple
+					}
+					continue
+				}
+				binding[arg.Var] = tup[i]
+				bound = append(bound, arg.Var)
+			}
+			if rec(k + 1) {
+				return true
+			}
+			for _, v := range bound {
+				delete(binding, v)
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// BlankCycleFree reports whether the simple graph G has no cycles induced
+// by blank nodes (Section 2.4): it checks that the undirected simple
+// graph on the blank nodes of G — with an edge between two distinct
+// blanks whenever some triple connects them — is a forest. If it is, Q_G
+// is an acyclic conjunctive query and entailment into G is decidable in
+// polynomial time.
+func BlankCycleFree(g *graph.Graph) bool {
+	adj := map[term.Term]map[term.Term]struct{}{}
+	addEdge := func(a, b term.Term) {
+		if adj[a] == nil {
+			adj[a] = map[term.Term]struct{}{}
+		}
+		adj[a][b] = struct{}{}
+	}
+	g.Each(func(t graph.Triple) bool {
+		if t.S.IsBlank() && t.O.IsBlank() && t.S != t.O {
+			addEdge(t.S, t.O)
+			addEdge(t.O, t.S)
+		}
+		return true
+	})
+	// Forest check: DFS counting edges vs vertices per component.
+	seen := map[term.Term]bool{}
+	for start := range adj {
+		if seen[start] {
+			continue
+		}
+		verts, edges := 0, 0
+		stack := []term.Term{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			verts++
+			for m := range adj[n] {
+				edges++ // counts each undirected edge twice
+				if !seen[m] {
+					seen[m] = true
+					stack = append(stack, m)
+				}
+			}
+		}
+		if edges/2 >= verts {
+			return false
+		}
+	}
+	return true
+}
+
+// JoinTree is a join tree over the atoms of an acyclic query: Parent[i]
+// is the index of atom i's parent (-1 for roots), in some GYO elimination
+// order Order (leaves first).
+type JoinTree struct {
+	Atoms  []Atom
+	Parent []int
+	Order  []int
+}
+
+// GYO runs the Graham–Yu–Özsoyoğlu ear-removal algorithm on the query's
+// hypergraph. It returns a join tree and true iff the query is acyclic.
+//
+// An atom E is an ear if every variable of E is either exclusive to E or
+// contained in some other atom W (the witness, which becomes E's parent).
+func GYO(q BCQ) (*JoinTree, bool) {
+	n := len(q.Atoms)
+	jt := &JoinTree{Atoms: q.Atoms, Parent: make([]int, n)}
+	for i := range jt.Parent {
+		jt.Parent[i] = -1
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	remaining := n
+
+	// varCount[v] = number of alive atoms containing v.
+	varCount := map[string]int{}
+	atomVars := make([]map[string]struct{}, n)
+	for i, a := range q.Atoms {
+		atomVars[i] = a.vars()
+		for v := range atomVars[i] {
+			varCount[v]++
+		}
+	}
+
+	for remaining > 1 {
+		removed := false
+		for i := 0; i < n && !removed; i++ {
+			if !alive[i] {
+				continue
+			}
+			// Shared variables of atom i (appearing in other alive atoms).
+			shared := map[string]struct{}{}
+			for v := range atomVars[i] {
+				if varCount[v] > 1 {
+					shared[v] = struct{}{}
+				}
+			}
+			// Find a witness containing all shared variables.
+			for j := 0; j < n; j++ {
+				if i == j || !alive[j] {
+					continue
+				}
+				contained := true
+				for v := range shared {
+					if _, ok := atomVars[j][v]; !ok {
+						contained = false
+						break
+					}
+				}
+				if contained {
+					jt.Parent[i] = j
+					jt.Order = append(jt.Order, i)
+					alive[i] = false
+					remaining--
+					for v := range atomVars[i] {
+						varCount[v]--
+					}
+					removed = true
+					break
+				}
+			}
+		}
+		if !removed {
+			return nil, false // no ear: cyclic
+		}
+	}
+	// Last alive atom is the root.
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			jt.Order = append(jt.Order, i)
+		}
+	}
+	return jt, true
+}
+
+// IsAcyclic reports hypergraph (α-)acyclicity of the query via GYO.
+func IsAcyclic(q BCQ) bool {
+	if len(q.Atoms) == 0 {
+		return true
+	}
+	_, ok := GYO(q)
+	return ok
+}
+
+// EvaluateYannakakis decides D ⊨ Q for an acyclic Q in polynomial time by
+// bottom-up semijoin reduction along a GYO join tree (Yannakakis 1981).
+// It returns an error when the query is not acyclic.
+func EvaluateYannakakis(q BCQ, d *Database) (bool, error) {
+	if len(q.Atoms) == 0 {
+		return true, nil
+	}
+	jt, ok := GYO(q)
+	if !ok {
+		return false, fmt.Errorf("cq: query is not acyclic")
+	}
+
+	// Materialize candidate tuple sets per atom, pre-filtered by the
+	// constants and repeated variables of the atom.
+	sets := make([][]map[string]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		for _, tup := range d.Relations[a.Rel] {
+			if b, ok := bindTuple(a, tup); ok {
+				sets[i] = append(sets[i], b)
+			}
+		}
+		if len(sets[i]) == 0 {
+			return false, nil
+		}
+	}
+
+	// Bottom-up pass in GYO order: semijoin each parent with its child,
+	// hashing the child's projection onto the shared variables so each
+	// semijoin is linear in the two sides.
+	for _, child := range jt.Order {
+		parent := jt.Parent[child]
+		if parent == -1 {
+			continue
+		}
+		shared := sharedVars(q.Atoms[parent], q.Atoms[child])
+		childKeys := make(map[string]struct{}, len(sets[child]))
+		for _, cb := range sets[child] {
+			childKeys[projectKey(cb, shared)] = struct{}{}
+		}
+		var kept []map[string]string
+		for _, pb := range sets[parent] {
+			if _, ok := childKeys[projectKey(pb, shared)]; ok {
+				kept = append(kept, pb)
+			}
+		}
+		sets[parent] = kept
+		if len(kept) == 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// sharedVars returns the sorted variable names common to two atoms.
+func sharedVars(a, b Atom) []string {
+	av := a.vars()
+	var out []string
+	for v := range b.vars() {
+		if _, ok := av[v]; ok {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// projectKey serializes a binding's values on the given variables.
+func projectKey(b map[string]string, vars []string) string {
+	key := ""
+	for _, v := range vars {
+		key += b[v] + "\x00"
+	}
+	return key
+}
+
+// bindTuple matches a tuple against an atom's constants and repeated
+// variables, returning the variable binding.
+func bindTuple(a Atom, tup []string) (map[string]string, bool) {
+	if len(tup) != len(a.Args) {
+		return nil, false
+	}
+	b := map[string]string{}
+	for i, arg := range a.Args {
+		if !arg.IsVar() {
+			if tup[i] != arg.Const {
+				return nil, false
+			}
+			continue
+		}
+		if v, ok := b[arg.Var]; ok {
+			if v != tup[i] {
+				return nil, false
+			}
+			continue
+		}
+		b[arg.Var] = tup[i]
+	}
+	return b, true
+}
+
+// EntailsViaCQ decides G1 ⊨ G2 for simple graphs through the relational
+// correspondence: D_{G1} ⊨ Q_{G2} (Section 2.4). When G2 is free of
+// blank-induced cycles the acyclic (Yannakakis) path is used; otherwise
+// the backtracking baseline.
+func EntailsViaCQ(g1, g2 *graph.Graph) bool {
+	q := FromGraphQuery(g2)
+	d := FromGraphDatabase(g1)
+	if BlankCycleFree(g2) {
+		ok, err := EvaluateYannakakis(q, d)
+		if err == nil {
+			return ok
+		}
+	}
+	return EvaluateBacktrack(q, d)
+}
+
+// ThreeSATInstance is a 3-CNF formula over variables 1..NumVars; each
+// clause has three literals, negative numbers denoting negations.
+type ThreeSATInstance struct {
+	NumVars int
+	Clauses [][3]int
+}
+
+// ToCQ encodes the 3SAT instance as Boolean-CQ evaluation (the reduction
+// behind Theorem 6.1): the database holds, for each clause shape, the
+// relation of its satisfying assignments over {0,1}³, and the query joins
+// one atom per clause over the variables it mentions.
+func (f ThreeSATInstance) ToCQ() (BCQ, *Database) {
+	d := NewDatabase()
+	var q BCQ
+	for _, cl := range f.Clauses {
+		// Relation keyed by the clause polarity signature.
+		sig := fmt.Sprintf("C%v%v%v", cl[0] > 0, cl[1] > 0, cl[2] > 0)
+		if _, done := d.Relations[sig]; !done {
+			for a := 0; a < 2; a++ {
+				for b := 0; b < 2; b++ {
+					for c := 0; c < 2; c++ {
+						vals := [3]int{a, b, c}
+						sat := false
+						for i, lit := range cl {
+							if (lit > 0 && vals[i] == 1) || (lit < 0 && vals[i] == 0) {
+								sat = true
+								break
+							}
+						}
+						if sat {
+							d.Add(sig, fmt.Sprint(a), fmt.Sprint(b), fmt.Sprint(c))
+						}
+					}
+				}
+			}
+		}
+		q.Atoms = append(q.Atoms, Atom{
+			Rel: sig,
+			Args: []Arg{
+				V(fmt.Sprintf("x%d", abs(cl[0]))),
+				V(fmt.Sprintf("x%d", abs(cl[1]))),
+				V(fmt.Sprintf("x%d", abs(cl[2]))),
+			},
+		})
+	}
+	return q, d
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Satisfiable decides the 3SAT instance through the CQ encoding.
+func (f ThreeSATInstance) Satisfiable() bool {
+	q, d := f.ToCQ()
+	return EvaluateBacktrack(q, d)
+}
+
+// SatisfiableBruteForce decides the instance by enumerating assignments
+// (test oracle).
+func (f ThreeSATInstance) SatisfiableBruteForce() bool {
+	for mask := 0; mask < 1<<f.NumVars; mask++ {
+		ok := true
+		for _, cl := range f.Clauses {
+			sat := false
+			for _, lit := range cl {
+				v := (mask >> (abs(lit) - 1)) & 1
+				if (lit > 0 && v == 1) || (lit < 0 && v == 0) {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,269 @@
+package cq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"semwebdb/internal/graph"
+	"semwebdb/internal/hom"
+	"semwebdb/internal/term"
+)
+
+func iri(s string) term.Term { return term.NewIRI(s) }
+func blk(s string) term.Term { return term.NewBlank(s) }
+
+func TestFromGraphCorrespondence(t *testing.T) {
+	g := graph.New(
+		graph.T(iri("a"), iri("p"), blk("x")),
+		graph.T(blk("x"), iri("q"), iri("b")),
+	)
+	q := FromGraphQuery(g)
+	if len(q.Atoms) != 2 {
+		t.Fatalf("atoms = %d, want 2", len(q.Atoms))
+	}
+	d := FromGraphDatabase(g)
+	if len(d.Relations) != 2 {
+		t.Fatalf("relations = %d, want 2", len(d.Relations))
+	}
+	if len(d.Relations["R_p"]) != 1 {
+		t.Fatalf("R_p = %v", d.Relations["R_p"])
+	}
+}
+
+func TestEntailsViaCQMatchesHomomorphism(t *testing.T) {
+	// Section 2.4: D_{G1} ⊨ Q_{G2} iff G1 ⊨ G2 for simple graphs.
+	rng := rand.New(rand.NewSource(3))
+	names := []term.Term{iri("a"), iri("b"), blk("x"), blk("y"), blk("z")}
+	preds := []term.Term{iri("p"), iri("q")}
+	for round := 0; round < 60; round++ {
+		g1, g2 := graph.New(), graph.New()
+		for k := 0; k < 6; k++ {
+			g1.Add(graph.T(
+				names[rng.Intn(len(names))], preds[rng.Intn(len(preds))], names[rng.Intn(len(names))]))
+		}
+		for k := 0; k < 3; k++ {
+			g2.Add(graph.T(
+				names[rng.Intn(len(names))], preds[rng.Intn(len(preds))], names[rng.Intn(len(names))]))
+		}
+		want := hom.ExistsMap(g2, g1)
+		got := EntailsViaCQ(g1, g2)
+		if got != want {
+			t.Fatalf("round %d: CQ path (%v) disagrees with hom path (%v)\nG1:\n%v\nG2:\n%v",
+				round, got, want, g1, g2)
+		}
+	}
+}
+
+func TestBlankCycleFree(t *testing.T) {
+	chain := graph.New(
+		graph.T(blk("a"), iri("p"), blk("b")),
+		graph.T(blk("b"), iri("p"), blk("c")),
+	)
+	if !BlankCycleFree(chain) {
+		t.Error("chain misclassified as cyclic")
+	}
+	triangle := graph.New(
+		graph.T(blk("a"), iri("p"), blk("b")),
+		graph.T(blk("b"), iri("p"), blk("c")),
+		graph.T(blk("c"), iri("p"), blk("a")),
+	)
+	if BlankCycleFree(triangle) {
+		t.Error("triangle not detected")
+	}
+	// Parallel edges between two blanks are NOT a cycle (the CQ is
+	// acyclic: one atom's variables contain the other's).
+	parallel := graph.New(
+		graph.T(blk("a"), iri("p"), blk("b")),
+		graph.T(blk("a"), iri("q"), blk("b")),
+		graph.T(blk("b"), iri("r"), blk("a")),
+	)
+	if !BlankCycleFree(parallel) {
+		t.Error("parallel edges misclassified as a cycle")
+	}
+	// Ground cycles don't matter.
+	groundCycle := graph.New(
+		graph.T(iri("a"), iri("p"), iri("b")),
+		graph.T(iri("b"), iri("p"), iri("a")),
+	)
+	if !BlankCycleFree(groundCycle) {
+		t.Error("ground cycle misclassified")
+	}
+	// Blank-URI-blank paths are fine (the URI breaks the blank chain).
+	viaURI := graph.New(
+		graph.T(blk("a"), iri("p"), iri("mid")),
+		graph.T(iri("mid"), iri("p"), blk("b")),
+		graph.T(blk("b"), iri("p"), blk("a")),
+	)
+	if !BlankCycleFree(viaURI) {
+		t.Error("URI-broken cycle misclassified")
+	}
+}
+
+func TestGYOAcyclicity(t *testing.T) {
+	// Path query: acyclic.
+	path := BCQ{Atoms: []Atom{
+		{Rel: "R", Args: []Arg{V("x"), V("y")}},
+		{Rel: "R", Args: []Arg{V("y"), V("z")}},
+	}}
+	if !IsAcyclic(path) {
+		t.Error("path misclassified as cyclic")
+	}
+	// Triangle: cyclic.
+	tri := BCQ{Atoms: []Atom{
+		{Rel: "R", Args: []Arg{V("x"), V("y")}},
+		{Rel: "R", Args: []Arg{V("y"), V("z")}},
+		{Rel: "R", Args: []Arg{V("z"), V("x")}},
+	}}
+	if IsAcyclic(tri) {
+		t.Error("triangle misclassified as acyclic")
+	}
+	// Two parallel atoms: acyclic (ear containment).
+	par := BCQ{Atoms: []Atom{
+		{Rel: "R", Args: []Arg{V("x"), V("y")}},
+		{Rel: "S", Args: []Arg{V("x"), V("y")}},
+	}}
+	if !IsAcyclic(par) {
+		t.Error("parallel atoms misclassified")
+	}
+	// A ternary atom covering a binary one: acyclic.
+	tern := BCQ{Atoms: []Atom{
+		{Rel: "T", Args: []Arg{V("x"), V("y"), V("z")}},
+		{Rel: "R", Args: []Arg{V("x"), V("z")}},
+	}}
+	if !IsAcyclic(tern) {
+		t.Error("covered binary atom misclassified")
+	}
+	// Empty query: acyclic.
+	if !IsAcyclic(BCQ{}) {
+		t.Error("empty query misclassified")
+	}
+}
+
+func TestYannakakisAgreesWithBacktracking(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for round := 0; round < 80; round++ {
+		// Random acyclic query: a random tree over variables.
+		nVars := 2 + rng.Intn(4)
+		var q BCQ
+		for i := 1; i < nVars; i++ {
+			parent := rng.Intn(i)
+			q.Atoms = append(q.Atoms, Atom{
+				Rel:  fmt.Sprintf("R%d", rng.Intn(2)),
+				Args: []Arg{V(fmt.Sprintf("v%d", parent)), V(fmt.Sprintf("v%d", i))},
+			})
+		}
+		// Random database.
+		d := NewDatabase()
+		for r := 0; r < 2; r++ {
+			for k := 0; k < 3+rng.Intn(5); k++ {
+				d.Add(fmt.Sprintf("R%d", r),
+					fmt.Sprintf("n%d", rng.Intn(4)),
+					fmt.Sprintf("n%d", rng.Intn(4)))
+			}
+		}
+		want := EvaluateBacktrack(q, d)
+		got, err := EvaluateYannakakis(q, d)
+		if err != nil {
+			t.Fatalf("round %d: acyclic query rejected: %v\n%v", round, err, q)
+		}
+		if got != want {
+			t.Fatalf("round %d: Yannakakis (%v) vs backtracking (%v)\nQ: %v\nD: %v",
+				round, got, want, q, d.Relations)
+		}
+	}
+}
+
+func TestYannakakisRejectsCyclic(t *testing.T) {
+	tri := BCQ{Atoms: []Atom{
+		{Rel: "R", Args: []Arg{V("x"), V("y")}},
+		{Rel: "R", Args: []Arg{V("y"), V("z")}},
+		{Rel: "R", Args: []Arg{V("z"), V("x")}},
+	}}
+	if _, err := EvaluateYannakakis(tri, NewDatabase()); err == nil {
+		t.Fatal("cyclic query accepted")
+	}
+}
+
+func TestYannakakisWithConstantsAndRepeats(t *testing.T) {
+	q := BCQ{Atoms: []Atom{
+		{Rel: "R", Args: []Arg{C("a"), V("x")}},
+		{Rel: "S", Args: []Arg{V("x"), V("x")}},
+	}}
+	d := NewDatabase()
+	d.Add("R", "a", "1")
+	d.Add("R", "b", "2")
+	d.Add("S", "1", "1")
+	d.Add("S", "2", "3")
+	got, err := EvaluateYannakakis(q, d)
+	if err != nil || !got {
+		t.Fatalf("got=%v err=%v, want true", got, err)
+	}
+	// Remove the matching S loop: now false.
+	d2 := NewDatabase()
+	d2.Add("R", "a", "1")
+	d2.Add("S", "2", "2")
+	got2, err := EvaluateYannakakis(q, d2)
+	if err != nil || got2 {
+		t.Fatalf("got=%v err=%v, want false", got2, err)
+	}
+}
+
+func TestThreeSATEncoding(t *testing.T) {
+	cases := []struct {
+		f    ThreeSATInstance
+		want bool
+	}{
+		// (x1 ∨ x2 ∨ x3): satisfiable.
+		{ThreeSATInstance{3, [][3]int{{1, 2, 3}}}, true},
+		// (x1)(¬x1): unsatisfiable via padded clauses.
+		{ThreeSATInstance{1, [][3]int{{1, 1, 1}, {-1, -1, -1}}}, false},
+		// (x1∨x2∨x3)(¬x1∨¬x2∨¬x3): satisfiable.
+		{ThreeSATInstance{3, [][3]int{{1, 2, 3}, {-1, -2, -3}}}, true},
+		// Pigeonhole-ish contradiction.
+		{ThreeSATInstance{2, [][3]int{
+			{1, 1, 2}, {1, 1, -2}, {-1, -1, 2}, {-1, -1, -2},
+		}}, false},
+	}
+	for i, c := range cases {
+		if got := c.f.Satisfiable(); got != c.want {
+			t.Errorf("case %d: CQ-encoding says %v, want %v", i, got, c.want)
+		}
+		if got := c.f.SatisfiableBruteForce(); got != c.want {
+			t.Errorf("case %d: brute force says %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestThreeSATRandomAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for round := 0; round < 60; round++ {
+		n := 3 + rng.Intn(5)
+		m := 2 + rng.Intn(3*n)
+		f := ThreeSATInstance{NumVars: n}
+		for k := 0; k < m; k++ {
+			var cl [3]int
+			for i := 0; i < 3; i++ {
+				cl[i] = 1 + rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					cl[i] = -cl[i]
+				}
+			}
+			f.Clauses = append(f.Clauses, cl)
+		}
+		if f.Satisfiable() != f.SatisfiableBruteForce() {
+			t.Fatalf("round %d: encodings disagree on %v", round, f)
+		}
+	}
+}
+
+func TestArgAndAtomString(t *testing.T) {
+	a := Atom{Rel: "R", Args: []Arg{V("x"), C("c")}}
+	if a.String() != "R(?x, c)" {
+		t.Fatalf("atom string = %q", a.String())
+	}
+	q := BCQ{Atoms: []Atom{a, a}}
+	if q.String() != "R(?x, c) ∧ R(?x, c)" {
+		t.Fatalf("query string = %q", q.String())
+	}
+}

@@ -1,0 +1,127 @@
+// Package experiments implements the experiment harness of
+// EXPERIMENTS.md: one registered experiment per theorem/example of the
+// paper, each printing a self-contained table. The harness is driven by
+// cmd/experiments; every experiment is deterministic given its built-in
+// seeds.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Quick shrinks parameter sweeps for use in tests and smoke runs.
+	Quick bool
+}
+
+// Experiment is one reproducible unit tied to a claim of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string
+	Run   func(w io.Writer, cfg Config) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments sorted by ID (E* before A*).
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].ID, out[j].ID
+		if a[0] != b[0] {
+			return a[0] == 'E' // experiments before ablations
+		}
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment in order.
+func RunAll(w io.Writer, cfg Config) error {
+	for _, e := range All() {
+		if err := RunOne(w, e, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunOne executes one experiment with its header.
+func RunOne(w io.Writer, e Experiment, cfg Config) error {
+	fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title)
+	fmt.Fprintf(w, "claim: %s\n", e.Claim)
+	start := time.Now()
+	if err := e.Run(w, cfg); err != nil {
+		return fmt.Errorf("experiment %s: %w", e.ID, err)
+	}
+	fmt.Fprintf(w, "(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// table is a small tabwriter helper.
+type table struct {
+	tw *tabwriter.Writer
+}
+
+func newTable(w io.Writer, headers ...any) *table {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	t := &table{tw: tw}
+	t.row(headers...)
+	return t
+}
+
+func (t *table) row(cells ...any) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.tw, "\t")
+		}
+		fmt.Fprint(t.tw, c)
+	}
+	fmt.Fprintln(t.tw)
+}
+
+func (t *table) flush() { t.tw.Flush() }
+
+// timeIt measures one execution of f.
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// pick returns q when cfg.Quick, else full.
+func pick[T any](cfg Config, q, full T) T {
+	if cfg.Quick {
+		return q
+	}
+	return full
+}
+
+// checkmark renders booleans compactly.
+func checkmark(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+		"E11", "E12", "E13", "E14", "E15", "E16", "E17",
+		"A1", "A2", "A3",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registered %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func TestAllOrdered(t *testing.T) {
+	all := All()
+	if all[0].ID != "E1" {
+		t.Fatalf("first = %s", all[0].ID)
+	}
+	if all[len(all)-1].ID[0] != 'A' {
+		t.Fatalf("ablations must sort last, got %s", all[len(all)-1].ID)
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, ok := ByID("E999"); ok {
+		t.Fatal("unknown ID found")
+	}
+}
+
+// TestEveryExperimentRunsQuick smoke-runs each experiment in quick mode
+// and asserts non-empty tabular output with no internal failure marks.
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := RunOne(&buf, e, Config{Quick: true}); err != nil {
+				t.Fatalf("%s failed: %v\n%s", e.ID, err, buf.String())
+			}
+			out := buf.String()
+			if len(out) < 40 {
+				t.Fatalf("%s produced suspiciously little output:\n%s", e.ID, out)
+			}
+			if strings.Contains(out, "UNEXPECTED") {
+				t.Fatalf("%s reported an unexpected result:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := RunAll(io.Discard, Config{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+}

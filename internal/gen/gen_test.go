@@ -1,0 +1,174 @@
+package gen
+
+import (
+	"testing"
+
+	"semwebdb/internal/closure"
+	"semwebdb/internal/core"
+	"semwebdb/internal/entail"
+	"semwebdb/internal/graph"
+	"semwebdb/internal/hom"
+	"semwebdb/internal/rdfs"
+)
+
+func TestEncShapes(t *testing.T) {
+	c4 := Cycle(4)
+	if len(c4.Edges) != 8 { // two arcs per undirected edge
+		t.Fatalf("C4 edges = %d, want 8", len(c4.Edges))
+	}
+	g := Enc(c4, "v")
+	if g.Len() != 8 || len(g.BlankNodes()) != 4 {
+		t.Fatalf("enc(C4): %d triples, %d blanks", g.Len(), len(g.BlankNodes()))
+	}
+	k3 := EncGround(Clique(3), "k")
+	if k3.Len() != 6 || !k3.IsGround() {
+		t.Fatalf("enc(K3) ground: %d triples", k3.Len())
+	}
+	p := Path(5)
+	if len(p.Edges) != 4 {
+		t.Fatalf("path edges = %d", len(p.Edges))
+	}
+}
+
+func TestThreeColorabilityInstances(t *testing.T) {
+	// Even cycles are 2-colorable hence 3-colorable; odd cycles ≥ 3 are
+	// 3-colorable; the 5-cycle is not 2-colorable.
+	for _, n := range []int{3, 4, 5, 6} {
+		src, dst := ThreeColorabilityInstance(Cycle(n))
+		if !entail.SimpleEntails(dst, src) {
+			t.Errorf("K3 must entail enc(C%d)", n)
+		}
+	}
+	// K4 is not 3-colorable.
+	src, dst := ThreeColorabilityInstance(Clique(4))
+	if entail.SimpleEntails(dst, src) {
+		t.Error("K3 must not entail enc(K4)")
+	}
+}
+
+func TestRandomGraphDeterministic(t *testing.T) {
+	a := RandomGraph(10, 20, 7)
+	b := RandomGraph(10, 20, 7)
+	if len(a.Edges) != 20 || len(b.Edges) != 20 {
+		t.Fatal("edge count")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c := RandomGraph(10, 20, 8)
+	same := true
+	for i := range a.Edges {
+		if a.Edges[i] != c.Edges[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestScChainClosureQuadratic(t *testing.T) {
+	n := 20
+	g := ScChain(n + 1) // n sc edges
+	cl := closure.RDFSCl(g)
+	// n(n+1)/2 transitive pairs + n+1 loops + constants.
+	scCount := 0
+	cl.Each(func(tr graph.Triple) bool {
+		if tr.P == rdfs.SubClassOf {
+			scCount++
+		}
+		return true
+	})
+	want := n*(n+1)/2 + (n + 1)
+	if scCount != want {
+		t.Fatalf("sc triples in closure = %d, want %d", scCount, want)
+	}
+}
+
+func TestSpChainInheritance(t *testing.T) {
+	g := SpChain(5)
+	cl := closure.RDFSCl(g)
+	// The data triple is inherited by all 5 properties.
+	inherited := 0
+	cl.Each(func(tr graph.Triple) bool {
+		if !rdfs.IsVocabulary(tr.P) {
+			inherited++
+		}
+		return true
+	})
+	if inherited != 5 {
+		t.Fatalf("inherited copies = %d, want 5", inherited)
+	}
+}
+
+func TestRedundantGraphCore(t *testing.T) {
+	g := RedundantGraph(6, 10, 3)
+	c, _ := core.Core(g)
+	if c.Len() != 6 {
+		t.Fatalf("core size = %d, want the 6-triple kernel:\n%v", c.Len(), c)
+	}
+	if !c.IsGround() {
+		t.Fatal("core must be the ground kernel")
+	}
+	if !entail.Equivalent(g, c) {
+		t.Fatal("redundant graph not equivalent to its kernel")
+	}
+}
+
+func TestArtSchemaWellFormed(t *testing.T) {
+	g := ArtSchema(7, 4, 20, 5)
+	if g.Len() == 0 {
+		t.Fatal("empty schema")
+	}
+	if err := core.CheckRestrictedClass(g); err != nil {
+		t.Fatalf("art schema outside the restricted class: %v", err)
+	}
+	// Deterministic.
+	if !g.Equal(ArtSchema(7, 4, 20, 5)) {
+		t.Fatal("non-deterministic schema")
+	}
+}
+
+func TestEquivalentRewrite(t *testing.T) {
+	g := ArtSchema(5, 3, 8, 11)
+	for seed := int64(0); seed < 5; seed++ {
+		rw := EquivalentRewrite(g, seed)
+		if !entail.Equivalent(g, rw) {
+			t.Fatalf("seed %d: rewrite not equivalent", seed)
+		}
+		// Theorem 3.19: equal normal forms.
+		if !hom.Isomorphic(core.NormalForm(g), core.NormalForm(rw)) {
+			t.Fatalf("seed %d: normal forms differ", seed)
+		}
+	}
+}
+
+func TestBlankBodies(t *testing.T) {
+	if BlankChainBody(4).Len() != 4 {
+		t.Fatal("chain body size")
+	}
+	cyc := BlankCycleBody(4)
+	if cyc.Len() != 4 {
+		t.Fatal("cycle body size")
+	}
+	if len(cyc.BlankNodes()) != 4 {
+		t.Fatal("cycle blanks")
+	}
+}
+
+func TestRandom3SATShape(t *testing.T) {
+	cls := Random3SAT(5, 12, 3)
+	if len(cls) != 12 {
+		t.Fatalf("clauses = %d", len(cls))
+	}
+	for _, cl := range cls {
+		for _, lit := range cl {
+			if lit == 0 || lit > 5 || lit < -5 {
+				t.Fatalf("bad literal %d", lit)
+			}
+		}
+	}
+}

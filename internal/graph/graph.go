@@ -1,0 +1,513 @@
+// Package graph implements RDF graphs as defined in Section 2.1 of
+// "Foundations of Semantic Web databases": sets of RDF triples over
+// U ∪ B, together with the operations the paper builds its theory on —
+// maps (blank-node homomorphisms), instances, union, merge, and the
+// skolemization operators (·)* and (·)⋆ of Section 3.1.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"semwebdb/internal/term"
+)
+
+// Triple is an RDF triple (s, p, o) ∈ (U ∪ B) × U × (U ∪ B ∪ L).
+// It is a comparable value type.
+type Triple struct {
+	S, P, O term.Term
+}
+
+// T is shorthand for constructing a triple.
+func T(s, p, o term.Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// WellFormed reports whether the triple respects the RDF positional
+// restrictions: subject in U ∪ B, predicate in U, object in U ∪ B ∪ L.
+// Triples containing variables are not well formed data triples.
+func (t Triple) WellFormed() bool {
+	return t.S.CanSubject() && t.P.CanPredicate() && t.O.CanObject()
+}
+
+// IsGround reports whether the triple mentions no blank nodes.
+func (t Triple) IsGround() bool {
+	return !t.S.IsBlank() && !t.P.IsBlank() && !t.O.IsBlank()
+}
+
+// HasVar reports whether any position holds a query variable.
+func (t Triple) HasVar() bool {
+	return t.S.IsVar() || t.P.IsVar() || t.O.IsVar()
+}
+
+// Compare totally orders triples lexicographically by subject, predicate,
+// object (using term.Compare).
+func (t Triple) Compare(u Triple) int {
+	if c := t.S.Compare(u.S); c != 0 {
+		return c
+	}
+	if c := t.P.Compare(u.P); c != 0 {
+		return c
+	}
+	return t.O.Compare(u.O)
+}
+
+// String renders the triple in N-Triples style (without the trailing dot).
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String()
+}
+
+// Terms returns the three positions in order.
+func (t Triple) Terms() [3]term.Term { return [3]term.Term{t.S, t.P, t.O} }
+
+// Graph is an RDF graph: a finite set of RDF triples. The zero value is
+// not ready to use; construct graphs with New.
+type Graph struct {
+	set map[Triple]struct{}
+}
+
+// New returns an empty graph, optionally populated with the given triples.
+func New(ts ...Triple) *Graph {
+	g := &Graph{set: make(map[Triple]struct{}, len(ts))}
+	for _, t := range ts {
+		g.Add(t)
+	}
+	return g
+}
+
+// FromTriples builds a graph from a slice of triples.
+func FromTriples(ts []Triple) *Graph { return New(ts...) }
+
+// Add inserts a triple. It returns true if the triple was not yet present.
+// Ill-formed triples (wrong positional kinds, variables) are rejected with
+// a false return and not inserted.
+func (g *Graph) Add(t Triple) bool {
+	if !t.WellFormed() {
+		return false
+	}
+	if _, ok := g.set[t]; ok {
+		return false
+	}
+	g.set[t] = struct{}{}
+	return true
+}
+
+// MustAdd inserts a triple and panics if it is ill-formed. It is intended
+// for tests and literal program construction.
+func (g *Graph) MustAdd(t Triple) {
+	if !t.WellFormed() {
+		panic(fmt.Sprintf("graph: ill-formed triple %s", t))
+	}
+	g.set[t] = struct{}{}
+}
+
+// Remove deletes a triple, reporting whether it was present.
+func (g *Graph) Remove(t Triple) bool {
+	if _, ok := g.set[t]; ok {
+		delete(g.set, t)
+		return true
+	}
+	return false
+}
+
+// Has reports membership of a triple.
+func (g *Graph) Has(t Triple) bool {
+	_, ok := g.set[t]
+	return ok
+}
+
+// Len returns the number of triples, written |G| in the paper.
+func (g *Graph) Len() int { return len(g.set) }
+
+// IsEmpty reports whether the graph has no triples.
+func (g *Graph) IsEmpty() bool { return len(g.set) == 0 }
+
+// Triples returns the triples in canonical (sorted) order.
+func (g *Graph) Triples() []Triple {
+	ts := make([]Triple, 0, len(g.set))
+	for t := range g.set {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+	return ts
+}
+
+// Each calls fn for every triple in unspecified order; if fn returns
+// false, iteration stops early.
+func (g *Graph) Each(fn func(Triple) bool) {
+	for t := range g.set {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Clone returns an independent copy of the graph.
+func (g *Graph) Clone() *Graph {
+	h := &Graph{set: make(map[Triple]struct{}, len(g.set))}
+	for t := range g.set {
+		h.set[t] = struct{}{}
+	}
+	return h
+}
+
+// Equal reports set equality of the two graphs (not isomorphism).
+func (g *Graph) Equal(h *Graph) bool {
+	if g.Len() != h.Len() {
+		return false
+	}
+	for t := range g.set {
+		if !h.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubgraphOf reports whether every triple of g is in h (g ⊆ h).
+func (g *Graph) SubgraphOf(h *Graph) bool {
+	if g.Len() > h.Len() {
+		return false
+	}
+	for t := range g.set {
+		if !h.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// ProperSubgraphOf reports g ⊊ h.
+func (g *Graph) ProperSubgraphOf(h *Graph) bool {
+	return g.Len() < h.Len() && g.SubgraphOf(h)
+}
+
+// AddAll inserts every triple of h into g and returns g.
+func (g *Graph) AddAll(h *Graph) *Graph {
+	for t := range h.set {
+		g.set[t] = struct{}{}
+	}
+	return g
+}
+
+// Minus returns g ∖ h as a new graph.
+func (g *Graph) Minus(h *Graph) *Graph {
+	out := New()
+	for t := range g.set {
+		if !h.Has(t) {
+			out.set[t] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Without returns a copy of g with the single triple t removed.
+func (g *Graph) Without(t Triple) *Graph {
+	out := g.Clone()
+	out.Remove(t)
+	return out
+}
+
+// Union returns G1 ∪ G2: the set-theoretical union of the triple sets.
+// Blank nodes with equal labels are identified (that is the point of
+// union as opposed to merge).
+func Union(g1, g2 *Graph) *Graph {
+	out := g1.Clone()
+	out.AddAll(g2)
+	return out
+}
+
+// Merge returns G1 + G2: the union of G1 with an isomorphic copy of G2
+// whose blank nodes are disjoint from those of G1 (Section 2.1). The
+// result is unique up to isomorphism; this implementation renames only
+// the colliding blanks of G2, deterministically.
+func Merge(g1, g2 *Graph) *Graph {
+	used := g1.BlankNodes()
+	ren := make(Map)
+	for _, b := range g2.BlankNodeList() {
+		if _, clash := used[b]; !clash {
+			continue
+		}
+		fresh := freshBlank(b.Value, used, g2)
+		ren[b] = fresh
+		used[fresh] = struct{}{}
+	}
+	out := g1.Clone()
+	out.AddAll(ren.Apply(g2))
+	return out
+}
+
+// freshBlank derives a blank node label not used in either graph.
+func freshBlank(base string, used map[term.Term]struct{}, other *Graph) term.Term {
+	for i := 1; ; i++ {
+		cand := term.NewBlank(fmt.Sprintf("%s~%d", base, i))
+		if _, ok := used[cand]; ok {
+			continue
+		}
+		if _, ok := other.BlankNodes()[cand]; ok {
+			continue
+		}
+		return cand
+	}
+}
+
+// Universe returns universe(G): the set of elements of U ∪ B (and
+// literals, in the extended model) occurring in the triples of G.
+func (g *Graph) Universe() map[term.Term]struct{} {
+	u := make(map[term.Term]struct{})
+	for t := range g.set {
+		u[t.S] = struct{}{}
+		u[t.P] = struct{}{}
+		u[t.O] = struct{}{}
+	}
+	return u
+}
+
+// UniverseList returns universe(G) in canonical order.
+func (g *Graph) UniverseList() []term.Term {
+	u := g.Universe()
+	out := make([]term.Term, 0, len(u))
+	for t := range u {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Vocabulary returns voc(G) = universe(G) ∩ U.
+func (g *Graph) Vocabulary() map[term.Term]struct{} {
+	v := make(map[term.Term]struct{})
+	for t := range g.set {
+		for _, x := range t.Terms() {
+			if x.IsIRI() {
+				v[x] = struct{}{}
+			}
+		}
+	}
+	return v
+}
+
+// BlankNodes returns the set of blank nodes occurring in G.
+func (g *Graph) BlankNodes() map[term.Term]struct{} {
+	b := make(map[term.Term]struct{})
+	for t := range g.set {
+		for _, x := range t.Terms() {
+			if x.IsBlank() {
+				b[x] = struct{}{}
+			}
+		}
+	}
+	return b
+}
+
+// BlankNodeList returns the blank nodes of G in canonical order.
+func (g *Graph) BlankNodeList() []term.Term {
+	b := g.BlankNodes()
+	out := make([]term.Term, 0, len(b))
+	for t := range b {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// IsGround reports whether G has no blank nodes.
+func (g *Graph) IsGround() bool {
+	for t := range g.set {
+		if !t.IsGround() {
+			return false
+		}
+	}
+	return true
+}
+
+// Predicates returns the set of predicates used in G.
+func (g *Graph) Predicates() map[term.Term]struct{} {
+	p := make(map[term.Term]struct{})
+	for t := range g.set {
+		p[t.P] = struct{}{}
+	}
+	return p
+}
+
+// WithPredicate returns the triples of G whose predicate is p, in
+// canonical order.
+func (g *Graph) WithPredicate(p term.Term) []Triple {
+	var out []Triple
+	for t := range g.set {
+		if t.P == p {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// String renders the graph as sorted N-Triples-style lines.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, t := range g.Triples() {
+		b.WriteString(t.String())
+		b.WriteString(" .\n")
+	}
+	return b.String()
+}
+
+// Map is a map μ : UB → UB preserving URIs (μ(u) = u for u ∈ U), Section
+// 2.1. It is represented sparsely: only blank nodes with a non-identity
+// image appear as keys. Keys must be blank nodes.
+type Map map[term.Term]term.Term
+
+// Of returns μ(x): the image of x, which is x itself unless x is a blank
+// node explicitly mapped.
+func (m Map) Of(x term.Term) term.Term {
+	if y, ok := m[x]; ok {
+		return y
+	}
+	return x
+}
+
+// ApplyTriple returns (μ(s), μ(p), μ(o)).
+func (m Map) ApplyTriple(t Triple) Triple {
+	return Triple{S: m.Of(t.S), P: m.Of(t.P), O: m.Of(t.O)}
+}
+
+// Apply returns μ(G) = {(μ(s), μ(p), μ(o)) : (s,p,o) ∈ G}. Triples that
+// become ill-formed under μ (a blank mapped into predicate position can
+// not occur, since predicates are URIs and maps preserve URIs) are kept
+// as produced; Apply never invents or drops triples beyond set collapse.
+func (m Map) Apply(g *Graph) *Graph {
+	out := New()
+	for t := range g.set {
+		out.set[m.ApplyTriple(t)] = struct{}{}
+	}
+	return out
+}
+
+// Compose returns the map x ↦ n(m(x)).
+func (m Map) Compose(n Map) Map {
+	out := make(Map, len(m)+len(n))
+	for k, v := range m {
+		out[k] = n.Of(v)
+	}
+	for k, v := range n {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// IsIdentityOn reports whether μ is the identity on all blanks of g.
+func (m Map) IsIdentityOn(g *Graph) bool {
+	for b := range g.BlankNodes() {
+		if m.Of(b) != b {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate reports an error if any key is not a blank node or any value
+// is a variable.
+func (m Map) Validate() error {
+	for k, v := range m {
+		if !k.IsBlank() {
+			return fmt.Errorf("graph: map key %s is not a blank node", k)
+		}
+		if v.IsVar() {
+			return fmt.Errorf("graph: map value %s is a variable", v)
+		}
+	}
+	return nil
+}
+
+// IsInstanceOf reports whether h = μ(g) for the given μ, i.e. whether h
+// is the instance of g induced by μ.
+func IsInstanceOf(h, g *Graph, m Map) bool {
+	return m.Apply(g).Equal(h)
+}
+
+// SkolemPrefix is the reserved IRI prefix used by Skolemize; it encodes
+// the paper's "brand new constant c_X" for each blank X (Section 3.1).
+const SkolemPrefix = "urn:semwebdb:skolem:"
+
+// Skolemize returns G*: the graph obtained by replacing each blank node X
+// of G by the fresh constant c_X (Definition preceding Lemma 3.4).
+func Skolemize(g *Graph) *Graph {
+	out := New()
+	for t := range g.set {
+		out.set[Triple{S: skolemTerm(t.S), P: t.P, O: skolemTerm(t.O)}] = struct{}{}
+	}
+	return out
+}
+
+func skolemTerm(x term.Term) term.Term {
+	if x.IsBlank() {
+		return term.NewIRI(SkolemPrefix + x.Value)
+	}
+	return x
+}
+
+// Unskolemize returns H⋆: the graph obtained by replacing each skolem
+// constant c_X back by the blank X and deleting triples that end up with
+// a blank in predicate position (which are not well-formed RDF triples).
+func Unskolemize(h *Graph) *Graph {
+	out := New()
+	for t := range h.set {
+		s := unskolemTerm(t.S)
+		p := unskolemTerm(t.P)
+		o := unskolemTerm(t.O)
+		if p.IsBlank() {
+			continue // ill-formed: dropped, per Section 3.1
+		}
+		out.set[Triple{S: s, P: p, O: o}] = struct{}{}
+	}
+	return out
+}
+
+func unskolemTerm(x term.Term) term.Term {
+	if x.IsIRI() && strings.HasPrefix(x.Value, SkolemPrefix) {
+		return term.NewBlank(strings.TrimPrefix(x.Value, SkolemPrefix))
+	}
+	return x
+}
+
+// IsSkolemConstant reports whether the term is a skolem constant c_X.
+func IsSkolemConstant(x term.Term) bool {
+	return x.IsIRI() && strings.HasPrefix(x.Value, SkolemPrefix)
+}
+
+// RenameBlanksApart returns a copy of g whose blank nodes are renamed with
+// the given suffix so that they are disjoint from any "natural" blanks.
+// It is used to implement merge semantics of answers and Ω_q rewriting.
+func RenameBlanksApart(g *Graph, suffix string) *Graph {
+	ren := make(Map)
+	for b := range g.BlankNodes() {
+		ren[b] = term.NewBlank(b.Value + suffix)
+	}
+	return ren.Apply(g)
+}
+
+// GroundPart returns the subgraph of ground triples of g.
+func (g *Graph) GroundPart() *Graph {
+	out := New()
+	for t := range g.set {
+		if t.IsGround() {
+			out.set[t] = struct{}{}
+		}
+	}
+	return out
+}
+
+// NonGroundTriples returns the triples mentioning at least one blank, in
+// canonical order.
+func (g *Graph) NonGroundTriples() []Triple {
+	var out []Triple
+	for t := range g.set {
+		if !t.IsGround() {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}

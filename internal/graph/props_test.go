@@ -1,0 +1,162 @@
+package graph_test
+
+// Cross-package property tests for graph algebra: these live in an
+// external test package so they can use homomorphism-based notions
+// (isomorphism) without an import cycle.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"semwebdb/internal/graph"
+	"semwebdb/internal/hom"
+	"semwebdb/internal/term"
+)
+
+func randGraph(rng *rand.Rand, label string, n int) *graph.Graph {
+	g := graph.New()
+	for k := 0; k < n; k++ {
+		var s, o term.Term
+		if rng.Intn(2) == 0 {
+			s = term.NewBlank(fmt.Sprintf("%sb%d", label, rng.Intn(3)))
+		} else {
+			s = term.NewIRI(fmt.Sprintf("urn:n:%d", rng.Intn(4)))
+		}
+		if rng.Intn(2) == 0 {
+			o = term.NewBlank(fmt.Sprintf("%sb%d", label, rng.Intn(3)))
+		} else {
+			o = term.NewIRI(fmt.Sprintf("urn:n:%d", rng.Intn(4)))
+		}
+		g.Add(graph.T(s, term.NewIRI(fmt.Sprintf("urn:p:%d", rng.Intn(2))), o))
+	}
+	return g
+}
+
+func TestMergeCommutativeUpToIso(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for round := 0; round < 30; round++ {
+		g1 := randGraph(rng, "x", 4)
+		g2 := randGraph(rng, "x", 4) // same label pool: collisions likely
+		m12 := graph.Merge(g1, g2)
+		m21 := graph.Merge(g2, g1)
+		if !hom.Isomorphic(m12, m21) {
+			t.Fatalf("round %d: merge not commutative up to iso:\n%v\nvs\n%v", round, m12, m21)
+		}
+	}
+}
+
+func TestMergeAssociativeUpToIso(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for round := 0; round < 20; round++ {
+		g1 := randGraph(rng, "x", 3)
+		g2 := randGraph(rng, "x", 3)
+		g3 := randGraph(rng, "x", 3)
+		a := graph.Merge(graph.Merge(g1, g2), g3)
+		b := graph.Merge(g1, graph.Merge(g2, g3))
+		if !hom.Isomorphic(a, b) {
+			t.Fatalf("round %d: merge not associative up to iso", round)
+		}
+	}
+}
+
+func TestMergePreservesTripleCountUpToCollapse(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for round := 0; round < 30; round++ {
+		g1 := randGraph(rng, "x", 4)
+		g2 := randGraph(rng, "x", 4)
+		m := graph.Merge(g1, g2)
+		// Merge never identifies blanks, so the only collapse possible
+		// is between equal ground triples.
+		ground := g1.GroundPart().Minus(g2.GroundPart())
+		minSize := g2.Len() + ground.Len()
+		if m.Len() < minSize {
+			t.Fatalf("round %d: merge lost triples: %d < %d", round, m.Len(), minSize)
+		}
+	}
+}
+
+func TestUnionIdempotentAndMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for round := 0; round < 30; round++ {
+		g1 := randGraph(rng, "x", 5)
+		g2 := randGraph(rng, "y", 5)
+		if !graph.Union(g1, g1).Equal(g1) {
+			t.Fatal("union not idempotent")
+		}
+		u := graph.Union(g1, g2)
+		if !g1.SubgraphOf(u) || !g2.SubgraphOf(u) {
+			t.Fatal("union not monotone")
+		}
+	}
+}
+
+func TestIsomorphismEquivalenceRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for round := 0; round < 15; round++ {
+		g := randGraph(rng, "x", 5)
+		// Reflexive.
+		if !hom.Isomorphic(g, g) {
+			t.Fatal("iso not reflexive")
+		}
+		// Symmetric: rename blanks.
+		ren := make(graph.Map)
+		for i, b := range g.BlankNodeList() {
+			ren[b] = term.NewBlank(fmt.Sprintf("fresh%d", i))
+		}
+		h := ren.Apply(g)
+		if !hom.Isomorphic(g, h) || !hom.Isomorphic(h, g) {
+			t.Fatal("iso not symmetric under renaming")
+		}
+		// Transitive through a second renaming.
+		ren2 := make(graph.Map)
+		for i, b := range h.BlankNodeList() {
+			ren2[b] = term.NewBlank(fmt.Sprintf("again%d", i))
+		}
+		k := ren2.Apply(h)
+		if !hom.Isomorphic(g, k) {
+			t.Fatal("iso not transitive")
+		}
+	}
+}
+
+func TestSkolemizationIsInstanceInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for round := 0; round < 30; round++ {
+		g := randGraph(rng, "x", 5)
+		sk := graph.Skolemize(g)
+		// G* is an instance of G: the skolemizing map witnesses it.
+		mu := make(graph.Map)
+		for b := range g.BlankNodes() {
+			mu[b] = term.NewIRI(graph.SkolemPrefix + b.Value)
+		}
+		if !mu.Apply(g).Equal(sk) {
+			t.Fatal("skolemization is not the instance under the skolem map")
+		}
+		// And there is a map G → G* but (for graphs with blanks whose
+		// image is fresh) none back unless G had no blanks.
+		if _, ok := hom.FindMap(g, sk); !ok {
+			t.Fatal("no map G → G*")
+		}
+	}
+}
+
+func TestMapApplicationMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for round := 0; round < 30; round++ {
+		g1 := randGraph(rng, "x", 4)
+		g2 := randGraph(rng, "x", 6)
+		if !g1.SubgraphOf(g2) {
+			g2 = graph.Union(g1, g2)
+		}
+		mu := graph.Map{}
+		for b := range g2.BlankNodes() {
+			if rng.Intn(2) == 0 {
+				mu[b] = term.NewIRI("urn:n:0")
+			}
+		}
+		if !mu.Apply(g1).SubgraphOf(mu.Apply(g2)) {
+			t.Fatal("map application not monotone w.r.t. ⊆")
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package hom implements maps between RDF graphs — the homomorphisms
+// μ : UB → UB preserving URIs of Section 2.1 — and the derived notions
+// the paper's characterizations are built on: existence and enumeration
+// of maps G' → G, instances, and isomorphism of RDF graphs.
+//
+// By Theorem 2.8, simple-graph entailment G1 ⊨ G2 is exactly the
+// existence of a map G2 → G1, and general RDFS entailment is the
+// existence of a map G2 → cl(G1); this package supplies that primitive.
+package hom
+
+import (
+	"semwebdb/internal/graph"
+	"semwebdb/internal/match"
+	"semwebdb/internal/term"
+)
+
+// blankUnknown treats blank nodes as the unknowns of the search: a map
+// fixes URIs (and literals) and moves only blanks.
+func blankUnknown(t term.Term) bool { return t.IsBlank() }
+
+// Finder performs repeated map searches into a fixed destination graph,
+// reusing one index.
+type Finder struct {
+	ix *match.Index
+}
+
+// NewFinder builds a Finder for maps into dst.
+func NewFinder(dst *graph.Graph) *Finder {
+	return &Finder{ix: match.NewIndex(dst)}
+}
+
+// Find returns a map μ with μ(src) ⊆ dst, if one exists.
+func (f *Finder) Find(src *graph.Graph) (graph.Map, bool) {
+	solver := match.NewSolver(f.ix, match.Options{IsUnknown: blankUnknown})
+	b, ok, _ := solver.First(src.Triples())
+	if !ok {
+		return nil, false
+	}
+	return bindingToMap(b), true
+}
+
+// FindBudget is Find with a bounded search budget. The third result is
+// false when the budget was exhausted before the search space was covered
+// (the answer is then inconclusive if no map was found).
+func (f *Finder) FindBudget(src *graph.Graph, maxSteps int) (graph.Map, bool, bool) {
+	solver := match.NewSolver(f.ix, match.Options{IsUnknown: blankUnknown, MaxSteps: maxSteps})
+	b, ok, complete := solver.First(src.Triples())
+	if !ok {
+		return nil, false, complete
+	}
+	return bindingToMap(b), true, true
+}
+
+// Enumerate yields every map μ with μ(src) ⊆ dst until yield returns
+// false. It reports whether the enumeration covered the full space.
+func (f *Finder) Enumerate(src *graph.Graph, yield func(graph.Map) bool) bool {
+	solver := match.NewSolver(f.ix, match.Options{IsUnknown: blankUnknown})
+	return solver.Solve(src.Triples(), func(b match.Binding) bool {
+		return yield(bindingToMap(b))
+	})
+}
+
+func bindingToMap(b match.Binding) graph.Map {
+	m := make(graph.Map, len(b))
+	for k, v := range b {
+		m[k] = v
+	}
+	return m
+}
+
+// FindMap returns a map μ : src → dst (i.e. μ(src) ⊆ dst), if one exists.
+// This is the paper's overloaded "map μ : G1 → G2" (Section 2.1).
+func FindMap(src, dst *graph.Graph) (graph.Map, bool) {
+	return NewFinder(dst).Find(src)
+}
+
+// ExistsMap reports whether there is a map src → dst.
+func ExistsMap(src, dst *graph.Graph) bool {
+	_, ok := FindMap(src, dst)
+	return ok
+}
+
+// AllMaps returns every map src → dst, up to limit (0 = no limit).
+func AllMaps(src, dst *graph.Graph, limit int) []graph.Map {
+	var out []graph.Map
+	NewFinder(dst).Enumerate(src, func(m graph.Map) bool {
+		out = append(out, m)
+		return limit == 0 || len(out) < limit
+	})
+	return out
+}
+
+// CountMaps returns the number of maps src → dst, stopping at limit
+// (0 = no limit).
+func CountMaps(src, dst *graph.Graph, limit int) int {
+	n := 0
+	NewFinder(dst).Enumerate(src, func(graph.Map) bool {
+		n++
+		return limit == 0 || n < limit
+	})
+	return n
+}
+
+// IsProperInstanceMap reports whether μ(g) is a proper instance of g:
+// μ sends some blank to a URI/literal or identifies two blanks of g,
+// i.e. μ(g) has fewer blank nodes than g (Section 2.1).
+func IsProperInstanceMap(g *graph.Graph, m graph.Map) bool {
+	return len(m.Apply(g).BlankNodes()) < len(g.BlankNodes())
+}
+
+// Isomorphic reports G1 ≅ G2: existence of maps μ1, μ2 with μ1(G1) = G2
+// and μ2(G2) = G1 (Section 2.1). For finite graphs this is equivalent to
+// the existence of a blank-renaming bijection carrying G1 exactly onto
+// G2, which is what is searched for here.
+func Isomorphic(g1, g2 *graph.Graph) bool {
+	if g1.Len() != g2.Len() {
+		return false
+	}
+	b1 := g1.BlankNodeList()
+	b2 := g2.BlankNodeList()
+	if len(b1) != len(b2) {
+		return false
+	}
+	if len(b1) == 0 {
+		return g1.Equal(g2)
+	}
+	// Ground triples must coincide exactly: a blank-to-blank bijection
+	// cannot move them.
+	if !g1.GroundPart().Equal(g2.GroundPart()) {
+		return false
+	}
+	blankSet2 := g2.BlankNodes()
+	opts := match.Options{
+		IsUnknown: blankUnknown,
+		Injective: true,
+		Admissible: func(_, value term.Term) bool {
+			_, ok := blankSet2[value]
+			return ok
+		},
+	}
+	found := false
+	match.Solve(g1.Triples(), g2, opts, func(b match.Binding) bool {
+		// The binding is an injective blank(G1) → blank(G2) assignment
+		// with μ(G1) ⊆ G2; equal sizes and injectivity force μ(G1) = G2.
+		m := bindingToMap(b)
+		if m.Apply(g1).Equal(g2) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// FindIsomorphism returns a blank-bijection witnessing G1 ≅ G2, if any.
+func FindIsomorphism(g1, g2 *graph.Graph) (graph.Map, bool) {
+	if g1.Len() != g2.Len() || len(g1.BlankNodes()) != len(g2.BlankNodes()) {
+		return nil, false
+	}
+	if !g1.GroundPart().Equal(g2.GroundPart()) {
+		return nil, false
+	}
+	blankSet2 := g2.BlankNodes()
+	opts := match.Options{
+		IsUnknown: blankUnknown,
+		Injective: true,
+		Admissible: func(_, value term.Term) bool {
+			_, ok := blankSet2[value]
+			return ok
+		},
+	}
+	var iso graph.Map
+	match.Solve(g1.Triples(), g2, opts, func(b match.Binding) bool {
+		m := bindingToMap(b)
+		if m.Apply(g1).Equal(g2) {
+			iso = m
+			return false
+		}
+		return true
+	})
+	return iso, iso != nil
+}
+
+// Automorphisms returns the blank-renaming bijections g → g (limit 0 = no
+// limit). The identity is always included.
+func Automorphisms(g *graph.Graph, limit int) []graph.Map {
+	blanks := g.BlankNodes()
+	opts := match.Options{
+		IsUnknown: blankUnknown,
+		Injective: true,
+		Admissible: func(_, value term.Term) bool {
+			_, ok := blanks[value]
+			return ok
+		},
+	}
+	var out []graph.Map
+	match.Solve(g.Triples(), g, opts, func(b match.Binding) bool {
+		m := bindingToMap(b)
+		if m.Apply(g).Equal(g) {
+			out = append(out, m)
+			if limit != 0 && len(out) >= limit {
+				return false
+			}
+		}
+		return true
+	})
+	return out
+}

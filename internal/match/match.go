@@ -1,0 +1,370 @@
+// Package match implements the backtracking pattern-matching engine shared
+// by homomorphism (map) search, query evaluation and containment testing.
+//
+// A problem instance is a set of triple patterns — triples in which some
+// positions hold "unknowns" — and a data graph. A solution is a binding of
+// every unknown to a term of the data graph such that every instantiated
+// pattern is a triple of the data graph. This is exactly:
+//
+//   - map search μ : G' → G when the unknowns are the blank nodes of G'
+//     (Section 2.4 of the paper: entailment characterization), and
+//   - matching v(B) ⊆ nf(D) when the unknowns are the query variables of a
+//     tableau body B (Definition 4.3).
+//
+// The engine picks the next pattern by estimated selectivity
+// (most-constrained-first) using per-position indexes; ablation A3 in
+// EXPERIMENTS.md measures the effect of that heuristic.
+package match
+
+import (
+	"sort"
+
+	"semwebdb/internal/graph"
+	"semwebdb/internal/term"
+)
+
+// Binding assigns data-graph terms to unknowns.
+type Binding map[term.Term]term.Term
+
+// Clone returns an independent copy of the binding.
+func (b Binding) Clone() Binding {
+	out := make(Binding, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Options configures a Solve call.
+type Options struct {
+	// IsUnknown tells which pattern terms are unknowns to be bound. The
+	// default treats query variables as unknowns; homomorphism search
+	// passes a predicate that also treats blank nodes as unknowns.
+	IsUnknown func(term.Term) bool
+
+	// Injective requires pairwise-distinct values for distinct unknowns
+	// (used for isomorphism search).
+	Injective bool
+
+	// Admissible, when non-nil, filters candidate values per unknown
+	// (e.g. "must not be a blank node" for constrained query variables,
+	// or "must be a blank node" for isomorphism search).
+	Admissible func(unknown, value term.Term) bool
+
+	// NoReorder disables the most-constrained-first heuristic and
+	// processes patterns in the order given (ablation A3).
+	NoReorder bool
+
+	// MaxSteps bounds the number of search steps (candidate extensions
+	// attempted). Zero means unlimited. When the budget is exhausted,
+	// Solve returns complete = false.
+	MaxSteps int
+}
+
+func defaultIsUnknown(t term.Term) bool { return t.IsVar() }
+
+// Index is a per-graph set of lookup structures for pattern candidates.
+// Build one Index per data graph and reuse it across Solve calls.
+type Index struct {
+	g   *graph.Graph
+	all []graph.Triple
+
+	byS  map[term.Term][]graph.Triple
+	byP  map[term.Term][]graph.Triple
+	byO  map[term.Term][]graph.Triple
+	bySP map[pair][]graph.Triple
+	byPO map[pair][]graph.Triple
+	bySO map[pair][]graph.Triple
+
+	// mode selects which indexes are consulted (ablation A1).
+	mode IndexMode
+}
+
+type pair struct{ a, b term.Term }
+
+// IndexMode selects the index configuration (ablation A1).
+type IndexMode int
+
+const (
+	// FullIndexes consults all single- and double-position indexes.
+	FullIndexes IndexMode = iota
+	// PredicateOnly consults only the by-predicate index; all other
+	// filtering is done by scanning (a common "thin RDF library" design).
+	PredicateOnly
+	// ScanOnly performs full scans for every pattern (baseline).
+	ScanOnly
+)
+
+// NewIndex builds a full index over g.
+func NewIndex(g *graph.Graph) *Index { return NewIndexMode(g, FullIndexes) }
+
+// NewIndexMode builds an index over g with the given configuration.
+func NewIndexMode(g *graph.Graph, mode IndexMode) *Index {
+	ix := &Index{
+		g:    g,
+		all:  g.Triples(),
+		mode: mode,
+	}
+	if mode == ScanOnly {
+		return ix
+	}
+	ix.byP = make(map[term.Term][]graph.Triple)
+	if mode == FullIndexes {
+		ix.byS = make(map[term.Term][]graph.Triple)
+		ix.byO = make(map[term.Term][]graph.Triple)
+		ix.bySP = make(map[pair][]graph.Triple)
+		ix.byPO = make(map[pair][]graph.Triple)
+		ix.bySO = make(map[pair][]graph.Triple)
+	}
+	for _, t := range ix.all {
+		ix.byP[t.P] = append(ix.byP[t.P], t)
+		if mode == FullIndexes {
+			ix.byS[t.S] = append(ix.byS[t.S], t)
+			ix.byO[t.O] = append(ix.byO[t.O], t)
+			ix.bySP[pair{t.S, t.P}] = append(ix.bySP[pair{t.S, t.P}], t)
+			ix.byPO[pair{t.P, t.O}] = append(ix.byPO[pair{t.P, t.O}], t)
+			ix.bySO[pair{t.S, t.O}] = append(ix.bySO[pair{t.S, t.O}], t)
+		}
+	}
+	return ix
+}
+
+// Graph returns the indexed data graph.
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// Terms returns the universe of the indexed graph in canonical order.
+func (ix *Index) Terms() []term.Term { return ix.g.UniverseList() }
+
+// candidates returns the triples of the data graph compatible with the
+// pattern after substituting bound unknowns. Ground positions narrow the
+// index lookup; remaining filtering happens in unify.
+func (ix *Index) candidates(p graph.Triple, b Binding, isUnknown func(term.Term) bool) []graph.Triple {
+	s, sKnown := resolve(p.S, b, isUnknown)
+	pr, pKnown := resolve(p.P, b, isUnknown)
+	o, oKnown := resolve(p.O, b, isUnknown)
+
+	switch ix.mode {
+	case ScanOnly:
+		return ix.all
+	case PredicateOnly:
+		if pKnown {
+			return ix.byP[pr]
+		}
+		return ix.all
+	}
+
+	switch {
+	case sKnown && pKnown && oKnown:
+		t := graph.Triple{S: s, P: pr, O: o}
+		if ix.g.Has(t) {
+			return []graph.Triple{t}
+		}
+		return nil
+	case sKnown && pKnown:
+		return ix.bySP[pair{s, pr}]
+	case pKnown && oKnown:
+		return ix.byPO[pair{pr, o}]
+	case sKnown && oKnown:
+		return ix.bySO[pair{s, o}]
+	case sKnown:
+		return ix.byS[s]
+	case pKnown:
+		return ix.byP[pr]
+	case oKnown:
+		return ix.byO[o]
+	default:
+		return ix.all
+	}
+}
+
+// resolve returns the concrete value of a pattern position, if known.
+func resolve(x term.Term, b Binding, isUnknown func(term.Term) bool) (term.Term, bool) {
+	if !isUnknown(x) {
+		return x, true
+	}
+	if v, ok := b[x]; ok {
+		return v, true
+	}
+	return term.Term{}, false
+}
+
+// Solver runs pattern matching against a fixed Index.
+type Solver struct {
+	ix    *Index
+	opts  Options
+	steps int
+
+	used map[term.Term]int // value -> refcount, for Injective
+}
+
+// NewSolver creates a solver over the given index with the given options.
+func NewSolver(ix *Index, opts Options) *Solver {
+	if opts.IsUnknown == nil {
+		opts.IsUnknown = defaultIsUnknown
+	}
+	s := &Solver{ix: ix, opts: opts}
+	if opts.Injective {
+		s.used = make(map[term.Term]int)
+	}
+	return s
+}
+
+// Solve enumerates bindings that satisfy all patterns, invoking yield for
+// each. If yield returns false the search stops (reported as complete).
+// The returned flag is false only if the MaxSteps budget was exhausted
+// before the search space was covered.
+func (s *Solver) Solve(patterns []graph.Triple, yield func(Binding) bool) (complete bool) {
+	s.steps = 0
+	b := make(Binding)
+	remaining := make([]graph.Triple, len(patterns))
+	copy(remaining, patterns)
+	stopped := false
+	ok := s.solve(remaining, b, func(bind Binding) bool {
+		if !yield(bind) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	return ok || stopped
+}
+
+// Solve is a convenience entry point building a one-shot solver.
+func Solve(patterns []graph.Triple, data *graph.Graph, opts Options, yield func(Binding) bool) bool {
+	return NewSolver(NewIndex(data), opts).Solve(patterns, yield)
+}
+
+// First returns the first solution found, if any. The bool result is the
+// completeness flag of the underlying search: if false and no solution was
+// found, the search was inconclusive (budget exhausted).
+func (s *Solver) First(patterns []graph.Triple) (Binding, bool, bool) {
+	var found Binding
+	complete := s.Solve(patterns, func(b Binding) bool {
+		found = b.Clone()
+		return false
+	})
+	return found, found != nil, complete
+}
+
+func (s *Solver) solve(remaining []graph.Triple, b Binding, yield func(Binding) bool) bool {
+	if len(remaining) == 0 {
+		return yield(b)
+	}
+
+	// Pick the next pattern: most-constrained-first unless disabled.
+	pick := 0
+	if !s.opts.NoReorder {
+		best := -1
+		for i, p := range remaining {
+			n := len(s.ix.candidates(p, b, s.opts.IsUnknown))
+			if best == -1 || n < best {
+				best = n
+				pick = i
+				if n == 0 {
+					break
+				}
+			}
+		}
+	}
+	p := remaining[pick]
+	rest := make([]graph.Triple, 0, len(remaining)-1)
+	rest = append(rest, remaining[:pick]...)
+	rest = append(rest, remaining[pick+1:]...)
+
+	for _, cand := range s.ix.candidates(p, b, s.opts.IsUnknown) {
+		if s.opts.MaxSteps > 0 {
+			s.steps++
+			if s.steps > s.opts.MaxSteps {
+				return false
+			}
+		}
+		newly, ok := s.unify(p, cand, b)
+		if !ok {
+			continue
+		}
+		if !s.solve(rest, b, yield) {
+			s.retract(newly, b)
+			return false
+		}
+		s.retract(newly, b)
+	}
+	return true
+}
+
+// unify extends b so that pattern p instantiates to triple cand. It
+// returns the unknowns newly bound (for backtracking) and whether
+// unification succeeded.
+func (s *Solver) unify(p, cand graph.Triple, b Binding) ([]term.Term, bool) {
+	var newly []term.Term
+	positions := [3][2]term.Term{
+		{p.S, cand.S},
+		{p.P, cand.P},
+		{p.O, cand.O},
+	}
+	for _, pos := range positions {
+		pat, val := pos[0], pos[1]
+		if !s.opts.IsUnknown(pat) {
+			if pat != val {
+				s.retract(newly, b)
+				return nil, false
+			}
+			continue
+		}
+		if bound, ok := b[pat]; ok {
+			if bound != val {
+				s.retract(newly, b)
+				return nil, false
+			}
+			continue
+		}
+		if s.opts.Admissible != nil && !s.opts.Admissible(pat, val) {
+			s.retract(newly, b)
+			return nil, false
+		}
+		if s.opts.Injective && s.used[val] > 0 {
+			s.retract(newly, b)
+			return nil, false
+		}
+		b[pat] = val
+		if s.opts.Injective {
+			s.used[val]++
+		}
+		newly = append(newly, pat)
+	}
+	return newly, true
+}
+
+func (s *Solver) retract(newly []term.Term, b Binding) {
+	for _, u := range newly {
+		if s.opts.Injective {
+			v := b[u]
+			s.used[v]--
+			if s.used[v] == 0 {
+				delete(s.used, v)
+			}
+		}
+		delete(b, u)
+	}
+}
+
+// Unknowns returns the distinct unknowns occurring in the patterns, in
+// canonical order.
+func Unknowns(patterns []graph.Triple, isUnknown func(term.Term) bool) []term.Term {
+	if isUnknown == nil {
+		isUnknown = defaultIsUnknown
+	}
+	set := make(map[term.Term]struct{})
+	for _, p := range patterns {
+		for _, x := range p.Terms() {
+			if isUnknown(x) {
+				set[x] = struct{}{}
+			}
+		}
+	}
+	out := make([]term.Term, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

@@ -1,0 +1,383 @@
+// Package mt implements the model theory of Section 2.3.1 of the paper:
+// RDF interpretations I = (Res, Prop, Class, PExt, CExt, Int), the
+// satisfaction conditions (simple interpretation, properties and classes,
+// subproperty, subclass, typing), and the canonical (Herbrand-style)
+// model of a graph built from its closure.
+//
+// The canonical model is universal for the fragment: it satisfies exactly
+// the graphs entailed by G (this is the semantic content of Theorem 2.8),
+// which gives the test suite a third, independent decision procedure for
+// entailment to cross-validate the deductive system (Theorem 2.6) and the
+// map-based characterization.
+package mt
+
+import (
+	"fmt"
+	"sort"
+
+	"semwebdb/internal/closure"
+	"semwebdb/internal/graph"
+	"semwebdb/internal/rdfs"
+	"semwebdb/internal/term"
+)
+
+// Resource identifies an element of the domain Res (or a property name).
+type Resource string
+
+// Pair is an element of Res × Res.
+type Pair struct{ A, B Resource }
+
+// Interpretation is an RDF interpretation
+// I = (Res, Prop, Class, PExt, CExt, Int) per Section 2.3.1.
+type Interpretation struct {
+	// Res is the domain (universe) of the interpretation.
+	Res map[Resource]bool
+	// Prop is the set of property names (not necessarily disjoint from
+	// Res).
+	Prop map[Resource]bool
+	// Class ⊆ Res identifies the resources denoting classes.
+	Class map[Resource]bool
+	// PExt assigns an extension to each property name.
+	PExt map[Resource]map[Pair]bool
+	// CExt assigns a set of resources to each class.
+	CExt map[Resource]map[Resource]bool
+	// Int maps URIs to Res ∪ Prop. URIs absent from the map are
+	// interpreted as Sink.
+	Int map[term.Term]Resource
+	// Sink is the default image of unmapped URIs; it carries no
+	// extensions and no memberships.
+	Sink Resource
+}
+
+// NewInterpretation returns an empty interpretation with a sink resource.
+func NewInterpretation() *Interpretation {
+	i := &Interpretation{
+		Res:   map[Resource]bool{},
+		Prop:  map[Resource]bool{},
+		Class: map[Resource]bool{},
+		PExt:  map[Resource]map[Pair]bool{},
+		CExt:  map[Resource]map[Resource]bool{},
+		Int:   map[term.Term]Resource{},
+		Sink:  Resource("⊥"),
+	}
+	i.Res[i.Sink] = true
+	return i
+}
+
+// IntOf returns Int(u) with the sink default.
+func (i *Interpretation) IntOf(u term.Term) Resource {
+	if r, ok := i.Int[u]; ok {
+		return r
+	}
+	return i.Sink
+}
+
+// pext returns PExt(p), nil-safe.
+func (i *Interpretation) pext(p Resource) map[Pair]bool {
+	return i.PExt[p]
+}
+
+// cext returns CExt(c), nil-safe.
+func (i *Interpretation) cext(c Resource) map[Resource]bool {
+	return i.CExt[c]
+}
+
+// vocabRes resolves the interpretation of a reserved word.
+func (i *Interpretation) vocabRes(v term.Term) Resource { return i.IntOf(v) }
+
+// CheckRDFSConditions verifies every structural condition the definition
+// of "model" places on the interpretation itself (independent of any
+// particular graph): the properties-and-classes, subproperty, subclass
+// and typing conditions of Section 2.3.1. It returns nil when all hold.
+func (i *Interpretation) CheckRDFSConditions() error {
+	sp := i.vocabRes(rdfs.SubPropertyOf)
+	sc := i.vocabRes(rdfs.SubClassOf)
+	ty := i.vocabRes(rdfs.Type)
+	dm := i.vocabRes(rdfs.Domain)
+	rg := i.vocabRes(rdfs.Range)
+
+	// Properties and classes.
+	for _, v := range []Resource{sp, sc, ty, dm, rg} {
+		if !i.Prop[v] {
+			return fmt.Errorf("mt: Int of a reserved word (%s) is not in Prop", v)
+		}
+	}
+	for p := range map[Resource]bool{dm: true, rg: true} {
+		for pr := range i.pext(p) {
+			if !i.Prop[pr.A] {
+				return fmt.Errorf("mt: dom/range subject %s not in Prop", pr.A)
+			}
+			if !i.Class[pr.B] {
+				return fmt.Errorf("mt: dom/range object %s not in Class", pr.B)
+			}
+		}
+	}
+
+	// Subproperty: PExt(sp) transitive and reflexive over Prop.
+	spExt := i.pext(sp)
+	for x := range i.Prop {
+		if !spExt[Pair{x, x}] {
+			return fmt.Errorf("mt: PExt(sp) not reflexive at %s", x)
+		}
+	}
+	if err := transitive(spExt, "sp"); err != nil {
+		return err
+	}
+	for pr := range spExt {
+		if !i.Prop[pr.A] || !i.Prop[pr.B] {
+			return fmt.Errorf("mt: sp pair (%s,%s) outside Prop", pr.A, pr.B)
+		}
+		for xy := range i.pext(pr.A) {
+			if !i.pext(pr.B)[xy] {
+				return fmt.Errorf("mt: PExt(%s) ⊄ PExt(%s) despite (%s,%s) ∈ PExt(sp)", pr.A, pr.B, pr.A, pr.B)
+			}
+		}
+	}
+
+	// Subclass: PExt(sc) transitive and reflexive over Class.
+	scExt := i.pext(sc)
+	for x := range i.Class {
+		if !scExt[Pair{x, x}] {
+			return fmt.Errorf("mt: PExt(sc) not reflexive at %s", x)
+		}
+	}
+	if err := transitive(scExt, "sc"); err != nil {
+		return err
+	}
+	for pr := range scExt {
+		if !i.Class[pr.A] || !i.Class[pr.B] {
+			return fmt.Errorf("mt: sc pair (%s,%s) outside Class", pr.A, pr.B)
+		}
+		for x := range i.cext(pr.A) {
+			if !i.cext(pr.B)[x] {
+				return fmt.Errorf("mt: CExt(%s) ⊄ CExt(%s)", pr.A, pr.B)
+			}
+		}
+	}
+
+	// Typing.
+	tyExt := i.pext(ty)
+	for pr := range tyExt {
+		if !i.Class[pr.B] || !i.cext(pr.B)[pr.A] {
+			return fmt.Errorf("mt: (x,y) ∈ PExt(type) but x ∉ CExt(y) for (%s,%s)", pr.A, pr.B)
+		}
+	}
+	for c, ext := range i.CExt {
+		if !i.Class[c] {
+			return fmt.Errorf("mt: CExt defined on non-class %s", c)
+		}
+		for x := range ext {
+			if !tyExt[Pair{x, c}] {
+				return fmt.Errorf("mt: x ∈ CExt(y) but (x,y) ∉ PExt(type) for (%s,%s)", x, c)
+			}
+		}
+	}
+	for pr := range i.pext(dm) {
+		for uv := range i.pext(pr.A) {
+			if !i.cext(pr.B)[uv.A] {
+				return fmt.Errorf("mt: dom condition violated at %s: %s ∉ CExt(%s)", pr.A, uv.A, pr.B)
+			}
+		}
+	}
+	for pr := range i.pext(rg) {
+		for uv := range i.pext(pr.A) {
+			if !i.cext(pr.B)[uv.B] {
+				return fmt.Errorf("mt: range condition violated at %s: %s ∉ CExt(%s)", pr.A, uv.B, pr.B)
+			}
+		}
+	}
+	return nil
+}
+
+func transitive(ext map[Pair]bool, name string) error {
+	for p1 := range ext {
+		for p2 := range ext {
+			if p1.B == p2.A && !ext[Pair{p1.A, p2.B}] {
+				return fmt.Errorf("mt: PExt(%s) not transitive at (%s,%s,%s)", name, p1.A, p1.B, p2.B)
+			}
+		}
+	}
+	return nil
+}
+
+// SatisfiesSimple reports whether I satisfies the simple-interpretation
+// condition for g: there is a function A : B → Res such that for every
+// triple (s,p,o) of g, Int(p) ∈ Prop and (IntA(s), IntA(o)) ∈
+// PExt(Int(p)). The search over A is by backtracking.
+func (i *Interpretation) SatisfiesSimple(g *graph.Graph) bool {
+	triples := g.Triples()
+	// Fast precheck: all predicates must denote properties.
+	for _, t := range triples {
+		if !i.Prop[i.IntOf(t.P)] {
+			return false
+		}
+	}
+	blanks := g.BlankNodeList()
+	domain := i.resList()
+	assign := make(map[term.Term]Resource, len(blanks))
+
+	valOf := func(x term.Term) (Resource, bool) {
+		if x.IsBlank() {
+			r, ok := assign[x]
+			return r, ok
+		}
+		return i.IntOf(x), true
+	}
+	consistent := func() bool {
+		for _, t := range triples {
+			s, okS := valOf(t.S)
+			o, okO := valOf(t.O)
+			if !okS || !okO {
+				continue // not yet fully assigned
+			}
+			if !i.pext(i.IntOf(t.P))[Pair{s, o}] {
+				return false
+			}
+		}
+		return true
+	}
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(blanks) {
+			return consistent()
+		}
+		for _, r := range domain {
+			assign[blanks[k]] = r
+			if consistent() && rec(k+1) {
+				return true
+			}
+			delete(assign, blanks[k])
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func (i *Interpretation) resList() []Resource {
+	out := make([]Resource, 0, len(i.Res))
+	for r := range i.Res {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Models reports I ⊨ g: the interpretation meets every RDFS condition and
+// satisfies the simple-interpretation condition for g.
+func (i *Interpretation) Models(g *graph.Graph) bool {
+	if err := i.CheckRDFSConditions(); err != nil {
+		return false
+	}
+	return i.SatisfiesSimple(g)
+}
+
+// resOf names the resource representing a term of the closure in the
+// canonical model: URIs and blanks denote themselves.
+func resOf(x term.Term) Resource {
+	switch {
+	case x.IsBlank():
+		return Resource("_:" + x.Value)
+	default:
+		return Resource(x.Value)
+	}
+}
+
+// CanonicalModel builds the canonical model of g from its closure C:
+//
+//	Res    = universe(C) ∪ rdfsV,
+//	Prop   = {t : (t,sp,t) ∈ C},
+//	Class  = {t : (t,sc,t) ∈ C},
+//	PExt(p) = ⋃ { direct(s) : s = p or (s,sp,p) ∈ C },   and
+//	CExt(c) = {x : (x,c) ∈ PExt(type)},
+//
+// where direct(s) = {(u,v) : (u,s,v) ∈ C}. Closing PExt upward along sp
+// is what lets blank "properties" (which can never appear in predicate
+// position of a triple) still carry the extensions of their
+// subproperties, resolving the Note 2.4 subtlety.
+func CanonicalModel(g *graph.Graph) *Interpretation {
+	c := closure.RDFSCl(g)
+	i := NewInterpretation()
+
+	// Domain and Int.
+	for x := range c.Universe() {
+		r := resOf(x)
+		i.Res[r] = true
+		if x.IsIRI() || x.IsLiteral() {
+			i.Int[x] = r
+		}
+	}
+	for _, v := range rdfs.Vocabulary() {
+		i.Res[resOf(v)] = true
+		i.Int[v] = resOf(v)
+	}
+
+	// Prop and Class from the reflexive loops of the closure.
+	c.Each(func(t graph.Triple) bool {
+		if t.P == rdfs.SubPropertyOf && t.S == t.O {
+			i.Prop[resOf(t.S)] = true
+		}
+		if t.P == rdfs.SubClassOf && t.S == t.O {
+			i.Class[resOf(t.S)] = true
+		}
+		return true
+	})
+
+	// direct extensions.
+	direct := map[Resource]map[Pair]bool{}
+	c.Each(func(t graph.Triple) bool {
+		p := resOf(t.P)
+		if direct[p] == nil {
+			direct[p] = map[Pair]bool{}
+		}
+		direct[p][Pair{resOf(t.S), resOf(t.O)}] = true
+		return true
+	})
+
+	// PExt: union of direct extensions over sp-descendants.
+	// spBelow[p] = {s : (s,sp,p) ∈ C} ∪ {p}.
+	spBelow := map[Resource]map[Resource]bool{}
+	addBelow := func(p, s Resource) {
+		if spBelow[p] == nil {
+			spBelow[p] = map[Resource]bool{}
+		}
+		spBelow[p][s] = true
+	}
+	for p := range i.Prop {
+		addBelow(p, p)
+	}
+	c.Each(func(t graph.Triple) bool {
+		if t.P == rdfs.SubPropertyOf {
+			addBelow(resOf(t.O), resOf(t.S))
+		}
+		return true
+	})
+	for p := range i.Prop {
+		ext := map[Pair]bool{}
+		for s := range spBelow[p] {
+			for pr := range direct[s] {
+				ext[pr] = true
+			}
+		}
+		i.PExt[p] = ext
+	}
+
+	// CExt from PExt(type).
+	tyExt := i.PExt[resOf(rdfs.Type)]
+	for c0 := range i.Class {
+		i.CExt[c0] = map[Resource]bool{}
+	}
+	for pr := range tyExt {
+		if i.Class[pr.B] {
+			i.CExt[pr.B][pr.A] = true
+		}
+	}
+	return i
+}
+
+// CanonicalEntails decides G1 ⊨ G2 semantically: the canonical model of
+// G1 is universal for the fragment, so G1 ⊨ G2 iff canonical(G1) ⊨ G2.
+// This is an independent code path from the map-based characterization
+// and from proof search; the test suite checks all three agree.
+func CanonicalEntails(g1, g2 *graph.Graph) bool {
+	return CanonicalModel(g1).Models(g2)
+}

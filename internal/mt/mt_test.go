@@ -1,0 +1,279 @@
+package mt
+
+import (
+	"math/rand"
+	"testing"
+
+	"semwebdb/internal/entail"
+	"semwebdb/internal/graph"
+	"semwebdb/internal/rdfs"
+	"semwebdb/internal/term"
+)
+
+func iri(s string) term.Term { return term.NewIRI(s) }
+func blk(s string) term.Term { return term.NewBlank(s) }
+
+func randomGraph(rng *rand.Rand, n int) *graph.Graph {
+	names := []term.Term{iri("a"), iri("b"), iri("c"), blk("x"), blk("y")}
+	preds := []term.Term{iri("p"), iri("q"), rdfs.SubPropertyOf, rdfs.SubClassOf, rdfs.Type, rdfs.Domain, rdfs.Range}
+	g := graph.New()
+	for k := 0; k < n; k++ {
+		g.Add(graph.T(
+			names[rng.Intn(len(names))],
+			preds[rng.Intn(len(preds))],
+			names[rng.Intn(len(names))],
+		))
+	}
+	return g
+}
+
+func TestCanonicalModelIsRDFSInterpretation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for round := 0; round < 40; round++ {
+		g := randomGraph(rng, 7)
+		i := CanonicalModel(g)
+		if err := i.CheckRDFSConditions(); err != nil {
+			t.Fatalf("round %d: canonical model violates RDFS conditions: %v\nG:\n%v", round, err, g)
+		}
+	}
+}
+
+func TestCanonicalModelSatisfiesItsGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for round := 0; round < 30; round++ {
+		g := randomGraph(rng, 6)
+		i := CanonicalModel(g)
+		if !i.SatisfiesSimple(g) {
+			t.Fatalf("round %d: canonical model does not satisfy its own graph\nG:\n%v", round, g)
+		}
+		if !i.Models(g) {
+			t.Fatalf("round %d: canonical model is not a model of its graph", round)
+		}
+	}
+}
+
+func TestCanonicalEntailsAgreesWithMapCharacterization(t *testing.T) {
+	// Theorem 2.6 + Theorem 2.8 cross-validation: semantic entailment via
+	// the canonical model must agree with the syntactic map-based check.
+	rng := rand.New(rand.NewSource(37))
+	agreeEntailed, agreeRefuted := 0, 0
+	for round := 0; round < 60; round++ {
+		g1 := randomGraph(rng, 6)
+		g2 := randomGraph(rng, 2)
+		syntactic := entail.Entails(g1, g2)
+		semantic := CanonicalEntails(g1, g2)
+		if syntactic != semantic {
+			t.Fatalf("round %d: map-based (%v) and canonical-model (%v) entailment disagree\nG1:\n%v\nG2:\n%v",
+				round, syntactic, semantic, g1, g2)
+		}
+		if syntactic {
+			agreeEntailed++
+		} else {
+			agreeRefuted++
+		}
+	}
+	if agreeEntailed == 0 || agreeRefuted == 0 {
+		t.Fatalf("degenerate test: %d entailed, %d refuted", agreeEntailed, agreeRefuted)
+	}
+}
+
+func TestSoundnessAgainstForeignModels(t *testing.T) {
+	// Soundness probe: whenever I ⊨ G1 for an arbitrary valid
+	// interpretation I (canonical model of some unrelated K) and G1 ⊨ G2,
+	// then I ⊨ G2.
+	rng := rand.New(rand.NewSource(43))
+	checked := 0
+	for round := 0; round < 50; round++ {
+		k := randomGraph(rng, 8)
+		g1 := randomGraph(rng, 4)
+		g2 := randomGraph(rng, 2)
+		if !entail.Entails(g1, g2) {
+			continue
+		}
+		i := CanonicalModel(k)
+		if i.SatisfiesSimple(g1) && !i.SatisfiesSimple(g2) {
+			t.Fatalf("round %d: soundness violated: I ⊨ G1, G1 ⊨ G2, I ⊭ G2\nK:\n%v\nG1:\n%v\nG2:\n%v",
+				round, k, g1, g2)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no entailed pairs generated")
+	}
+}
+
+func TestSimpleInterpretationBlankAssignment(t *testing.T) {
+	// I with a p-edge between r1 and r2; the graph (X,p,Y) must be
+	// satisfied (A(X)=r1, A(Y)=r2), while (X,p,X) must not.
+	i := NewInterpretation()
+	r1, r2, p := Resource("r1"), Resource("r2"), Resource("p")
+	i.Res[r1], i.Res[r2] = true, true
+	i.Prop[p] = true
+	i.PExt[p] = map[Pair]bool{{r1, r2}: true}
+	i.Int[iri("p")] = p
+
+	edge := graph.New(graph.T(blk("X"), iri("p"), blk("Y")))
+	if !i.SatisfiesSimple(edge) {
+		t.Fatal("edge not satisfied")
+	}
+	loop := graph.New(graph.T(blk("X"), iri("p"), blk("X")))
+	if i.SatisfiesSimple(loop) {
+		t.Fatal("loop satisfied without a loop in PExt")
+	}
+}
+
+func TestUnknownPredicateFails(t *testing.T) {
+	i := NewInterpretation()
+	g := graph.New(graph.T(iri("a"), iri("unknown"), iri("b")))
+	if i.SatisfiesSimple(g) {
+		t.Fatal("triple with non-property predicate satisfied")
+	}
+}
+
+func TestCheckRDFSConditionsDetectsViolations(t *testing.T) {
+	// Start from a valid canonical model, then break it in specific ways.
+	g := graph.New(
+		graph.T(iri("A"), rdfs.SubClassOf, iri("B")),
+		graph.T(iri("x"), rdfs.Type, iri("A")),
+		graph.T(iri("p"), rdfs.Domain, iri("A")),
+		graph.T(iri("u"), iri("p"), iri("v")),
+	)
+	fresh := func() *Interpretation { return CanonicalModel(g) }
+
+	if err := fresh().CheckRDFSConditions(); err != nil {
+		t.Fatalf("baseline invalid: %v", err)
+	}
+
+	// Break sp reflexivity.
+	i := fresh()
+	delete(i.PExt[Resource(rdfs.SubPropertyOf.Value)], Pair{Resource("p"), Resource("p")})
+	if err := i.CheckRDFSConditions(); err == nil {
+		t.Error("broken sp reflexivity not detected")
+	}
+
+	// Break typing iff: add a PExt(type) pair without CExt membership.
+	i = fresh()
+	tyres := Resource(rdfs.Type.Value)
+	i.PExt[tyres][Pair{Resource("zz"), Resource("B")}] = true
+	if err := i.CheckRDFSConditions(); err == nil {
+		t.Error("typing iff violation not detected")
+	}
+
+	// Break the dom condition: register a dom pair whose property has an
+	// extension pair with subject outside the class.
+	i = fresh()
+	dmres := Resource(rdfs.Domain.Value)
+	i.PExt[dmres][Pair{Resource("q"), Resource("A")}] = true
+	i.Prop[Resource("q")] = true
+	i.PExt[Resource("q")] = map[Pair]bool{{Resource("nobody"), Resource("nothing")}: true}
+	i.PExt[Resource(rdfs.SubPropertyOf.Value)][Pair{Resource("q"), Resource("q")}] = true
+	if err := i.CheckRDFSConditions(); err == nil {
+		t.Error("dom condition violation not detected")
+	}
+}
+
+func TestCanonicalModelSubclassSemantics(t *testing.T) {
+	g := graph.New(
+		graph.T(iri("A"), rdfs.SubClassOf, iri("B")),
+		graph.T(iri("x"), rdfs.Type, iri("A")),
+	)
+	i := CanonicalModel(g)
+	// CExt(A) ⊆ CExt(B) with x in both.
+	if !i.CExt[Resource("A")][Resource("x")] {
+		t.Fatal("x ∉ CExt(A)")
+	}
+	if !i.CExt[Resource("B")][Resource("x")] {
+		t.Fatal("x ∉ CExt(B): subclass semantics broken")
+	}
+}
+
+func TestCanonicalModelBlankPropertyNote24(t *testing.T) {
+	// The Note 2.4 situation: a blank used as a property via sp.
+	g := graph.New(
+		graph.T(iri("a"), rdfs.SubPropertyOf, blk("X")),
+		graph.T(blk("X"), rdfs.Domain, iri("C")),
+		graph.T(iri("u"), iri("a"), iri("v")),
+	)
+	i := CanonicalModel(g)
+	if err := i.CheckRDFSConditions(); err != nil {
+		t.Fatalf("canonical model invalid: %v", err)
+	}
+	// The blank property's extension must include (u,v) by sp-closure.
+	if !i.PExt[Resource("_:X")][Pair{Resource("u"), Resource("v")}] {
+		t.Fatal("blank property extension missing inherited pair")
+	}
+	// And u must be typed C (rule (6) semantics).
+	if !i.CExt[Resource("C")][Resource("u")] {
+		t.Fatal("u ∉ CExt(C)")
+	}
+}
+
+func TestModelsRequiresBothConditions(t *testing.T) {
+	g := graph.New(graph.T(iri("a"), iri("p"), iri("b")))
+	i := CanonicalModel(g)
+	if !i.Models(g) {
+		t.Fatal("canonical model must model its graph")
+	}
+	// An interpretation failing the structural conditions must not model
+	// anything.
+	j := NewInterpretation()
+	j.Prop[Resource("p")] = true
+	j.Int[iri("p")] = Resource("p")
+	j.PExt[Resource("p")] = map[Pair]bool{}
+	if j.Models(g) {
+		t.Fatal("structurally invalid interpretation accepted as model")
+	}
+}
+
+func TestNote23SelfReferentialTriple(t *testing.T) {
+	// Note 2.3: (a, type, type) is a legal RDF triple even though it has
+	// no standard first-order reading. The canonical model must handle
+	// the double role of type as both predicate and object.
+	g := graph.New(graph.T(iri("a"), rdfs.Type, rdfs.Type))
+	i := CanonicalModel(g)
+	if err := i.CheckRDFSConditions(); err != nil {
+		t.Fatalf("canonical model of (a,type,type) invalid: %v", err)
+	}
+	if !i.SatisfiesSimple(g) {
+		t.Fatal("canonical model does not satisfy (a,type,type)")
+	}
+	// type must simultaneously be a property (it is used as predicate)
+	// and a class (it appears as a type object).
+	tyRes := Resource(rdfs.Type.Value)
+	if !i.Prop[tyRes] {
+		t.Fatal("type not in Prop")
+	}
+	if !i.Class[tyRes] {
+		t.Fatal("type not in Class despite (a,type,type)")
+	}
+	if !i.CExt[tyRes][Resource("a")] {
+		t.Fatal("a not in CExt(type)")
+	}
+}
+
+func TestVocabularyAsDataCanonical(t *testing.T) {
+	// (q, sp, dom): reserved word in object position. The closure and
+	// the canonical model must still satisfy all conditions.
+	g := graph.New(
+		graph.T(iri("q"), rdfs.SubPropertyOf, rdfs.Domain),
+		graph.T(iri("p"), iri("q"), iri("C")),
+		graph.T(iri("p"), iri("r"), iri("x")),
+	)
+	i := CanonicalModel(g)
+	if err := i.CheckRDFSConditions(); err != nil {
+		t.Fatalf("canonical model invalid: %v", err)
+	}
+	if !i.SatisfiesSimple(g) {
+		t.Fatal("canonical model does not satisfy its graph")
+	}
+	// Rule (3) lifts (p,q,C) to (p,dom,C); then the dom condition forces
+	// p's subjects into CExt(C) — here p is used... check entailment of
+	// the derived typing semantically and syntactically.
+	h := graph.New(graph.T(iri("p"), rdfs.Domain, iri("C")))
+	if !entail.Entails(g, h) {
+		t.Fatal("derived dom triple not entailed")
+	}
+	if !CanonicalEntails(g, h) {
+		t.Fatal("canonical model refutes the derived dom triple")
+	}
+}

@@ -1,0 +1,442 @@
+// Package ntriples implements a parser and canonical serializer for the
+// N-Triples concrete syntax (the line-based RDF interchange format). It
+// is the on-disk format used by the command-line tools and examples.
+//
+// Supported grammar (per the W3C N-Triples recommendation):
+//
+//	triple     := subject predicate object '.'
+//	subject    := IRIREF | BLANK_NODE_LABEL
+//	predicate  := IRIREF
+//	object     := IRIREF | BLANK_NODE_LABEL | literal
+//	literal    := STRING_LITERAL_QUOTE ('^^' IRIREF | LANGTAG)?
+//
+// with '#' comments, blank lines, and \uXXXX / \UXXXXXXXX escapes in both
+// IRIs and literals.
+package ntriples
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"semwebdb/internal/graph"
+	"semwebdb/internal/term"
+)
+
+// ParseError reports a syntax error with line/column position.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ntriples: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse reads an N-Triples document and returns the graph it describes.
+func Parse(r io.Reader) (*graph.Graph, error) {
+	g := graph.New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		t, ok, err := ParseLine(sc.Text(), lineNo)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			g.Add(t)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ntriples: read: %w", err)
+	}
+	return g, nil
+}
+
+// ParseString parses an N-Triples document from a string.
+func ParseString(s string) (*graph.Graph, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// MustParse parses a document and panics on error; for tests and fixtures.
+func MustParse(s string) *graph.Graph {
+	g, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ParseLine parses a single line. ok is false for blank/comment lines.
+func ParseLine(line string, lineNo int) (t graph.Triple, ok bool, err error) {
+	p := &lineParser{src: line, line: lineNo}
+	p.skipWS()
+	if p.eof() || p.peek() == '#' {
+		return graph.Triple{}, false, nil
+	}
+	s, err := p.subject()
+	if err != nil {
+		return graph.Triple{}, false, err
+	}
+	p.skipWS()
+	pred, err := p.predicate()
+	if err != nil {
+		return graph.Triple{}, false, err
+	}
+	p.skipWS()
+	o, err := p.object()
+	if err != nil {
+		return graph.Triple{}, false, err
+	}
+	p.skipWS()
+	if p.eof() || p.peek() != '.' {
+		return graph.Triple{}, false, p.errf("expected '.' terminator")
+	}
+	p.pos++
+	p.skipWS()
+	if !p.eof() && p.peek() != '#' {
+		return graph.Triple{}, false, p.errf("trailing content after '.'")
+	}
+	tr := graph.T(s, pred, o)
+	if !tr.WellFormed() {
+		return graph.Triple{}, false, p.errf("ill-formed triple")
+	}
+	return tr, true, nil
+}
+
+type lineParser struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *lineParser) eof() bool  { return p.pos >= len(p.src) }
+func (p *lineParser) peek() byte { return p.src[p.pos] }
+
+func (p *lineParser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Col: p.pos + 1, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *lineParser) skipWS() {
+	for !p.eof() && (p.peek() == ' ' || p.peek() == '\t' || p.peek() == '\r') {
+		p.pos++
+	}
+}
+
+func (p *lineParser) subject() (term.Term, error) {
+	if p.eof() {
+		return term.Term{}, p.errf("expected subject")
+	}
+	switch p.peek() {
+	case '<':
+		return p.iriRef()
+	case '_':
+		return p.blankNode()
+	default:
+		return term.Term{}, p.errf("subject must be an IRI or blank node")
+	}
+}
+
+func (p *lineParser) predicate() (term.Term, error) {
+	if p.eof() || p.peek() != '<' {
+		return term.Term{}, p.errf("predicate must be an IRI")
+	}
+	return p.iriRef()
+}
+
+func (p *lineParser) object() (term.Term, error) {
+	if p.eof() {
+		return term.Term{}, p.errf("expected object")
+	}
+	switch p.peek() {
+	case '<':
+		return p.iriRef()
+	case '_':
+		return p.blankNode()
+	case '"':
+		return p.literal()
+	default:
+		return term.Term{}, p.errf("object must be an IRI, blank node or literal")
+	}
+}
+
+func (p *lineParser) iriRef() (term.Term, error) {
+	if p.peek() != '<' {
+		return term.Term{}, p.errf("expected '<'")
+	}
+	p.pos++
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return term.Term{}, p.errf("unterminated IRI")
+		}
+		c := p.peek()
+		switch {
+		case c == '>':
+			p.pos++
+			iri := b.String()
+			if iri == "" {
+				return term.Term{}, p.errf("empty IRI")
+			}
+			return term.NewIRI(iri), nil
+		case c == '\\':
+			r, err := p.ucharEscape()
+			if err != nil {
+				return term.Term{}, err
+			}
+			b.WriteRune(r)
+		case c <= 0x20, c == '"', c == '{', c == '}', c == '|', c == '^', c == '`':
+			return term.Term{}, p.errf("character %q not allowed in IRI", c)
+		default:
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+}
+
+// ucharEscape parses \uXXXX or \UXXXXXXXX at the current position.
+func (p *lineParser) ucharEscape() (rune, error) {
+	p.pos++ // consume '\'
+	if p.eof() {
+		return 0, p.errf("dangling escape")
+	}
+	var n int
+	switch p.peek() {
+	case 'u':
+		n = 4
+	case 'U':
+		n = 8
+	default:
+		return 0, p.errf("invalid IRI escape \\%c", p.peek())
+	}
+	p.pos++
+	if p.pos+n > len(p.src) {
+		return 0, p.errf("truncated unicode escape")
+	}
+	var v rune
+	for i := 0; i < n; i++ {
+		c := p.src[p.pos]
+		v <<= 4
+		switch {
+		case c >= '0' && c <= '9':
+			v |= rune(c - '0')
+		case c >= 'a' && c <= 'f':
+			v |= rune(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			v |= rune(c-'A') + 10
+		default:
+			return 0, p.errf("invalid hex digit %q in escape", c)
+		}
+		p.pos++
+	}
+	return v, nil
+}
+
+func (p *lineParser) blankNode() (term.Term, error) {
+	if !strings.HasPrefix(p.src[p.pos:], "_:") {
+		return term.Term{}, p.errf("expected '_:'")
+	}
+	p.pos += 2
+	start := p.pos
+	for !p.eof() {
+		c := p.peek()
+		if c == ' ' || c == '\t' || c == '.' && p.pos > start {
+			break
+		}
+		if isLabelChar(c) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	label := p.src[start:p.pos]
+	if label == "" {
+		return term.Term{}, p.errf("empty blank node label")
+	}
+	return term.NewBlank(label), nil
+}
+
+func isLabelChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '-' || c == '~' || c == '!'
+}
+
+func (p *lineParser) literal() (term.Term, error) {
+	p.pos++ // consume '"'
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return term.Term{}, p.errf("unterminated literal")
+		}
+		c := p.peek()
+		switch c {
+		case '"':
+			p.pos++
+			goto suffix
+		case '\\':
+			if p.pos+1 >= len(p.src) {
+				return term.Term{}, p.errf("dangling escape")
+			}
+			switch p.src[p.pos+1] {
+			case 't':
+				b.WriteByte('\t')
+				p.pos += 2
+			case 'b':
+				b.WriteByte('\b')
+				p.pos += 2
+			case 'n':
+				b.WriteByte('\n')
+				p.pos += 2
+			case 'r':
+				b.WriteByte('\r')
+				p.pos += 2
+			case 'f':
+				b.WriteByte('\f')
+				p.pos += 2
+			case '"':
+				b.WriteByte('"')
+				p.pos += 2
+			case '\'':
+				b.WriteByte('\'')
+				p.pos += 2
+			case '\\':
+				b.WriteByte('\\')
+				p.pos += 2
+			case 'u', 'U':
+				r, err := p.ucharEscape()
+				if err != nil {
+					return term.Term{}, err
+				}
+				b.WriteRune(r)
+			default:
+				return term.Term{}, p.errf("invalid escape \\%c", p.src[p.pos+1])
+			}
+		default:
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+suffix:
+	lex := b.String()
+	if !p.eof() && p.peek() == '@' {
+		p.pos++
+		start := p.pos
+		for !p.eof() && (isAlpha(p.peek()) || p.peek() == '-' || isDigit(p.peek()) && p.pos > start) {
+			p.pos++
+		}
+		tag := p.src[start:p.pos]
+		if tag == "" || tag[0] == '-' {
+			return term.Term{}, p.errf("invalid language tag")
+		}
+		return term.NewLangLiteral(lex, tag), nil
+	}
+	if strings.HasPrefix(p.src[p.pos:], "^^") {
+		p.pos += 2
+		dt, err := p.iriRef()
+		if err != nil {
+			return term.Term{}, err
+		}
+		return term.NewTypedLiteral(lex, dt.Value), nil
+	}
+	return term.NewLiteral(lex), nil
+}
+
+func isAlpha(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Serialize writes the graph in canonical N-Triples: triples sorted,
+// one per line, with full escaping. The output round-trips through Parse.
+func Serialize(w io.Writer, g *graph.Graph) error {
+	ts := g.Triples()
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+	bw := bufio.NewWriter(w)
+	for _, t := range ts {
+		if err := writeTerm(bw, t.S); err != nil {
+			return err
+		}
+		bw.WriteByte(' ')
+		if err := writeTerm(bw, t.P); err != nil {
+			return err
+		}
+		bw.WriteByte(' ')
+		if err := writeTerm(bw, t.O); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(" .\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SerializeString renders the graph as a canonical N-Triples string.
+func SerializeString(g *graph.Graph) string {
+	var b strings.Builder
+	_ = Serialize(&b, g)
+	return b.String()
+}
+
+func writeTerm(w *bufio.Writer, t term.Term) error {
+	switch t.Kind() {
+	case term.KindIRI:
+		w.WriteByte('<')
+		writeIRIEscaped(w, t.Value)
+		w.WriteByte('>')
+	case term.KindBlank:
+		w.WriteString("_:")
+		w.WriteString(t.Value)
+	case term.KindLiteral:
+		w.WriteByte('"')
+		writeLiteralEscaped(w, t.Value)
+		w.WriteByte('"')
+		if t.Lang != "" {
+			w.WriteByte('@')
+			w.WriteString(t.Lang)
+		} else if t.Datatype != "" {
+			w.WriteString("^^<")
+			writeIRIEscaped(w, t.Datatype)
+			w.WriteByte('>')
+		}
+	default:
+		return fmt.Errorf("ntriples: cannot serialize %v", t)
+	}
+	return nil
+}
+
+func writeIRIEscaped(w *bufio.Writer, s string) {
+	for _, r := range s {
+		if r <= 0x20 || r == '<' || r == '>' || r == '"' || r == '{' || r == '}' ||
+			r == '|' || r == '^' || r == '`' || r == '\\' {
+			fmt.Fprintf(w, "\\u%04X", r)
+		} else {
+			w.WriteRune(r)
+		}
+	}
+}
+
+func writeLiteralEscaped(w *bufio.Writer, s string) {
+	for _, r := range s {
+		switch r {
+		case '"':
+			w.WriteString(`\"`)
+		case '\\':
+			w.WriteString(`\\`)
+		case '\n':
+			w.WriteString(`\n`)
+		case '\r':
+			w.WriteString(`\r`)
+		case '\t':
+			w.WriteString(`\t`)
+		case '\b':
+			w.WriteString(`\b`)
+		case '\f':
+			w.WriteString(`\f`)
+		default:
+			w.WriteRune(r)
+		}
+	}
+}

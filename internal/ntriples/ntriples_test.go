@@ -1,0 +1,193 @@
+package ntriples
+
+import (
+	"strings"
+	"testing"
+
+	"semwebdb/internal/graph"
+	"semwebdb/internal/term"
+)
+
+func TestParseBasic(t *testing.T) {
+	g, err := ParseString(`
+# a comment
+<http://ex.org/a> <http://ex.org/p> <http://ex.org/b> .
+_:x <http://ex.org/p> "hello" .
+
+<http://ex.org/a> <http://ex.org/q> "hi"@en . # trailing comment
+<http://ex.org/a> <http://ex.org/r> "1"^^<http://www.w3.org/2001/XMLSchema#integer> .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 4 {
+		t.Fatalf("parsed %d triples, want 4", g.Len())
+	}
+	if !g.Has(graph.T(term.NewIRI("http://ex.org/a"), term.NewIRI("http://ex.org/p"), term.NewIRI("http://ex.org/b"))) {
+		t.Error("IRI triple missing")
+	}
+	if !g.Has(graph.T(term.NewBlank("x"), term.NewIRI("http://ex.org/p"), term.NewLiteral("hello"))) {
+		t.Error("blank+literal triple missing")
+	}
+	if !g.Has(graph.T(term.NewIRI("http://ex.org/a"), term.NewIRI("http://ex.org/q"), term.NewLangLiteral("hi", "en"))) {
+		t.Error("lang literal missing")
+	}
+	if !g.Has(graph.T(term.NewIRI("http://ex.org/a"), term.NewIRI("http://ex.org/r"),
+		term.NewTypedLiteral("1", "http://www.w3.org/2001/XMLSchema#integer"))) {
+		t.Error("typed literal missing")
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	g, err := ParseString(`<http://ex.org/a> <http://ex.org/p> "tab\there \"quoted\" \\ \n" .
+<http://ex.org/a> <http://ex.org/p> "A\U00000042" .
+<http://ex.org/a> <http://ex.org/p> <http://ex.org/b> .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Has(graph.T(term.NewIRI("http://ex.org/a"), term.NewIRI("http://ex.org/p"),
+		term.NewLiteral("tab\there \"quoted\" \\ \n"))) {
+		t.Error("escaped literal wrong")
+	}
+	if !g.Has(graph.T(term.NewIRI("http://ex.org/a"), term.NewIRI("http://ex.org/p"), term.NewLiteral("AB"))) {
+		t.Error("unicode escapes in literal wrong")
+	}
+	if !g.Has(graph.T(term.NewIRI("http://ex.org/a"), term.NewIRI("http://ex.org/p"), term.NewIRI("http://ex.org/b"))) {
+		t.Error("unicode escape in IRI wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	corpus := []string{
+		`<http://a> <http://p> .`,                  // missing object
+		`<http://a> <http://p> <http://b>`,         // missing dot
+		`<http://a> <http://p> <http://b> . extra`, // trailing garbage
+		`"lit" <http://p> <http://b> .`,            // literal subject
+		`<http://a> _:b <http://b> .`,              // blank predicate
+		`<http://a> "p" <http://b> .`,              // literal predicate
+		`<http://a> <http://p> "unterminated .`,    // unterminated literal
+		`<http://a> <http://p "bad iri" .`,         // unterminated IRI
+		`<http://a> <http://p> "x"^^<dt .`,         // unterminated datatype
+		`<http://a> <http://p> "x"@ .`,             // empty language tag
+		`_: <http://p> <http://b> .`,               // empty blank label
+		`<http://a> <http://p> "bad\escape" .`,     // invalid escape
+		`<http://a> <http://p> "trunc\u00G0" .`,    // bad hex
+		`<> <http://p> <http://b> .`,               // empty IRI
+		`<http://a b> <http://p> <http://o> .`,     // space in IRI
+	}
+	for i, src := range corpus {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("case %d: malformed input accepted: %q", i, src)
+		} else if _, ok := err.(*ParseError); !ok {
+			t.Errorf("case %d: error is not a *ParseError: %v", i, err)
+		}
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := ParseString("<http://a> <http://p> <http://b> .\n<http://a> <http://p> oops .")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("want *ParseError, got %v", err)
+	}
+	if pe.Line != 2 {
+		t.Fatalf("error line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 2") {
+		t.Fatalf("rendered error lacks position: %v", pe)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := `<http://ex.org/a> <http://ex.org/p> <http://ex.org/b> .
+<http://ex.org/a> <http://ex.org/p> _:n1 .
+_:n1 <http://ex.org/q> "a literal with \"quotes\" and\nnewline" .
+_:n1 <http://ex.org/q> "hola"@es .
+_:n1 <http://ex.org/q> "3.14"^^<http://www.w3.org/2001/XMLSchema#decimal> .
+<http://ex.org/weird> <http://ex.org/p> "tab\tchar" .
+`
+	g1, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := SerializeString(g1)
+	g2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("re-parse of serialized output failed: %v\n%s", err, out)
+	}
+	if !g1.Equal(g2) {
+		t.Fatalf("round trip changed the graph:\n%s\nvs\n%s", SerializeString(g1), SerializeString(g2))
+	}
+}
+
+func TestSerializeCanonicalOrder(t *testing.T) {
+	g := graph.New(
+		graph.T(term.NewIRI("z"), term.NewIRI("p"), term.NewIRI("o")),
+		graph.T(term.NewIRI("a"), term.NewIRI("p"), term.NewIRI("o")),
+	)
+	out := SerializeString(g)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "<a>") {
+		t.Fatalf("not canonical:\n%s", out)
+	}
+	// Serialization is deterministic.
+	if out != SerializeString(g) {
+		t.Fatal("non-deterministic serialization")
+	}
+}
+
+func TestSerializeEscapesIRIs(t *testing.T) {
+	g := graph.New(graph.T(term.NewIRI("http://ex.org/a b"), term.NewIRI("p"), term.NewIRI("o")))
+	out := SerializeString(g)
+	if !strings.Contains(out, ` `) {
+		t.Fatalf("space in IRI not escaped: %s", out)
+	}
+	back, err := ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Fatal("escaped IRI does not round trip")
+	}
+}
+
+func TestParseLineBlankAndComment(t *testing.T) {
+	for _, line := range []string{"", "   ", "# only a comment", "\t# c"} {
+		if _, ok, err := ParseLine(line, 1); err != nil || ok {
+			t.Errorf("line %q: ok=%v err=%v, want skipped", line, ok, err)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse must panic on bad input")
+		}
+	}()
+	MustParse("not ntriples")
+}
+
+func TestDuplicateTriplesCollapse(t *testing.T) {
+	g, err := ParseString(`<http://a> <http://p> <http://b> .
+<http://a> <http://p> <http://b> .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("duplicates not collapsed: %d", g.Len())
+	}
+}
+
+func TestBlankNodeLabels(t *testing.T) {
+	g, err := ParseString(`_:a-b_c~1 <http://p> _:x!2 .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("parsed %d, want 1", g.Len())
+	}
+	if len(g.BlankNodes()) != 2 {
+		t.Fatalf("blanks = %v", g.BlankNodeList())
+	}
+}

@@ -1,0 +1,33 @@
+package query
+
+import (
+	"fmt"
+
+	"semwebdb/internal/graph"
+)
+
+// Pipeline evaluates a sequence of queries compositionally (the
+// desideratum of Section 4.1: answers are RDF graphs, so they can be
+// queried again). The first query runs against the database; each
+// subsequent query runs against the previous answer graph. All stages
+// share the options.
+//
+// Under union semantics the identity query is a unit for composition up
+// to equivalence (Note 4.7); under merge semantics it is not — which is
+// exactly the paper's argument for union semantics.
+func Pipeline(d *graph.Graph, opts Options, qs ...*Query) (*Answer, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("query: empty pipeline")
+	}
+	cur := d
+	var ans *Answer
+	for i, q := range qs {
+		var err error
+		ans, err = Evaluate(q, cur, opts)
+		if err != nil {
+			return nil, fmt.Errorf("query: pipeline stage %d: %w", i+1, err)
+		}
+		cur = ans.Graph
+	}
+	return ans, nil
+}

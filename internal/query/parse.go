@@ -1,0 +1,218 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"semwebdb/internal/graph"
+	"semwebdb/internal/term"
+)
+
+// ParseQuery parses the textual tableau format used by cmd/rdfquery:
+//
+//	# comment lines start with '#'
+//	HEAD:
+//	?X <urn:ex:creates> ?Y .
+//	BODY:
+//	?X <urn:ex:paints> ?Y .
+//	PREMISE:
+//	<urn:ex:son> <http://www.w3.org/2000/01/rdf-schema#subPropertyOf> <urn:ex:relative> .
+//	CONSTRAINTS: ?X
+//
+// Sections PREMISE and CONSTRAINTS are optional. Triple lines use
+// N-Triples-style terms plus ?variables; the trailing '.' is optional.
+func ParseQuery(src string) (*Query, error) {
+	var head, body []graph.Triple
+	premise := graph.New()
+	var constraints []term.Term
+
+	section := ""
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case upper == "HEAD:":
+			section = "head"
+			continue
+		case upper == "BODY:":
+			section = "body"
+			continue
+		case upper == "PREMISE:":
+			section = "premise"
+			continue
+		case strings.HasPrefix(upper, "CONSTRAINTS:"):
+			rest := strings.TrimSpace(line[len("CONSTRAINTS:"):])
+			for _, f := range strings.Fields(rest) {
+				if !strings.HasPrefix(f, "?") || len(f) == 1 {
+					return nil, fmt.Errorf("query: line %d: constraint %q is not a variable", lineNo+1, f)
+				}
+				constraints = append(constraints, term.NewVar(f[1:]))
+			}
+			continue
+		}
+		if section == "" {
+			return nil, fmt.Errorf("query: line %d: content before any section header", lineNo+1)
+		}
+		t, err := parseTripleLine(line, lineNo+1)
+		if err != nil {
+			return nil, err
+		}
+		switch section {
+		case "head":
+			head = append(head, t)
+		case "body":
+			body = append(body, t)
+		case "premise":
+			if t.HasVar() {
+				return nil, fmt.Errorf("query: line %d: premise triples must not contain variables", lineNo+1)
+			}
+			if !premise.Add(t) {
+				if !t.WellFormed() {
+					return nil, fmt.Errorf("query: line %d: ill-formed premise triple", lineNo+1)
+				}
+			}
+		}
+	}
+	if len(head) == 0 || len(body) == 0 {
+		return nil, fmt.Errorf("query: HEAD and BODY sections are required and must be non-empty")
+	}
+	q := New(head, body).WithPremise(premise).WithConstraints(constraints...)
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// parseTripleLine parses "term term term [.]" with variables allowed.
+func parseTripleLine(line string, lineNo int) (graph.Triple, error) {
+	p := &termScanner{src: line, line: lineNo}
+	s, err := p.next()
+	if err != nil {
+		return graph.Triple{}, err
+	}
+	pr, err := p.next()
+	if err != nil {
+		return graph.Triple{}, err
+	}
+	o, err := p.next()
+	if err != nil {
+		return graph.Triple{}, err
+	}
+	p.skipWS()
+	if !p.eof() && p.peek() == '.' {
+		p.pos++
+		p.skipWS()
+	}
+	if !p.eof() {
+		return graph.Triple{}, fmt.Errorf("query: line %d: trailing content %q", lineNo, p.src[p.pos:])
+	}
+	return graph.Triple{S: s, P: pr, O: o}, nil
+}
+
+type termScanner struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *termScanner) eof() bool  { return p.pos >= len(p.src) }
+func (p *termScanner) peek() byte { return p.src[p.pos] }
+
+func (p *termScanner) skipWS() {
+	for !p.eof() && (p.peek() == ' ' || p.peek() == '\t') {
+		p.pos++
+	}
+}
+
+func (p *termScanner) errf(format string, args ...any) error {
+	return fmt.Errorf("query: line %d col %d: %s", p.line, p.pos+1, fmt.Sprintf(format, args...))
+}
+
+func (p *termScanner) next() (term.Term, error) {
+	p.skipWS()
+	if p.eof() {
+		return term.Term{}, p.errf("expected a term")
+	}
+	switch p.peek() {
+	case '?':
+		p.pos++
+		start := p.pos
+		for !p.eof() && isVarChar(p.peek()) {
+			p.pos++
+		}
+		if p.pos == start {
+			return term.Term{}, p.errf("empty variable name")
+		}
+		return term.NewVar(p.src[start:p.pos]), nil
+	case '<':
+		p.pos++
+		start := p.pos
+		for !p.eof() && p.peek() != '>' {
+			p.pos++
+		}
+		if p.eof() {
+			return term.Term{}, p.errf("unterminated IRI")
+		}
+		iri := p.src[start:p.pos]
+		p.pos++
+		if iri == "" {
+			return term.Term{}, p.errf("empty IRI")
+		}
+		return term.NewIRI(iri), nil
+	case '_':
+		if !strings.HasPrefix(p.src[p.pos:], "_:") {
+			return term.Term{}, p.errf("expected '_:'")
+		}
+		p.pos += 2
+		start := p.pos
+		for !p.eof() && isVarChar(p.peek()) {
+			p.pos++
+		}
+		if p.pos == start {
+			return term.Term{}, p.errf("empty blank label")
+		}
+		return term.NewBlank(p.src[start:p.pos]), nil
+	case '"':
+		p.pos++
+		var b strings.Builder
+		for {
+			if p.eof() {
+				return term.Term{}, p.errf("unterminated literal")
+			}
+			c := p.peek()
+			if c == '"' {
+				p.pos++
+				break
+			}
+			if c == '\\' && p.pos+1 < len(p.src) {
+				switch p.src[p.pos+1] {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '"':
+					b.WriteByte('"')
+				case '\\':
+					b.WriteByte('\\')
+				default:
+					return term.Term{}, p.errf("unsupported escape")
+				}
+				p.pos += 2
+				continue
+			}
+			b.WriteByte(c)
+			p.pos++
+		}
+		return term.NewLiteral(b.String()), nil
+	default:
+		return term.Term{}, p.errf("unexpected character %q", p.peek())
+	}
+}
+
+func isVarChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '-'
+}

@@ -1,0 +1,99 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"semwebdb/internal/graph"
+	"semwebdb/internal/term"
+)
+
+func TestParseQueryFull(t *testing.T) {
+	q, err := ParseQuery(`
+# find relatives
+HEAD:
+?X <urn:ex:relative> <urn:ex:peter> .
+BODY:
+?X <urn:ex:relative> <urn:ex:peter>
+PREMISE:
+<urn:ex:son> <urn:sp> <urn:ex:relative> .
+_:b <urn:ex:son> <urn:ex:peter> .
+CONSTRAINTS: ?X
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Head) != 1 || len(q.Body) != 1 {
+		t.Fatalf("head/body sizes: %d/%d", len(q.Head), len(q.Body))
+	}
+	if q.Head[0].S != term.NewVar("X") {
+		t.Fatalf("head subject = %v", q.Head[0].S)
+	}
+	if q.Premise.Len() != 2 {
+		t.Fatalf("premise size = %d", q.Premise.Len())
+	}
+	if !q.Constraints[term.NewVar("X")] {
+		t.Fatal("constraint lost")
+	}
+}
+
+func TestParseQueryLiteralsAndBlanks(t *testing.T) {
+	q, err := ParseQuery(`
+HEAD:
+_:n <urn:p> ?X .
+BODY:
+?X <urn:q> "hello \"world\"\n" .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Head[0].S != term.NewBlank("n") {
+		t.Fatalf("head blank = %v", q.Head[0].S)
+	}
+	if q.Body[0].O != term.NewLiteral("hello \"world\"\n") {
+		t.Fatalf("literal = %v", q.Body[0].O)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	cases := []string{
+		``,                                 // empty
+		`HEAD:` + "\n" + `?X <urn:p> ?Y .`, // no body
+		`BODY:` + "\n" + `?X <urn:p> ?Y .`, // no head
+		`?X <urn:p> ?Y .`,                  // content before sections
+		"HEAD:\n?Z <urn:p> ?Y .\nBODY:\n?X <urn:p> ?Y .",                                 // head var not in body
+		"HEAD:\n?X <urn:p> ?Y .\nBODY:\n?X <urn:p> ?Y ?Z .",                              // trailing content
+		"HEAD:\n?X <urn:p> ?Y .\nBODY:\n?X <urn:p> ?Y .\nPREMISE:\n?W <urn:p> <urn:o> .", // var in premise
+		"HEAD:\n?X <urn:p> ?Y .\nBODY:\n?X <urn:p> ?Y .\nCONSTRAINTS: X",                 // constraint not a var
+		"HEAD:\n?X <urn:p ?Y .\nBODY:\n?X <urn:p> ?Y .",                                  // unterminated IRI
+		"HEAD:\n?X <urn:p> \"oops .\nBODY:\n?X <urn:p> ?Y .",                             // unterminated literal
+	}
+	for i, src := range cases {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("case %d: malformed query accepted:\n%s", i, src)
+		}
+	}
+}
+
+func TestParseQueryRoundTripEvaluation(t *testing.T) {
+	q, err := ParseQuery(`
+HEAD:
+?X <urn:sel> <urn:yes> .
+BODY:
+?X <urn:p> <urn:b> .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := graph.New(
+		graph.T(term.NewIRI("urn:a"), term.NewIRI("urn:p"), term.NewIRI("urn:b")),
+		graph.T(term.NewIRI("urn:c"), term.NewIRI("urn:q"), term.NewIRI("urn:b")),
+	)
+	a, err := Evaluate(q, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.Len() != 1 || !strings.Contains(a.Graph.String(), "urn:a") {
+		t.Fatalf("answer = %v", a.Graph)
+	}
+}

@@ -1,0 +1,390 @@
+// Package query implements the RDF query language of Section 4 of the
+// paper: tableau queries (H, B) extended with premises P and constraints
+// C (Definition 4.1), matchings against the normal form of the database
+// (Definition 4.3, Note 4.4), Skolem functions for blank nodes in query
+// heads, and both answer semantics — union ans∪ and merge ans+ — together
+// with the redundancy-elimination procedures of Section 6.2.
+package query
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"semwebdb/internal/closure"
+	"semwebdb/internal/core"
+	"semwebdb/internal/graph"
+	"semwebdb/internal/match"
+	"semwebdb/internal/term"
+)
+
+// Query is a tableau (H, B) plus a premise graph P and a constraint set C
+// (Definition 4.1). H and B are graphs with some positions replaced by
+// variables; B has no blank nodes; every variable of H occurs in B; C is
+// a set of variables of H whose bindings must be non-blank (the paper's
+// IS NOT NULL analogue).
+type Query struct {
+	Head        []graph.Triple
+	Body        []graph.Triple
+	Premise     *graph.Graph
+	Constraints map[term.Term]bool
+}
+
+// New builds a query with empty premise and constraints.
+func New(head, body []graph.Triple) *Query {
+	return &Query{
+		Head:        head,
+		Body:        body,
+		Premise:     graph.New(),
+		Constraints: map[term.Term]bool{},
+	}
+}
+
+// WithPremise sets the premise graph and returns the query.
+func (q *Query) WithPremise(p *graph.Graph) *Query {
+	q.Premise = p
+	return q
+}
+
+// WithConstraints adds constrained variables and returns the query.
+func (q *Query) WithConstraints(vars ...term.Term) *Query {
+	for _, v := range vars {
+		q.Constraints[v] = true
+	}
+	return q
+}
+
+// Identity returns the identity query (Note 4.7):
+// (?X,?Y,?Z) ← (?X,?Y,?Z). Under union semantics it returns a graph
+// equivalent to the database.
+func Identity() *Query {
+	x, y, z := term.NewVar("X"), term.NewVar("Y"), term.NewVar("Z")
+	pat := []graph.Triple{{S: x, P: y, O: z}}
+	return New(pat, pat)
+}
+
+// varsIn collects the distinct variables of a pattern list, sorted.
+func varsIn(ts []graph.Triple) []term.Term {
+	set := map[term.Term]struct{}{}
+	for _, t := range ts {
+		for _, x := range t.Terms() {
+			if x.IsVar() {
+				set[x] = struct{}{}
+			}
+		}
+	}
+	out := make([]term.Term, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// headBlanks collects the blank nodes of the head, sorted.
+func (q *Query) headBlanks() []term.Term {
+	set := map[term.Term]struct{}{}
+	for _, t := range q.Head {
+		for _, x := range t.Terms() {
+			if x.IsBlank() {
+				set[x] = struct{}{}
+			}
+		}
+	}
+	out := make([]term.Term, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Validate checks the well-formedness conditions of Definition 4.1 and
+// Note 4.2: body without blanks, head variables covered by the body,
+// premise without variables, constraints over head variables.
+func (q *Query) Validate() error {
+	bodyVars := map[term.Term]bool{}
+	for _, v := range varsIn(q.Body) {
+		bodyVars[v] = true
+	}
+	for _, t := range q.Body {
+		for _, x := range t.Terms() {
+			if x.IsBlank() {
+				return fmt.Errorf("query: blank node %s in body (use a variable)", x)
+			}
+		}
+	}
+	headVars := map[term.Term]bool{}
+	for _, v := range varsIn(q.Head) {
+		headVars[v] = true
+		if !bodyVars[v] {
+			return fmt.Errorf("query: head variable %s does not occur in body", v)
+		}
+	}
+	if q.Premise != nil {
+		ill := false
+		q.Premise.Each(func(t graph.Triple) bool {
+			if t.HasVar() {
+				ill = true
+				return false
+			}
+			return true
+		})
+		if ill {
+			return fmt.Errorf("query: premise must not contain variables")
+		}
+	}
+	for v := range q.Constraints {
+		if !v.IsVar() {
+			return fmt.Errorf("query: constraint on non-variable %s", v)
+		}
+		if !headVars[v] {
+			return fmt.Errorf("query: constraint variable %s does not occur in head", v)
+		}
+	}
+	return nil
+}
+
+// String renders the query in the paper's tableau notation H ← B.
+func (q *Query) String() string {
+	var b strings.Builder
+	part := func(ts []graph.Triple) string {
+		ss := make([]string, len(ts))
+		for i, t := range ts {
+			ss[i] = "(" + t.S.String() + ", " + t.P.String() + ", " + t.O.String() + ")"
+		}
+		return strings.Join(ss, ", ")
+	}
+	b.WriteString(part(q.Head))
+	b.WriteString(" ← ")
+	b.WriteString(part(q.Body))
+	if q.Premise != nil && q.Premise.Len() > 0 {
+		fmt.Fprintf(&b, " with premise {%d triples}", q.Premise.Len())
+	}
+	if len(q.Constraints) > 0 {
+		vars := make([]string, 0, len(q.Constraints))
+		for v := range q.Constraints {
+			vars = append(vars, v.String())
+		}
+		sort.Strings(vars)
+		fmt.Fprintf(&b, " constraints {%s}", strings.Join(vars, ", "))
+	}
+	return b.String()
+}
+
+// Semantics selects how single answers are combined (Section 4.1).
+type Semantics int
+
+const (
+	// UnionSemantics is ans∪: the set union of the single answers; blank
+	// nodes of the database keep their identity across single answers.
+	UnionSemantics Semantics = iota
+	// MergeSemantics is ans+: single answers are merged with their blank
+	// nodes renamed apart.
+	MergeSemantics
+)
+
+// Options configures evaluation.
+type Options struct {
+	// Semantics selects ans∪ (default) or ans+.
+	Semantics Semantics
+	// SkipNormalForm matches against cl(D+P) instead of nf(D+P). This is
+	// the ablation knob: skipping the core step is cheaper but gives up
+	// the invariance-under-equivalence guarantee of Theorem 4.6 (extra
+	// redundant single answers can appear).
+	SkipNormalForm bool
+	// MaxMatchings caps the number of matchings considered (0 = all).
+	MaxMatchings int
+}
+
+// Answer is the result of evaluating a query.
+type Answer struct {
+	// Singles is the pre-answer preans(q, D): the set of single answers
+	// v(H), deduplicated as graphs.
+	Singles []*graph.Graph
+	// Graph is ans∪(q,D) or ans+(q,D) depending on the semantics.
+	Graph *graph.Graph
+	// Matchings counts the matchings of B (before constraint filtering
+	// collapse to equal single answers).
+	Matchings int
+	// Semantics records how Graph was assembled.
+	Semantics Semantics
+}
+
+// Evaluate computes the answer of q over the database d (Definition 4.3).
+// The matching universe is nf(D + P), per Note 4.4, where + is merge.
+func Evaluate(q *Query, d *graph.Graph, opts Options) (*Answer, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	data := d
+	if q.Premise != nil && q.Premise.Len() > 0 {
+		data = graph.Merge(d, q.Premise)
+	}
+	if opts.SkipNormalForm {
+		data = closure.Cl(data)
+	} else {
+		data = core.NormalForm(data)
+	}
+	return evaluateAgainst(q, data, opts)
+}
+
+// evaluateAgainst runs the matching and answer assembly against an
+// already-normalized data graph.
+func evaluateAgainst(q *Query, data *graph.Graph, opts Options) (*Answer, error) {
+	bodyVars := varsIn(q.Body)
+	headBlanks := q.headBlanks()
+
+	ans := &Answer{Semantics: opts.Semantics}
+	seen := map[string]bool{}
+
+	solverOpts := match.Options{
+		Admissible: func(unknown, value term.Term) bool {
+			if q.Constraints[unknown] && value.IsBlank() {
+				return false
+			}
+			return true
+		},
+	}
+	match.Solve(q.Body, data, solverOpts, func(b match.Binding) bool {
+		ans.Matchings++
+		single, ok := instantiateHead(q, b, bodyVars, headBlanks)
+		if !ok {
+			return true // v(H) not a well-formed RDF graph: skipped
+		}
+		key := single.String()
+		if !seen[key] {
+			seen[key] = true
+			ans.Singles = append(ans.Singles, single)
+		}
+		return opts.MaxMatchings == 0 || ans.Matchings < opts.MaxMatchings
+	})
+
+	// Deterministic order for reproducible merges.
+	sort.Slice(ans.Singles, func(i, j int) bool {
+		return ans.Singles[i].String() < ans.Singles[j].String()
+	})
+
+	switch opts.Semantics {
+	case MergeSemantics:
+		ans.Graph = graph.New()
+		for i, s := range ans.Singles {
+			ans.Graph.AddAll(graph.RenameBlanksApart(s, fmt.Sprintf("!m%d", i)))
+		}
+	default:
+		ans.Graph = graph.New()
+		for _, s := range ans.Singles {
+			ans.Graph.AddAll(s)
+		}
+	}
+	return ans, nil
+}
+
+// instantiateHead computes the single answer v(H): head variables are
+// replaced by their bindings and each head blank N by the Skolem value
+// f_N(v(X1), …, v(Xk)) over the body variables (Section 4.1). ok is false
+// when v(H) is not a well-formed RDF graph.
+func instantiateHead(q *Query, b match.Binding, bodyVars, headBlanks []term.Term) (*graph.Graph, bool) {
+	skolem := map[term.Term]term.Term{}
+	if len(headBlanks) > 0 {
+		var sig strings.Builder
+		for _, v := range bodyVars {
+			sig.WriteString(b[v].String())
+			sig.WriteByte('|')
+		}
+		for _, n := range headBlanks {
+			skolem[n] = skolemBlank(n, sig.String())
+		}
+	}
+	subst := func(x term.Term) term.Term {
+		if x.IsVar() {
+			return b[x]
+		}
+		if x.IsBlank() {
+			return skolem[x]
+		}
+		return x
+	}
+	out := graph.New()
+	for _, t := range q.Head {
+		inst := graph.T(subst(t.S), subst(t.P), subst(t.O))
+		if !inst.WellFormed() {
+			return nil, false
+		}
+		out.MustAdd(inst)
+	}
+	return out, true
+}
+
+// skolemBlank is the deterministic Skolem function f_N: the same blank
+// and the same argument tuple always yield the same fresh blank node, as
+// required by Proposition 4.5 ("the same Skolem function is used when
+// querying any database").
+func skolemBlank(n term.Term, signature string) term.Term {
+	h := fnv.New64a()
+	h.Write([]byte(n.Value))
+	h.Write([]byte{0})
+	h.Write([]byte(signature))
+	return term.NewBlank(fmt.Sprintf("sk_%s_%016x", n.Value, h.Sum64()))
+}
+
+// IsLeanAnswer reports whether the assembled answer graph is lean. Under
+// union semantics this is the coNP-complete check of Theorem 6.2; under
+// merge semantics the polynomial single-map procedure of Theorem 6.3 is
+// used.
+func IsLeanAnswer(a *Answer) bool {
+	if a.Semantics == MergeSemantics {
+		return mergeAnswerLean(a)
+	}
+	return core.IsLean(a.Graph)
+}
+
+// mergeAnswerLean implements Theorem 6.3: under merge semantics single
+// answers share no blanks, so every self-map of the answer is a union of
+// single maps, and the answer is non-lean iff some single answer Gj has a
+// non-ground triple t and a map Gj → A∖{t}. This runs in time polynomial
+// in the number of single answers for a fixed query.
+func mergeAnswerLean(a *Answer) bool {
+	// Recreate the renamed singles as they appear inside a.Graph.
+	renamed := make([]*graph.Graph, len(a.Singles))
+	for i, s := range a.Singles {
+		renamed[i] = graph.RenameBlanksApart(s, fmt.Sprintf("!m%d", i))
+	}
+	finder := newFinderCache(a.Graph)
+	for _, gj := range renamed {
+		for _, t := range gj.NonGroundTriples() {
+			if finder.mapsIntoWithout(gj, t) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// finderCache performs repeated map searches into A∖{t} without
+// rebuilding the full index each time (the target differs by one triple).
+type finderCache struct {
+	a *graph.Graph
+}
+
+func newFinderCache(a *graph.Graph) *finderCache { return &finderCache{a: a} }
+
+func (f *finderCache) mapsIntoWithout(src *graph.Graph, t graph.Triple) bool {
+	target := f.a.Without(t)
+	blanks := func(x term.Term) bool { return x.IsBlank() }
+	found := false
+	match.Solve(src.Triples(), target, match.Options{IsUnknown: blanks}, func(match.Binding) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// EliminateRedundancy returns an equivalent lean version of the answer
+// graph (its core). Per Theorem 6.2 this is inherently expensive in the
+// worst case under union semantics.
+func EliminateRedundancy(a *Answer) *graph.Graph {
+	c, _ := core.Core(a.Graph)
+	return c
+}

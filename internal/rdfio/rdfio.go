@@ -1,0 +1,52 @@
+// Package rdfio provides the file-loading helpers shared by the command
+// line tools: format detection by extension (.nt → N-Triples, .ttl →
+// Turtle), with "-" for standard input (N-Triples).
+package rdfio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"semwebdb/internal/graph"
+	"semwebdb/internal/ntriples"
+	"semwebdb/internal/turtle"
+)
+
+// Load reads an RDF file. The syntax is chosen by extension: ".ttl" and
+// ".turtle" parse as Turtle, everything else as N-Triples. The path "-"
+// reads N-Triples from stdin.
+func Load(path string) (*graph.Graph, error) {
+	if path == "-" {
+		g, err := ntriples.Parse(os.Stdin)
+		if err != nil {
+			return nil, fmt.Errorf("stdin: %w", err)
+		}
+		return g, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".ttl", ".turtle":
+		g, err := turtle.Parse(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return g, nil
+	default:
+		g, err := ntriples.ParseString(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return g, nil
+	}
+}
+
+// Dump writes the graph as canonical N-Triples.
+func Dump(w io.Writer, g *graph.Graph) error {
+	return ntriples.Serialize(w, g)
+}

@@ -1,0 +1,67 @@
+package rdfio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"semwebdb/internal/graph"
+	"semwebdb/internal/term"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadNTriples(t *testing.T) {
+	path := writeTemp(t, "g.nt", "<urn:a> <urn:p> <urn:b> .\n")
+	g, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("len = %d", g.Len())
+	}
+}
+
+func TestLoadTurtle(t *testing.T) {
+	path := writeTemp(t, "g.ttl", "@prefix ex: <urn:> .\nex:a ex:p ex:b .\n")
+	g, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Has(graph.T(term.NewIRI("urn:a"), term.NewIRI("urn:p"), term.NewIRI("urn:b"))) {
+		t.Fatalf("turtle triple missing: %v", g)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.nt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := writeTemp(t, "bad.nt", "garbage here\n")
+	if _, err := Load(bad); err == nil {
+		t.Fatal("bad N-Triples accepted")
+	}
+	badTTL := writeTemp(t, "bad.ttl", "ex:a ex:p ex:b .\n") // undeclared prefix
+	if _, err := Load(badTTL); err == nil {
+		t.Fatal("bad Turtle accepted")
+	}
+}
+
+func TestDump(t *testing.T) {
+	g := graph.New(graph.T(term.NewIRI("urn:a"), term.NewIRI("urn:p"), term.NewIRI("urn:b")))
+	var sb strings.Builder
+	if err := Dump(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<urn:a> <urn:p> <urn:b> .") {
+		t.Fatalf("dump = %q", sb.String())
+	}
+}

@@ -1,0 +1,127 @@
+package rdfs
+
+import (
+	"testing"
+
+	"semwebdb/internal/graph"
+)
+
+func TestVerifyRejectsRuleMismatch(t *testing.T) {
+	g := graph.New(graph.T(iri("a"), SubPropertyOf, iri("b")))
+	h := graph.New(
+		graph.T(iri("a"), SubPropertyOf, iri("b")),
+		graph.T(iri("a"), SubPropertyOf, iri("a")),
+		graph.T(iri("b"), SubPropertyOf, iri("b")),
+	)
+	// Step whose Rule field disagrees with the instantiation's rule.
+	p := &Proof{Steps: []Step{{
+		Rule: RuleSubClassTrans,
+		Inst: Instantiation{
+			Rule:        RuleSubPropReflEdge,
+			Antecedents: []graph.Triple{graph.T(iri("a"), SubPropertyOf, iri("b"))},
+			Conclusions: []graph.Triple{
+				graph.T(iri("a"), SubPropertyOf, iri("a")),
+				graph.T(iri("b"), SubPropertyOf, iri("b")),
+			},
+		},
+	}}}
+	if err := p.Verify(g, h); err == nil {
+		t.Fatal("rule mismatch accepted")
+	}
+}
+
+func TestVerifyRejectsMissingResultGraph(t *testing.T) {
+	g := graph.New(graph.T(iri("a"), iri("p"), iri("b")))
+	p := &Proof{Steps: []Step{{Rule: RuleExistential}}}
+	if err := p.Verify(g, g); err == nil {
+		t.Fatal("existential step without result accepted")
+	}
+}
+
+func TestVerifyRejectsInvalidMap(t *testing.T) {
+	g := graph.New(graph.T(iri("a"), iri("p"), iri("b")))
+	p := &Proof{Steps: []Step{{
+		Rule:   RuleExistential,
+		Result: g,
+		Mu:     graph.Map{iri("a"): iri("b")}, // URI key: invalid map
+	}}}
+	if err := p.Verify(g, g); err == nil {
+		t.Fatal("invalid map accepted")
+	}
+}
+
+func TestProveSelfIsTrivial(t *testing.T) {
+	g := graph.New(
+		graph.T(iri("a"), SubClassOf, iri("b")),
+		graph.T(iri("x"), Type, iri("a")),
+	)
+	proof, ok := Prove(g, g)
+	if !ok {
+		t.Fatal("G ⊢ G must hold")
+	}
+	if err := proof.Verify(g, g); err != nil {
+		t.Fatal(err)
+	}
+	// The trimmed proof needs no rule steps — only the final existential.
+	if proof.Len() != 1 {
+		t.Fatalf("self-proof has %d steps, want 1", proof.Len())
+	}
+}
+
+func TestProveTrimsIrrelevantDerivations(t *testing.T) {
+	// A graph with a large derivable closure, but a target needing only
+	// one rule application: the proof must stay small.
+	g := graph.New(
+		graph.T(iri("c1"), SubClassOf, iri("c2")),
+		graph.T(iri("c2"), SubClassOf, iri("c3")),
+		graph.T(iri("c3"), SubClassOf, iri("c4")),
+		graph.T(iri("c4"), SubClassOf, iri("c5")),
+		graph.T(iri("p"), SubPropertyOf, iri("q")),
+		graph.T(iri("x"), iri("p"), iri("y")),
+	)
+	h := graph.New(graph.T(iri("x"), iri("q"), iri("y")))
+	proof, ok := Prove(g, h)
+	if !ok {
+		t.Fatal("expected proof")
+	}
+	if err := proof.Verify(g, h); err != nil {
+		t.Fatal(err)
+	}
+	// One rule (3) application plus the existential step; the sc-chain
+	// derivations must have been trimmed away.
+	if proof.Len() > 3 {
+		t.Fatalf("proof has %d steps; trimming failed", proof.Len())
+	}
+}
+
+func TestDeepProofChain(t *testing.T) {
+	// Transitivity chains require nested antecedent provenance.
+	g := graph.New()
+	for i := 0; i < 6; i++ {
+		g.Add(graph.T(iri(string(rune('a'+i))), SubClassOf, iri(string(rune('a'+i+1)))))
+	}
+	h := graph.New(graph.T(iri("a"), SubClassOf, iri("g")))
+	proof, ok := Prove(g, h)
+	if !ok {
+		t.Fatal("expected proof of the full chain")
+	}
+	if err := proof.Verify(g, h); err != nil {
+		t.Fatal(err)
+	}
+	// Needs at least 5 transitivity steps.
+	if proof.Len() < 5 {
+		t.Fatalf("suspiciously short proof: %d steps", proof.Len())
+	}
+}
+
+func TestInstantiationStringRendering(t *testing.T) {
+	in := Instantiation{
+		Rule:        RuleSubPropTrans,
+		Antecedents: []graph.Triple{graph.T(iri("a"), SubPropertyOf, iri("b")), graph.T(iri("b"), SubPropertyOf, iri("c"))},
+		Conclusions: []graph.Triple{graph.T(iri("a"), SubPropertyOf, iri("c"))},
+	}
+	s := in.String()
+	if s == "" || len(s) < 10 {
+		t.Fatalf("string rendering too short: %q", s)
+	}
+}

@@ -1,0 +1,85 @@
+// Package rdfs implements the RDFS fragment of the paper: the reserved
+// vocabulary rdfsV = {sp, sc, type, dom, range} (Section 2.2) and the
+// deductive system of Section 2.3.2 — rules (1) through (13) — together
+// with proof objects and a proof checker implementing Definition 2.5.
+package rdfs
+
+import (
+	"semwebdb/internal/graph"
+	"semwebdb/internal/term"
+)
+
+// Namespace IRIs of the W3C vocabularies; the abstract model only needs
+// five distinguished URIs, and we use their real identities so that the
+// parsers and CLIs interoperate with actual RDF data.
+const (
+	RDFNS  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFSNS = "http://www.w3.org/2000/01/rdf-schema#"
+)
+
+// The rdfs-vocabulary rdfsV (Section 2.2, group (a)).
+var (
+	// SubPropertyOf is rdfs:subPropertyOf, written sp in the paper.
+	SubPropertyOf = term.NewIRI(RDFSNS + "subPropertyOf")
+	// SubClassOf is rdfs:subClassOf, written sc in the paper.
+	SubClassOf = term.NewIRI(RDFSNS + "subClassOf")
+	// Type is rdf:type, written type in the paper.
+	Type = term.NewIRI(RDFNS + "type")
+	// Domain is rdfs:domain, written dom in the paper.
+	Domain = term.NewIRI(RDFSNS + "domain")
+	// Range is rdfs:range, written range in the paper.
+	Range = term.NewIRI(RDFSNS + "range")
+)
+
+// Vocabulary returns rdfsV as a slice in the paper's order
+// {sp, sc, type, dom, range}.
+func Vocabulary() []term.Term {
+	return []term.Term{SubPropertyOf, SubClassOf, Type, Domain, Range}
+}
+
+// vocabSet is the rdfsV membership set.
+var vocabSet = map[term.Term]struct{}{
+	SubPropertyOf: {},
+	SubClassOf:    {},
+	Type:          {},
+	Domain:        {},
+	Range:         {},
+}
+
+// IsVocabulary reports whether x ∈ rdfsV.
+func IsVocabulary(x term.Term) bool {
+	_, ok := vocabSet[x]
+	return ok
+}
+
+// IsSimple reports whether G is a simple RDF graph (Definition 2.2):
+// rdfsV ∩ voc(G) = ∅.
+func IsSimple(g *graph.Graph) bool {
+	simple := true
+	g.Each(func(t graph.Triple) bool {
+		for _, x := range t.Terms() {
+			if IsVocabulary(x) {
+				simple = false
+				return false
+			}
+		}
+		return true
+	})
+	return simple
+}
+
+// MentionsVocabularyOutsidePredicate reports whether any element of rdfsV
+// occurs in a subject or object position of G. Graphs without such
+// occurrences form the well-behaved class used by Theorem 3.16 and by the
+// fast closure-membership procedure.
+func MentionsVocabularyOutsidePredicate(g *graph.Graph) bool {
+	found := false
+	g.Each(func(t graph.Triple) bool {
+		if IsVocabulary(t.S) || IsVocabulary(t.O) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

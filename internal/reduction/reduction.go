@@ -1,0 +1,229 @@
+// Package reduction implements transitive reduction of directed acyclic
+// graphs (Aho, Garey, Ullman 1972), used by the unique-minimal-
+// representation algorithm of Theorem 3.16 to minimize the sc and sp
+// subgraphs of an RDF graph. The transitive reduction of a DAG is unique;
+// Example 3.14 of the paper shows that uniqueness fails on cyclic graphs,
+// which is exactly why Theorem 3.16 assumes acyclicity.
+package reduction
+
+import (
+	"sort"
+
+	"semwebdb/internal/term"
+)
+
+// Digraph is a directed graph over terms.
+type Digraph struct {
+	adj map[term.Term]map[term.Term]struct{}
+}
+
+// NewDigraph returns an empty digraph.
+func NewDigraph() *Digraph {
+	return &Digraph{adj: make(map[term.Term]map[term.Term]struct{})}
+}
+
+// AddEdge inserts the edge a → b.
+func (d *Digraph) AddEdge(a, b term.Term) {
+	s, ok := d.adj[a]
+	if !ok {
+		s = make(map[term.Term]struct{})
+		d.adj[a] = s
+	}
+	s[b] = struct{}{}
+	if _, ok := d.adj[b]; !ok {
+		d.adj[b] = make(map[term.Term]struct{})
+	}
+}
+
+// HasEdge reports whether a → b is present.
+func (d *Digraph) HasEdge(a, b term.Term) bool {
+	_, ok := d.adj[a][b]
+	return ok
+}
+
+// Nodes returns the vertices in canonical order.
+func (d *Digraph) Nodes() []term.Term {
+	out := make([]term.Term, 0, len(d.adj))
+	for n := range d.adj {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Edges returns all edges in canonical order.
+func (d *Digraph) Edges() [][2]term.Term {
+	var out [][2]term.Term
+	for a, succ := range d.adj {
+		for b := range succ {
+			out = append(out, [2]term.Term{a, b})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i][0].Compare(out[j][0]); c != 0 {
+			return c < 0
+		}
+		return out[i][1].Less(out[j][1])
+	})
+	return out
+}
+
+// Succ returns the successors of a in canonical order.
+func (d *Digraph) Succ(a term.Term) []term.Term {
+	out := make([]term.Term, 0, len(d.adj[a]))
+	for b := range d.adj[a] {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Reaches reports a path of length ≥ 1 from a to b.
+func (d *Digraph) Reaches(a, b term.Term) bool {
+	seen := make(map[term.Term]struct{})
+	stack := d.Succ(a)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == b {
+			return true
+		}
+		if _, ok := seen[n]; ok {
+			continue
+		}
+		seen[n] = struct{}{}
+		stack = append(stack, d.Succ(n)...)
+	}
+	return false
+}
+
+// IsAcyclic reports whether the digraph has no directed cycle. Self-loops
+// count as cycles; callers that tolerate reflexive edges (the paper's
+// reflexivity triples are handled separately) should strip them first.
+func (d *Digraph) IsAcyclic() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[term.Term]int, len(d.adj))
+	var visit func(n term.Term) bool
+	visit = func(n term.Term) bool {
+		color[n] = gray
+		for m := range d.adj[n] {
+			switch color[m] {
+			case gray:
+				return false
+			case white:
+				if !visit(m) {
+					return false
+				}
+			}
+		}
+		color[n] = black
+		return true
+	}
+	for n := range d.adj {
+		if color[n] == white {
+			if !visit(n) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WithoutSelfLoops returns a copy with reflexive edges removed.
+func (d *Digraph) WithoutSelfLoops() *Digraph {
+	out := NewDigraph()
+	for a, succ := range d.adj {
+		if _, ok := out.adj[a]; !ok {
+			out.adj[a] = make(map[term.Term]struct{})
+		}
+		for b := range succ {
+			if a != b {
+				out.AddEdge(a, b)
+			}
+		}
+	}
+	return out
+}
+
+// TransitiveReduction returns the unique transitive reduction of an
+// acyclic digraph: the minimal subset of edges with the same reachability
+// relation. An edge a → b is redundant exactly when b is reachable from a
+// through a path of length ≥ 2. The receiver must be acyclic (self-loops
+// excluded); the result is undefined otherwise.
+func (d *Digraph) TransitiveReduction() *Digraph {
+	out := NewDigraph()
+	for _, e := range d.Edges() {
+		a, b := e[0], e[1]
+		if a == b {
+			continue
+		}
+		if !d.reachesAvoiding(a, b) {
+			out.AddEdge(a, b)
+		}
+	}
+	return out
+}
+
+// reachesAvoiding reports whether b is reachable from a by a path of
+// length ≥ 2 (i.e. not using the direct edge a → b as the first step).
+func (d *Digraph) reachesAvoiding(a, b term.Term) bool {
+	seen := make(map[term.Term]struct{})
+	var stack []term.Term
+	for c := range d.adj[a] {
+		if c != b {
+			stack = append(stack, c)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == b {
+			return true
+		}
+		if _, ok := seen[n]; ok {
+			continue
+		}
+		seen[n] = struct{}{}
+		for c := range d.adj[n] {
+			stack = append(stack, c)
+		}
+	}
+	return false
+}
+
+// TransitiveClosure returns the digraph with an edge a → b whenever b is
+// reachable from a by a path of length ≥ 1.
+func (d *Digraph) TransitiveClosure() *Digraph {
+	out := NewDigraph()
+	for n := range d.adj {
+		if _, ok := out.adj[n]; !ok {
+			out.adj[n] = make(map[term.Term]struct{})
+		}
+		seen := make(map[term.Term]struct{})
+		stack := d.Succ(n)
+		for len(stack) > 0 {
+			m := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if _, ok := seen[m]; ok {
+				continue
+			}
+			seen[m] = struct{}{}
+			out.AddEdge(n, m)
+			stack = append(stack, d.Succ(m)...)
+		}
+	}
+	return out
+}
+
+// EdgeCount returns the number of edges.
+func (d *Digraph) EdgeCount() int {
+	n := 0
+	for _, succ := range d.adj {
+		n += len(succ)
+	}
+	return n
+}

@@ -1,0 +1,167 @@
+package reduction
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"semwebdb/internal/term"
+)
+
+func n(s string) term.Term { return term.NewIRI(s) }
+
+func TestAddHasEdge(t *testing.T) {
+	d := NewDigraph()
+	d.AddEdge(n("a"), n("b"))
+	if !d.HasEdge(n("a"), n("b")) || d.HasEdge(n("b"), n("a")) {
+		t.Fatal("edge membership")
+	}
+	if len(d.Nodes()) != 2 {
+		t.Fatalf("nodes = %v", d.Nodes())
+	}
+	if d.EdgeCount() != 1 {
+		t.Fatal("edge count")
+	}
+}
+
+func TestReaches(t *testing.T) {
+	d := NewDigraph()
+	d.AddEdge(n("a"), n("b"))
+	d.AddEdge(n("b"), n("c"))
+	if !d.Reaches(n("a"), n("c")) {
+		t.Fatal("transitive reachability")
+	}
+	if d.Reaches(n("c"), n("a")) {
+		t.Fatal("reverse reachability")
+	}
+	// Length ≥ 1: a node does not reach itself without a cycle.
+	if d.Reaches(n("a"), n("a")) {
+		t.Fatal("self reachability without cycle")
+	}
+	d.AddEdge(n("c"), n("a"))
+	if !d.Reaches(n("a"), n("a")) {
+		t.Fatal("cycle closes self-reachability")
+	}
+}
+
+func TestIsAcyclic(t *testing.T) {
+	d := NewDigraph()
+	d.AddEdge(n("a"), n("b"))
+	d.AddEdge(n("b"), n("c"))
+	if !d.IsAcyclic() {
+		t.Fatal("chain reported cyclic")
+	}
+	d.AddEdge(n("c"), n("a"))
+	if d.IsAcyclic() {
+		t.Fatal("cycle not detected")
+	}
+	// Self loop is a cycle; WithoutSelfLoops clears it.
+	e := NewDigraph()
+	e.AddEdge(n("x"), n("x"))
+	if e.IsAcyclic() {
+		t.Fatal("self loop not a cycle")
+	}
+	if !e.WithoutSelfLoops().IsAcyclic() {
+		t.Fatal("WithoutSelfLoops failed")
+	}
+}
+
+func TestTransitiveReductionChain(t *testing.T) {
+	// Chain plus all shortcut edges reduces back to the chain.
+	d := NewDigraph()
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			d.AddEdge(n(fmt.Sprintf("v%d", i)), n(fmt.Sprintf("v%d", j)))
+		}
+	}
+	r := d.TransitiveReduction()
+	if r.EdgeCount() != 4 {
+		t.Fatalf("reduction of total order on 5 has %d edges, want 4", r.EdgeCount())
+	}
+	for i := 0; i < 4; i++ {
+		if !r.HasEdge(n(fmt.Sprintf("v%d", i)), n(fmt.Sprintf("v%d", i+1))) {
+			t.Fatalf("chain edge %d missing", i)
+		}
+	}
+}
+
+func TestTransitiveReductionDiamond(t *testing.T) {
+	// a→b, a→c, b→d, c→d, a→d: the long edge a→d is redundant.
+	d := NewDigraph()
+	d.AddEdge(n("a"), n("b"))
+	d.AddEdge(n("a"), n("c"))
+	d.AddEdge(n("b"), n("d"))
+	d.AddEdge(n("c"), n("d"))
+	d.AddEdge(n("a"), n("d"))
+	r := d.TransitiveReduction()
+	if r.HasEdge(n("a"), n("d")) {
+		t.Fatal("redundant diamond edge kept")
+	}
+	if r.EdgeCount() != 4 {
+		t.Fatalf("edges = %d, want 4", r.EdgeCount())
+	}
+}
+
+func TestReductionPreservesReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 25; round++ {
+		// Random DAG: edges only from lower to higher index.
+		d := NewDigraph()
+		const N = 8
+		for i := 0; i < N; i++ {
+			for j := i + 1; j < N; j++ {
+				if rng.Intn(3) == 0 {
+					d.AddEdge(n(fmt.Sprintf("v%02d", i)), n(fmt.Sprintf("v%02d", j)))
+				}
+			}
+		}
+		r := d.TransitiveReduction()
+		for i := 0; i < N; i++ {
+			for j := 0; j < N; j++ {
+				a, b := n(fmt.Sprintf("v%02d", i)), n(fmt.Sprintf("v%02d", j))
+				if d.Reaches(a, b) != r.Reaches(a, b) {
+					t.Fatalf("round %d: reachability changed at (%d,%d)", round, i, j)
+				}
+			}
+		}
+		// Minimality: removing any kept edge must break reachability.
+		for _, e := range r.Edges() {
+			r2 := NewDigraph()
+			for _, f := range r.Edges() {
+				if f != e {
+					r2.AddEdge(f[0], f[1])
+				}
+			}
+			if r2.Reaches(e[0], e[1]) {
+				t.Fatalf("round %d: kept edge %v is redundant", round, e)
+			}
+		}
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	d := NewDigraph()
+	d.AddEdge(n("a"), n("b"))
+	d.AddEdge(n("b"), n("c"))
+	c := d.TransitiveClosure()
+	if !c.HasEdge(n("a"), n("c")) {
+		t.Fatal("closure missing transitive edge")
+	}
+	if c.EdgeCount() != 3 {
+		t.Fatalf("closure edges = %d, want 3", c.EdgeCount())
+	}
+	// Closure then reduction returns the chain.
+	if got := c.TransitiveReduction().EdgeCount(); got != 2 {
+		t.Fatalf("reduce(closure) edges = %d, want 2", got)
+	}
+}
+
+func TestSuccSorted(t *testing.T) {
+	d := NewDigraph()
+	d.AddEdge(n("a"), n("c"))
+	d.AddEdge(n("a"), n("b"))
+	succ := d.Succ(n("a"))
+	if len(succ) != 2 || succ[0] != n("b") {
+		t.Fatalf("succ = %v", succ)
+	}
+}

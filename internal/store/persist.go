@@ -1,0 +1,54 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"semwebdb/internal/ntriples"
+)
+
+// WriteTo serializes the store contents as canonical N-Triples. It
+// implements a store-level dump without materializing an intermediate
+// graph beyond the canonical sort.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	if err := ntriples.Serialize(cw, s.ToGraph()); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// LoadNTriples bulk-loads N-Triples into the store, streaming line by line
+// (the document never needs to fit in memory as a graph). It returns the
+// number of triples added (duplicates and comment lines excluded).
+func (s *Store) LoadNTriples(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	added, lineNo := 0, 0
+	for sc.Scan() {
+		lineNo++
+		t, ok, err := ntriples.ParseLine(sc.Text(), lineNo)
+		if err != nil {
+			return added, err
+		}
+		if ok && s.Add(t) {
+			added++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return added, fmt.Errorf("store: read: %w", err)
+	}
+	return added, nil
+}

@@ -1,0 +1,372 @@
+// Package store implements a dictionary-encoded, triply-indexed triple
+// store — the database substrate behind the command-line tools and the
+// workload benchmarks. Terms are interned to dense integer IDs and
+// triples are kept in three sorted permutations (SPO, POS, OSP), so that
+// every triple pattern with at least one bound position resolves to a
+// binary-search range scan.
+package store
+
+import (
+	"sort"
+
+	"semwebdb/internal/graph"
+	"semwebdb/internal/term"
+)
+
+// ID is a dictionary-encoded term identifier. The zero ID is reserved.
+type ID uint32
+
+// Wildcard marks an unbound position in a pattern.
+const Wildcard ID = 0
+
+// Triple3 is a dictionary-encoded triple.
+type Triple3 [3]ID
+
+// Order names one of the maintained index permutations.
+type Order int
+
+const (
+	// SPO orders triples by subject, predicate, object.
+	SPO Order = iota
+	// POS orders triples by predicate, object, subject.
+	POS
+	// OSP orders triples by object, subject, predicate.
+	OSP
+)
+
+// permute maps a triple into the key layout of the given order.
+func permute(t Triple3, o Order) Triple3 {
+	switch o {
+	case POS:
+		return Triple3{t[1], t[2], t[0]}
+	case OSP:
+		return Triple3{t[2], t[0], t[1]}
+	default:
+		return t
+	}
+}
+
+// unpermute inverts permute.
+func unpermute(k Triple3, o Order) Triple3 {
+	switch o {
+	case POS:
+		return Triple3{k[2], k[0], k[1]}
+	case OSP:
+		return Triple3{k[1], k[2], k[0]}
+	default:
+		return k
+	}
+}
+
+// Store is an in-memory indexed triple store. The zero value is not ready
+// to use; construct with New.
+type Store struct {
+	dict    map[term.Term]ID
+	reverse []term.Term // reverse[id-1] = term
+
+	present map[Triple3]struct{}
+	indexes [3][]Triple3 // permuted keys, sorted
+	dirty   [3]bool
+
+	orders []Order // maintained permutations (ablation A1 varies this)
+}
+
+// New returns an empty store maintaining all three index orders.
+func New() *Store { return NewWithOrders(SPO, POS, OSP) }
+
+// NewWithOrders returns an empty store maintaining only the given orders.
+// SPO is always maintained (it is the primary).
+func NewWithOrders(orders ...Order) *Store {
+	s := &Store{
+		dict:    make(map[term.Term]ID),
+		present: make(map[Triple3]struct{}),
+	}
+	seen := map[Order]bool{SPO: true}
+	s.orders = []Order{SPO}
+	for _, o := range orders {
+		if !seen[o] {
+			seen[o] = true
+			s.orders = append(s.orders, o)
+		}
+	}
+	return s
+}
+
+// Intern returns the ID for a term, allocating one if needed.
+func (s *Store) Intern(t term.Term) ID {
+	if id, ok := s.dict[t]; ok {
+		return id
+	}
+	s.reverse = append(s.reverse, t)
+	id := ID(len(s.reverse))
+	s.dict[t] = id
+	return id
+}
+
+// Lookup returns the ID of a term if it is interned.
+func (s *Store) Lookup(t term.Term) (ID, bool) {
+	id, ok := s.dict[t]
+	return id, ok
+}
+
+// TermOf returns the term for an ID. It panics on the zero or an unknown
+// ID.
+func (s *Store) TermOf(id ID) term.Term {
+	return s.reverse[id-1]
+}
+
+// Len returns the number of stored triples.
+func (s *Store) Len() int { return len(s.present) }
+
+// DictSize returns the number of interned terms.
+func (s *Store) DictSize() int { return len(s.reverse) }
+
+// Add inserts a triple, interning its terms. It reports whether the
+// triple was new. Ill-formed triples are rejected.
+func (s *Store) Add(t graph.Triple) bool {
+	if !t.WellFormed() {
+		return false
+	}
+	enc := Triple3{s.Intern(t.S), s.Intern(t.P), s.Intern(t.O)}
+	return s.addEncoded(enc)
+}
+
+func (s *Store) addEncoded(enc Triple3) bool {
+	if _, ok := s.present[enc]; ok {
+		return false
+	}
+	s.present[enc] = struct{}{}
+	for _, o := range s.orders {
+		s.indexes[o] = append(s.indexes[o], permute(enc, o))
+		s.dirty[o] = true
+	}
+	return true
+}
+
+// Remove deletes a triple, reporting whether it was present. Removal
+// rebuilds the affected index ranges lazily.
+func (s *Store) Remove(t graph.Triple) bool {
+	enc, ok := s.encodeExisting(t)
+	if !ok {
+		return false
+	}
+	if _, ok := s.present[enc]; !ok {
+		return false
+	}
+	delete(s.present, enc)
+	for _, o := range s.orders {
+		key := permute(enc, o)
+		idx := s.indexes[o]
+		// Tombstone by swap-with-last; resort lazily.
+		for i, k := range idx {
+			if k == key {
+				idx[i] = idx[len(idx)-1]
+				s.indexes[o] = idx[:len(idx)-1]
+				s.dirty[o] = true
+				break
+			}
+		}
+	}
+	return true
+}
+
+// Has reports membership.
+func (s *Store) Has(t graph.Triple) bool {
+	enc, ok := s.encodeExisting(t)
+	if !ok {
+		return false
+	}
+	_, present := s.present[enc]
+	return present
+}
+
+func (s *Store) encodeExisting(t graph.Triple) (Triple3, bool) {
+	sID, ok := s.dict[t.S]
+	if !ok {
+		return Triple3{}, false
+	}
+	pID, ok := s.dict[t.P]
+	if !ok {
+		return Triple3{}, false
+	}
+	oID, ok := s.dict[t.O]
+	if !ok {
+		return Triple3{}, false
+	}
+	return Triple3{sID, pID, oID}, true
+}
+
+func (s *Store) ensureSorted(o Order) {
+	if !s.dirty[o] {
+		return
+	}
+	idx := s.indexes[o]
+	sort.Slice(idx, func(i, j int) bool { return less(idx[i], idx[j]) })
+	s.dirty[o] = false
+}
+
+func less(a, b Triple3) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	if a[1] != b[1] {
+		return a[1] < b[1]
+	}
+	return a[2] < b[2]
+}
+
+// hasOrder reports whether the store maintains the given order.
+func (s *Store) hasOrder(o Order) bool {
+	for _, x := range s.orders {
+		if x == o {
+			return true
+		}
+	}
+	return false
+}
+
+// chooseOrder selects the best maintained index for a pattern: the one
+// whose leading positions are bound.
+func (s *Store) chooseOrder(sb, pb, ob bool) (Order, int) {
+	type cand struct {
+		o      Order
+		prefix int
+	}
+	prefixLen := func(a, b, c bool) int {
+		switch {
+		case a && b && c:
+			return 3
+		case a && b:
+			return 2
+		case a:
+			return 1
+		default:
+			return 0
+		}
+	}
+	cands := []cand{{SPO, prefixLen(sb, pb, ob)}}
+	if s.hasOrder(POS) {
+		cands = append(cands, cand{POS, prefixLen(pb, ob, sb)})
+	}
+	if s.hasOrder(OSP) {
+		cands = append(cands, cand{OSP, prefixLen(ob, sb, pb)})
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.prefix > best.prefix {
+			best = c
+		}
+	}
+	return best.o, best.prefix
+}
+
+// Match streams every stored triple matching the pattern (Wildcard = any
+// position) to fn; iteration stops early when fn returns false. The scan
+// uses the maintained index with the longest bound prefix; positions not
+// covered by the prefix are post-filtered.
+func (s *Store) Match(sp, pp, op ID, fn func(Triple3) bool) {
+	o, prefix := s.chooseOrder(sp != Wildcard, pp != Wildcard, op != Wildcard)
+	s.ensureSorted(o)
+	idx := s.indexes[o]
+	key := permute(Triple3{sp, pp, op}, o)
+
+	lo, hi := 0, len(idx)
+	if prefix > 0 {
+		lo = sort.Search(len(idx), func(i int) bool {
+			return !prefixLess(idx[i], key, prefix)
+		})
+		hi = sort.Search(len(idx), func(i int) bool {
+			return prefixGreater(idx[i], key, prefix)
+		})
+	}
+	for i := lo; i < hi; i++ {
+		t := unpermute(idx[i], o)
+		if sp != Wildcard && t[0] != sp {
+			continue
+		}
+		if pp != Wildcard && t[1] != pp {
+			continue
+		}
+		if op != Wildcard && t[2] != op {
+			continue
+		}
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+func prefixLess(a, key Triple3, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != key[i] {
+			return a[i] < key[i]
+		}
+	}
+	return false
+}
+
+func prefixGreater(a, key Triple3, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != key[i] {
+			return a[i] > key[i]
+		}
+	}
+	return false
+}
+
+// MatchTerms is Match with term-level pattern positions; a zero Term is a
+// wildcard. Unknown (never-interned) bound terms yield no matches.
+func (s *Store) MatchTerms(sub, pred, obj term.Term, fn func(graph.Triple) bool) {
+	enc := func(t term.Term) (ID, bool) {
+		if t.IsZero() {
+			return Wildcard, true
+		}
+		id, ok := s.dict[t]
+		return id, ok
+	}
+	sp, ok1 := enc(sub)
+	pp, ok2 := enc(pred)
+	op, ok3 := enc(obj)
+	if !ok1 || !ok2 || !ok3 {
+		return
+	}
+	s.Match(sp, pp, op, func(t Triple3) bool {
+		return fn(graph.T(s.TermOf(t[0]), s.TermOf(t[1]), s.TermOf(t[2])))
+	})
+}
+
+// Count returns the number of triples matching the pattern.
+func (s *Store) Count(sp, pp, op ID) int {
+	n := 0
+	s.Match(sp, pp, op, func(Triple3) bool { n++; return true })
+	return n
+}
+
+// FromGraph loads every triple of g.
+func FromGraph(g *graph.Graph) *Store {
+	s := New()
+	g.Each(func(t graph.Triple) bool {
+		s.Add(t)
+		return true
+	})
+	return s
+}
+
+// ToGraph materializes the store contents as a graph.
+func (s *Store) ToGraph() *graph.Graph {
+	g := graph.New()
+	for enc := range s.present {
+		g.Add(graph.T(s.TermOf(enc[0]), s.TermOf(enc[1]), s.TermOf(enc[2])))
+	}
+	return g
+}
+
+// PredicateStats returns the triple count per predicate ID; the matcher
+// uses it for selectivity estimates.
+func (s *Store) PredicateStats() map[ID]int {
+	stats := make(map[ID]int)
+	for enc := range s.present {
+		stats[enc[1]]++
+	}
+	return stats
+}

@@ -1,0 +1,272 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"semwebdb/internal/graph"
+	"semwebdb/internal/term"
+)
+
+func iri(s string) term.Term { return term.NewIRI(s) }
+
+func tr(s, p, o string) graph.Triple {
+	return graph.T(iri(s), iri(p), iri(o))
+}
+
+func TestInternStableIDs(t *testing.T) {
+	s := New()
+	a := s.Intern(iri("a"))
+	b := s.Intern(iri("b"))
+	if a == b {
+		t.Fatal("distinct terms share an ID")
+	}
+	if s.Intern(iri("a")) != a {
+		t.Fatal("re-interning changed the ID")
+	}
+	if s.TermOf(a) != iri("a") {
+		t.Fatal("TermOf broken")
+	}
+	if _, ok := s.Lookup(iri("zzz")); ok {
+		t.Fatal("lookup of unknown term succeeded")
+	}
+	if s.DictSize() != 2 {
+		t.Fatalf("dict size = %d, want 2", s.DictSize())
+	}
+}
+
+func TestAddHasRemove(t *testing.T) {
+	s := New()
+	if !s.Add(tr("a", "p", "b")) {
+		t.Fatal("first add")
+	}
+	if s.Add(tr("a", "p", "b")) {
+		t.Fatal("duplicate add")
+	}
+	if !s.Has(tr("a", "p", "b")) || s.Len() != 1 {
+		t.Fatal("membership")
+	}
+	if s.Has(tr("a", "p", "zzz")) {
+		t.Fatal("phantom membership")
+	}
+	if !s.Remove(tr("a", "p", "b")) || s.Remove(tr("a", "p", "b")) {
+		t.Fatal("remove semantics")
+	}
+	if s.Len() != 0 {
+		t.Fatal("not empty after remove")
+	}
+}
+
+func TestAddRejectsIllFormed(t *testing.T) {
+	s := New()
+	if s.Add(graph.Triple{S: term.NewLiteral("l"), P: iri("p"), O: iri("b")}) {
+		t.Fatal("literal subject accepted")
+	}
+	if s.Len() != 0 {
+		t.Fatal("stored ill-formed triple")
+	}
+}
+
+func TestMatchPatterns(t *testing.T) {
+	s := New()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			s.Add(tr(fmt.Sprintf("s%d", i), fmt.Sprintf("p%d", j), fmt.Sprintf("o%d", (i+j)%2)))
+		}
+	}
+	countT := func(sub, pred, obj term.Term) int {
+		n := 0
+		s.MatchTerms(sub, pred, obj, func(graph.Triple) bool { n++; return true })
+		return n
+	}
+	if got := countT(term.Term{}, term.Term{}, term.Term{}); got != 12 {
+		t.Fatalf("full scan = %d, want 12", got)
+	}
+	if got := countT(iri("s0"), term.Term{}, term.Term{}); got != 3 {
+		t.Fatalf("S-bound = %d, want 3", got)
+	}
+	if got := countT(term.Term{}, iri("p1"), term.Term{}); got != 4 {
+		t.Fatalf("P-bound = %d, want 4", got)
+	}
+	if got := countT(term.Term{}, term.Term{}, iri("o0")); got != 6 {
+		t.Fatalf("O-bound = %d, want 6", got)
+	}
+	if got := countT(iri("s0"), iri("p0"), term.Term{}); got != 1 {
+		t.Fatalf("SP-bound = %d, want 1", got)
+	}
+	if got := countT(iri("s0"), iri("p0"), iri("o0")); got != 1 {
+		t.Fatalf("SPO-bound = %d, want 1", got)
+	}
+	if got := countT(iri("nope"), term.Term{}, term.Term{}); got != 0 {
+		t.Fatalf("unknown term = %d, want 0", got)
+	}
+}
+
+func TestMatchEarlyStop(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.Add(tr(fmt.Sprintf("s%d", i), "p", "o"))
+	}
+	n := 0
+	s.MatchTerms(term.Term{}, iri("p"), term.Term{}, func(graph.Triple) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop: %d", n)
+	}
+}
+
+func TestOrdersAgree(t *testing.T) {
+	// All index configurations must produce identical match results.
+	rng := rand.New(rand.NewSource(9))
+	full := New()
+	spoOnly := NewWithOrders(SPO)
+	spoPos := NewWithOrders(SPO, POS)
+	var triples []graph.Triple
+	for k := 0; k < 200; k++ {
+		t3 := tr(
+			fmt.Sprintf("s%d", rng.Intn(20)),
+			fmt.Sprintf("p%d", rng.Intn(5)),
+			fmt.Sprintf("o%d", rng.Intn(10)),
+		)
+		triples = append(triples, t3)
+		full.Add(t3)
+		spoOnly.Add(t3)
+		spoPos.Add(t3)
+	}
+	patterns := [][3]term.Term{
+		{{}, {}, {}},
+		{iri("s3"), {}, {}},
+		{{}, iri("p2"), {}},
+		{{}, {}, iri("o7")},
+		{iri("s3"), iri("p2"), {}},
+		{{}, iri("p2"), iri("o7")},
+		{iri("s3"), {}, iri("o7")},
+		{iri("s3"), iri("p2"), iri("o7")},
+	}
+	count := func(s *Store, p [3]term.Term) int {
+		n := 0
+		s.MatchTerms(p[0], p[1], p[2], func(graph.Triple) bool { n++; return true })
+		return n
+	}
+	for _, p := range patterns {
+		a, b, c := count(full, p), count(spoOnly, p), count(spoPos, p)
+		if a != b || b != c {
+			t.Fatalf("pattern %v: counts differ full=%d spo=%d spo+pos=%d", p, a, b, c)
+		}
+	}
+}
+
+func TestRemoveThenMatch(t *testing.T) {
+	s := New()
+	s.Add(tr("a", "p", "b"))
+	s.Add(tr("a", "p", "c"))
+	s.Remove(tr("a", "p", "b"))
+	n := 0
+	s.MatchTerms(iri("a"), iri("p"), term.Term{}, func(tt graph.Triple) bool {
+		n++
+		if tt.O != iri("c") {
+			t.Errorf("stale triple matched: %v", tt)
+		}
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("matched %d, want 1", n)
+	}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New()
+		for k := 0; k < rng.Intn(50); k++ {
+			g.Add(tr(
+				fmt.Sprintf("s%d", rng.Intn(10)),
+				fmt.Sprintf("p%d", rng.Intn(4)),
+				fmt.Sprintf("o%d", rng.Intn(10)),
+			))
+		}
+		s := FromGraph(g)
+		return s.ToGraph().Equal(g) && s.Len() == g.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredicateStats(t *testing.T) {
+	s := New()
+	s.Add(tr("a", "p", "b"))
+	s.Add(tr("c", "p", "d"))
+	s.Add(tr("a", "q", "b"))
+	stats := s.PredicateStats()
+	p, _ := s.Lookup(iri("p"))
+	q, _ := s.Lookup(iri("q"))
+	if stats[p] != 2 || stats[q] != 1 {
+		t.Fatalf("stats = %v", stats)
+	}
+}
+
+func TestCount(t *testing.T) {
+	s := New()
+	s.Add(tr("a", "p", "b"))
+	s.Add(tr("a", "p", "c"))
+	a, _ := s.Lookup(iri("a"))
+	p, _ := s.Lookup(iri("p"))
+	if got := s.Count(a, p, Wildcard); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+}
+
+func TestBlanksAndLiteralsInStore(t *testing.T) {
+	s := New()
+	lit := term.NewLangLiteral("hello", "en")
+	s.Add(graph.T(term.NewBlank("x"), iri("p"), lit))
+	if !s.Has(graph.T(term.NewBlank("x"), iri("p"), lit)) {
+		t.Fatal("blank/literal triple lost")
+	}
+	g := s.ToGraph()
+	if g.Len() != 1 || len(g.BlankNodes()) != 1 {
+		t.Fatal("round trip lost structure")
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	s := New()
+	s.Add(tr("a", "p", "b"))
+	s.Add(graph.T(term.NewBlank("x"), iri("p"), term.NewLangLiteral("hi", "en")))
+	var buf strings.Builder
+	n, err := s.WriteTo(&buf)
+	if err != nil || n == 0 {
+		t.Fatalf("WriteTo: n=%d err=%v", n, err)
+	}
+	s2 := New()
+	added, err := s2.LoadNTriples(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 2 || !s2.ToGraph().Equal(s.ToGraph()) {
+		t.Fatalf("round trip lost data: added=%d", added)
+	}
+	// Re-loading is idempotent: duplicates are not re-added.
+	again, err := s2.LoadNTriples(strings.NewReader(buf.String()))
+	if err != nil || again != 0 {
+		t.Fatalf("duplicate load: added=%d err=%v", again, err)
+	}
+}
+
+func TestReadFromRejectsMalformed(t *testing.T) {
+	s := New()
+	if _, err := s.LoadNTriples(strings.NewReader("garbage\n")); err == nil {
+		t.Fatal("malformed input accepted")
+	}
+	// Comments and blank lines are skipped silently.
+	added, err := s.LoadNTriples(strings.NewReader("# comment\n\n<urn:a> <urn:p> <urn:b> .\n"))
+	if err != nil || added != 1 {
+		t.Fatalf("added=%d err=%v", added, err)
+	}
+}

@@ -1,0 +1,219 @@
+// Package term defines the RDF terms of the abstract model of
+// "Foundations of Semantic Web databases" (Gutierrez, Hurtado, Mendelzon,
+// Pérez): IRIs (the set U of the paper), blank nodes (the set B), and — as
+// pragmatic extensions used by the substrates — plain/typed literals and
+// query variables.
+//
+// Terms are small comparable values, so they can be used directly as map
+// keys; all higher layers (graphs, stores, matchers) rely on that.
+//
+// The paper's abstract model deliberately disregards literals (footnote 1);
+// in this implementation literals exist so the parsers and the store can
+// process real RDF, and the theory layers treat them exactly like ground
+// IRIs, which is the extension the paper states is immediate for plain
+// literals.
+package term
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates the syntactic category of a Term.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero Kind; the zero Term is not a valid term.
+	KindInvalid Kind = iota
+	// KindIRI is an RDF URI reference, an element of the set U.
+	KindIRI
+	// KindBlank is a blank node, an element of the set B.
+	KindBlank
+	// KindLiteral is a plain or typed literal (extension; ground term).
+	KindLiteral
+	// KindVar is a query variable, an element of the set V of Section 4.
+	KindVar
+)
+
+// String returns a human-readable name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindIRI:
+		return "iri"
+	case KindBlank:
+		return "blank"
+	case KindLiteral:
+		return "literal"
+	case KindVar:
+		return "var"
+	default:
+		return "invalid"
+	}
+}
+
+// Term is an RDF term. It is a comparable value type: two Terms are the
+// same term exactly when all their fields are equal.
+type Term struct {
+	// Knd is the syntactic category of the term.
+	Knd Kind
+	// Value holds the IRI string, the blank node label, the literal
+	// lexical form, or the variable name (without the leading '?').
+	Value string
+	// Datatype is the datatype IRI of a typed literal ("" otherwise).
+	Datatype string
+	// Lang is the language tag of a language-tagged literal ("" otherwise).
+	Lang string
+}
+
+// NewIRI returns the IRI term for the given URI reference.
+func NewIRI(iri string) Term { return Term{Knd: KindIRI, Value: iri} }
+
+// NewBlank returns the blank node with the given label.
+func NewBlank(label string) Term { return Term{Knd: KindBlank, Value: label} }
+
+// NewVar returns the query variable with the given name. The name must not
+// include the leading '?' used in concrete syntax.
+func NewVar(name string) Term { return Term{Knd: KindVar, Value: name} }
+
+// NewLiteral returns a plain literal with the given lexical form.
+func NewLiteral(lex string) Term { return Term{Knd: KindLiteral, Value: lex} }
+
+// NewLangLiteral returns a language-tagged literal.
+func NewLangLiteral(lex, lang string) Term {
+	return Term{Knd: KindLiteral, Value: lex, Lang: lang}
+}
+
+// NewTypedLiteral returns a typed literal with the given datatype IRI.
+func NewTypedLiteral(lex, datatype string) Term {
+	return Term{Knd: KindLiteral, Value: lex, Datatype: datatype}
+}
+
+// Kind returns the syntactic category of the term.
+func (t Term) Kind() Kind { return t.Knd }
+
+// IsIRI reports whether the term is an IRI (element of U).
+func (t Term) IsIRI() bool { return t.Knd == KindIRI }
+
+// IsBlank reports whether the term is a blank node (element of B).
+func (t Term) IsBlank() bool { return t.Knd == KindBlank }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Knd == KindLiteral }
+
+// IsVar reports whether the term is a query variable.
+func (t Term) IsVar() bool { return t.Knd == KindVar }
+
+// IsGround reports whether the term is ground, i.e. neither a blank node
+// nor a variable. IRIs and literals are ground.
+func (t Term) IsGround() bool { return t.Knd == KindIRI || t.Knd == KindLiteral }
+
+// IsZero reports whether the term is the zero value (no valid kind).
+func (t Term) IsZero() bool { return t.Knd == KindInvalid }
+
+// Compare totally orders terms: first by kind (IRI < blank < literal <
+// var), then lexicographically by value, datatype and language tag. The
+// order is used for canonical serializations and deterministic iteration.
+func (t Term) Compare(u Term) int {
+	if t.Knd != u.Knd {
+		if t.Knd < u.Knd {
+			return -1
+		}
+		return 1
+	}
+	if c := strings.Compare(t.Value, u.Value); c != 0 {
+		return c
+	}
+	if c := strings.Compare(t.Datatype, u.Datatype); c != 0 {
+		return c
+	}
+	return strings.Compare(t.Lang, u.Lang)
+}
+
+// Less reports whether t sorts strictly before u under Compare.
+func (t Term) Less(u Term) bool { return t.Compare(u) < 0 }
+
+// String renders the term in N-Triples-like concrete syntax: IRIs in
+// angle brackets, blank nodes as _:label, literals quoted, variables with
+// a leading '?'.
+func (t Term) String() string {
+	switch t.Knd {
+	case KindIRI:
+		return "<" + t.Value + ">"
+	case KindBlank:
+		return "_:" + t.Value
+	case KindVar:
+		return "?" + t.Value
+	case KindLiteral:
+		s := quoteLiteral(t.Value)
+		if t.Lang != "" {
+			return s + "@" + t.Lang
+		}
+		if t.Datatype != "" {
+			return s + "^^<" + t.Datatype + ">"
+		}
+		return s
+	default:
+		return "<invalid>"
+	}
+}
+
+// quoteLiteral renders a literal lexical form with N-Triples escapes.
+func quoteLiteral(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// Validate reports an error if the term is not well formed: empty values,
+// or literal metadata on non-literals.
+func (t Term) Validate() error {
+	switch t.Knd {
+	case KindIRI, KindBlank, KindVar:
+		if t.Value == "" {
+			return fmt.Errorf("term: empty %s value", t.Knd)
+		}
+		if t.Datatype != "" || t.Lang != "" {
+			return fmt.Errorf("term: %s %q carries literal metadata", t.Knd, t.Value)
+		}
+		return nil
+	case KindLiteral:
+		if t.Datatype != "" && t.Lang != "" {
+			return fmt.Errorf("term: literal %q has both datatype and language", t.Value)
+		}
+		return nil
+	default:
+		return fmt.Errorf("term: invalid kind %d", t.Knd)
+	}
+}
+
+// CanSubject reports whether the term may occupy the subject position of a
+// well-formed RDF triple: subjects are drawn from U ∪ B.
+func (t Term) CanSubject() bool { return t.Knd == KindIRI || t.Knd == KindBlank }
+
+// CanPredicate reports whether the term may occupy the predicate position:
+// predicates are drawn from U only.
+func (t Term) CanPredicate() bool { return t.Knd == KindIRI }
+
+// CanObject reports whether the term may occupy the object position:
+// objects are drawn from U ∪ B (plus literals in the extended model).
+func (t Term) CanObject() bool {
+	return t.Knd == KindIRI || t.Knd == KindBlank || t.Knd == KindLiteral
+}

@@ -1,0 +1,182 @@
+package term
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		t        Term
+		kind     Kind
+		ground   bool
+		blank    bool
+		variable bool
+	}{
+		{NewIRI("http://ex.org/a"), KindIRI, true, false, false},
+		{NewBlank("b0"), KindBlank, false, true, false},
+		{NewVar("X"), KindVar, false, false, true},
+		{NewLiteral("hello"), KindLiteral, true, false, false},
+		{NewLangLiteral("hola", "es"), KindLiteral, true, false, false},
+		{NewTypedLiteral("1", "http://www.w3.org/2001/XMLSchema#integer"), KindLiteral, true, false, false},
+	}
+	for _, c := range cases {
+		if c.t.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.t, c.t.Kind(), c.kind)
+		}
+		if c.t.IsGround() != c.ground {
+			t.Errorf("%v: IsGround = %v, want %v", c.t, c.t.IsGround(), c.ground)
+		}
+		if c.t.IsBlank() != c.blank {
+			t.Errorf("%v: IsBlank = %v, want %v", c.t, c.t.IsBlank(), c.blank)
+		}
+		if c.t.IsVar() != c.variable {
+			t.Errorf("%v: IsVar = %v, want %v", c.t, c.t.IsVar(), c.variable)
+		}
+	}
+}
+
+func TestTermComparability(t *testing.T) {
+	// Terms must be usable as map keys with value semantics.
+	m := map[Term]int{}
+	m[NewIRI("a")] = 1
+	m[NewIRI("a")] = 2
+	m[NewBlank("a")] = 3
+	m[NewLiteral("a")] = 4
+	m[NewVar("a")] = 5
+	if len(m) != 4 {
+		t.Fatalf("expected 4 distinct keys, got %d", len(m))
+	}
+	if m[NewIRI("a")] != 2 {
+		t.Fatalf("IRI overwrite failed")
+	}
+}
+
+func TestLiteralDistinctions(t *testing.T) {
+	plain := NewLiteral("x")
+	lang := NewLangLiteral("x", "en")
+	typed := NewTypedLiteral("x", "http://www.w3.org/2001/XMLSchema#string")
+	if plain == lang || plain == typed || lang == typed {
+		t.Fatalf("literals with different metadata must differ")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		t    Term
+		want string
+	}{
+		{NewIRI("http://ex.org/a"), "<http://ex.org/a>"},
+		{NewBlank("x"), "_:x"},
+		{NewVar("X"), "?X"},
+		{NewLiteral("hi"), `"hi"`},
+		{NewLiteral("a\"b"), `"a\"b"`},
+		{NewLiteral("a\nb"), `"a\nb"`},
+		{NewLiteral(`a\b`), `"a\\b"`},
+		{NewLangLiteral("hi", "en"), `"hi"@en`},
+		{NewTypedLiteral("1", "http://www.w3.org/2001/XMLSchema#int"), `"1"^^<http://www.w3.org/2001/XMLSchema#int>`},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	ts := []Term{
+		NewVar("z"), NewIRI("b"), NewBlank("a"), NewLiteral("m"),
+		NewIRI("a"), NewBlank("b"), NewVar("a"),
+		NewLangLiteral("m", "en"), NewTypedLiteral("m", "dt"),
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Less(ts[i-1]) {
+			t.Fatalf("order not total at %d: %v < %v", i, ts[i], ts[i-1])
+		}
+	}
+	// IRIs sort before blanks before literals before vars.
+	if !ts[0].IsIRI() || !ts[len(ts)-1].IsVar() {
+		t.Fatalf("kind ordering violated: %v", ts)
+	}
+}
+
+func TestCompareProperties(t *testing.T) {
+	gen := func(vals []string, i, j int) (Term, Term) {
+		kinds := []func(string) Term{NewIRI, NewBlank, NewLiteral, NewVar}
+		return kinds[i%4](vals[0]), kinds[j%4](vals[1%len(vals)])
+	}
+	f := func(a, b string, i, j uint8) bool {
+		if a == "" || b == "" {
+			return true
+		}
+		x, y := gen([]string{a, b}, int(i), int(j))
+		// Antisymmetry and consistency with equality.
+		if x == y {
+			return x.Compare(y) == 0
+		}
+		return x.Compare(y) == -y.Compare(x) && x.Compare(y) != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Term{
+		NewIRI("a"), NewBlank("b"), NewVar("v"), NewLiteral(""),
+		NewLangLiteral("x", "en"), NewTypedLiteral("x", "dt"),
+	}
+	for _, g := range good {
+		if err := g.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", g, err)
+		}
+	}
+	bad := []Term{
+		{},                                     // invalid kind
+		{Knd: KindIRI},                         // empty IRI
+		{Knd: KindBlank},                       // empty label
+		{Knd: KindVar},                         // empty name
+		{Knd: KindIRI, Value: "a", Lang: "en"}, // metadata on IRI
+		{Knd: KindLiteral, Value: "x", Lang: "en", Datatype: "dt"}, // both
+		{Knd: KindBlank, Value: "b", Datatype: "dt"},               // metadata on blank
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("Validate(%#v) = nil, want error", b)
+		}
+	}
+}
+
+func TestPositionalCapabilities(t *testing.T) {
+	iri := NewIRI("a")
+	blank := NewBlank("b")
+	lit := NewLiteral("l")
+	v := NewVar("v")
+
+	if !iri.CanSubject() || !iri.CanPredicate() || !iri.CanObject() {
+		t.Error("IRI must be allowed in all positions")
+	}
+	if !blank.CanSubject() || blank.CanPredicate() || !blank.CanObject() {
+		t.Error("blank: subject/object only")
+	}
+	if lit.CanSubject() || lit.CanPredicate() || !lit.CanObject() {
+		t.Error("literal: object only")
+	}
+	if v.CanSubject() || v.CanPredicate() || v.CanObject() {
+		t.Error("variables are not data terms")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindIRI: "iri", KindBlank: "blank", KindLiteral: "literal",
+		KindVar: "var", KindInvalid: "invalid",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
