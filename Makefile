@@ -1,0 +1,38 @@
+# Tier-1 verification and development targets for semwebdb.
+
+GO ?= go
+
+.PHONY: verify check fmt vet test bench build examples
+
+# Tier-1: must stay green (ROADMAP.md).
+verify: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify + static hygiene.
+check: verify vet fmt
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Benchmark guard: compile and smoke-run every benchmark once so
+# bench_test.go can never rot silently.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+# Run every example program (living API documentation).
+examples:
+	@for e in quickstart artgallery premises normalforms containment; do \
+		echo "== examples/$$e =="; \
+		$(GO) run ./examples/$$e || exit 1; \
+	done

@@ -1,5 +1,5 @@
 // Benchmarks reproducing the complexity shapes claimed by the paper; one
-// benchmark family per experiment of EXPERIMENTS.md. Run with:
+// benchmark family per experiment of DESIGN.md. Run with:
 //
 //	go test -bench=. -benchmem
 package semwebdb_test

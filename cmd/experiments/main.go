@@ -1,6 +1,5 @@
-// Command experiments runs the reproduction experiments of
-// EXPERIMENTS.md (one per theorem/example of the paper) and prints their
-// tables.
+// Command experiments runs the reproduction experiments of DESIGN.md
+// (one per theorem/example of the paper) and prints their tables.
 //
 // Usage:
 //
@@ -16,7 +15,8 @@ import (
 	"os"
 	"strings"
 
-	"semwebdb/internal/experiments"
+	"semwebdb/semweb"
+	"semwebdb/semweb/cliutil"
 )
 
 func main() {
@@ -25,16 +25,18 @@ func main() {
 	list := flag.Bool("list", false, "list registered experiments")
 	flag.Parse()
 
+	tool := cliutil.New("experiments", "experiments [-quick] [-run E5,E8] [-list]")
+
 	if *list {
-		for _, e := range experiments.All() {
+		for _, e := range semweb.Experiments() {
 			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
 		}
 		return
 	}
 
-	cfg := experiments.Config{Quick: *quick}
+	cfg := semweb.ExperimentConfig{Quick: *quick}
 	if *run == "" {
-		if err := experiments.RunAll(os.Stdout, cfg); err != nil {
+		if err := semweb.RunExperiments(os.Stdout, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -42,12 +44,11 @@ func main() {
 	}
 	for _, id := range strings.Split(*run, ",") {
 		id = strings.TrimSpace(id)
-		e, ok := experiments.ByID(id)
+		e, ok := semweb.ExperimentByID(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", id)
-			os.Exit(2)
+			tool.Failf("unknown id %q (use -list)", id)
 		}
-		if err := experiments.RunOne(os.Stdout, e, cfg); err != nil {
+		if err := semweb.RunExperiment(os.Stdout, e, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

@@ -20,11 +20,8 @@ import (
 	"fmt"
 	"os"
 
-	"semwebdb/internal/core"
-	"semwebdb/internal/entail"
-	"semwebdb/internal/hom"
-	"semwebdb/internal/rdfio"
-	"semwebdb/internal/rdfs"
+	"semwebdb/semweb"
+	"semwebdb/semweb/cliutil"
 )
 
 func main() {
@@ -33,46 +30,45 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress output; use the exit status only")
 	flag.Parse()
 
+	tool := cliutil.New("rdfcheck", "rdfcheck -op entails|equiv|iso|lean|simple [-proof] [-q] file [file]")
+	ctx := tool.Context()
+
 	say := func(format string, args ...any) {
 		if !*quiet {
 			fmt.Printf(format+"\n", args...)
 		}
 	}
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "rdfcheck:", err)
-		os.Exit(2)
-	}
 	needArgs := func(n int) []string {
 		if flag.NArg() != n {
-			fail(fmt.Errorf("operation %q needs %d file argument(s)", *op, n))
+			tool.Failf("operation %q needs %d file argument(s)", *op, n)
 		}
 		return flag.Args()
+	}
+	check := func(holds bool, err error) bool {
+		if err != nil {
+			tool.Fail(err)
+		}
+		return holds
 	}
 
 	var holds bool
 	switch *op {
 	case "entails", "equiv", "iso":
 		args := needArgs(2)
-		g1, err := rdfio.Load(args[0])
-		if err != nil {
-			fail(err)
-		}
-		g2, err := rdfio.Load(args[1])
-		if err != nil {
-			fail(err)
-		}
+		g1 := tool.LoadGraph(args[0])
+		g2 := tool.LoadGraph(args[1])
 		switch *op {
 		case "entails":
 			if *proof {
-				p, ok := entail.EntailsWithProof(g1, g2)
+				p, ok := semweb.Prove(g1, g2)
 				holds = ok
 				if ok {
 					if err := p.Verify(g1, g2); err != nil {
-						fail(fmt.Errorf("internal: produced proof fails verification: %w", err))
+						tool.Failf("internal: produced proof fails verification: %v", err)
 					}
 					say("G1 ⊨ G2 with a %d-step proof:", p.Len())
 					for i, st := range p.Steps {
-						if st.Rule == rdfs.RuleExistential {
+						if st.Rule == semweb.RuleExistential {
 							say("  %2d. %s with map over %d blanks", i+1, st.Rule, len(st.Mu))
 						} else {
 							say("  %2d. %s", i+1, st.Inst)
@@ -82,34 +78,26 @@ func main() {
 					say("G1 ⊭ G2")
 				}
 			} else {
-				holds = entail.Entails(g1, g2)
+				holds = check(semweb.Entails(ctx, g1, g2))
 				say("G1 ⊨ G2: %v", holds)
 			}
 		case "equiv":
-			holds = entail.Equivalent(g1, g2)
+			holds = check(semweb.Equivalent(ctx, g1, g2))
 			say("G1 ≡ G2: %v", holds)
 		case "iso":
-			holds = hom.Isomorphic(g1, g2)
+			holds = semweb.Isomorphic(g1, g2)
 			say("G1 ≅ G2: %v", holds)
 		}
 	case "lean":
 		args := needArgs(1)
-		g, err := rdfio.Load(args[0])
-		if err != nil {
-			fail(err)
-		}
-		holds = core.IsLean(g)
+		holds = check(semweb.IsLean(ctx, tool.LoadGraph(args[0])))
 		say("lean: %v", holds)
 	case "simple":
 		args := needArgs(1)
-		g, err := rdfio.Load(args[0])
-		if err != nil {
-			fail(err)
-		}
-		holds = rdfs.IsSimple(g)
+		holds = semweb.IsSimple(tool.LoadGraph(args[0]))
 		say("simple: %v", holds)
 	default:
-		fail(fmt.Errorf("unknown operation %q", *op))
+		tool.Failf("unknown operation %q", *op)
 	}
 	if !holds {
 		os.Exit(1)

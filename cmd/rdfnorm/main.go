@@ -16,13 +16,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
-	"semwebdb/internal/canon"
-	"semwebdb/internal/closure"
-	"semwebdb/internal/core"
-	"semwebdb/internal/graph"
-	"semwebdb/internal/rdfio"
+	"semwebdb/semweb"
+	"semwebdb/semweb/cliutil"
 )
 
 func main() {
@@ -30,50 +26,51 @@ func main() {
 	stats := flag.Bool("stats", false, "print sizes instead of the graph")
 	fingerprint := flag.Bool("fingerprint", false, "print the equivalence fingerprint (canonical nf serialization)")
 	flag.Parse()
+
+	tool := cliutil.New("rdfnorm", "rdfnorm [-to closure|core|nf|minimal|canon] [-stats|-fingerprint] file")
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rdfnorm [-to closure|core|nf|minimal|canon] [-stats|-fingerprint] file")
-		os.Exit(2)
+		tool.UsageExit()
 	}
-	g, err := rdfio.Load(flag.Arg(0))
+	ctx := tool.Context()
+
+	db, err := semweb.Open(semweb.WithGraph(tool.LoadGraph(flag.Arg(0))))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rdfnorm:", err)
-		os.Exit(2)
+		tool.Fail(err)
 	}
 
 	if *fingerprint {
-		fmt.Print(core.Fingerprint(g))
+		fp, err := db.Fingerprint(ctx)
+		if err != nil {
+			tool.Fail(err)
+		}
+		fmt.Print(fp)
 		return
 	}
 
-	var out *graph.Graph
+	var out *semweb.Graph
 	switch *to {
 	case "closure":
-		out = closure.Cl(g)
+		out, err = db.Closure(ctx)
 	case "core":
-		out, _ = core.Core(g)
+		out, err = db.Core(ctx)
 	case "nf":
-		out = core.NormalForm(g)
+		out, err = db.NormalForm(ctx)
 	case "minimal":
-		m, err := core.MinimalRepresentation(g)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rdfnorm:", err)
-			os.Exit(2)
-		}
-		out = m
+		out, err = db.MinimalRepresentation()
 	case "canon":
-		out = canon.Canonicalize(g)
+		out = db.Canonical()
 	default:
-		fmt.Fprintf(os.Stderr, "rdfnorm: unknown target %q\n", *to)
-		os.Exit(2)
+		tool.Failf("unknown target %q", *to)
+	}
+	if err != nil {
+		tool.Fail(err)
 	}
 
 	if *stats {
-		fmt.Printf("input: %d triples, %d blanks\n", g.Len(), len(g.BlankNodes()))
+		in := db.Stats()
+		fmt.Printf("input: %d triples, %d blanks\n", in.Triples, in.BlankNodes)
 		fmt.Printf("%s: %d triples, %d blanks\n", *to, out.Len(), len(out.BlankNodes()))
 		return
 	}
-	if err := rdfio.Dump(os.Stdout, out); err != nil {
-		fmt.Fprintln(os.Stderr, "rdfnorm:", err)
-		os.Exit(2)
-	}
+	tool.WriteGraph(out)
 }

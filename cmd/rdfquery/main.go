@@ -6,7 +6,7 @@
 //
 //	rdfquery [-sem union|merge] [-stats] query.rq data.nt
 //
-// The query file format is documented on query.ParseQuery: HEAD:/BODY:
+// The query file format is documented on semweb.ParseQuery: HEAD:/BODY:
 // sections of triple patterns with ?variables, plus optional PREMISE:
 // and CONSTRAINTS: sections (Definition 4.1).
 package main
@@ -14,10 +14,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
-	"semwebdb/internal/query"
-	"semwebdb/internal/rdfio"
+	"semwebdb/semweb"
+	"semwebdb/semweb/cliutil"
 )
 
 func main() {
@@ -25,50 +24,43 @@ func main() {
 	stats := flag.Bool("stats", false, "print counts instead of the answer graph")
 	skipNF := flag.Bool("skip-nf", false, "match against cl(D+P) instead of nf(D+P) (faster, loses Theorem 4.6 invariance)")
 	flag.Parse()
+
+	tool := cliutil.New("rdfquery", "rdfquery [-sem union|merge] [-stats] query.rq data.nt")
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: rdfquery [-sem union|merge] [-stats] query.rq data.nt")
-		os.Exit(2)
-	}
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "rdfquery:", err)
-		os.Exit(2)
+		tool.UsageExit()
 	}
 
-	qsrc, err := os.ReadFile(flag.Arg(0))
+	q, err := semweb.ParseQuery(string(tool.ReadFile(flag.Arg(0))))
 	if err != nil {
-		fail(err)
+		tool.Fail(err)
 	}
-	q, err := query.ParseQuery(string(qsrc))
-	if err != nil {
-		fail(err)
-	}
-	d, err := rdfio.Load(flag.Arg(1))
-	if err != nil {
-		fail(err)
-	}
-
-	opts := query.Options{SkipNormalForm: *skipNF}
 	switch *sem {
 	case "union":
-		opts.Semantics = query.UnionSemantics
+		q.Under(semweb.Union)
 	case "merge":
-		opts.Semantics = query.MergeSemantics
+		q.Under(semweb.Merge)
 	default:
-		fail(fmt.Errorf("unknown semantics %q", *sem))
+		tool.Failf("unknown semantics %q", *sem)
+	}
+	if *skipNF {
+		q.WithoutNormalForm()
 	}
 
-	ans, err := query.Evaluate(q, d, opts)
+	db, err := semweb.Open(semweb.WithGraph(tool.LoadGraph(flag.Arg(1))))
 	if err != nil {
-		fail(err)
+		tool.Fail(err)
 	}
+	ans, err := db.Eval(tool.Context(), q)
+	if err != nil {
+		tool.Fail(err)
+	}
+
 	if *stats {
 		fmt.Printf("query: %s\n", q)
 		fmt.Printf("matchings: %d\nsingle answers: %d\nanswer triples: %d\n",
-			ans.Matchings, len(ans.Singles), ans.Graph.Len())
-		fmt.Printf("answer lean: %v\n", query.IsLeanAnswer(ans))
+			ans.Matchings(), len(ans.Singles()), ans.Len())
+		fmt.Printf("answer lean: %v\n", ans.Lean())
 		return
 	}
-	if err := rdfio.Dump(os.Stdout, ans.Graph); err != nil {
-		fail(err)
-	}
+	tool.WriteGraph(ans.Graph())
 }

@@ -1,6 +1,6 @@
 // Package semwebdb is a from-scratch Go reproduction of "Foundations of
-// Semantic Web databases" (Gutierrez, Hurtado, Mendelzon, Pérez; PODS
-// 2004 / JCSS 2011): the abstract RDF data model with RDFS semantics, its
+// Semantic Web databases" (Gutierrez, Hurtado, Mendelzon; PODS 2004 /
+// JCSS 2011): the abstract RDF data model with RDFS semantics, its
 // deductive system and model theory, closures, cores and normal forms,
 // tableau queries with premises and constraints under union and merge
 // semantics, and the two query-containment notions, together with the
@@ -8,6 +8,15 @@
 // conjunctive-query machinery) and an experiment harness reproducing
 // every theorem and worked example of the paper.
 //
-// The implementation lives under internal/; see README.md for the map
-// and DESIGN.md for the per-experiment index.
+// The public API is the semwebdb/semweb package: a DB opened with
+// semweb.Open, loaded through LoadNTriples/LoadTurtle/LoadFile, and
+// queried with the fluent Query builder via DB.Eval — which returns a
+// typed Answer and honors context cancellation throughout the engine's
+// hot loops. Graph-level operations (entailment, closure, normal form,
+// containment, fingerprints) are package-level functions there. The
+// command line tools under cmd/ and the walkthroughs under examples/
+// are written exclusively against that facade.
+//
+// Everything under internal/ is implementation detail; see README.md
+// for the package map and DESIGN.md for the per-experiment index.
 package semwebdb

@@ -6,15 +6,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"strings"
 
-	"semwebdb/internal/closure"
-	"semwebdb/internal/graph"
-	"semwebdb/internal/query"
-	"semwebdb/internal/rdfs"
-	"semwebdb/internal/term"
-	"semwebdb/internal/turtle"
+	"semwebdb/semweb"
 )
 
 const figure1 = `
@@ -40,76 +37,80 @@ art:picasso  a art:painter .
 `
 
 func main() {
-	db, err := turtle.Parse(figure1)
+	ctx := context.Background()
+
+	db, err := semweb.Open()
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.LoadTurtle(strings.NewReader(figure1)); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("Fig. 1 graph: %d triples\n", db.Len())
 
-	art := func(s string) term.Term { return term.NewIRI("urn:art:" + s) }
+	art := func(s string) semweb.Term { return semweb.IRI("urn:art:" + s) }
 
 	// The RDFS closure derives: picasso and rodin are artists (via
 	// dom+sp), guernica and thethinker are artifacts (via range+sp),
 	// picasso creates guernica (via sp), reinasofia is a museum (range).
-	cl := closure.Cl(db)
-	fmt.Printf("closure: %d triples\n\n", cl.Len())
-	checks := []graph.Triple{
-		graph.T(art("picasso"), rdfs.Type, art("artist")),
-		graph.T(art("rodin"), rdfs.Type, art("artist")),
-		graph.T(art("guernica"), rdfs.Type, art("artifact")),
-		graph.T(art("picasso"), art("creates"), art("guernica")),
-		graph.T(art("reinasofia"), rdfs.Type, art("museum")),
+	cl, err := db.Closure(ctx)
+	if err != nil {
+		log.Fatal(err)
 	}
-	mem := closure.NewMembership(db)
+	fmt.Printf("closure: %d triples\n\n", cl.Len())
+	checks := []semweb.Triple{
+		semweb.T(art("picasso"), semweb.Type, art("artist")),
+		semweb.T(art("rodin"), semweb.Type, art("artist")),
+		semweb.T(art("guernica"), semweb.Type, art("artifact")),
+		semweb.T(art("picasso"), art("creates"), art("guernica")),
+		semweb.T(art("reinasofia"), semweb.Type, art("museum")),
+	}
 	for _, c := range checks {
-		fmt.Printf("  %v ∈ cl(G): %v\n", c, mem.Contains(c))
+		fmt.Printf("  %v ∈ cl(G): %v\n", c, db.Infers(c))
 	}
 
 	// Query 1 (the paper's intro example): artifacts created by artists,
 	// exhibited at a given museum.
-	A, Y := term.NewVar("A"), term.NewVar("Y")
-	q1 := query.New(
-		[]graph.Triple{{S: A, P: art("createdWork"), O: Y}},
-		[]graph.Triple{
-			{S: A, P: rdfs.Type, O: art("artist")},
-			{S: A, P: art("creates"), O: Y},
-			{S: Y, P: art("exhibited"), O: art("reinasofia")},
-		},
-	)
-	ans1, err := query.Evaluate(q1, db, query.Options{})
+	A, Y := semweb.Var("A"), semweb.Var("Y")
+	q1 := semweb.NewQuery().
+		Head(semweb.T(A, art("createdWork"), Y)).
+		Body(
+			semweb.T(A, semweb.Type, art("artist")),
+			semweb.T(A, art("creates"), Y),
+			semweb.T(Y, art("exhibited"), art("reinasofia")),
+		)
+	ans1, err := db.Eval(ctx, q1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nartists with works exhibited at the Reina Sofía:")
-	fmt.Print(ans1.Graph)
+	fmt.Print(ans1.Graph())
 
 	// Query 2: everything that is an artist — requires type inference
 	// through dom, range and sc.
-	q2 := query.New(
-		[]graph.Triple{{S: A, P: term.NewIRI("urn:art:isArtist"), O: term.NewLiteral("true")}},
-		[]graph.Triple{{S: A, P: rdfs.Type, O: art("artist")}},
-	)
-	ans2, err := query.Evaluate(q2, db, query.Options{})
+	q2 := semweb.NewQuery().
+		Head(semweb.T(A, semweb.IRI("urn:art:isArtist"), semweb.Literal("true"))).
+		Body(semweb.T(A, semweb.Type, art("artist")))
+	ans2, err := db.Eval(ctx, q2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nall inferred artists:")
-	fmt.Print(ans2.Graph)
+	fmt.Print(ans2.Graph())
 
 	// Query 3: a head with a blank node — report each creator paired
 	// with an anonymous "creation event" (Skolemized per binding).
-	E := term.NewBlank("Event")
-	q3 := query.New(
-		[]graph.Triple{
-			{S: E, P: art("by"), O: A},
-			{S: E, P: art("produced"), O: Y},
-		},
-		[]graph.Triple{{S: A, P: art("creates"), O: Y}},
-	)
-	ans3, err := query.Evaluate(q3, db, query.Options{})
+	E := semweb.Blank("Event")
+	q3 := semweb.NewQuery().
+		Head(
+			semweb.T(E, art("by"), A),
+			semweb.T(E, art("produced"), Y),
+		).
+		Body(semweb.T(A, art("creates"), Y))
+	ans3, err := db.Eval(ctx, q3)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\ncreation events (one skolem blank per creation):")
-	fmt.Print(ans3.Graph)
+	fmt.Print(ans3.Graph())
 }

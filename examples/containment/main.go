@@ -10,14 +10,10 @@ import (
 	"fmt"
 	"log"
 
-	"semwebdb/internal/containment"
-	"semwebdb/internal/graph"
-	"semwebdb/internal/query"
-	"semwebdb/internal/rdfs"
-	"semwebdb/internal/term"
+	"semwebdb/semweb"
 )
 
-func must(d containment.Decision, err error) bool {
+func must(d semweb.Decision, err error) bool {
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,66 +21,68 @@ func must(d containment.Decision, err error) bool {
 }
 
 func main() {
-	X, Y, Z := term.NewVar("X"), term.NewVar("Y"), term.NewVar("Z")
-	p, q := term.NewIRI("urn:ex:p"), term.NewIRI("urn:ex:q")
+	X, Y, Z := semweb.Var("X"), semweb.Var("Y"), semweb.Var("Z")
+	p, q := semweb.IRI("urn:ex:p"), semweb.IRI("urn:ex:q")
 
 	// Basic: restricting a body gives containment.
 	fmt.Println("== basic containment ==")
-	small := query.New(
-		[]graph.Triple{{S: X, P: q, O: term.NewIRI("urn:ex:b")}},
-		[]graph.Triple{{S: X, P: p, O: term.NewIRI("urn:ex:b")}},
-	)
-	big := query.New(
-		[]graph.Triple{{S: X, P: q, O: Y}},
-		[]graph.Triple{{S: X, P: p, O: Y}},
-	)
-	fmt.Printf("selective ⊆p general: %v\n", must(containment.Standard(small, big)))
-	fmt.Printf("general ⊆p selective: %v\n\n", must(containment.Standard(big, small)))
+	small := semweb.NewQuery().
+		Head(semweb.T(X, q, semweb.IRI("urn:ex:b"))).
+		Body(semweb.T(X, p, semweb.IRI("urn:ex:b")))
+	big := semweb.NewQuery().
+		Head(semweb.T(X, q, Y)).
+		Body(semweb.T(X, p, Y))
+	fmt.Printf("selective ⊆p general: %v\n", must(semweb.Contained(small, big)))
+	fmt.Printf("general ⊆p selective: %v\n\n", must(semweb.Contained(big, small)))
 
 	// Example 5.3, pair 1: rdfs chains.
 	fmt.Println("== Example 5.3 (1): rdfs vocabulary ==")
-	b1 := []graph.Triple{
-		{S: X, P: rdfs.SubClassOf, O: Y},
-		{S: Y, P: rdfs.SubClassOf, O: Z},
+	b1 := []semweb.Triple{
+		semweb.T(X, semweb.SubClassOf, Y),
+		semweb.T(Y, semweb.SubClassOf, Z),
 	}
-	b1p := append(append([]graph.Triple{}, b1...), graph.Triple{S: X, P: rdfs.SubClassOf, O: Z})
-	q1, q1p := query.New(b1, b1), query.New(b1p, b1p)
+	b1p := append(append([]semweb.Triple{}, b1...), semweb.T(X, semweb.SubClassOf, Z))
+	q1 := semweb.NewQuery().Head(b1...).Body(b1...)
+	q1p := semweb.NewQuery().Head(b1p...).Body(b1p...)
 	fmt.Printf("q ⊆m q': %v   q' ⊆m q: %v   (mutual, thanks to sc-transitivity)\n",
-		must(containment.Entailment(q1, q1p)), must(containment.Entailment(q1p, q1)))
+		must(semweb.ContainedUnderEntailment(q1, q1p)), must(semweb.ContainedUnderEntailment(q1p, q1)))
 	fmt.Printf("q ⊆p q': %v   q' ⊆p q: %v   (single answers have different shapes)\n\n",
-		must(containment.Standard(q1, q1p)), must(containment.Standard(q1p, q1)))
+		must(semweb.Contained(q1, q1p)), must(semweb.Contained(q1p, q1)))
 
 	// Example 5.3, pair 2: blank node in the head.
 	fmt.Println("== Example 5.3 (2): blank head ==")
-	cst := term.NewIRI("urn:ex:c")
-	body2 := []graph.Triple{{S: cst, P: q, O: X}}
-	qc := query.New([]graph.Triple{{S: cst, P: q, O: X}}, body2)
-	qb := query.New([]graph.Triple{{S: term.NewBlank("N"), P: q, O: X}}, body2)
+	cst := semweb.IRI("urn:ex:c")
+	body2 := semweb.T(cst, q, X)
+	qc := semweb.NewQuery().Head(semweb.T(cst, q, X)).Body(body2)
+	qb := semweb.NewQuery().Head(semweb.T(semweb.Blank("N"), q, X)).Body(body2)
 	fmt.Printf("blank-head ⊆m constant-head: %v (the constant answer entails the blank one)\n",
-		must(containment.Entailment(qb, qc)))
+		must(semweb.ContainedUnderEntailment(qb, qc)))
 	fmt.Printf("blank-head ⊆p constant-head: %v (no isomorphism between the heads)\n\n",
-		must(containment.Standard(qb, qc)))
+		must(semweb.Contained(qb, qc)))
 
 	// Theorem 5.7: constraints.
 	fmt.Println("== Theorem 5.7: constraints ==")
-	bodyc := []graph.Triple{{S: X, P: p, O: Y}}
-	free := query.New(bodyc, bodyc)
-	constrained := query.New(bodyc, bodyc).WithConstraints(X)
-	fmt.Printf("constrained ⊆p unconstrained: %v\n", must(containment.Standard(constrained, free)))
+	bodyc := semweb.T(X, p, Y)
+	free := semweb.NewQuery().Head(bodyc).Body(bodyc)
+	constrained := semweb.NewQuery().Head(bodyc).Body(bodyc).WithConstraints(X)
+	fmt.Printf("constrained ⊆p unconstrained: %v\n", must(semweb.Contained(constrained, free)))
 	fmt.Printf("unconstrained ⊆p constrained: %v (a blank binding would violate C')\n\n",
-		must(containment.Standard(free, constrained)))
+		must(semweb.Contained(free, constrained)))
 
 	// Example 5.10: premise elimination.
 	fmt.Println("== Example 5.10: Ω_q premise elimination ==")
-	t, s := term.NewIRI("urn:ex:t"), term.NewIRI("urn:ex:s")
-	qprem := query.New(
-		[]graph.Triple{{S: X, P: p, O: Y}},
-		[]graph.Triple{{S: X, P: q, O: Y}, {S: Y, P: t, O: s}},
-	).WithPremise(graph.New(
-		graph.T(term.NewIRI("urn:ex:a"), t, s),
-		graph.T(term.NewIRI("urn:ex:b"), t, s),
-	))
-	omega := containment.PremiseExpansion(qprem)
+	t, s := semweb.IRI("urn:ex:t"), semweb.IRI("urn:ex:s")
+	qprem := semweb.NewQuery().
+		Head(semweb.T(X, p, Y)).
+		Body(semweb.T(X, q, Y), semweb.T(Y, t, s)).
+		WithPremiseTriples(
+			semweb.T(semweb.IRI("urn:ex:a"), t, s),
+			semweb.T(semweb.IRI("urn:ex:b"), t, s),
+		)
+	omega, err := semweb.PremiseExpansion(qprem)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("the premise query decomposes into %d premise-free queries:\n", len(omega))
 	for _, m := range omega {
 		fmt.Printf("  %v\n", m)
@@ -93,7 +91,7 @@ func main() {
 	// Containment with premises (Theorem 5.8 / Proposition 5.11): the
 	// premised query is contained in itself and contains its
 	// premise-free member.
-	noPrem := query.New(qprem.Head, qprem.Body)
-	fmt.Printf("\npremise-free member ⊆p premised query: %v\n", must(containment.Standard(noPrem, qprem)))
-	fmt.Printf("premised query ⊆p premise-free member: %v\n", must(containment.Standard(qprem, noPrem)))
+	noPrem := semweb.NewQuery().Head(qprem.HeadPatterns()...).Body(qprem.BodyPatterns()...)
+	fmt.Printf("\npremise-free member ⊆p premised query: %v\n", must(semweb.Contained(noPrem, qprem)))
+	fmt.Printf("premised query ⊆p premise-free member: %v\n", must(semweb.Contained(qprem, noPrem)))
 }

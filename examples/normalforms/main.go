@@ -8,97 +8,105 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"semwebdb/internal/closure"
-	"semwebdb/internal/core"
-	"semwebdb/internal/entail"
-	"semwebdb/internal/graph"
-	"semwebdb/internal/hom"
-	"semwebdb/internal/rdfs"
-	"semwebdb/internal/term"
+	"semwebdb/semweb"
 )
 
-func iri(s string) term.Term { return term.NewIRI("urn:ex:" + s) }
+func iri(s string) semweb.Term { return semweb.IRI("urn:ex:" + s) }
+
+var ctx = context.Background()
+
+// must collapses the (value, error) pair of the ctx-aware facade calls;
+// these tiny graphs never hit a cancellation.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
 
 func main() {
 	// ---- Example 3.2: the naive closure is not unique. ----
 	fmt.Println("== Example 3.2: naive closures are not unique ==")
 	p, q, r := iri("p"), iri("q"), iri("r")
 	a, b, c, d := iri("a"), iri("b"), iri("c"), iri("d")
-	X := term.NewBlank("X")
-	g := graph.New(
-		graph.T(a, p, c), graph.T(a, p, X), graph.T(a, p, b),
-		graph.T(c, r, d), graph.T(b, q, d),
+	X := semweb.Blank("X")
+	g := semweb.NewGraph(
+		semweb.T(a, p, c), semweb.T(a, p, X), semweb.T(a, p, b),
+		semweb.T(c, r, d), semweb.T(b, q, d),
 	)
-	ext1 := graph.Union(g, graph.New(graph.T(X, r, d)))
-	ext2 := graph.Union(g, graph.New(graph.T(X, q, d)))
-	both := graph.Union(ext1, ext2)
-	fmt.Printf("G + (X,r,d) ≡ G: %v\n", entail.Equivalent(g, ext1))
-	fmt.Printf("G + (X,q,d) ≡ G: %v\n", entail.Equivalent(g, ext2))
+	ext1 := semweb.GraphUnion(g, semweb.NewGraph(semweb.T(X, r, d)))
+	ext2 := semweb.GraphUnion(g, semweb.NewGraph(semweb.T(X, q, d)))
+	both := semweb.GraphUnion(ext1, ext2)
+	fmt.Printf("G + (X,r,d) ≡ G: %v\n", must(semweb.Equivalent(ctx, g, ext1)))
+	fmt.Printf("G + (X,q,d) ≡ G: %v\n", must(semweb.Equivalent(ctx, g, ext2)))
 	fmt.Printf("G + both    ≡ G: %v   (two incomparable maximal extensions)\n\n",
-		entail.Equivalent(g, both))
+		must(semweb.Equivalent(ctx, g, both)))
 
 	// ---- Example 3.8: leanness. ----
 	fmt.Println("== Example 3.8: lean and non-lean graphs ==")
-	Y := term.NewBlank("Y")
-	g1 := graph.New(graph.T(a, p, X), graph.T(a, p, Y))
-	g2 := graph.New(
-		graph.T(a, p, X), graph.T(a, p, Y),
-		graph.T(X, q, Y), graph.T(Y, r, b),
+	Y := semweb.Blank("Y")
+	g1 := semweb.NewGraph(semweb.T(a, p, X), semweb.T(a, p, Y))
+	g2 := semweb.NewGraph(
+		semweb.T(a, p, X), semweb.T(a, p, Y),
+		semweb.T(X, q, Y), semweb.T(Y, r, b),
 	)
-	fmt.Printf("G1 = {a p X, a p Y} lean: %v\n", core.IsLean(g1))
-	fmt.Printf("G2 = {a p X, a p Y, X q Y, Y r b} lean: %v\n", core.IsLean(g2))
-	c1, mu := core.Core(g1)
-	fmt.Printf("core(G1) has %d triple(s); retraction folds %d blank(s)\n\n", c1.Len(), len(mu))
+	fmt.Printf("G1 = {a p X, a p Y} lean: %v\n", must(semweb.IsLean(ctx, g1)))
+	fmt.Printf("G2 = {a p X, a p Y, X q Y, Y r b} lean: %v\n", must(semweb.IsLean(ctx, g2)))
+	c1 := must(semweb.CoreOf(ctx, g1))
+	fmt.Printf("core(G1) has %d triple(s); the retraction folds the blanks together\n\n", c1.Len())
 
 	// ---- Example 3.14: minimal representations, cyclic case. ----
 	fmt.Println("== Example 3.14: minimal representations need acyclicity ==")
-	sp := rdfs.SubPropertyOf
-	ex314 := graph.New(
-		graph.T(b, sp, c), graph.T(c, sp, b),
-		graph.T(b, sp, a), graph.T(c, sp, a),
+	sp := semweb.SubPropertyOf
+	ex314 := semweb.NewGraph(
+		semweb.T(b, sp, c), semweb.T(c, sp, b),
+		semweb.T(b, sp, a), semweb.T(c, sp, a),
 	)
-	if _, err := core.MinimalRepresentation(ex314); err != nil {
+	if _, err := semweb.MinimalRepresentation(ex314); err != nil {
 		fmt.Printf("MinimalRepresentation correctly refuses: %v\n", err)
 	}
-	m1 := ex314.Without(graph.T(b, sp, a))
-	m2 := ex314.Without(graph.T(c, sp, a))
+	m1 := ex314.Without(semweb.T(b, sp, a))
+	m2 := ex314.Without(semweb.T(c, sp, a))
 	fmt.Printf("dropping (b,sp,a): ≡ G? %v;  dropping (c,sp,a): ≡ G? %v;  isomorphic? %v\n\n",
-		entail.Equivalent(ex314, m1), entail.Equivalent(ex314, m2), hom.Isomorphic(m1, m2))
+		must(semweb.Equivalent(ctx, ex314, m1)), must(semweb.Equivalent(ctx, ex314, m2)),
+		semweb.Isomorphic(m1, m2))
 
 	// ---- Example 3.15: reserved vocabulary as data. ----
 	fmt.Println("== Example 3.15: vocabulary in subject position ==")
 	x := iri("x")
-	ex315 := graph.New(
-		graph.T(a, rdfs.SubClassOf, b),
-		graph.T(rdfs.Type, rdfs.Domain, a),
-		graph.T(x, rdfs.Type, a),
-		graph.T(x, rdfs.Type, b),
+	ex315 := semweb.NewGraph(
+		semweb.T(a, semweb.SubClassOf, b),
+		semweb.T(semweb.Type, semweb.Domain, a),
+		semweb.T(x, semweb.Type, a),
+		semweb.T(x, semweb.Type, b),
 	)
-	if _, err := core.MinimalRepresentation(ex315); err != nil {
+	if _, err := semweb.MinimalRepresentation(ex315); err != nil {
 		fmt.Printf("MinimalRepresentation correctly refuses: %v\n", err)
 	}
-	g315a := ex315.Without(graph.T(x, rdfs.Type, b))
-	g315b := ex315.Without(graph.T(x, rdfs.Type, a))
+	g315a := ex315.Without(semweb.T(x, semweb.Type, b))
+	g315b := ex315.Without(semweb.T(x, semweb.Type, a))
 	fmt.Printf("both one-triple reductions equivalent: %v and %v (two distinct minima)\n\n",
-		entail.Equivalent(ex315, g315a), entail.Equivalent(ex315, g315b))
+		must(semweb.Equivalent(ctx, ex315, g315a)), must(semweb.Equivalent(ctx, ex315, g315b)))
 
 	// ---- Example 3.17 / Theorem 3.19: the normal form. ----
 	fmt.Println("== Example 3.17: nf(G) = core(cl(G)) is syntax independent ==")
-	N := term.NewBlank("N")
-	G := graph.New(
-		graph.T(a, rdfs.SubClassOf, b), graph.T(b, rdfs.SubClassOf, c),
-		graph.T(a, rdfs.SubClassOf, N), graph.T(N, rdfs.SubClassOf, c),
+	N := semweb.Blank("N")
+	G := semweb.NewGraph(
+		semweb.T(a, semweb.SubClassOf, b), semweb.T(b, semweb.SubClassOf, c),
+		semweb.T(a, semweb.SubClassOf, N), semweb.T(N, semweb.SubClassOf, c),
 	)
-	H := graph.New(
-		graph.T(a, rdfs.SubClassOf, b), graph.T(b, rdfs.SubClassOf, c),
-		graph.T(a, rdfs.SubClassOf, c),
+	H := semweb.NewGraph(
+		semweb.T(a, semweb.SubClassOf, b), semweb.T(b, semweb.SubClassOf, c),
+		semweb.T(a, semweb.SubClassOf, c),
 	)
-	fmt.Printf("G ≡ H: %v\n", entail.Equivalent(G, H))
+	fmt.Printf("G ≡ H: %v\n", must(semweb.Equivalent(ctx, G, H)))
 	fmt.Printf("cl(G) ≅ cl(H): %v   (closure is syntax dependent)\n",
-		hom.Isomorphic(closure.Cl(G), closure.Cl(H)))
-	fmt.Printf("nf(G) ≅ nf(H): %v   (the normal form is not)\n", core.SameNormalForm(G, H))
+		semweb.Isomorphic(must(semweb.Closure(ctx, G)), must(semweb.Closure(ctx, H))))
+	fmt.Printf("nf(G) ≅ nf(H): %v   (the normal form is not)\n", must(semweb.SameNormalForm(ctx, G, H)))
 	fmt.Println("\nnf(G):")
-	fmt.Print(core.NormalForm(G))
+	fmt.Print(must(semweb.NormalForm(ctx, G)))
 }

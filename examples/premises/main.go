@@ -6,96 +6,102 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"semwebdb/internal/containment"
-	"semwebdb/internal/graph"
-	"semwebdb/internal/query"
-	"semwebdb/internal/rdfs"
-	"semwebdb/internal/term"
+	"semwebdb/semweb"
 )
 
 func main() {
-	ex := func(s string) term.Term { return term.NewIRI("urn:ex:" + s) }
+	ctx := context.Background()
+	ex := func(s string) semweb.Term { return semweb.IRI("urn:ex:" + s) }
 
 	// A database that knows sons and daughters, but has no notion of
 	// "relative".
-	db := graph.New(
-		graph.T(ex("john"), ex("son"), ex("peter")),
-		graph.T(ex("ana"), ex("daughter"), ex("peter")),
-		graph.T(ex("luis"), ex("son"), ex("john")),
-	)
+	db, err := semweb.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Add(
+		semweb.T(ex("john"), ex("son"), ex("peter")),
+		semweb.T(ex("ana"), ex("daughter"), ex("peter")),
+		semweb.T(ex("luis"), ex("son"), ex("john")),
+	); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("database:")
-	fmt.Print(db)
+	fmt.Print(db.Snapshot())
 
-	X := term.NewVar("X")
+	X := semweb.Var("X")
 
 	// The paper's example: ask for relatives of Peter, *supplying* the
 	// knowledge that son is a subproperty of relative. The premise joins
 	// the database for this query only.
-	q := query.New(
-		[]graph.Triple{{S: X, P: ex("relative"), O: ex("peter")}},
-		[]graph.Triple{{S: X, P: ex("relative"), O: ex("peter")}},
-	).WithPremise(graph.New(
-		graph.T(ex("son"), rdfs.SubPropertyOf, ex("relative")),
-	))
+	q := semweb.NewQuery().
+		Head(semweb.T(X, ex("relative"), ex("peter"))).
+		Body(semweb.T(X, ex("relative"), ex("peter"))).
+		WithPremiseTriples(semweb.T(ex("son"), semweb.SubPropertyOf, ex("relative")))
 
-	ans, err := query.Evaluate(q, db, query.Options{})
+	ans, err := db.Eval(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nrelatives of peter, given 'son sp relative':")
-	fmt.Print(ans.Graph)
+	fmt.Print(ans.Graph())
 
 	// Hypothetical variant: also declare daughters as relatives.
-	q2 := query.New(q.Head, q.Body).WithPremise(graph.New(
-		graph.T(ex("son"), rdfs.SubPropertyOf, ex("relative")),
-		graph.T(ex("daughter"), rdfs.SubPropertyOf, ex("relative")),
-	))
-	ans2, err := query.Evaluate(q2, db, query.Options{})
+	q2 := semweb.NewQuery().
+		Head(q.HeadPatterns()...).
+		Body(q.BodyPatterns()...).
+		WithPremiseTriples(
+			semweb.T(ex("son"), semweb.SubPropertyOf, ex("relative")),
+			semweb.T(ex("daughter"), semweb.SubPropertyOf, ex("relative")),
+		)
+	ans2, err := db.Eval(ctx, q2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\n…and additionally 'daughter sp relative':")
-	fmt.Print(ans2.Graph)
+	fmt.Print(ans2.Graph())
 
 	// The paper notes premises cannot be simulated by Datalog-like
 	// data-independent queries: the premise interacts with the
 	// *transitive* sp semantics. Demonstrate: add a database triple
 	// linking relative upward; the same premise now yields more.
-	db2 := graph.Union(db, graph.New(
-		graph.T(ex("relative"), rdfs.SubPropertyOf, ex("contact")),
-	))
-	q3 := query.New(
-		[]graph.Triple{{S: X, P: ex("contact"), O: ex("peter")}},
-		[]graph.Triple{{S: X, P: ex("contact"), O: ex("peter")}},
-	).WithPremise(graph.New(
-		graph.T(ex("son"), rdfs.SubPropertyOf, ex("relative")),
-	))
-	ans3, err := query.Evaluate(q3, db2, query.Options{})
+	if err := db.Add(semweb.T(ex("relative"), semweb.SubPropertyOf, ex("contact"))); err != nil {
+		log.Fatal(err)
+	}
+	q3 := semweb.NewQuery().
+		Head(semweb.T(X, ex("contact"), ex("peter"))).
+		Body(semweb.T(X, ex("contact"), ex("peter"))).
+		WithPremiseTriples(semweb.T(ex("son"), semweb.SubPropertyOf, ex("relative")))
+	ans3, err := db.Eval(ctx, q3)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\ncontacts of peter (premise chains through the database's own sp triple):")
-	fmt.Print(ans3.Graph)
+	fmt.Print(ans3.Graph())
 
 	// Ω_q: a premise query over *uninterpreted* vocabulary decomposes
 	// into premise-free queries (Proposition 5.9). Note this rewrite is
 	// for simple queries; the rdfs-premise queries above are evaluated
 	// directly.
-	Y := term.NewVar("Y")
-	simpleQ := query.New(
-		[]graph.Triple{{S: X, P: ex("knows"), O: Y}},
-		[]graph.Triple{
-			{S: X, P: ex("met"), O: Y},
-			{S: Y, P: ex("status"), O: ex("public")},
-		},
-	).WithPremise(graph.New(
-		graph.T(ex("alice"), ex("status"), ex("public")),
-		graph.T(ex("bob"), ex("status"), ex("public")),
-	))
-	omega := containment.PremiseExpansion(simpleQ)
+	Y := semweb.Var("Y")
+	simpleQ := semweb.NewQuery().
+		Head(semweb.T(X, ex("knows"), Y)).
+		Body(
+			semweb.T(X, ex("met"), Y),
+			semweb.T(Y, ex("status"), ex("public")),
+		).
+		WithPremiseTriples(
+			semweb.T(ex("alice"), ex("status"), ex("public")),
+			semweb.T(ex("bob"), ex("status"), ex("public")),
+		)
+	omega, err := semweb.PremiseExpansion(simpleQ)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nΩ_q of the 'met someone public' query has %d premise-free members:\n", len(omega))
 	for _, m := range omega {
 		fmt.Printf("  %v\n", m)

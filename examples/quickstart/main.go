@@ -1,63 +1,80 @@
-// Quickstart: build RDF graphs, parse N-Triples, decide entailment,
-// compute closures/cores/normal forms, and run a first tableau query.
+// Quickstart: open a database, load N-Triples, decide entailment,
+// compute closures/cores/normal forms, and run a first tableau query —
+// all through the public semweb facade.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"strings"
 
-	"semwebdb/internal/closure"
-	"semwebdb/internal/core"
-	"semwebdb/internal/entail"
-	"semwebdb/internal/graph"
-	"semwebdb/internal/ntriples"
-	"semwebdb/internal/query"
-	"semwebdb/internal/rdfs"
-	"semwebdb/internal/term"
+	"semwebdb/semweb"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Build a graph programmatically: a tiny genealogy schema.
-	son := term.NewIRI("urn:ex:son")
-	child := term.NewIRI("urn:ex:child")
-	tom := term.NewIRI("urn:ex:tom")
-	mary := term.NewIRI("urn:ex:mary")
+	son := semweb.IRI("urn:ex:son")
+	child := semweb.IRI("urn:ex:child")
+	tom := semweb.IRI("urn:ex:tom")
+	mary := semweb.IRI("urn:ex:mary")
 
-	g := graph.New(
-		graph.T(son, rdfs.SubPropertyOf, child),
-		graph.T(tom, son, mary),
-	)
-	fmt.Println("G:")
-	fmt.Print(g)
-
-	// 2. Parse more data from N-Triples and union it in.
-	extra, err := ntriples.ParseString(
-		`<urn:ex:ann> <urn:ex:son> <urn:ex:mary> .` + "\n" +
-			`_:someone <urn:ex:child> <urn:ex:mary> .` + "\n")
+	db, err := semweb.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
-	db := graph.Union(g, extra)
-	fmt.Printf("\ndatabase has %d triples, %d blank nodes\n", db.Len(), len(db.BlankNodes()))
+	if err := db.Add(
+		semweb.T(son, semweb.SubPropertyOf, child),
+		semweb.T(tom, son, mary),
+	); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("G:")
+	fmt.Print(db.Snapshot())
+
+	// 2. Parse more data from N-Triples and union it in.
+	err = db.LoadNTriples(strings.NewReader(
+		`<urn:ex:ann> <urn:ex:son> <urn:ex:mary> .` + "\n" +
+			`_:someone <urn:ex:child> <urn:ex:mary> .` + "\n"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := db.Stats()
+	fmt.Printf("\ndatabase has %d triples, %d blank nodes\n", stats.Triples, stats.BlankNodes)
 
 	// 3. Entailment (Theorem 2.8): does the database entail that tom is
 	// a child of mary? The sp triple makes it so.
-	consequence := graph.New(graph.T(tom, child, mary))
-	fmt.Printf("\nD ⊨ {(tom, child, mary)}: %v\n", entail.Entails(db, consequence))
+	consequence := semweb.NewGraph(semweb.T(tom, child, mary))
+	entails, err := db.Entails(ctx, consequence)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nD ⊨ {(tom, child, mary)}: %v\n", entails)
 
 	// A proof in the deductive system (Theorem 2.6).
-	proof, ok := entail.EntailsWithProof(db, consequence)
+	proof, ok := db.Prove(consequence)
 	if !ok {
 		log.Fatal("no proof found")
 	}
 	fmt.Printf("checked proof with %d steps\n", proof.Len())
 
 	// 4. Closure, core, normal form (Section 3).
-	cl := closure.Cl(db)
-	c, _ := core.Core(db)
-	nf := core.NormalForm(db)
+	cl, err := db.Closure(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := db.Core(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nf, err := db.NormalForm(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\n|G| = %d   |cl(G)| = %d   |core(G)| = %d   |nf(G)| = %d\n",
 		db.Len(), cl.Len(), c.Len(), nf.Len())
 	// In the raw graph the blank "someone" is NOT redundant (no explicit
@@ -68,16 +85,16 @@ func main() {
 
 	// 5. A tableau query with a constraint (Definition 4.1): children of
 	// mary, bound to named individuals only.
-	X := term.NewVar("X")
-	q := query.New(
-		[]graph.Triple{{S: X, P: term.NewIRI("urn:ex:childOf"), O: mary}},
-		[]graph.Triple{{S: X, P: child, O: mary}},
-	).WithConstraints(X)
-	ans, err := query.Evaluate(q, db, query.Options{})
+	X := semweb.Var("X")
+	q := semweb.NewQuery().
+		Head(semweb.T(X, semweb.IRI("urn:ex:childOf"), mary)).
+		Body(semweb.T(X, child, mary)).
+		WithConstraints(X)
+	ans, err := db.Eval(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nanswer (union semantics):")
-	fmt.Print(ans.Graph)
-	fmt.Printf("answer is lean: %v\n", query.IsLeanAnswer(ans))
+	fmt.Print(ans.Graph())
+	fmt.Printf("answer is lean: %v\n", ans.Lean())
 }

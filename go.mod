@@ -1,0 +1,3 @@
+module semwebdb
+
+go 1.24.0

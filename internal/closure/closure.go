@@ -6,6 +6,8 @@
 package closure
 
 import (
+	"context"
+
 	"semwebdb/internal/graph"
 	"semwebdb/internal/rdfs"
 	"semwebdb/internal/term"
@@ -19,6 +21,14 @@ import (
 // indexes, so no rule instantiation is re-derived from scratch per round.
 // NaiveRDFSCl is the round-based baseline (ablation A2).
 func RDFSCl(g *graph.Graph) *graph.Graph {
+	out, _ := RDFSClCtx(context.Background(), g)
+	return out
+}
+
+// RDFSClCtx is RDFSCl under a context: the saturation loop polls ctx
+// periodically and aborts with its error when it is cancelled, so
+// closures of large graphs are interruptible.
+func RDFSClCtx(ctx context.Context, g *graph.Graph) (*graph.Graph, error) {
 	e := newEngine()
 	g.Each(func(t graph.Triple) bool {
 		e.add(t)
@@ -28,8 +38,10 @@ func RDFSCl(g *graph.Graph) *graph.Graph {
 	for _, p := range rdfs.Vocabulary() {
 		e.add(graph.T(p, rdfs.SubPropertyOf, p))
 	}
-	e.run()
-	return e.out
+	if err := e.run(ctx); err != nil {
+		return nil, err
+	}
+	return e.out, nil
 }
 
 // Cl returns cl(G) following Definition 3.5 literally: skolemize G to the
@@ -37,7 +49,17 @@ func RDFSCl(g *graph.Graph) *graph.Graph {
 // that become ill-formed). By Lemma 3.4 and Theorem 3.6(2) this coincides
 // with RDFSCl; the two code paths are property-tested against each other.
 func Cl(g *graph.Graph) *graph.Graph {
-	return graph.Unskolemize(RDFSCl(graph.Skolemize(g)))
+	out, _ := ClCtx(context.Background(), g)
+	return out
+}
+
+// ClCtx is Cl under a context (see RDFSClCtx).
+func ClCtx(ctx context.Context, g *graph.Graph) (*graph.Graph, error) {
+	closed, err := RDFSClCtx(ctx, graph.Skolemize(g))
+	if err != nil {
+		return nil, err
+	}
+	return graph.Unskolemize(closed), nil
 }
 
 // NaiveRDFSCl computes the closure by repeatedly enumerating every rule
@@ -127,12 +149,21 @@ func (e *engine) add(t graph.Triple) {
 	e.queue = append(e.queue, t)
 }
 
-func (e *engine) run() {
-	for len(e.queue) > 0 {
+func (e *engine) run(ctx context.Context) error {
+	done := ctx.Done()
+	for n := 0; len(e.queue) > 0; n++ {
+		if done != nil && n&0x3ff == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		t := e.queue[len(e.queue)-1]
 		e.queue = e.queue[:len(e.queue)-1]
 		e.process(t)
 	}
+	return nil
 }
 
 // process fires every rule that has t as one of its antecedents, joining

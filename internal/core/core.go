@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"semwebdb/internal/canon"
@@ -28,18 +29,32 @@ import (
 // problem is coNP-complete (Theorem 3.12), so exponential behaviour on
 // adversarial inputs is expected.
 func IsLean(g *graph.Graph) bool {
-	_, proper := findProperRetraction(g)
-	return !proper
+	lean, _ := IsLeanCtx(context.Background(), g)
+	return lean
+}
+
+// IsLeanCtx is IsLean under a context: the underlying map searches poll
+// ctx and abort with its error when it is cancelled.
+func IsLeanCtx(ctx context.Context, g *graph.Graph) (bool, error) {
+	_, proper, err := findProperRetraction(ctx, g)
+	if err != nil {
+		return false, err
+	}
+	return !proper, nil
 }
 
 // findProperRetraction returns a map μ with μ(G) ⊊ G, if one exists.
-func findProperRetraction(g *graph.Graph) (graph.Map, bool) {
+func findProperRetraction(ctx context.Context, g *graph.Graph) (graph.Map, bool, error) {
 	for _, t := range g.NonGroundTriples() {
-		if mu, ok := hom.FindMap(g, g.Without(t)); ok {
-			return mu, true
+		mu, ok, err := hom.FindMapCtx(ctx, g, g.Without(t))
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return mu, true, nil
 		}
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // Core returns core(G): the unique (up to isomorphism) lean subgraph of G
@@ -51,12 +66,22 @@ func findProperRetraction(g *graph.Graph) (graph.Map, bool) {
 // |G| homomorphism searches of searches happen; each search is
 // NP-complete in general (Theorem 3.12 makes this unavoidable).
 func Core(g *graph.Graph) (*graph.Graph, graph.Map) {
+	c, mu, _ := CoreCtx(context.Background(), g)
+	return c, mu
+}
+
+// CoreCtx is Core under a context: each retraction's map search polls
+// ctx and the computation aborts with its error when it is cancelled.
+func CoreCtx(ctx context.Context, g *graph.Graph) (*graph.Graph, graph.Map, error) {
 	cur := g.Clone()
 	total := make(graph.Map)
 	for {
-		mu, proper := findProperRetraction(cur)
+		mu, proper, err := findProperRetraction(ctx, cur)
+		if err != nil {
+			return nil, nil, err
+		}
 		if !proper {
-			return cur, total
+			return cur, total, nil
 		}
 		cur = mu.Apply(cur)
 		total = total.Compose(mu)
@@ -79,7 +104,20 @@ func IsCoreOf(h, g *graph.Graph) bool {
 // 3.19 it is unique up to isomorphism and syntax independent:
 // G ≡ H iff nf(G) ≅ nf(H).
 func NormalForm(g *graph.Graph) *graph.Graph {
-	return CoreGraph(closure.Cl(g))
+	nf, _ := NormalFormCtx(context.Background(), g)
+	return nf
+}
+
+// NormalFormCtx is NormalForm under a context: both the closure
+// saturation and the core retraction searches poll ctx and abort with
+// its error when it is cancelled.
+func NormalFormCtx(ctx context.Context, g *graph.Graph) (*graph.Graph, error) {
+	cl, err := closure.ClCtx(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	nf, _, err := CoreCtx(ctx, cl)
+	return nf, err
 }
 
 // SameNormalForm reports nf(G) ≅ nf(H), which by Theorem 3.19 decides
@@ -94,7 +132,17 @@ func SameNormalForm(g, h *graph.Graph) bool {
 // of canonical labeling, G ≡ H iff Fingerprint(G) == Fingerprint(H), so
 // semantic equivalence of RDF databases reduces to string comparison.
 func Fingerprint(g *graph.Graph) string {
-	return canon.String(NormalForm(g))
+	fp, _ := FingerprintCtx(context.Background(), g)
+	return fp
+}
+
+// FingerprintCtx is Fingerprint under a context (see NormalFormCtx).
+func FingerprintCtx(ctx context.Context, g *graph.Graph) (string, error) {
+	nf, err := NormalFormCtx(ctx, g)
+	if err != nil {
+		return "", err
+	}
+	return canon.String(nf), nil
 }
 
 // ErrNotInRestrictedClass is returned by MinimalRepresentation when the

@@ -10,6 +10,8 @@
 package entail
 
 import (
+	"context"
+
 	"semwebdb/internal/closure"
 	"semwebdb/internal/cq"
 	"semwebdb/internal/graph"
@@ -33,6 +35,13 @@ type Checker struct {
 
 // NewChecker prepares entailment checking from g.
 func NewChecker(g *graph.Graph) *Checker {
+	c, _ := NewCheckerCtx(context.Background(), g)
+	return c
+}
+
+// NewCheckerCtx is NewChecker under a context: the closure computation
+// polls ctx and aborts with its error when cancelled.
+func NewCheckerCtx(ctx context.Context, g *graph.Graph) (*Checker, error) {
 	c := &Checker{g: g, simple: rdfs.IsSimple(g)}
 	if c.simple {
 		// For simple G1, a simple G2 maps into cl(G1) iff it maps into
@@ -40,10 +49,14 @@ func NewChecker(g *graph.Graph) *Checker {
 		// which patterns without reserved predicates cannot match.
 		c.cl = g
 	} else {
-		c.cl = closure.RDFSCl(g)
+		cl, err := closure.RDFSClCtx(ctx, g)
+		if err != nil {
+			return nil, err
+		}
+		c.cl = cl
 	}
 	c.finder = hom.NewFinder(c.cl)
-	return c
+	return c, nil
 }
 
 // Closure returns the materialized closure used by the checker (G itself
@@ -69,9 +82,36 @@ func (c *Checker) Witness(h *graph.Graph) (graph.Map, bool) {
 	return c.finder.Find(h)
 }
 
+// WitnessCtx is Witness under a context: the map search polls ctx and
+// aborts with its error when it is cancelled.
+func (c *Checker) WitnessCtx(ctx context.Context, h *graph.Graph) (graph.Map, bool, error) {
+	if c.simple && !rdfs.IsSimple(h) {
+		if c.fullFinder == nil {
+			full, err := closure.RDFSClCtx(ctx, c.g)
+			if err != nil {
+				return nil, false, err
+			}
+			c.fullFinder = hom.NewFinder(full)
+		}
+		return c.fullFinder.FindCtx(ctx, h)
+	}
+	return c.finder.FindCtx(ctx, h)
+}
+
 // Entails reports G1 ⊨ G2 under the full RDFS semantics.
 func Entails(g1, g2 *graph.Graph) bool {
 	return NewChecker(g1).Entails(g2)
+}
+
+// EntailsCtx is Entails under a context: both the closure of g1 and the
+// map search poll ctx and abort with its error when it is cancelled.
+func EntailsCtx(ctx context.Context, g1, g2 *graph.Graph) (bool, error) {
+	c, err := NewCheckerCtx(ctx, g1)
+	if err != nil {
+		return false, err
+	}
+	_, ok, err := c.WitnessCtx(ctx, g2)
+	return ok, err
 }
 
 // SimpleEntails reports G1 ⊨ G2 for simple graphs, via the map
@@ -84,6 +124,15 @@ func SimpleEntails(g1, g2 *graph.Graph) bool {
 // Equivalent reports G1 ≡ G2, i.e. G1 ⊨ G2 and G2 ⊨ G1.
 func Equivalent(g1, g2 *graph.Graph) bool {
 	return Entails(g1, g2) && Entails(g2, g1)
+}
+
+// EquivalentCtx is Equivalent under a context (see EntailsCtx).
+func EquivalentCtx(ctx context.Context, g1, g2 *graph.Graph) (bool, error) {
+	ok, err := EntailsCtx(ctx, g1, g2)
+	if err != nil || !ok {
+		return false, err
+	}
+	return EntailsCtx(ctx, g2, g1)
 }
 
 // EntailsAuto decides G1 ⊨ G2 routing through the guaranteed-polynomial

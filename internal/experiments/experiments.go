@@ -1,5 +1,5 @@
 // Package experiments implements the experiment harness of
-// EXPERIMENTS.md: one registered experiment per theorem/example of the
+// DESIGN.md: one registered experiment per theorem/example of the
 // paper, each printing a self-contained table. The harness is driven by
 // cmd/experiments; every experiment is deterministic given its built-in
 // seeds.

@@ -7,7 +7,7 @@
 // independence experiments.
 //
 // Every generator takes an explicit seed (or is fully deterministic), so
-// the experiments in EXPERIMENTS.md reproduce bit-for-bit.
+// the experiments in DESIGN.md reproduce bit-for-bit.
 package gen
 
 import (

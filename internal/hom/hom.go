@@ -9,6 +9,8 @@
 package hom
 
 import (
+	"context"
+
 	"semwebdb/internal/graph"
 	"semwebdb/internal/match"
 	"semwebdb/internal/term"
@@ -37,6 +39,20 @@ func (f *Finder) Find(src *graph.Graph) (graph.Map, bool) {
 		return nil, false
 	}
 	return bindingToMap(b), true
+}
+
+// FindCtx is Find under a context: the backtracking search polls ctx
+// periodically and aborts with its error when it is cancelled.
+func (f *Finder) FindCtx(ctx context.Context, src *graph.Graph) (graph.Map, bool, error) {
+	solver := match.NewSolver(f.ix, match.Options{IsUnknown: blankUnknown, Ctx: ctx})
+	b, ok, _ := solver.First(src.Triples())
+	if err := solver.Err(); err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	return bindingToMap(b), true, nil
 }
 
 // FindBudget is Find with a bounded search budget. The third result is
@@ -72,6 +88,11 @@ func bindingToMap(b match.Binding) graph.Map {
 // This is the paper's overloaded "map μ : G1 → G2" (Section 2.1).
 func FindMap(src, dst *graph.Graph) (graph.Map, bool) {
 	return NewFinder(dst).Find(src)
+}
+
+// FindMapCtx is FindMap under a context (see Finder.FindCtx).
+func FindMapCtx(ctx context.Context, src, dst *graph.Graph) (graph.Map, bool, error) {
+	return NewFinder(dst).FindCtx(ctx, src)
 }
 
 // ExistsMap reports whether there is a map src → dst.

@@ -13,10 +13,11 @@
 //
 // The engine picks the next pattern by estimated selectivity
 // (most-constrained-first) using per-position indexes; ablation A3 in
-// EXPERIMENTS.md measures the effect of that heuristic.
+// DESIGN.md measures the effect of that heuristic.
 package match
 
 import (
+	"context"
 	"sort"
 
 	"semwebdb/internal/graph"
@@ -59,6 +60,12 @@ type Options struct {
 	// attempted). Zero means unlimited. When the budget is exhausted,
 	// Solve returns complete = false.
 	MaxSteps int
+
+	// Ctx, when non-nil, is polled periodically inside the search loop.
+	// When it is cancelled the search aborts with complete = false and
+	// Solver.Err reports the cause, making long homomorphism searches
+	// interruptible.
+	Ctx context.Context
 }
 
 func defaultIsUnknown(t term.Term) bool { return t.IsVar() }
@@ -194,8 +201,17 @@ type Solver struct {
 	opts  Options
 	steps int
 
+	poll int             // iteration counter for context polling
+	done <-chan struct{} // cached opts.Ctx.Done()
+	err  error           // context error observed during the search
+
 	used map[term.Term]int // value -> refcount, for Injective
 }
+
+// ctxPollMask controls how often the context is polled: every
+// (ctxPollMask+1)-th candidate extension. Polling a channel is cheap but
+// not free, so the hot loop only looks at it periodically.
+const ctxPollMask = 0xff
 
 // NewSolver creates a solver over the given index with the given options.
 func NewSolver(ix *Index, opts Options) *Solver {
@@ -203,10 +219,38 @@ func NewSolver(ix *Index, opts Options) *Solver {
 		opts.IsUnknown = defaultIsUnknown
 	}
 	s := &Solver{ix: ix, opts: opts}
+	if opts.Ctx != nil {
+		s.done = opts.Ctx.Done()
+	}
 	if opts.Injective {
 		s.used = make(map[term.Term]int)
 	}
 	return s
+}
+
+// Err returns the context error that aborted the last Solve call, or nil
+// if the search was not cancelled.
+func (s *Solver) Err() error { return s.err }
+
+// interrupted polls the context (on the first candidate and every
+// ctxPollMask+1 calls thereafter, so even tiny searches observe a
+// cancelled context) and records its error when cancelled.
+func (s *Solver) interrupted() bool {
+	if s.done == nil {
+		return false
+	}
+	poll := s.poll&ctxPollMask == 0
+	s.poll++
+	if !poll {
+		return false
+	}
+	select {
+	case <-s.done:
+		s.err = s.opts.Ctx.Err()
+		return true
+	default:
+		return false
+	}
 }
 
 // Solve enumerates bindings that satisfy all patterns, invoking yield for
@@ -215,6 +259,7 @@ func NewSolver(ix *Index, opts Options) *Solver {
 // before the search space was covered.
 func (s *Solver) Solve(patterns []graph.Triple, yield func(Binding) bool) (complete bool) {
 	s.steps = 0
+	s.err = nil
 	b := make(Binding)
 	remaining := make([]graph.Triple, len(patterns))
 	copy(remaining, patterns)
@@ -232,6 +277,15 @@ func (s *Solver) Solve(patterns []graph.Triple, yield func(Binding) bool) (compl
 // Solve is a convenience entry point building a one-shot solver.
 func Solve(patterns []graph.Triple, data *graph.Graph, opts Options, yield func(Binding) bool) bool {
 	return NewSolver(NewIndex(data), opts).Solve(patterns, yield)
+}
+
+// SolveCtx is Solve under a context: the search polls ctx periodically
+// and returns its error if it was cancelled before the space was covered.
+func SolveCtx(ctx context.Context, patterns []graph.Triple, data *graph.Graph, opts Options, yield func(Binding) bool) error {
+	opts.Ctx = ctx
+	s := NewSolver(NewIndex(data), opts)
+	s.Solve(patterns, yield)
+	return s.Err()
 }
 
 // First returns the first solution found, if any. The bool result is the
@@ -272,6 +326,9 @@ func (s *Solver) solve(remaining []graph.Triple, b Binding, yield func(Binding) 
 	rest = append(rest, remaining[pick+1:]...)
 
 	for _, cand := range s.ix.candidates(p, b, s.opts.IsUnknown) {
+		if s.interrupted() {
+			return false
+		}
 		if s.opts.MaxSteps > 0 {
 			s.steps++
 			if s.steps > s.opts.MaxSteps {

@@ -1,0 +1,35 @@
+package query
+
+import "fmt"
+
+// ParseError reports a syntax error in the textual tableau-query format
+// with its source position. Col is 0 when the error concerns a whole
+// line, and Line is 0 when it concerns the document as a whole (e.g. a
+// missing section).
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	switch {
+	case e.Line == 0:
+		return "query: " + e.Msg
+	case e.Col == 0:
+		return fmt.Sprintf("query: line %d: %s", e.Line, e.Msg)
+	default:
+		return fmt.Sprintf("query: line %d col %d: %s", e.Line, e.Col, e.Msg)
+	}
+}
+
+// ValidationError reports a violation of the well-formedness conditions
+// of Definition 4.1 / Note 4.2.
+type ValidationError struct {
+	Msg string
+}
+
+func (e *ValidationError) Error() string { return "query: " + e.Msg }
+
+func validationErrorf(format string, args ...any) error {
+	return &ValidationError{Msg: fmt.Sprintf(format, args...)}
+}

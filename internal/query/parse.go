@@ -47,14 +47,14 @@ func ParseQuery(src string) (*Query, error) {
 			rest := strings.TrimSpace(line[len("CONSTRAINTS:"):])
 			for _, f := range strings.Fields(rest) {
 				if !strings.HasPrefix(f, "?") || len(f) == 1 {
-					return nil, fmt.Errorf("query: line %d: constraint %q is not a variable", lineNo+1, f)
+					return nil, &ParseError{Line: lineNo + 1, Msg: fmt.Sprintf("constraint %q is not a variable", f)}
 				}
 				constraints = append(constraints, term.NewVar(f[1:]))
 			}
 			continue
 		}
 		if section == "" {
-			return nil, fmt.Errorf("query: line %d: content before any section header", lineNo+1)
+			return nil, &ParseError{Line: lineNo + 1, Msg: "content before any section header"}
 		}
 		t, err := parseTripleLine(line, lineNo+1)
 		if err != nil {
@@ -67,17 +67,17 @@ func ParseQuery(src string) (*Query, error) {
 			body = append(body, t)
 		case "premise":
 			if t.HasVar() {
-				return nil, fmt.Errorf("query: line %d: premise triples must not contain variables", lineNo+1)
+				return nil, &ParseError{Line: lineNo + 1, Msg: "premise triples must not contain variables"}
 			}
 			if !premise.Add(t) {
 				if !t.WellFormed() {
-					return nil, fmt.Errorf("query: line %d: ill-formed premise triple", lineNo+1)
+					return nil, &ParseError{Line: lineNo + 1, Msg: "ill-formed premise triple"}
 				}
 			}
 		}
 	}
 	if len(head) == 0 || len(body) == 0 {
-		return nil, fmt.Errorf("query: HEAD and BODY sections are required and must be non-empty")
+		return nil, &ParseError{Msg: "HEAD and BODY sections are required and must be non-empty"}
 	}
 	q := New(head, body).WithPremise(premise).WithConstraints(constraints...)
 	if err := q.Validate(); err != nil {
@@ -107,7 +107,7 @@ func parseTripleLine(line string, lineNo int) (graph.Triple, error) {
 		p.skipWS()
 	}
 	if !p.eof() {
-		return graph.Triple{}, fmt.Errorf("query: line %d: trailing content %q", lineNo, p.src[p.pos:])
+		return graph.Triple{}, &ParseError{Line: lineNo, Msg: fmt.Sprintf("trailing content %q", p.src[p.pos:])}
 	}
 	return graph.Triple{S: s, P: pr, O: o}, nil
 }
@@ -128,7 +128,7 @@ func (p *termScanner) skipWS() {
 }
 
 func (p *termScanner) errf(format string, args ...any) error {
-	return fmt.Errorf("query: line %d col %d: %s", p.line, p.pos+1, fmt.Sprintf(format, args...))
+	return &ParseError{Line: p.line, Col: p.pos + 1, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *termScanner) next() (term.Term, error) {

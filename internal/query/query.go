@@ -7,6 +7,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -111,7 +112,7 @@ func (q *Query) Validate() error {
 	for _, t := range q.Body {
 		for _, x := range t.Terms() {
 			if x.IsBlank() {
-				return fmt.Errorf("query: blank node %s in body (use a variable)", x)
+				return validationErrorf("blank node %s in body (use a variable)", x)
 			}
 		}
 	}
@@ -119,7 +120,7 @@ func (q *Query) Validate() error {
 	for _, v := range varsIn(q.Head) {
 		headVars[v] = true
 		if !bodyVars[v] {
-			return fmt.Errorf("query: head variable %s does not occur in body", v)
+			return validationErrorf("head variable %s does not occur in body", v)
 		}
 	}
 	if q.Premise != nil {
@@ -132,15 +133,15 @@ func (q *Query) Validate() error {
 			return true
 		})
 		if ill {
-			return fmt.Errorf("query: premise must not contain variables")
+			return validationErrorf("premise must not contain variables")
 		}
 	}
 	for v := range q.Constraints {
 		if !v.IsVar() {
-			return fmt.Errorf("query: constraint on non-variable %s", v)
+			return validationErrorf("constraint on non-variable %s", v)
 		}
 		if !headVars[v] {
-			return fmt.Errorf("query: constraint variable %s does not occur in head", v)
+			return validationErrorf("constraint variable %s does not occur in head", v)
 		}
 	}
 	return nil
@@ -215,6 +216,14 @@ type Answer struct {
 // Evaluate computes the answer of q over the database d (Definition 4.3).
 // The matching universe is nf(D + P), per Note 4.4, where + is merge.
 func Evaluate(q *Query, d *graph.Graph, opts Options) (*Answer, error) {
+	return EvaluateCtx(context.Background(), q, d, opts)
+}
+
+// EvaluateCtx is Evaluate under a context: the closure saturation, the
+// normal-form retraction searches, and the body-matching backtracking
+// loop all poll ctx and abort with its error when it is cancelled or its
+// deadline passes.
+func EvaluateCtx(ctx context.Context, q *Query, d *graph.Graph, opts Options) (*Answer, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -222,17 +231,48 @@ func Evaluate(q *Query, d *graph.Graph, opts Options) (*Answer, error) {
 	if q.Premise != nil && q.Premise.Len() > 0 {
 		data = graph.Merge(d, q.Premise)
 	}
+	var err error
 	if opts.SkipNormalForm {
-		data = closure.Cl(data)
+		data, err = closure.ClCtx(ctx, data)
 	} else {
-		data = core.NormalForm(data)
+		data, err = core.NormalFormCtx(ctx, data)
 	}
-	return evaluateAgainst(q, data, opts)
+	if err != nil {
+		return nil, err
+	}
+	return evaluateAgainst(ctx, q, data, opts)
+}
+
+// Prepare computes the matching universe for premise-free queries over
+// d: cl(D) when skipNormalForm is set, nf(D) otherwise. Callers
+// evaluating many queries against an unchanging database compute this
+// once and pass it to EvaluatePreparedCtx.
+func Prepare(ctx context.Context, d *graph.Graph, skipNormalForm bool) (*graph.Graph, error) {
+	if skipNormalForm {
+		return closure.ClCtx(ctx, d)
+	}
+	return core.NormalFormCtx(ctx, d)
+}
+
+// EvaluatePreparedCtx evaluates a premise-free query against a data
+// graph already normalized by Prepare, skipping the per-call closure
+// and core computation. The premise of q, if any, is ignored — callers
+// are responsible for routing premised queries through EvaluateCtx.
+func EvaluatePreparedCtx(ctx context.Context, q *Query, prepared *graph.Graph, opts Options) (*Answer, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		// A dead context must fail even when the prepared graph came
+		// from a cache and the match would be trivial.
+		return nil, err
+	}
+	return evaluateAgainst(ctx, q, prepared, opts)
 }
 
 // evaluateAgainst runs the matching and answer assembly against an
 // already-normalized data graph.
-func evaluateAgainst(q *Query, data *graph.Graph, opts Options) (*Answer, error) {
+func evaluateAgainst(ctx context.Context, q *Query, data *graph.Graph, opts Options) (*Answer, error) {
 	bodyVars := varsIn(q.Body)
 	headBlanks := q.headBlanks()
 
@@ -247,7 +287,7 @@ func evaluateAgainst(q *Query, data *graph.Graph, opts Options) (*Answer, error)
 			return true
 		},
 	}
-	match.Solve(q.Body, data, solverOpts, func(b match.Binding) bool {
+	err := match.SolveCtx(ctx, q.Body, data, solverOpts, func(b match.Binding) bool {
 		ans.Matchings++
 		single, ok := instantiateHead(q, b, bodyVars, headBlanks)
 		if !ok {
@@ -260,6 +300,9 @@ func evaluateAgainst(q *Query, data *graph.Graph, opts Options) (*Answer, error)
 		}
 		return opts.MaxMatchings == 0 || ans.Matchings < opts.MaxMatchings
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Deterministic order for reproducible merges.
 	sort.Slice(ans.Singles, func(i, j int) bool {

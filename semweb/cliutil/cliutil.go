@@ -1,0 +1,89 @@
+// Package cliutil holds the boilerplate shared by the semwebdb command
+// line tools: usage/flag-error handling with the conventional exit
+// codes (0 = relation holds / success, 1 = relation does not hold,
+// 2 = usage or I/O error), file reading, graph loading through the
+// semweb facade, and interrupt-aware contexts.
+//
+// It exists solely in service of the bundled cmd/ tools and is not a
+// stable API; applications should program against package semweb.
+package cliutil
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"semwebdb/semweb"
+)
+
+// Tool is the per-command helper. Construct with New.
+type Tool struct {
+	name  string
+	usage string
+}
+
+// New creates a helper for the named tool. usage is the one-line
+// synopsis printed on flag errors (without a "usage: " prefix).
+func New(name, usage string) *Tool {
+	return &Tool{name: name, usage: usage}
+}
+
+// Fail prints "name: err" to stderr and exits with status 2.
+func (t *Tool) Fail(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", t.name, err)
+	os.Exit(2)
+}
+
+// Failf is Fail with a formatted message.
+func (t *Tool) Failf(format string, args ...any) {
+	t.Fail(fmt.Errorf(format, args...))
+}
+
+// UsageExit prints the usage synopsis to stderr and exits with
+// status 2.
+func (t *Tool) UsageExit() {
+	fmt.Fprintln(os.Stderr, "usage: "+t.usage)
+	os.Exit(2)
+}
+
+// ReadFile reads a whole file, failing the tool on error.
+func (t *Tool) ReadFile(path string) []byte {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fail(err)
+	}
+	return data
+}
+
+// LoadGraph loads an RDF file through the facade (syntax by extension,
+// "-" for stdin), failing the tool on error.
+func (t *Tool) LoadGraph(path string) *semweb.Graph {
+	g, err := semweb.LoadGraph(path)
+	if err != nil {
+		t.Fail(err)
+	}
+	return g
+}
+
+// WriteGraph writes g to stdout as canonical N-Triples, failing the
+// tool on error.
+func (t *Tool) WriteGraph(g *semweb.Graph) {
+	if err := semweb.WriteNTriples(os.Stdout, g); err != nil {
+		t.Fail(err)
+	}
+}
+
+// Context returns a context cancelled by SIGINT, so long closure and
+// homomorphism searches abort cleanly on Ctrl-C. After the first
+// interrupt the default signal behavior is restored, so a second
+// Ctrl-C kills the process even inside a code path that never polls
+// the context.
+func (t *Tool) Context() context.Context {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx
+}

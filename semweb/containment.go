@@ -1,0 +1,71 @@
+package semweb
+
+import (
+	"semwebdb/internal/containment"
+	"semwebdb/internal/query"
+)
+
+// Decision reports a containment decision together with the witnessing
+// substitutions θ (one for ⊆p; the full matching family for ⊆m).
+type Decision = containment.Decision
+
+// Contained decides q ⊆p q' — standard containment (Definition 5.1(1)):
+// for every database, each single answer of q is isomorphic to a single
+// answer of q'. Decided via Theorems 5.5(1), 5.7(1) and 5.8(1), using
+// the Ω_q premise-elimination rewrite when q carries a premise.
+func Contained(q, qp *Query) (Decision, error) {
+	iq, iqp, err := compilePair(q, qp)
+	if err != nil {
+		return Decision{}, err
+	}
+	return containment.Standard(iq, iqp)
+}
+
+// ContainedUnderEntailment decides q ⊆m q' — containment under
+// entailment (Definition 5.1(2)): for every database, the answer of q'
+// entails the answer of q. Decided via Theorems 5.5(2), 5.7(2) and
+// 5.8(2).
+func ContainedUnderEntailment(q, qp *Query) (Decision, error) {
+	iq, iqp, err := compilePair(q, qp)
+	if err != nil {
+		return Decision{}, err
+	}
+	return containment.Entailment(iq, iqp)
+}
+
+// EquivalentQueries reports mutual containment, under ⊆p when standard
+// is true and under ⊆m otherwise.
+func EquivalentQueries(q, qp *Query, standard bool) (bool, error) {
+	iq, iqp, err := compilePair(q, qp)
+	if err != nil {
+		return false, err
+	}
+	return containment.Equivalent(iq, iqp, standard)
+}
+
+// PremiseExpansion returns Ω_q, the premise-elimination rewrite of
+// Proposition 5.9: a set of premise-free queries jointly equivalent to
+// the premised query q over simple vocabularies.
+func PremiseExpansion(q *Query) ([]*Query, error) {
+	iq, err := q.compile()
+	if err != nil {
+		return nil, err
+	}
+	var out []*Query
+	for _, m := range containment.PremiseExpansion(iq) {
+		out = append(out, fromInternal(m))
+	}
+	return out, nil
+}
+
+func compilePair(q, qp *Query) (iq, iqp *query.Query, err error) {
+	iq, err = q.compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	iqp, err = qp.compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	return iq, iqp, nil
+}

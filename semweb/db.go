@@ -1,0 +1,324 @@
+package semweb
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"semwebdb/internal/closure"
+	"semwebdb/internal/graph"
+	"semwebdb/internal/query"
+)
+
+// DB is an RDF database with RDFS semantics: a graph of triples plus
+// the inference, normalization and query machinery of the paper behind
+// one handle.
+//
+// A DB is safe for concurrent use. Mutations (Load*, Add, AddGraph)
+// install a fresh snapshot under a write lock, while readers — queries
+// included — operate on immutable snapshots, so long evaluations never
+// block loads and vice versa.
+type DB struct {
+	mu  sync.RWMutex
+	g   *graph.Graph        // current snapshot; treated as immutable
+	mem *closure.Membership // lazy closure-membership index for g
+
+	// prepared caches the premise-free matching universe (nf(D) and/or
+	// cl(D), keyed by the skip-normal-form flag) for the current
+	// snapshot, so repeated Evals do not redo the closure saturation
+	// and the coNP-hard core retraction. Invalidated on every mutation.
+	prepared map[bool]*graph.Graph
+
+	cfg config
+}
+
+// config collects the Open options.
+type config struct {
+	semantics      Semantics
+	skipNormalForm bool
+	initial        *Graph
+}
+
+// Option configures Open.
+type Option func(*config)
+
+// WithDefaultSemantics sets the answer semantics used by Eval for
+// queries that do not choose one with Query.Under. The zero default is
+// Union.
+func WithDefaultSemantics(s Semantics) Option {
+	return func(c *config) { c.semantics = s }
+}
+
+// WithoutNormalForm makes Eval match query bodies against cl(D+P)
+// instead of nf(D+P). Skipping the core step is cheaper but gives up
+// the invariance-under-equivalence guarantee of Theorem 4.6.
+func WithoutNormalForm() Option {
+	return func(c *config) { c.skipNormalForm = true }
+}
+
+// WithGraph seeds the database with the triples of g (copied; later
+// mutations of g are not observed).
+func WithGraph(g *Graph) Option {
+	return func(c *config) { c.initial = g }
+}
+
+// Open creates a database.
+func Open(opts ...Option) (*DB, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	g := graph.New()
+	if cfg.initial != nil {
+		g.AddAll(cfg.initial)
+	}
+	return &DB{g: g, cfg: cfg}, nil
+}
+
+// addGraph unions new triples into a fresh snapshot. The whole
+// read-union-swap runs under the write lock so concurrent mutations
+// cannot lose each other's triples; the union allocates a new graph,
+// keeping published snapshots immutable.
+func (db *DB) addGraph(add *graph.Graph) {
+	db.mu.Lock()
+	db.g = graph.Union(db.g, add)
+	db.mem = nil
+	db.prepared = nil
+	db.mu.Unlock()
+}
+
+// preparedData returns the cached premise-free matching universe for
+// the snapshot g, computing and caching it on first use. Concurrent
+// first calls may compute it twice; only one result is retained.
+func (db *DB) preparedData(ctx context.Context, g *graph.Graph, skipNF bool) (*graph.Graph, error) {
+	db.mu.RLock()
+	cached := db.g == g && db.prepared != nil
+	var data *graph.Graph
+	if cached {
+		data = db.prepared[skipNF]
+	}
+	db.mu.RUnlock()
+	if data != nil {
+		return data, nil
+	}
+	data, err := query.Prepare(ctx, g, skipNF)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	if db.g == g { // cache only if no mutation slipped in
+		if db.prepared == nil {
+			db.prepared = make(map[bool]*graph.Graph, 2)
+		}
+		db.prepared[skipNF] = data
+	}
+	db.mu.Unlock()
+	return data, nil
+}
+
+// snapshot returns the current immutable graph.
+func (db *DB) snapshot() *graph.Graph {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.g
+}
+
+// LoadNTriples parses an N-Triples document from r and unions it into
+// the database. Syntax errors are reported as *ParseError and leave the
+// database unchanged.
+func (db *DB) LoadNTriples(r io.Reader) error {
+	g, err := ReadNTriples(r)
+	if err != nil {
+		return err
+	}
+	db.addGraph(g)
+	return nil
+}
+
+// LoadTurtle parses a Turtle document from r and unions it into the
+// database. Syntax errors are reported as *ParseError and leave the
+// database unchanged.
+func (db *DB) LoadTurtle(r io.Reader) error {
+	g, err := ReadTurtle(r)
+	if err != nil {
+		return err
+	}
+	db.addGraph(g)
+	return nil
+}
+
+// LoadFile reads an RDF file chosen by extension (see LoadGraph) and
+// unions it into the database.
+func (db *DB) LoadFile(path string) error {
+	g, err := LoadGraph(path)
+	if err != nil {
+		return err
+	}
+	db.addGraph(g)
+	return nil
+}
+
+// Add inserts triples. It fails with an error wrapping
+// ErrIllFormedTriple on the first triple violating the RDF positional
+// restrictions, without inserting any of the batch.
+func (db *DB) Add(ts ...Triple) error {
+	for _, t := range ts {
+		if !t.WellFormed() {
+			return fmt.Errorf("%w: %s", ErrIllFormedTriple, t)
+		}
+	}
+	db.addGraph(graph.New(ts...))
+	return nil
+}
+
+// AddGraph unions the triples of g into the database.
+func (db *DB) AddGraph(g *Graph) {
+	db.addGraph(g)
+}
+
+// Len returns the number of triples currently stored (|D|).
+func (db *DB) Len() int { return db.snapshot().Len() }
+
+// Snapshot returns the current contents as an independent graph. The
+// result is a copy: mutating it does not affect the database.
+func (db *DB) Snapshot() *Graph { return db.snapshot().Clone() }
+
+// Stats summarizes the current contents.
+type Stats struct {
+	// Triples is |D|.
+	Triples int
+	// BlankNodes is the number of distinct blank nodes.
+	BlankNodes int
+}
+
+// Stats returns size statistics for the current contents.
+func (db *DB) Stats() Stats {
+	g := db.snapshot()
+	return Stats{Triples: g.Len(), BlankNodes: len(g.BlankNodes())}
+}
+
+// Has reports whether the triple is asserted (syntactic membership).
+func (db *DB) Has(t Triple) bool { return db.snapshot().Has(t) }
+
+// Infers reports whether t ∈ cl(D) — semantic membership, decided
+// without materializing the closure (Theorem 3.6(4)). The underlying
+// reachability index is cached until the next mutation.
+func (db *DB) Infers(t Triple) bool {
+	db.mu.RLock()
+	mem := db.mem
+	g := db.g
+	db.mu.RUnlock()
+	if mem == nil {
+		mem = closure.NewMembership(g)
+		db.mu.Lock()
+		if db.g == g { // only cache if no mutation slipped in
+			db.mem = mem
+		}
+		db.mu.Unlock()
+	}
+	return mem.Contains(t)
+}
+
+// Eval evaluates q against the database (Definition 4.3): the body is
+// matched against nf(D + P) — or cl(D + P) under WithoutNormalForm —
+// and the single answers are assembled under the query's semantics
+// (Union unless overridden by Query.Under or WithDefaultSemantics).
+//
+// Eval honors ctx throughout: the closure saturation, the normal-form
+// retraction searches and the body-matching loop all poll ctx, so a
+// cancelled context aborts promptly with an error wrapping
+// ErrCancelled. Malformed queries fail with an error wrapping
+// ErrMalformedQuery.
+func (db *DB) Eval(ctx context.Context, q *Query) (*Answer, error) {
+	if q == nil {
+		return nil, &malformedQueryError{cause: fmt.Errorf("nil query")}
+	}
+	iq, err := q.compile()
+	if err != nil {
+		return nil, err
+	}
+	opts := query.Options{
+		Semantics:      db.cfg.semantics,
+		SkipNormalForm: db.cfg.skipNormalForm,
+		MaxMatchings:   q.maxMatchings,
+	}
+	if q.semanticsSet {
+		opts.Semantics = q.semantics
+	}
+	if q.skipNF {
+		opts.SkipNormalForm = true
+	}
+	g := db.snapshot()
+	var ans *query.Answer
+	if iq.Premise == nil || iq.Premise.Len() == 0 {
+		// Premise-free: match against the cached nf(D) (or cl(D)),
+		// computed once per snapshot instead of once per query.
+		data, perr := db.preparedData(ctx, g, opts.SkipNormalForm)
+		if perr != nil {
+			return nil, wrapEngineError(perr)
+		}
+		ans, err = query.EvaluatePreparedCtx(ctx, iq, data, opts)
+	} else {
+		// A premise changes the matching universe to nf(D + P); no
+		// caching across queries is possible.
+		ans, err = query.EvaluateCtx(ctx, iq, g, opts)
+	}
+	if err != nil {
+		return nil, wrapEngineError(err)
+	}
+	return &Answer{inner: ans}, nil
+}
+
+// Entails reports D ⊨ h.
+func (db *DB) Entails(ctx context.Context, h *Graph) (bool, error) {
+	return Entails(ctx, db.snapshot(), h)
+}
+
+// Prove decides D ⊨ h and returns a checked derivation when it holds.
+func (db *DB) Prove(h *Graph) (*Proof, bool) {
+	return Prove(db.snapshot(), h)
+}
+
+// Equivalent reports D ≡ h.
+func (db *DB) Equivalent(ctx context.Context, h *Graph) (bool, error) {
+	return Equivalent(ctx, db.snapshot(), h)
+}
+
+// Closure returns cl(D).
+func (db *DB) Closure(ctx context.Context) (*Graph, error) {
+	return Closure(ctx, db.snapshot())
+}
+
+// Core returns core(D).
+func (db *DB) Core(ctx context.Context) (*Graph, error) {
+	return CoreOf(ctx, db.snapshot())
+}
+
+// NormalForm returns nf(D) = core(cl(D)).
+func (db *DB) NormalForm(ctx context.Context) (*Graph, error) {
+	return NormalForm(ctx, db.snapshot())
+}
+
+// MinimalRepresentation returns the unique minimal representation of D
+// (Theorem 3.16); see the package-level function for the error
+// contract.
+func (db *DB) MinimalRepresentation() (*Graph, error) {
+	return MinimalRepresentation(db.snapshot())
+}
+
+// Canonical returns D with canonically relabelled blank nodes.
+func (db *DB) Canonical() *Graph { return Canonicalize(db.snapshot()) }
+
+// Fingerprint returns the equivalence certificate of D.
+func (db *DB) Fingerprint(ctx context.Context) (string, error) {
+	return Fingerprint(ctx, db.snapshot())
+}
+
+// IsLean reports whether D is lean.
+func (db *DB) IsLean(ctx context.Context) (bool, error) {
+	return IsLean(ctx, db.snapshot())
+}
+
+// IsSimple reports whether D is a simple graph.
+func (db *DB) IsSimple() bool { return IsSimple(db.snapshot()) }

@@ -1,0 +1,121 @@
+package semweb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"semwebdb/internal/ntriples"
+	"semwebdb/internal/query"
+	"semwebdb/internal/turtle"
+)
+
+// Sentinel errors of the public API. Match them with errors.Is.
+var (
+	// ErrMalformedQuery wraps every query well-formedness violation
+	// (Definition 4.1 / Note 4.2): blank nodes in the body, head
+	// variables missing from the body, variables in the premise, or
+	// constraints over non-head variables.
+	ErrMalformedQuery = errors.New("semweb: malformed query")
+
+	// ErrCancelled wraps every error caused by context cancellation or
+	// deadline expiry during evaluation. The original context error
+	// remains reachable through errors.Is as well.
+	ErrCancelled = errors.New("semweb: evaluation cancelled")
+
+	// ErrIllFormedTriple is returned by DB.Add for triples violating the
+	// RDF positional restrictions (subject in U∪B, predicate in U,
+	// object in U∪B∪L) or containing query variables.
+	ErrIllFormedTriple = errors.New("semweb: ill-formed triple")
+)
+
+// ParseError reports a syntax error from one of the parsers (N-Triples,
+// Turtle, or the textual query format) with its source position.
+type ParseError struct {
+	// Format identifies the parser: "ntriples", "turtle" or "query".
+	Format string
+	// Path is the source file, when the input came from a file.
+	Path string
+	// Line and Col locate the error (1-based; 0 when unknown).
+	Line, Col int
+	// Msg describes the error.
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	pos := ""
+	if e.Path != "" {
+		pos = e.Path + ": "
+	}
+	switch {
+	case e.Line == 0:
+		return fmt.Sprintf("%s%s: %s", pos, e.Format, e.Msg)
+	case e.Col == 0:
+		return fmt.Sprintf("%s%s: line %d: %s", pos, e.Format, e.Line, e.Msg)
+	default:
+		return fmt.Sprintf("%s%s: line %d col %d: %s", pos, e.Format, e.Line, e.Col, e.Msg)
+	}
+}
+
+// convertParseError rewrites internal parser errors into *ParseError,
+// leaving other errors (e.g. os.PathError) untouched.
+func convertParseError(path string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var nt *ntriples.ParseError
+	if errors.As(err, &nt) {
+		return &ParseError{Format: "ntriples", Path: path, Line: nt.Line, Col: nt.Col, Msg: nt.Msg}
+	}
+	var tt *turtle.ParseError
+	if errors.As(err, &tt) {
+		return &ParseError{Format: "turtle", Path: path, Line: tt.Line, Col: tt.Col, Msg: tt.Msg}
+	}
+	var qe *query.ParseError
+	if errors.As(err, &qe) {
+		return &ParseError{Format: "query", Path: path, Line: qe.Line, Col: qe.Col, Msg: qe.Msg}
+	}
+	return err
+}
+
+// malformedQueryError ties a concrete validation failure to the
+// ErrMalformedQuery sentinel.
+type malformedQueryError struct{ cause error }
+
+func (e *malformedQueryError) Error() string {
+	return "semweb: malformed query: " + e.cause.Error()
+}
+
+func (e *malformedQueryError) Unwrap() []error {
+	return []error{ErrMalformedQuery, e.cause}
+}
+
+// cancelledError ties a concrete context error to the ErrCancelled
+// sentinel while keeping errors.Is(err, context.Canceled) (or
+// DeadlineExceeded) true.
+type cancelledError struct{ cause error }
+
+func (e *cancelledError) Error() string {
+	return "semweb: evaluation cancelled: " + e.cause.Error()
+}
+
+func (e *cancelledError) Unwrap() []error {
+	return []error{ErrCancelled, e.cause}
+}
+
+// wrapEngineError classifies an error coming out of the engine: context
+// errors become ErrCancelled wrappers, validation errors become
+// ErrMalformedQuery wrappers, everything else passes through.
+func wrapEngineError(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &cancelledError{cause: err}
+	}
+	var ve *query.ValidationError
+	if errors.As(err, &ve) {
+		return &malformedQueryError{cause: err}
+	}
+	return err
+}

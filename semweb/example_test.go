@@ -1,0 +1,131 @@
+package semweb_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"semwebdb/semweb"
+)
+
+// ExampleOpen shows the minimal Open → Add → Eval round trip.
+func ExampleOpen() {
+	db, _ := semweb.Open()
+	son := semweb.IRI("urn:ex:son")
+	child := semweb.IRI("urn:ex:child")
+	_ = db.Add(
+		semweb.T(son, semweb.SubPropertyOf, child),
+		semweb.T(semweb.IRI("urn:ex:tom"), son, semweb.IRI("urn:ex:mary")),
+	)
+
+	// (tom, son, mary) plus son ⊑ child entails (tom, child, mary).
+	X := semweb.Var("X")
+	q := semweb.NewQuery().
+		Head(semweb.T(X, child, semweb.IRI("urn:ex:mary"))).
+		Body(semweb.T(X, child, semweb.IRI("urn:ex:mary")))
+	ans, _ := db.Eval(context.Background(), q)
+	fmt.Print(ans.NTriples())
+	// Output:
+	// <urn:ex:tom> <urn:ex:child> <urn:ex:mary> .
+}
+
+// ExampleDB_Eval evaluates an inference-heavy query over the paper's
+// Fig. 1 schema loaded from Turtle.
+func ExampleDB_Eval() {
+	db, _ := semweb.Open()
+	_ = db.LoadTurtle(strings.NewReader(`
+		@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+		@prefix art: <urn:art:> .
+		art:painter rdfs:subClassOf art:artist .
+		art:paints  rdfs:subPropertyOf art:creates .
+		art:creates rdfs:domain art:artist .
+		art:picasso art:paints art:guernica .
+	`))
+
+	// picasso is an artist only through paints ⊑ creates and dom.
+	A := semweb.Var("A")
+	q := semweb.NewQuery().
+		Head(semweb.T(A, semweb.IRI("urn:art:isArtist"), semweb.Literal("true"))).
+		Body(semweb.T(A, semweb.Type, semweb.IRI("urn:art:artist")))
+	ans, _ := db.Eval(context.Background(), q)
+	fmt.Print(ans.NTriples())
+	// Output:
+	// <urn:art:picasso> <urn:art:isArtist> "true" .
+}
+
+// ExampleQuery_Under contrasts the union and merge answer semantics on
+// a database with a shared blank node.
+func ExampleQuery_Under() {
+	data, _ := semweb.ParseNTriples(
+		"<urn:ex:a> <urn:ex:p> _:b .\n" +
+			"<urn:ex:c> <urn:ex:p> _:b .\n")
+	db, _ := semweb.Open(semweb.WithGraph(data))
+
+	X, Y := semweb.Var("X"), semweb.Var("Y")
+	q := semweb.NewQuery().
+		Head(semweb.T(X, semweb.IRI("urn:ex:q"), Y)).
+		Body(semweb.T(X, semweb.IRI("urn:ex:p"), Y))
+
+	union, _ := db.Eval(context.Background(), q.Under(semweb.Union))
+	merged, _ := db.Eval(context.Background(), q.Under(semweb.Merge))
+	fmt.Printf("union keeps %d shared blank(s); merge renames apart into %d\n",
+		len(union.Graph().BlankNodes()), len(merged.Graph().BlankNodes()))
+	// Output:
+	// union keeps 1 shared blank(s); merge renames apart into 2
+}
+
+// ExampleParseQuery parses the textual tableau format used by
+// cmd/rdfquery, premise and constraints included.
+func ExampleParseQuery() {
+	q, err := semweb.ParseQuery(`
+		HEAD:
+		?X <urn:ex:relative> <urn:ex:peter> .
+		BODY:
+		?X <urn:ex:relative> <urn:ex:peter> .
+		PREMISE:
+		<urn:ex:son> <http://www.w3.org/2000/01/rdf-schema#subPropertyOf> <urn:ex:relative> .
+		CONSTRAINTS: ?X
+	`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(q)
+	// Output:
+	// (?X, <urn:ex:relative>, <urn:ex:peter>) ← (?X, <urn:ex:relative>, <urn:ex:peter>) with premise {1 triples} constraints {?X}
+}
+
+// ExampleAnswer_NTriples shows the Answer → N-Triples → Graph round
+// trip: the serialization parses back into an isomorphic graph.
+func ExampleAnswer_NTriples() {
+	db, _ := semweb.Open()
+	_ = db.Add(semweb.T(semweb.IRI("urn:ex:rodin"), semweb.IRI("urn:ex:sculpts"), semweb.IRI("urn:ex:thinker")))
+
+	A, Y := semweb.Var("A"), semweb.Var("Y")
+	q := semweb.NewQuery().
+		Head(
+			semweb.T(semweb.Blank("Event"), semweb.IRI("urn:ex:by"), A),
+			semweb.T(semweb.Blank("Event"), semweb.IRI("urn:ex:made"), Y),
+		).
+		Body(semweb.T(A, semweb.IRI("urn:ex:sculpts"), Y))
+	ans, _ := db.Eval(context.Background(), q)
+
+	back, _ := semweb.ParseNTriples(ans.NTriples())
+	fmt.Println("round-trips isomorphically:", semweb.Isomorphic(ans.Graph(), back))
+	// Output:
+	// round-trips isomorphically: true
+}
+
+// ExampleDB_Eval_cancellation shows the typed error surfaced when a
+// context is cancelled mid-evaluation.
+func ExampleDB_Eval_cancellation() {
+	db, _ := semweb.Open()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: evaluation aborts immediately
+
+	_, err := db.Eval(ctx, semweb.Identity())
+	fmt.Println(errors.Is(err, semweb.ErrCancelled))
+	// Output:
+	// true
+}

@@ -1,0 +1,31 @@
+package semweb
+
+import (
+	"io"
+
+	"semwebdb/internal/experiments"
+)
+
+// Experiment is one reproducible unit tied to a claim of the paper,
+// from the registry behind cmd/experiments.
+type Experiment = experiments.Experiment
+
+// ExperimentConfig configures experiment runs.
+type ExperimentConfig = experiments.Config
+
+// Experiments returns the experiment registry in ID order.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID looks up one experiment.
+func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }
+
+// RunExperiments runs every registered experiment, writing the tables
+// to w.
+func RunExperiments(w io.Writer, cfg ExperimentConfig) error {
+	return experiments.RunAll(w, cfg)
+}
+
+// RunExperiment runs a single experiment.
+func RunExperiment(w io.Writer, e Experiment, cfg ExperimentConfig) error {
+	return experiments.RunOne(w, e, cfg)
+}

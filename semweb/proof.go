@@ -1,0 +1,21 @@
+package semweb
+
+import "semwebdb/internal/rdfs"
+
+// Proof is a derivation G ⊢ H in the deductive system of Section 2.3.2:
+// a sequence of rule applications connecting G to H (Definition 2.5).
+// Verify re-checks every step.
+type Proof = rdfs.Proof
+
+// ProofStep is one step of a Proof: an existential-rule application
+// (Rule == RuleExistential, with Result and Mu set) or an instantiation
+// of one of the rules (2)–(13) (with Inst set).
+type ProofStep = rdfs.Step
+
+// RuleID identifies a rule of the deductive system; the numbering
+// follows the paper exactly. Its String method names the rule.
+type RuleID = rdfs.RuleID
+
+// RuleExistential is GROUP A, rule (1): from G derive any G' that maps
+// into G.
+const RuleExistential = rdfs.RuleExistential

@@ -1,0 +1,243 @@
+package semweb
+
+import (
+	"sort"
+
+	"semwebdb/internal/graph"
+	"semwebdb/internal/query"
+)
+
+// Semantics selects how the single answers of a query are combined
+// (Section 4.1 of the paper).
+type Semantics = query.Semantics
+
+const (
+	// Union is ans∪: the set union of the single answers; blank nodes
+	// of the database keep their identity across single answers.
+	Union = query.UnionSemantics
+	// Merge is ans+: single answers are merged with their blank nodes
+	// renamed apart, so no spurious joins arise between them.
+	Merge = query.MergeSemantics
+)
+
+// Query is a tableau query (H, B) with an optional premise graph P, a
+// constraint set C (Definition 4.1), and evaluation options. Build one
+// fluently:
+//
+//	q := semweb.NewQuery().
+//		Head(semweb.T(x, child, mary)).
+//		Body(semweb.T(x, son, mary)).
+//		WithPremise(schema).
+//		WithConstraints(x).
+//		Under(semweb.Merge)
+//
+// The zero-value options inherit the DB defaults at Eval time. Queries
+// are cheap values; reusing one across Eval calls is safe as long as it
+// is not mutated concurrently.
+type Query struct {
+	head        []Triple
+	body        []Triple
+	premise     *Graph
+	constraints []Term
+
+	semantics    Semantics
+	semanticsSet bool
+	skipNF       bool
+	maxMatchings int
+}
+
+// NewQuery returns an empty query builder.
+func NewQuery() *Query { return &Query{} }
+
+// Head appends triple patterns to the query head H — the template the
+// answer graph is built from. Variables must also occur in the body;
+// blank nodes in the head are skolemized per matching (Section 4.1).
+func (q *Query) Head(patterns ...Triple) *Query {
+	q.head = append(q.head, patterns...)
+	return q
+}
+
+// Body appends triple patterns to the query body B — the pattern
+// matched against nf(D + P). Bodies must not contain blank nodes (use
+// variables).
+func (q *Query) Body(patterns ...Triple) *Query {
+	q.body = append(q.body, patterns...)
+	return q
+}
+
+// WithPremise sets the premise graph P: hypothetical knowledge joined
+// (merged) with the database for this query only (Definition 4.1,
+// Section 4.2). Premises must be variable-free.
+func (q *Query) WithPremise(p *Graph) *Query {
+	q.premise = p
+	return q
+}
+
+// WithPremiseTriples is WithPremise over a triple list.
+func (q *Query) WithPremiseTriples(ts ...Triple) *Query {
+	return q.WithPremise(NewGraph(ts...))
+}
+
+// WithConstraints marks head variables whose bindings must not be
+// blank nodes — the paper's analogue of IS NOT NULL (Definition 4.1).
+func (q *Query) WithConstraints(vars ...Term) *Query {
+	q.constraints = append(q.constraints, vars...)
+	return q
+}
+
+// Under selects the answer semantics (Union or Merge), overriding the
+// DB default for this query.
+func (q *Query) Under(s Semantics) *Query {
+	q.semantics = s
+	q.semanticsSet = true
+	return q
+}
+
+// WithoutNormalForm matches this query against cl(D+P) instead of
+// nf(D+P), overriding the DB setting (see WithoutNormalForm on Open).
+func (q *Query) WithoutNormalForm() *Query {
+	q.skipNF = true
+	return q
+}
+
+// LimitMatchings caps the number of body matchings considered
+// (0 = unlimited).
+func (q *Query) LimitMatchings(n int) *Query {
+	q.maxMatchings = n
+	return q
+}
+
+// HeadPatterns returns a copy of the head patterns.
+func (q *Query) HeadPatterns() []Triple { return append([]Triple(nil), q.head...) }
+
+// BodyPatterns returns a copy of the body patterns.
+func (q *Query) BodyPatterns() []Triple { return append([]Triple(nil), q.body...) }
+
+// Premise returns a copy of the premise graph, or nil when the query
+// has none.
+func (q *Query) Premise() *Graph {
+	if q.premise == nil {
+		return nil
+	}
+	return q.premise.Clone()
+}
+
+// Constraints returns a copy of the constrained variables.
+func (q *Query) Constraints() []Term { return append([]Term(nil), q.constraints...) }
+
+// String renders the query in the paper's tableau notation H ← B.
+func (q *Query) String() string {
+	iq := query.New(q.head, q.body)
+	if q.premise != nil {
+		iq.WithPremise(q.premise)
+	}
+	iq.WithConstraints(q.constraints...)
+	return iq.String()
+}
+
+// Validate checks the well-formedness conditions of Definition 4.1 /
+// Note 4.2, returning an error wrapping ErrMalformedQuery on violation.
+func (q *Query) Validate() error {
+	_, err := q.compile()
+	return err
+}
+
+// compile materializes the internal query and validates it.
+func (q *Query) compile() (*query.Query, error) {
+	iq := query.New(q.head, q.body)
+	if q.premise != nil {
+		iq.WithPremise(q.premise)
+	}
+	iq.WithConstraints(q.constraints...)
+	if err := iq.Validate(); err != nil {
+		return nil, &malformedQueryError{cause: err}
+	}
+	return iq, nil
+}
+
+// fromInternal rebuilds a builder from an internal query.
+func fromInternal(iq *query.Query) *Query {
+	q := &Query{
+		head: append([]Triple(nil), iq.Head...),
+		body: append([]Triple(nil), iq.Body...),
+	}
+	if iq.Premise != nil && iq.Premise.Len() > 0 {
+		q.premise = iq.Premise
+	}
+	for v := range iq.Constraints {
+		q.constraints = append(q.constraints, v)
+	}
+	sort.Slice(q.constraints, func(i, j int) bool { return q.constraints[i].Less(q.constraints[j]) })
+	return q
+}
+
+// Identity returns the identity query (?X,?Y,?Z) ← (?X,?Y,?Z)
+// (Note 4.7): under union semantics it returns a graph equivalent to
+// the database.
+func Identity() *Query { return fromInternal(query.Identity()) }
+
+// ParseQuery parses the textual tableau format:
+//
+//	# comment lines start with '#'
+//	HEAD:
+//	?X <urn:ex:creates> ?Y .
+//	BODY:
+//	?X <urn:ex:paints> ?Y .
+//	PREMISE:
+//	<urn:ex:son> <http://www.w3.org/2000/01/rdf-schema#subPropertyOf> <urn:ex:relative> .
+//	CONSTRAINTS: ?X
+//
+// PREMISE and CONSTRAINTS are optional. Triple lines use
+// N-Triples-style terms plus ?variables; the trailing '.' is optional.
+// Syntax errors are reported as *ParseError with line/column info;
+// well-formedness violations wrap ErrMalformedQuery.
+func ParseQuery(src string) (*Query, error) {
+	iq, err := query.ParseQuery(src)
+	if err != nil {
+		if converted := convertParseError("", err); converted != err {
+			return nil, converted
+		}
+		return nil, wrapEngineError(err)
+	}
+	return fromInternal(iq), nil
+}
+
+// Answer is the result of evaluating a query: the assembled answer
+// graph together with the single answers it was built from.
+type Answer struct {
+	inner *query.Answer
+}
+
+// Graph returns ans∪(q,D) or ans+(q,D), depending on the semantics the
+// query was evaluated under.
+func (a *Answer) Graph() *Graph { return a.inner.Graph }
+
+// Singles returns the deduplicated single answers v(H) (the pre-answer
+// of Definition 4.3), in deterministic order.
+func (a *Answer) Singles() []*Graph {
+	return append([]*graph.Graph(nil), a.inner.Singles...)
+}
+
+// Matchings counts the matchings of the body against the normalized
+// database (before deduplication of equal single answers).
+func (a *Answer) Matchings() int { return a.inner.Matchings }
+
+// Semantics reports how Graph was assembled.
+func (a *Answer) Semantics() Semantics { return a.inner.Semantics }
+
+// Len returns the number of triples in the answer graph.
+func (a *Answer) Len() int { return a.inner.Graph.Len() }
+
+// Lean reports whether the answer graph is lean, i.e. free of
+// redundant single answers. Under Union semantics this is the
+// coNP-complete check of Theorem 6.2; under Merge semantics the
+// polynomial procedure of Theorem 6.3 is used.
+func (a *Answer) Lean() bool { return query.IsLeanAnswer(a.inner) }
+
+// Reduce returns an equivalent lean version of the answer graph (its
+// core) — the redundancy elimination of Section 6.2.
+func (a *Answer) Reduce() *Graph { return query.EliminateRedundancy(a.inner) }
+
+// NTriples returns the canonical N-Triples serialization of the answer
+// graph, which round-trips through ParseNTriples.
+func (a *Answer) NTriples() string { return NTriples(a.inner.Graph) }

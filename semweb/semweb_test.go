@@ -1,0 +1,512 @@
+package semweb_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"semwebdb/internal/gen"
+	"semwebdb/semweb"
+)
+
+const figure1 = `
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix art: <urn:art:> .
+art:sculptor rdfs:subClassOf art:artist .
+art:painter  rdfs:subClassOf art:artist .
+art:sculpts  rdfs:subPropertyOf art:creates .
+art:paints   rdfs:subPropertyOf art:creates .
+art:creates  rdfs:domain art:artist ;
+             rdfs:range  art:artifact .
+art:picasso  art:paints  art:guernica .
+art:rodin    art:sculpts art:thethinker .
+art:picasso  a art:painter .
+`
+
+func openFigure1(t *testing.T) *semweb.DB {
+	t.Helper()
+	db, err := semweb.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadTurtle(strings.NewReader(figure1)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestOpenLoadEvalUnion is the golden end-to-end path: Open → Load →
+// Eval under union semantics, with RDFS inference in the body.
+func TestOpenLoadEvalUnion(t *testing.T) {
+	db := openFigure1(t)
+	if db.Len() != 9 {
+		t.Fatalf("loaded %d triples, want 9", db.Len())
+	}
+
+	X := semweb.Var("X")
+	q := semweb.NewQuery().
+		Head(semweb.T(X, semweb.IRI("urn:art:isArtist"), semweb.IRI("urn:art:yes"))).
+		Body(semweb.T(X, semweb.Type, semweb.IRI("urn:art:artist"))).
+		Under(semweb.Union)
+
+	ans, err := db.Eval(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := "<urn:art:picasso> <urn:art:isArtist> <urn:art:yes> .\n" +
+		"<urn:art:rodin> <urn:art:isArtist> <urn:art:yes> .\n"
+	if got := ans.NTriples(); got != golden {
+		t.Fatalf("answer mismatch:\n got %q\nwant %q", got, golden)
+	}
+	if ans.Semantics() != semweb.Union {
+		t.Fatalf("semantics = %v, want Union", ans.Semantics())
+	}
+	if !ans.Lean() {
+		t.Fatal("expected a lean answer")
+	}
+}
+
+// TestUnionVsMerge checks the defining difference of ans∪ and ans+:
+// database blanks keep their identity across single answers under
+// union, and are renamed apart under merge.
+func TestUnionVsMerge(t *testing.T) {
+	data, err := semweb.ParseNTriples(
+		"<urn:ex:a> <urn:ex:p> _:b .\n" +
+			"<urn:ex:c> <urn:ex:p> _:b .\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := semweb.Open(semweb.WithGraph(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	X, Y := semweb.Var("X"), semweb.Var("Y")
+	q := semweb.NewQuery().
+		Head(semweb.T(X, semweb.IRI("urn:ex:q"), Y)).
+		Body(semweb.T(X, semweb.IRI("urn:ex:p"), Y))
+
+	union, err := db.Eval(context.Background(), q.Under(semweb.Union))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := db.Eval(context.Background(), q.Under(semweb.Merge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(union.Singles()) != 2 || len(merged.Singles()) != 2 {
+		t.Fatalf("singles: union %d merge %d, want 2 and 2",
+			len(union.Singles()), len(merged.Singles()))
+	}
+	if n := len(union.Graph().BlankNodes()); n != 1 {
+		t.Fatalf("union answer has %d blanks, want 1 (shared identity)", n)
+	}
+	if n := len(merged.Graph().BlankNodes()); n != 2 {
+		t.Fatalf("merge answer has %d blanks, want 2 (renamed apart)", n)
+	}
+}
+
+// TestPremise reproduces the paper's Section 4.2 example: a premise
+// supplies schema knowledge for one query only.
+func TestPremise(t *testing.T) {
+	db, err := semweb.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := func(s string) semweb.Term { return semweb.IRI("urn:ex:" + s) }
+	if err := db.Add(
+		semweb.T(ex("john"), ex("son"), ex("peter")),
+		semweb.T(ex("ana"), ex("daughter"), ex("peter")),
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	X := semweb.Var("X")
+	q := semweb.NewQuery().
+		Head(semweb.T(X, ex("relative"), ex("peter"))).
+		Body(semweb.T(X, ex("relative"), ex("peter"))).
+		WithPremiseTriples(semweb.T(ex("son"), semweb.SubPropertyOf, ex("relative")))
+
+	ans, err := db.Eval(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "<urn:ex:john> <urn:ex:relative> <urn:ex:peter> .\n"
+	if got := ans.NTriples(); got != want {
+		t.Fatalf("premise answer:\n got %q\nwant %q", got, want)
+	}
+
+	// Without the premise the query is empty: the premise did not leak
+	// into the database.
+	bare, err := db.Eval(context.Background(), semweb.NewQuery().
+		Head(q.HeadPatterns()...).Body(q.BodyPatterns()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Len() != 0 {
+		t.Fatalf("premise leaked into the database: %s", bare.NTriples())
+	}
+}
+
+// TestConstraints checks the IS-NOT-NULL analogue: constrained
+// variables refuse blank bindings.
+func TestConstraints(t *testing.T) {
+	data, err := semweb.ParseNTriples(
+		"<urn:ex:a> <urn:ex:p> <urn:ex:named> .\n" +
+			"<urn:ex:a> <urn:ex:p> _:anon .\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := semweb.Open(semweb.WithGraph(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Y := semweb.Var("Y")
+	base := func() *semweb.Query {
+		return semweb.NewQuery().
+			Head(semweb.T(semweb.IRI("urn:ex:a"), semweb.IRI("urn:ex:q"), Y)).
+			Body(semweb.T(semweb.IRI("urn:ex:a"), semweb.IRI("urn:ex:p"), Y))
+	}
+
+	free, err := db.Eval(context.Background(), base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	constrained, err := db.Eval(context.Background(), base().WithConstraints(Y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unconstrained answer keeps the blank binding... (the blank is
+	// not redundant here only if it differs from the named one; in nf it
+	// folds, so accept ≥1) — the constrained one must be exactly the
+	// named triple.
+	if free.Len() < 1 {
+		t.Fatalf("unconstrained answer empty")
+	}
+	want := "<urn:ex:a> <urn:ex:q> <urn:ex:named> .\n"
+	if got := constrained.NTriples(); got != want {
+		t.Fatalf("constrained answer:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestMalformedQuery checks the typed error contract of Eval and
+// ParseQuery.
+func TestMalformedQuery(t *testing.T) {
+	db, err := semweb.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	X, Y := semweb.Var("X"), semweb.Var("Y")
+
+	// Head variable missing from the body.
+	q := semweb.NewQuery().
+		Head(semweb.T(X, semweb.IRI("urn:ex:p"), Y)).
+		Body(semweb.T(X, semweb.IRI("urn:ex:p"), X))
+	if _, err := db.Eval(context.Background(), q); !errors.Is(err, semweb.ErrMalformedQuery) {
+		t.Fatalf("head-var error = %v, want ErrMalformedQuery", err)
+	}
+
+	// Nil query.
+	if _, err := db.Eval(context.Background(), nil); !errors.Is(err, semweb.ErrMalformedQuery) {
+		t.Fatalf("nil query error = %v, want ErrMalformedQuery", err)
+	}
+
+	// Textual parse errors carry line information.
+	_, err = semweb.ParseQuery("HEAD:\n?X <urn:ex:p> ?X .\nBODY:\n?X <unterminated ?X .\n")
+	var pe *semweb.ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("parse error = %v (%T), want *ParseError", err, err)
+	}
+	if pe.Line != 4 || pe.Format != "query" {
+		t.Fatalf("parse error position = %+v, want line 4 of a query", pe)
+	}
+
+	// Well-formed syntax but ill-formed query: wraps ErrMalformedQuery.
+	_, err = semweb.ParseQuery("HEAD:\n?X <urn:ex:p> ?Y .\nBODY:\n?X <urn:ex:p> ?X .\n")
+	if !errors.Is(err, semweb.ErrMalformedQuery) {
+		t.Fatalf("validation error = %v, want ErrMalformedQuery", err)
+	}
+}
+
+// TestAddIllFormed checks DB.Add's rejection of non-RDF triples.
+func TestAddIllFormed(t *testing.T) {
+	db, err := semweb.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := semweb.T(semweb.Literal("lex"), semweb.IRI("urn:ex:p"), semweb.IRI("urn:ex:o"))
+	if err := db.Add(bad); !errors.Is(err, semweb.ErrIllFormedTriple) {
+		t.Fatalf("Add(literal subject) = %v, want ErrIllFormedTriple", err)
+	}
+	if db.Len() != 0 {
+		t.Fatal("rejected triple was inserted")
+	}
+}
+
+// TestEntailmentAndFingerprint checks the graph-level semantic
+// operations through the facade: D ⊨ H, proof checking, and the
+// equivalence fingerprint.
+func TestEntailmentAndFingerprint(t *testing.T) {
+	ctx := context.Background()
+	db := openFigure1(t)
+
+	h := semweb.NewGraph(
+		semweb.T(semweb.IRI("urn:art:picasso"), semweb.Type, semweb.IRI("urn:art:artist")),
+		semweb.T(semweb.IRI("urn:art:picasso"), semweb.IRI("urn:art:creates"), semweb.IRI("urn:art:guernica")),
+	)
+	ok, err := db.Entails(ctx, h)
+	if err != nil || !ok {
+		t.Fatalf("Entails = %v, %v; want true", ok, err)
+	}
+	if !db.Infers(semweb.T(semweb.IRI("urn:art:rodin"), semweb.Type, semweb.IRI("urn:art:artist"))) {
+		t.Fatal("Infers missed a closure member")
+	}
+	proof, ok := db.Prove(h)
+	if !ok {
+		t.Fatal("no proof found")
+	}
+	if err := proof.Verify(db.Snapshot(), h); err != nil {
+		t.Fatalf("proof fails verification: %v", err)
+	}
+
+	// The fingerprint is invariant under adding entailed triples.
+	fp1, err := db.Fingerprint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := db.Closure(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := semweb.Open(semweb.WithGraph(cl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := db2.Fingerprint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatal("fingerprint not invariant under closure")
+	}
+}
+
+// hardQuery builds an unsatisfiable clique-homomorphism workload
+// (K_n pattern over variables against an encoded K_{n-1}) whose
+// exhaustive search runs for many seconds when not cancelled.
+func hardQuery(n int) (*semweb.DB, *semweb.Query, error) {
+	src := gen.Enc(gen.Clique(n), "v")
+	dst := gen.EncGround(gen.Clique(n-1), "k")
+	vars := map[semweb.Term]semweb.Term{}
+	toVar := func(x semweb.Term) semweb.Term {
+		if !x.IsBlank() {
+			return x
+		}
+		v, ok := vars[x]
+		if !ok {
+			v = semweb.Var(fmt.Sprintf("v%s", x.Value))
+			vars[x] = v
+		}
+		return v
+	}
+	var body []semweb.Triple
+	for _, tr := range src.Triples() {
+		body = append(body, semweb.T(toVar(tr.S), tr.P, toVar(tr.O)))
+	}
+	db, err := semweb.Open(semweb.WithGraph(dst))
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, semweb.NewQuery().Head(body[0]).Body(body...), nil
+}
+
+// TestEvalCancellation is the acceptance check for context threading: a
+// cancellation mid-evaluation on a generated workload must surface
+// ErrCancelled promptly, long before the uncancelled search would
+// finish.
+func TestEvalCancellation(t *testing.T) {
+	db, q, err := hardQuery(9) // ≈17s uncancelled on a dev laptop
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = db.Eval(ctx, q)
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, semweb.ErrCancelled) {
+		t.Fatalf("Eval after cancel = %v, want ErrCancelled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cause %v does not unwrap to context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want prompt (<2s)", elapsed)
+	}
+}
+
+// TestEvalDeadline checks that deadline expiry surfaces the same way.
+func TestEvalDeadline(t *testing.T) {
+	db, q, err := hardQuery(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = db.Eval(ctx, q)
+	if !errors.Is(err, semweb.ErrCancelled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Eval after deadline = %v, want ErrCancelled wrapping DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline abort took %v, want prompt (<2s)", elapsed)
+	}
+}
+
+// TestCancelledBeforeEval: an already-cancelled context aborts without
+// doing any work.
+func TestCancelledBeforeEval(t *testing.T) {
+	db := openFigure1(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := semweb.Identity()
+	if _, err := db.Eval(ctx, q); !errors.Is(err, semweb.ErrCancelled) {
+		t.Fatalf("Eval with dead ctx = %v, want ErrCancelled", err)
+	}
+	// The same holds when the normal form is already cached: warm the
+	// cache with a live context, then re-evaluate with the dead one.
+	if _, err := db.Eval(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Eval(ctx, q); !errors.Is(err, semweb.ErrCancelled) {
+		t.Fatalf("Eval with dead ctx on warm cache = %v, want ErrCancelled", err)
+	}
+	// The graph-level operations honor ctx too.
+	if _, err := db.Closure(ctx); !errors.Is(err, semweb.ErrCancelled) {
+		t.Fatalf("Closure with dead ctx = %v, want ErrCancelled", err)
+	}
+	if _, err := db.NormalForm(ctx); !errors.Is(err, semweb.ErrCancelled) {
+		t.Fatalf("NormalForm with dead ctx = %v, want ErrCancelled", err)
+	}
+}
+
+// TestAnswerRoundTrip: Answer.NTriples round-trips through the parser
+// into an isomorphic graph.
+func TestAnswerRoundTrip(t *testing.T) {
+	db := openFigure1(t)
+	A, Y := semweb.Var("A"), semweb.Var("Y")
+	q := semweb.NewQuery().
+		Head(
+			semweb.T(semweb.Blank("E"), semweb.IRI("urn:art:by"), A),
+			semweb.T(semweb.Blank("E"), semweb.IRI("urn:art:produced"), Y),
+		).
+		Body(semweb.T(A, semweb.IRI("urn:art:creates"), Y))
+	ans, err := db.Eval(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := semweb.ParseNTriples(ans.NTriples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !semweb.Isomorphic(ans.Graph(), back) {
+		t.Fatal("round-tripped answer is not isomorphic to the original")
+	}
+}
+
+// TestContainmentFacade spot-checks the containment surface.
+func TestContainmentFacade(t *testing.T) {
+	X, Y := semweb.Var("X"), semweb.Var("Y")
+	p, q := semweb.IRI("urn:ex:p"), semweb.IRI("urn:ex:q")
+	small := semweb.NewQuery().
+		Head(semweb.T(X, q, semweb.IRI("urn:ex:b"))).
+		Body(semweb.T(X, p, semweb.IRI("urn:ex:b")))
+	big := semweb.NewQuery().
+		Head(semweb.T(X, q, Y)).
+		Body(semweb.T(X, p, Y))
+	d, err := semweb.Contained(small, big)
+	if err != nil || !d.Holds {
+		t.Fatalf("small ⊆p big = %+v, %v; want holds", d, err)
+	}
+	d, err = semweb.Contained(big, small)
+	if err != nil || d.Holds {
+		t.Fatalf("big ⊆p small = %+v, %v; want not holds", d, err)
+	}
+}
+
+// TestPreparedCacheInvalidation checks that the per-snapshot
+// normal-form cache never serves stale answers: a mutation between
+// evaluations must be visible to the next Eval.
+func TestPreparedCacheInvalidation(t *testing.T) {
+	db := openFigure1(t)
+	X := semweb.Var("X")
+	q := semweb.NewQuery().
+		Head(semweb.T(X, semweb.IRI("urn:art:isArtist"), semweb.IRI("urn:art:yes"))).
+		Body(semweb.T(X, semweb.Type, semweb.IRI("urn:art:artist")))
+
+	first, err := db.Eval(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := db.Eval(context.Background(), q) // served from the cached nf(D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.NTriples() != again.NTriples() {
+		t.Fatal("repeated evaluation differs")
+	}
+
+	if err := db.Add(semweb.T(semweb.IRI("urn:art:miro"), semweb.Type, semweb.IRI("urn:art:painter"))); err != nil {
+		t.Fatal(err)
+	}
+	after, err := db.Eval(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Len() != first.Len()+1 {
+		t.Fatalf("after mutation: %d answer triples, want %d (stale cache?)", after.Len(), first.Len()+1)
+	}
+	if !after.Graph().Has(semweb.T(semweb.IRI("urn:art:miro"), semweb.IRI("urn:art:isArtist"), semweb.IRI("urn:art:yes"))) {
+		t.Fatal("new fact missing from post-mutation answer")
+	}
+}
+
+// TestConcurrentUse exercises the snapshot discipline: concurrent
+// loads and evals must not race (run with -race).
+func TestConcurrentUse(t *testing.T) {
+	db := openFigure1(t)
+	X := semweb.Var("X")
+	q := semweb.NewQuery().
+		Head(semweb.T(X, semweb.IRI("urn:art:isArtist"), semweb.IRI("urn:art:yes"))).
+		Body(semweb.T(X, semweb.Type, semweb.IRI("urn:art:artist")))
+
+	done := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, err := db.Eval(context.Background(), q)
+			done <- err
+		}()
+		go func(i int) {
+			done <- db.Add(semweb.T(
+				semweb.IRI(fmt.Sprintf("urn:art:new%d", i)),
+				semweb.Type, semweb.IRI("urn:art:painter")))
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Len() != 9+4 {
+		t.Fatalf("after concurrent adds: %d triples, want 13", db.Len())
+	}
+}

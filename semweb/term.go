@@ -1,0 +1,51 @@
+package semweb
+
+import (
+	"semwebdb/internal/rdfs"
+	"semwebdb/internal/term"
+)
+
+// Term is one RDF term: an IRI, a blank node, a literal, or (inside
+// query patterns only) a variable. Terms are comparable value types.
+type Term = term.Term
+
+// IRI returns the IRI term <iri>.
+func IRI(iri string) Term { return term.NewIRI(iri) }
+
+// Blank returns the blank node _:label.
+func Blank(label string) Term { return term.NewBlank(label) }
+
+// Var returns the query variable ?name. Variables may appear only in
+// query heads and bodies, never in data graphs.
+func Var(name string) Term { return term.NewVar(name) }
+
+// Literal returns the plain literal "lex".
+func Literal(lex string) Term { return term.NewLiteral(lex) }
+
+// LangLiteral returns the language-tagged literal "lex"@lang.
+func LangLiteral(lex, lang string) Term { return term.NewLangLiteral(lex, lang) }
+
+// TypedLiteral returns the datatyped literal "lex"^^<datatype>.
+func TypedLiteral(lex, datatype string) Term { return term.NewTypedLiteral(lex, datatype) }
+
+// The distinguished rdfs-vocabulary of the paper (Section 2.2), with
+// their real W3C identities so data interoperates with actual RDF.
+var (
+	// Type is rdf:type, written "type" in the paper.
+	Type = rdfs.Type
+	// SubClassOf is rdfs:subClassOf, written "sc" in the paper.
+	SubClassOf = rdfs.SubClassOf
+	// SubPropertyOf is rdfs:subPropertyOf, written "sp" in the paper.
+	SubPropertyOf = rdfs.SubPropertyOf
+	// Domain is rdfs:domain, written "dom" in the paper.
+	Domain = rdfs.Domain
+	// Range is rdfs:range, written "range" in the paper.
+	Range = rdfs.Range
+)
+
+// Vocabulary returns the rdfs-vocabulary rdfsV = {sp, sc, type, dom,
+// range} in the paper's order.
+func Vocabulary() []Term { return rdfs.Vocabulary() }
+
+// IsVocabulary reports whether x ∈ rdfsV.
+func IsVocabulary(x Term) bool { return rdfs.IsVocabulary(x) }
