@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: verify check fmt vet test bench build examples
+# Benchmark settings for the JSON perf snapshot. 0.2s per benchmark
+# keeps a full run around a minute while staying reasonably stable.
+BENCHTIME ?= 0.2s
+BENCH_JSON ?= BENCH_pr2.json
+
+.PHONY: verify check fmt vet test bench bench-json fuzz build examples
 
 # Tier-1: must stay green (ROADMAP.md).
 verify: build test
@@ -29,6 +34,20 @@ fmt:
 # bench_test.go can never rot silently.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+# Perf trajectory snapshot: run the benchmark families and record
+# name -> ns/op, B/op, allocs/op as JSON (see cmd/benchjson).
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson > $(BENCH_JSON)
+	@echo "wrote $(BENCH_JSON)"
+
+# Short fuzz pass over the parsers (native Go fuzzing; seeds under
+# internal/*/testdata/fuzz are always exercised by plain `make test`).
+fuzz:
+	$(GO) test -fuzz 'FuzzParse$$' -fuzztime 30s ./internal/ntriples/
+	$(GO) test -fuzz FuzzParseLine -fuzztime 15s ./internal/ntriples/
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/turtle/
 
 # Run every example program (living API documentation).
 examples:

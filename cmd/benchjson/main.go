@@ -1,0 +1,111 @@
+// Command benchjson converts `go test -bench -benchmem` output read
+// from stdin into a JSON document mapping benchmark name to its
+// measured metrics (ns/op, B/op, allocs/op, and MB/s where reported).
+// It backs the `make bench-json` target, which tracks the performance
+// trajectory of the engine across PRs (BENCH_pr<N>.json files).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Metrics holds one benchmark's measurements.
+type Metrics struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	MBPerSec    *float64 `json:"mb_per_s,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Context    map[string]string  `json:"context"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+func main() {
+	rep := Report{
+		Context:    map[string]string{},
+		Benchmarks: map[string]Metrics{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				rep.Context[key] = v
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := trimProcsSuffix(fields[0])
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		m := Metrics{Iterations: iters}
+		// The remainder alternates value, unit.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+			case "B/op":
+				m.BytesPerOp = ptr(v)
+			case "allocs/op":
+				m.AllocsPerOp = ptr(v)
+			case "MB/s":
+				m.MBPerSec = ptr(v)
+			}
+		}
+		rep.Benchmarks[name] = m
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// trimProcsSuffix strips the -N GOMAXPROCS suffix go test appends to
+// benchmark names (BenchmarkFoo/bar-8 -> BenchmarkFoo/bar).
+func trimProcsSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func ptr(v float64) *float64 { return &v }

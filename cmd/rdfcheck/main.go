@@ -9,6 +9,7 @@
 //	rdfcheck -op iso      g1.nt g2.nt   # G1 ≅ G2 ?
 //	rdfcheck -op lean     g.nt          # is G lean?
 //	rdfcheck -op simple   g.nt          # is G a simple graph?
+//	rdfcheck -op stats    g.nt          # size and index statistics
 //
 // With -proof, entailment also prints a checked derivation in the
 // deductive system of Section 2.3.2. Exit status: 0 when the relation
@@ -25,12 +26,12 @@ import (
 )
 
 func main() {
-	op := flag.String("op", "entails", "operation: entails | equiv | iso | lean | simple")
+	op := flag.String("op", "entails", "operation: entails | equiv | iso | lean | simple | stats")
 	proof := flag.Bool("proof", false, "with -op entails: print a checked proof (Definition 2.5)")
 	quiet := flag.Bool("q", false, "suppress output; use the exit status only")
 	flag.Parse()
 
-	tool := cliutil.New("rdfcheck", "rdfcheck -op entails|equiv|iso|lean|simple [-proof] [-q] file [file]")
+	tool := cliutil.New("rdfcheck", "rdfcheck -op entails|equiv|iso|lean|simple|stats [-proof] [-q] file [file]")
 	ctx := tool.Context()
 
 	say := func(format string, args ...any) {
@@ -96,6 +97,18 @@ func main() {
 		args := needArgs(1)
 		holds = semweb.IsSimple(tool.LoadGraph(args[0]))
 		say("simple: %v", holds)
+	case "stats":
+		args := needArgs(1)
+		db, err := semweb.Open(semweb.WithGraph(tool.LoadGraph(args[0])))
+		if err != nil {
+			tool.Fail(err)
+		}
+		st := db.Stats()
+		say("triples:    %d", st.Triples)
+		say("blanks:     %d", st.BlankNodes)
+		say("terms:      %d distinct (%d interned)", st.Terms, st.DictTerms)
+		say("indexes:    SPO=%d POS=%d OSP=%d entries", st.IndexSizes[0], st.IndexSizes[1], st.IndexSizes[2])
+		holds = true
 	default:
 		tool.Failf("unknown operation %q", *op)
 	}

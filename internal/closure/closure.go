@@ -8,17 +8,20 @@ package closure
 import (
 	"context"
 
+	"semwebdb/internal/dict"
 	"semwebdb/internal/graph"
 	"semwebdb/internal/rdfs"
 	"semwebdb/internal/term"
 )
 
 // RDFSCl returns RDFS-cl(G): the set of triples deducible from G using
-// rules (2)–(13) (Definition 2.7). The input graph is not modified.
+// rules (2)–(13) (Definition 2.7). The input graph is not modified; the
+// result shares its dictionary.
 //
-// The computation is a semi-naive (delta-driven) fixpoint: every triple
-// is processed exactly once, joining against incrementally maintained
-// indexes, so no rule instantiation is re-derived from scratch per round.
+// The computation is a semi-naive (delta-driven) fixpoint over interned
+// term IDs: every triple is processed exactly once, joining against
+// incrementally maintained ID-keyed indexes, so no rule instantiation is
+// re-derived from scratch per round and no string is compared anywhere.
 // NaiveRDFSCl is the round-based baseline (ablation A2).
 func RDFSCl(g *graph.Graph) *graph.Graph {
 	out, _ := RDFSClCtx(context.Background(), g)
@@ -29,14 +32,15 @@ func RDFSCl(g *graph.Graph) *graph.Graph {
 // periodically and aborts with its error when it is cancelled, so
 // closures of large graphs are interruptible.
 func RDFSClCtx(ctx context.Context, g *graph.Graph) (*graph.Graph, error) {
-	e := newEngine()
-	g.Each(func(t graph.Triple) bool {
+	e := newEngine(g.Dict())
+	g.EachID(func(t dict.Triple3) bool {
 		e.add(t)
 		return true
 	})
 	// Rule (9): (p, sp, p) for every p ∈ rdfsV, unconditionally.
 	for _, p := range rdfs.Vocabulary() {
-		e.add(graph.T(p, rdfs.SubPropertyOf, p))
+		pid := e.d.Intern(p)
+		e.add(dict.Triple3{pid, e.sp, pid})
 	}
 	if err := e.run(ctx); err != nil {
 		return nil, err
@@ -85,66 +89,94 @@ func NaiveRDFSCl(g *graph.Graph) *graph.Graph {
 	}
 }
 
-// engine is the semi-naive saturation state.
+// engine is the semi-naive saturation state, entirely ID-encoded.
 type engine struct {
-	out   *graph.Graph
-	queue []graph.Triple
+	d   *dict.Dict
+	out *graph.Graph
+	// kinds is a snapshot of the dictionary kinds covering every ID the
+	// saturation can touch (no new terms are created after setup).
+	kinds []term.Kind
 
-	spOut map[term.Term]map[term.Term]struct{} // a -> {b : (a,sp,b)}
-	spIn  map[term.Term]map[term.Term]struct{}
-	scOut map[term.Term]map[term.Term]struct{}
-	scIn  map[term.Term]map[term.Term]struct{}
+	queue []dict.Triple3
 
-	domOf   map[term.Term][]term.Term // A -> {B : (A,dom,B)}
-	rangeOf map[term.Term][]term.Term
+	// Interned rdfsV constants.
+	sp, sc, typ, dom, rng dict.ID
 
-	byPred    map[term.Term][]graph.Triple // predicate -> triples
-	typeByObj map[term.Term][]term.Term    // class -> {x : (x,type,class)}
+	spOut map[dict.ID]map[dict.ID]struct{} // a -> {b : (a,sp,b)}
+	spIn  map[dict.ID]map[dict.ID]struct{}
+	scOut map[dict.ID]map[dict.ID]struct{}
+	scIn  map[dict.ID]map[dict.ID]struct{}
+
+	domOf   map[dict.ID][]dict.ID // A -> {B : (A,dom,B)}
+	rangeOf map[dict.ID][]dict.ID
+
+	byPred    map[dict.ID][]dict.Triple3 // predicate -> triples
+	typeByObj map[dict.ID][]dict.ID      // class -> {x : (x,type,class)}
 }
 
-func newEngine() *engine {
-	return &engine{
-		out:       graph.New(),
-		spOut:     make(map[term.Term]map[term.Term]struct{}),
-		spIn:      make(map[term.Term]map[term.Term]struct{}),
-		scOut:     make(map[term.Term]map[term.Term]struct{}),
-		scIn:      make(map[term.Term]map[term.Term]struct{}),
-		domOf:     make(map[term.Term][]term.Term),
-		rangeOf:   make(map[term.Term][]term.Term),
-		byPred:    make(map[term.Term][]graph.Triple),
-		typeByObj: make(map[term.Term][]term.Term),
+func newEngine(d *dict.Dict) *engine {
+	e := &engine{
+		d:         d,
+		out:       graph.NewWithDict(d),
+		sp:        d.Intern(rdfs.SubPropertyOf),
+		sc:        d.Intern(rdfs.SubClassOf),
+		typ:       d.Intern(rdfs.Type),
+		dom:       d.Intern(rdfs.Domain),
+		rng:       d.Intern(rdfs.Range),
+		spOut:     make(map[dict.ID]map[dict.ID]struct{}),
+		spIn:      make(map[dict.ID]map[dict.ID]struct{}),
+		scOut:     make(map[dict.ID]map[dict.ID]struct{}),
+		scIn:      make(map[dict.ID]map[dict.ID]struct{}),
+		domOf:     make(map[dict.ID][]dict.ID),
+		rangeOf:   make(map[dict.ID][]dict.ID),
+		byPred:    make(map[dict.ID][]dict.Triple3),
+		typeByObj: make(map[dict.ID][]dict.ID),
 	}
+	e.kinds = d.Kinds()
+	return e
 }
 
-func addEdge(m map[term.Term]map[term.Term]struct{}, a, b term.Term) {
+// kind resolves a term kind, refreshing the snapshot for IDs interned
+// after engine construction (the vocabulary constants, at most).
+func (e *engine) kind(id dict.ID) term.Kind {
+	if int(id) > len(e.kinds) {
+		e.kinds = e.d.Kinds()
+	}
+	return e.kinds[id-1]
+}
+
+// canPredicate reports whether the term may occupy predicate position.
+func (e *engine) canPredicate(id dict.ID) bool { return e.kind(id) == term.KindIRI }
+
+func addEdge(m map[dict.ID]map[dict.ID]struct{}, a, b dict.ID) {
 	s, ok := m[a]
 	if !ok {
-		s = make(map[term.Term]struct{})
+		s = make(map[dict.ID]struct{})
 		m[a] = s
 	}
 	s[b] = struct{}{}
 }
 
-// add inserts a triple (if well-formed and new), updates the indexes and
-// enqueues it for processing.
-func (e *engine) add(t graph.Triple) {
-	if !e.out.Add(t) {
+// add inserts a triple (if well-formed and new — AddID checks both),
+// updates the indexes and enqueues it for processing.
+func (e *engine) add(t dict.Triple3) {
+	if !e.out.AddID(t) {
 		return
 	}
-	e.byPred[t.P] = append(e.byPred[t.P], t)
-	switch t.P {
-	case rdfs.SubPropertyOf:
-		addEdge(e.spOut, t.S, t.O)
-		addEdge(e.spIn, t.O, t.S)
-	case rdfs.SubClassOf:
-		addEdge(e.scOut, t.S, t.O)
-		addEdge(e.scIn, t.O, t.S)
-	case rdfs.Domain:
-		e.domOf[t.S] = append(e.domOf[t.S], t.O)
-	case rdfs.Range:
-		e.rangeOf[t.S] = append(e.rangeOf[t.S], t.O)
-	case rdfs.Type:
-		e.typeByObj[t.O] = append(e.typeByObj[t.O], t.S)
+	e.byPred[t[1]] = append(e.byPred[t[1]], t)
+	switch t[1] {
+	case e.sp:
+		addEdge(e.spOut, t[0], t[2])
+		addEdge(e.spIn, t[2], t[0])
+	case e.sc:
+		addEdge(e.scOut, t[0], t[2])
+		addEdge(e.scIn, t[2], t[0])
+	case e.dom:
+		e.domOf[t[0]] = append(e.domOf[t[0]], t[2])
+	case e.rng:
+		e.rangeOf[t[0]] = append(e.rangeOf[t[0]], t[2])
+	case e.typ:
+		e.typeByObj[t[2]] = append(e.typeByObj[t[2]], t[0])
 	}
 	e.queue = append(e.queue, t)
 }
@@ -170,92 +202,93 @@ func (e *engine) run(ctx context.Context) error {
 // against the current indexes. Because indexes are updated at add time,
 // each antecedent pair/triple is joined when its last member is
 // processed, which covers all instantiations exactly once.
-func (e *engine) process(t graph.Triple) {
+func (e *engine) process(t dict.Triple3) {
+	s, p, o := t[0], t[1], t[2]
 	// Rules that see t as a generic triple (X, A, Y).
 	// Rule (8): (X,A,Y) ⊢ (A,sp,A).
-	e.add(graph.T(t.P, rdfs.SubPropertyOf, t.P))
+	e.add(dict.Triple3{p, e.sp, p})
 	// Rule (3): (A,sp,B), (X,A,Y) ⊢ (X,B,Y), for the new (X,A,Y) = t.
-	for b := range e.spOut[t.P] {
-		if b.CanPredicate() {
-			e.add(graph.T(t.S, b, t.O))
+	for b := range e.spOut[p] {
+		if e.canPredicate(b) {
+			e.add(dict.Triple3{s, b, o})
 		}
 	}
 	// Rules (6)/(7) with t as the body triple (X,C,Y): C sp A (or C = A,
 	// whose reflexive sp loop is handled when (C,sp,C) is processed).
-	for a := range e.spOut[t.P] {
+	for a := range e.spOut[p] {
 		for _, b := range e.domOf[a] {
-			e.add(graph.T(t.S, rdfs.Type, b))
+			e.add(dict.Triple3{s, e.typ, b})
 		}
 		for _, b := range e.rangeOf[a] {
-			e.add(graph.T(t.O, rdfs.Type, b))
+			e.add(dict.Triple3{o, e.typ, b})
 		}
 	}
 
-	switch t.P {
-	case rdfs.SubPropertyOf:
-		a, b := t.S, t.O
+	switch p {
+	case e.sp:
+		a, b := s, o
 		// Rule (2): transitivity, joining on both sides.
 		for c := range e.spOut[b] {
-			e.add(graph.T(a, rdfs.SubPropertyOf, c))
+			e.add(dict.Triple3{a, e.sp, c})
 		}
 		for z := range e.spIn[a] {
-			e.add(graph.T(z, rdfs.SubPropertyOf, b))
+			e.add(dict.Triple3{z, e.sp, b})
 		}
 		// Rule (11): reflexivity of both endpoints.
-		e.add(graph.T(a, rdfs.SubPropertyOf, a))
-		e.add(graph.T(b, rdfs.SubPropertyOf, b))
+		e.add(dict.Triple3{a, e.sp, a})
+		e.add(dict.Triple3{b, e.sp, b})
 		// Rule (3) with t as the (A,sp,B) antecedent.
-		if b.CanPredicate() {
+		if e.canPredicate(b) {
 			for _, body := range e.byPred[a] {
-				e.add(graph.T(body.S, b, body.O))
+				e.add(dict.Triple3{body[0], b, body[2]})
 			}
 		}
 		// Rules (6)/(7) with t as the (C,sp,A) antecedent: C = a, A = b.
 		for _, cls := range e.domOf[b] {
 			for _, body := range e.byPred[a] {
-				e.add(graph.T(body.S, rdfs.Type, cls))
+				e.add(dict.Triple3{body[0], e.typ, cls})
 			}
 		}
 		for _, cls := range e.rangeOf[b] {
 			for _, body := range e.byPred[a] {
-				e.add(graph.T(body.O, rdfs.Type, cls))
+				e.add(dict.Triple3{body[2], e.typ, cls})
 			}
 		}
-	case rdfs.SubClassOf:
-		a, b := t.S, t.O
+	case e.sc:
+		a, b := s, o
 		// Rule (4): transitivity.
 		for c := range e.scOut[b] {
-			e.add(graph.T(a, rdfs.SubClassOf, c))
+			e.add(dict.Triple3{a, e.sc, c})
 		}
 		for z := range e.scIn[a] {
-			e.add(graph.T(z, rdfs.SubClassOf, b))
+			e.add(dict.Triple3{z, e.sc, b})
 		}
 		// Rule (13): reflexivity of both endpoints.
-		e.add(graph.T(a, rdfs.SubClassOf, a))
-		e.add(graph.T(b, rdfs.SubClassOf, b))
+		e.add(dict.Triple3{a, e.sc, a})
+		e.add(dict.Triple3{b, e.sc, b})
 		// Rule (5) with t as the (A,sc,B) antecedent.
 		for _, x := range e.typeByObj[a] {
-			e.add(graph.T(x, rdfs.Type, b))
+			e.add(dict.Triple3{x, e.typ, b})
 		}
-	case rdfs.Domain:
+	case e.dom:
 		// Rule (10) and rule (12).
-		e.add(graph.T(t.S, rdfs.SubPropertyOf, t.S))
-		e.add(graph.T(t.O, rdfs.SubClassOf, t.O))
+		e.add(dict.Triple3{s, e.sp, s})
+		e.add(dict.Triple3{o, e.sc, o})
 		// Rule (6) with t as the (A,dom,B) antecedent: join (C,sp,A) and
 		// bodies (X,C,Y).
-		e.fireDomRange(t.S, t.O, true)
-	case rdfs.Range:
-		e.add(graph.T(t.S, rdfs.SubPropertyOf, t.S))
-		e.add(graph.T(t.O, rdfs.SubClassOf, t.O))
-		e.fireDomRange(t.S, t.O, false)
-	case rdfs.Type:
-		x, a := t.S, t.O
+		e.fireDomRange(s, o, true)
+	case e.rng:
+		e.add(dict.Triple3{s, e.sp, s})
+		e.add(dict.Triple3{o, e.sc, o})
+		e.fireDomRange(s, o, false)
+	case e.typ:
+		x, a := s, o
 		// Rule (5) with t as the (X,type,A) antecedent.
 		for b := range e.scOut[a] {
-			e.add(graph.T(x, rdfs.Type, b))
+			e.add(dict.Triple3{x, e.typ, b})
 		}
 		// Rule (12).
-		e.add(graph.T(a, rdfs.SubClassOf, a))
+		e.add(dict.Triple3{a, e.sc, a})
 	}
 }
 
@@ -264,13 +297,13 @@ func (e *engine) process(t graph.Triple) {
 // every body (X,C,Y), emit the typing conclusion. The reflexive C = A
 // case is carried by the (A,sp,A) loop added by rule (10), which joins
 // back through the sp branch of process.
-func (e *engine) fireDomRange(a, b term.Term, isDom bool) {
+func (e *engine) fireDomRange(a, b dict.ID, isDom bool) {
 	for c := range e.spIn[a] {
 		for _, body := range e.byPred[c] {
 			if isDom {
-				e.add(graph.T(body.S, rdfs.Type, b))
+				e.add(dict.Triple3{body[0], e.typ, b})
 			} else {
-				e.add(graph.T(body.O, rdfs.Type, b))
+				e.add(dict.Triple3{body[2], e.typ, b})
 			}
 		}
 	}

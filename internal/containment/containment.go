@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"semwebdb/internal/core"
+	"semwebdb/internal/dict"
 	"semwebdb/internal/entail"
 	"semwebdb/internal/graph"
 	"semwebdb/internal/hom"
@@ -121,26 +122,30 @@ func decideNoLeftPremise(q, qp *query.Query, standard bool) (Decision, error) {
 	for v := range q.Constraints {
 		leftConstraints[freezeTerm(v)] = true
 	}
-	admissible := func(unknown, value term.Term) bool {
-		if !qp.Constraints[unknown] {
+	td := target.Dict()
+	admissible := func(unknown, value dict.ID) bool {
+		if !qp.Constraints[td.TermOf(unknown)] {
 			return true
 		}
 		// θ(x') for x' ∈ C' must be guaranteed non-blank in every
 		// answer: a ground constant, or a variable of q that is itself
 		// constrained. (The paper states θ(C') ⊆ C; constants are
 		// non-blank by definition, which this refinement makes explicit.)
-		if value.IsBlank() {
+		vt := td.TermOf(value)
+		if vt.IsBlank() {
 			return false
 		}
-		if isFrozenVar(value) {
-			return leftConstraints[value]
+		if isFrozenVar(vt) {
+			return leftConstraints[vt]
 		}
 		return true
 	}
 
-	var thetas []match.Binding
+	// Bindings are decoded to term-level substitutions once per matching;
+	// containment instances are tiny, so the decode is not a hot path.
+	var thetas []map[term.Term]term.Term
 	match.Solve(qp.Body, target, match.Options{Admissible: admissible}, func(b match.Binding) bool {
-		thetas = append(thetas, b.Clone())
+		thetas = append(thetas, b.Terms(td))
 		return true
 	})
 
@@ -151,7 +156,7 @@ func decideNoLeftPremise(q, qp *query.Query, standard bool) (Decision, error) {
 				continue
 			}
 			if hom.Isomorphic(inst, frozenH) {
-				return Decision{Holds: true, Substitutions: []map[term.Term]term.Term{bindingMap(th)}}, nil
+				return Decision{Holds: true, Substitutions: []map[term.Term]term.Term{th}}, nil
 			}
 		}
 		return Decision{Holds: false}, nil
@@ -168,7 +173,7 @@ func decideNoLeftPremise(q, qp *query.Query, standard bool) (Decision, error) {
 			continue
 		}
 		u.AddAll(inst)
-		subs = append(subs, bindingMap(th))
+		subs = append(subs, th)
 	}
 	if entail.Entails(u, frozenH) {
 		return Decision{Holds: true, Substitutions: subs}, nil
@@ -179,7 +184,7 @@ func decideNoLeftPremise(q, qp *query.Query, standard bool) (Decision, error) {
 // applyTheta instantiates a head pattern under θ, freezing untouched
 // variables and renaming head blanks with the given suffix. It returns
 // nil when the result is not a well-formed graph.
-func applyTheta(head []graph.Triple, th match.Binding, blankSuffix string) *graph.Graph {
+func applyTheta(head []graph.Triple, th map[term.Term]term.Term, blankSuffix string) *graph.Graph {
 	subst := func(x term.Term) term.Term {
 		if x.IsVar() {
 			if v, ok := th[x]; ok {
@@ -199,14 +204,6 @@ func applyTheta(head []graph.Triple, th match.Binding, blankSuffix string) *grap
 			return nil
 		}
 		out.MustAdd(inst)
-	}
-	return out
-}
-
-func bindingMap(b match.Binding) map[term.Term]term.Term {
-	out := make(map[term.Term]term.Term, len(b))
-	for k, v := range b {
-		out[k] = v
 	}
 	return out
 }
@@ -236,10 +233,12 @@ func PremiseExpansion(q *query.Query) []*query.Query {
 			add(&out, seen, query.New(q.Head, q.Body).WithPremise(graph.New()))
 			continue
 		}
+		pd := q.Premise.Dict()
 		match.Solve(r, q.Premise, match.Options{}, func(b match.Binding) bool {
 			// μ(B∖R) must have no blanks: variables shared with R that
 			// got bound to premise blanks must not survive into B∖R.
-			restInst := substitutePatterns(rest, b)
+			sub := b.Terms(pd)
+			restInst := substitutePatterns(rest, sub)
 			for _, t := range restInst {
 				for _, x := range t.Terms() {
 					if x.IsBlank() {
@@ -247,7 +246,7 @@ func PremiseExpansion(q *query.Query) []*query.Query {
 					}
 				}
 			}
-			headInst := substitutePatterns(q.Head, b)
+			headInst := substitutePatterns(q.Head, sub)
 			add(&out, seen, query.New(headInst, restInst).WithPremise(graph.New()))
 			return true
 		})
@@ -267,9 +266,9 @@ func add(out *[]*query.Query, seen map[string]bool, q *query.Query) {
 	}
 }
 
-// substitutePatterns applies a binding to a pattern list, leaving unbound
-// variables in place.
-func substitutePatterns(ts []graph.Triple, b match.Binding) []graph.Triple {
+// substitutePatterns applies a substitution to a pattern list, leaving
+// unbound variables in place.
+func substitutePatterns(ts []graph.Triple, b map[term.Term]term.Term) []graph.Triple {
 	subst := func(x term.Term) term.Term {
 		if x.IsVar() {
 			if v, ok := b[x]; ok {

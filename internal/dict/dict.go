@@ -1,0 +1,217 @@
+// Package dict implements the dictionary-encoding substrate shared by
+// the graph, store and match layers: RDF terms are interned to dense
+// integer IDs, triples become fixed-size ID triples (Triple3), and the
+// three sorted permutations SPO/POS/OSP turn every triple pattern with a
+// bound position into a binary-search range scan.
+//
+// A Dict is safe for concurrent use: interning serializes behind a
+// mutex, while the ID→term and ID→kind read paths are lock-free
+// (an atomically published append-only view). IDs are dense and start
+// at 1; ID 0 is the Wildcard, marking an unbound pattern position.
+package dict
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"semwebdb/internal/term"
+)
+
+// ID is a dictionary-encoded term identifier. The zero ID is reserved
+// as the pattern wildcard and never names a term.
+type ID uint32
+
+// Wildcard marks an unbound position in a triple pattern.
+const Wildcard ID = 0
+
+// Triple3 is a dictionary-encoded triple (subject, predicate, object).
+type Triple3 [3]ID
+
+// Less orders Triple3 values lexicographically by position.
+func (t Triple3) Less(u Triple3) bool {
+	if t[0] != u[0] {
+		return t[0] < u[0]
+	}
+	if t[1] != u[1] {
+		return t[1] < u[1]
+	}
+	return t[2] < u[2]
+}
+
+// Order names one of the maintained index permutations.
+type Order int
+
+const (
+	// SPO orders triples by subject, predicate, object.
+	SPO Order = iota
+	// POS orders triples by predicate, object, subject.
+	POS
+	// OSP orders triples by object, subject, predicate.
+	OSP
+)
+
+// Permute maps a triple into the key layout of the given order.
+func Permute(t Triple3, o Order) Triple3 {
+	switch o {
+	case POS:
+		return Triple3{t[1], t[2], t[0]}
+	case OSP:
+		return Triple3{t[2], t[0], t[1]}
+	default:
+		return t
+	}
+}
+
+// Unpermute inverts Permute.
+func Unpermute(k Triple3, o Order) Triple3 {
+	switch o {
+	case POS:
+		return Triple3{k[2], k[0], k[1]}
+	case OSP:
+		return Triple3{k[1], k[2], k[0]}
+	default:
+		return k
+	}
+}
+
+// ChooseOrder selects the permutation whose leading key positions cover
+// the most bound pattern positions, returning it together with the
+// length of the fully-bound key prefix. With all three permutations
+// maintained, every bound subset of {S,P,O} except the empty one is a
+// full prefix of some order, so range scans never post-filter.
+func ChooseOrder(sb, pb, ob bool) (Order, int) {
+	prefix := func(a, b, c bool) int {
+		switch {
+		case a && b && c:
+			return 3
+		case a && b:
+			return 2
+		case a:
+			return 1
+		default:
+			return 0
+		}
+	}
+	best, bestLen := SPO, prefix(sb, pb, ob)
+	if n := prefix(pb, ob, sb); n > bestLen {
+		best, bestLen = POS, n
+	}
+	if n := prefix(ob, sb, pb); n > bestLen {
+		best, bestLen = OSP, n
+	}
+	return best, bestLen
+}
+
+// SortIndex sorts a permuted key slice in place.
+func SortIndex(idx []Triple3) {
+	sort.Slice(idx, func(i, j int) bool { return idx[i].Less(idx[j]) })
+}
+
+// SearchRange returns the half-open interval [lo, hi) of entries of the
+// sorted key slice idx whose first `prefix` positions equal those of
+// key. A prefix of 0 selects the whole slice.
+func SearchRange(idx []Triple3, key Triple3, prefix int) (lo, hi int) {
+	if prefix <= 0 {
+		return 0, len(idx)
+	}
+	lo = sort.Search(len(idx), func(i int) bool {
+		return !prefixLess(idx[i], key, prefix)
+	})
+	hi = lo + sort.Search(len(idx)-lo, func(i int) bool {
+		return prefixGreater(idx[lo+i], key, prefix)
+	})
+	return lo, hi
+}
+
+func prefixLess(a, key Triple3, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != key[i] {
+			return a[i] < key[i]
+		}
+	}
+	return false
+}
+
+func prefixGreater(a, key Triple3, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != key[i] {
+			return a[i] > key[i]
+		}
+	}
+	return false
+}
+
+// view is the atomically published read state: parallel append-only
+// slices indexed by ID-1. Published elements are never rewritten, so a
+// loaded view stays valid while writers append behind it.
+type view struct {
+	terms []term.Term
+	kinds []term.Kind
+}
+
+// Dict interns terms to dense IDs and resolves them back. The zero
+// value is not ready to use; construct with New.
+type Dict struct {
+	mu  sync.RWMutex // guards ids and writer-side appends
+	ids map[term.Term]ID
+	v   atomic.Pointer[view]
+}
+
+// New returns an empty dictionary.
+func New() *Dict {
+	d := &Dict{ids: make(map[term.Term]ID)}
+	d.v.Store(&view{})
+	return d
+}
+
+// Intern returns the ID of t, allocating one if needed.
+func (d *Dict) Intern(t term.Term) ID {
+	d.mu.RLock()
+	id, ok := d.ids[t]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[t]; ok {
+		return id
+	}
+	old := d.v.Load()
+	nv := &view{
+		terms: append(old.terms, t),
+		kinds: append(old.kinds, t.Kind()),
+	}
+	id = ID(len(nv.terms))
+	d.ids[t] = id
+	d.v.Store(nv)
+	return id
+}
+
+// Lookup returns the ID of t if it has been interned.
+func (d *Dict) Lookup(t term.Term) (ID, bool) {
+	d.mu.RLock()
+	id, ok := d.ids[t]
+	d.mu.RUnlock()
+	return id, ok
+}
+
+// TermOf returns the term for an ID. It panics on the Wildcard or an
+// unallocated ID.
+func (d *Dict) TermOf(id ID) term.Term { return d.v.Load().terms[id-1] }
+
+// KindOf returns the syntactic category of the term named by id.
+func (d *Dict) KindOf(id ID) term.Kind { return d.v.Load().kinds[id-1] }
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int { return len(d.v.Load().terms) }
+
+// Terms returns a stable snapshot of the interned terms, indexed by
+// ID-1. The slice is shared and must not be modified; terms interned
+// after the call are not visible through it.
+func (d *Dict) Terms() []term.Term { return d.v.Load().terms }
+
+// Kinds returns a stable snapshot of the term kinds, indexed by ID-1,
+// under the same contract as Terms.
+func (d *Dict) Kinds() []term.Kind { return d.v.Load().kinds }

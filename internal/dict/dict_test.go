@@ -1,0 +1,142 @@
+package dict
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"semwebdb/internal/term"
+)
+
+func TestInternRoundTrip(t *testing.T) {
+	d := New()
+	a := term.NewIRI("urn:a")
+	b := term.NewBlank("b")
+	l := term.NewLangLiteral("x", "en")
+
+	ida := d.Intern(a)
+	idb := d.Intern(b)
+	idl := d.Intern(l)
+	if ida == Wildcard || idb == Wildcard || idl == Wildcard {
+		t.Fatal("allocated the wildcard ID")
+	}
+	if d.Intern(a) != ida {
+		t.Fatal("re-interning changed the ID")
+	}
+	if got := d.TermOf(ida); got != a {
+		t.Fatalf("TermOf = %v, want %v", got, a)
+	}
+	if d.KindOf(idb) != term.KindBlank || d.KindOf(idl) != term.KindLiteral {
+		t.Fatal("KindOf wrong")
+	}
+	if id, ok := d.Lookup(b); !ok || id != idb {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := d.Lookup(term.NewIRI("urn:missing")); ok {
+		t.Fatal("Lookup invented an ID")
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+}
+
+func TestSnapshotsAreStable(t *testing.T) {
+	d := New()
+	d.Intern(term.NewIRI("urn:1"))
+	terms := d.Terms()
+	kinds := d.Kinds()
+	for i := 0; i < 100; i++ {
+		d.Intern(term.NewIRI(fmt.Sprintf("urn:extra:%d", i)))
+	}
+	if len(terms) != 1 || len(kinds) != 1 {
+		t.Fatal("snapshot length changed after later interning")
+	}
+	if terms[0] != term.NewIRI("urn:1") {
+		t.Fatal("snapshot content changed")
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	d := New()
+	var wg sync.WaitGroup
+	const goroutines, n = 8, 500
+	ids := make([][]ID, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]ID, n)
+			for i := 0; i < n; i++ {
+				ids[g][i] = d.Intern(term.NewIRI(fmt.Sprintf("urn:t:%d", i)))
+				_ = d.KindOf(ids[g][i])
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < n; i++ {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutines disagree on ID of term %d", i)
+			}
+		}
+	}
+	if d.Len() != n {
+		t.Fatalf("Len = %d, want %d", d.Len(), n)
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	tr := Triple3{1, 2, 3}
+	for _, o := range []Order{SPO, POS, OSP} {
+		if got := Unpermute(Permute(tr, o), o); got != tr {
+			t.Fatalf("order %v: round trip = %v", o, got)
+		}
+	}
+}
+
+func TestChooseOrder(t *testing.T) {
+	cases := []struct {
+		s, p, o bool
+		want    Order
+		prefix  int
+	}{
+		{false, false, false, SPO, 0},
+		{true, false, false, SPO, 1},
+		{false, true, false, POS, 1},
+		{false, false, true, OSP, 1},
+		{true, true, false, SPO, 2},
+		{false, true, true, POS, 2},
+		{true, false, true, OSP, 2},
+		{true, true, true, SPO, 3},
+	}
+	for _, c := range cases {
+		o, n := ChooseOrder(c.s, c.p, c.o)
+		if o != c.want || n != c.prefix {
+			t.Fatalf("ChooseOrder(%v,%v,%v) = %v,%d want %v,%d",
+				c.s, c.p, c.o, o, n, c.want, c.prefix)
+		}
+	}
+}
+
+func TestSearchRange(t *testing.T) {
+	idx := []Triple3{
+		{1, 1, 1}, {1, 1, 3}, {1, 2, 1}, {2, 1, 1}, {2, 1, 2}, {3, 9, 9},
+	}
+	SortIndex(idx)
+	lo, hi := SearchRange(idx, Triple3{1, 1, 0}, 2)
+	if hi-lo != 2 {
+		t.Fatalf("prefix-2 range size = %d, want 2", hi-lo)
+	}
+	lo, hi = SearchRange(idx, Triple3{2, 0, 0}, 1)
+	if hi-lo != 2 {
+		t.Fatalf("prefix-1 range size = %d, want 2", hi-lo)
+	}
+	lo, hi = SearchRange(idx, Triple3{9, 0, 0}, 1)
+	if hi-lo != 0 {
+		t.Fatalf("missing key range size = %d, want 0", hi-lo)
+	}
+	lo, hi = SearchRange(idx, Triple3{}, 0)
+	if lo != 0 || hi != len(idx) {
+		t.Fatal("prefix-0 should select everything")
+	}
+}

@@ -3,13 +3,25 @@
 // U ∪ B, together with the operations the paper builds its theory on —
 // maps (blank-node homomorphisms), instances, union, merge, and the
 // skolemization operators (·)* and (·)⋆ of Section 3.1.
+//
+// Representation. A Graph is dictionary-encoded: every term is interned
+// to a dense dict.ID and the triple set is a set of dict.Triple3
+// values, with the three sorted permutations SPO/POS/OSP materialized
+// lazily for pattern range scans (MatchID/CountID). Strings are only
+// touched at the term-level API boundary — parsers, serializers and the
+// public facade — while the engine layers (match, hom, closure, core,
+// query) operate on IDs end-to-end. Graphs derived from one another
+// (clones, unions, closures, instances under a map) share one
+// dictionary, so their set operations compare integers, never strings.
 package graph
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
+	"semwebdb/internal/dict"
 	"semwebdb/internal/term"
 )
 
@@ -59,15 +71,47 @@ func (t Triple) String() string {
 // Terms returns the three positions in order.
 func (t Triple) Terms() [3]term.Term { return [3]term.Term{t.S, t.P, t.O} }
 
-// Graph is an RDF graph: a finite set of RDF triples. The zero value is
-// not ready to use; construct graphs with New.
-type Graph struct {
-	set map[Triple]struct{}
+// WellFormedID reports whether the ID triple respects the RDF positional
+// restrictions, resolving kinds through d.
+func WellFormedID(d *dict.Dict, t dict.Triple3) bool {
+	kinds := d.Kinds()
+	s, p, o := kinds[t[0]-1], kinds[t[1]-1], kinds[t[2]-1]
+	return (s == term.KindIRI || s == term.KindBlank) &&
+		p == term.KindIRI &&
+		(o == term.KindIRI || o == term.KindBlank || o == term.KindLiteral)
 }
 
-// New returns an empty graph, optionally populated with the given triples.
+// idxState is one lazily built sorted permutation; immutable once built.
+type idxState struct {
+	version uint64
+	keys    []dict.Triple3
+}
+
+// Graph is an RDF graph: a finite set of RDF triples. The zero value is
+// not ready to use; construct graphs with New or NewWithDict.
+//
+// A Graph is not safe for concurrent mutation, but an immutable graph
+// (no Add/Remove after publication) is safe for concurrent readers,
+// including the lazy index builds triggered by MatchID/CountID.
+type Graph struct {
+	d   *dict.Dict
+	set map[dict.Triple3]struct{}
+
+	version uint64     // bumped on every mutation
+	mu      sync.Mutex // guards idx
+	idx     [3]*idxState
+}
+
+// New returns an empty graph with a private dictionary, optionally
+// populated with the given triples.
 func New(ts ...Triple) *Graph {
-	g := &Graph{set: make(map[Triple]struct{}, len(ts))}
+	return NewWithDict(dict.New(), ts...)
+}
+
+// NewWithDict returns an empty graph interning into the given shared
+// dictionary, optionally populated with the given triples.
+func NewWithDict(d *dict.Dict, ts ...Triple) *Graph {
+	g := &Graph{d: d, set: make(map[dict.Triple3]struct{}, len(ts))}
 	for _, t := range ts {
 		g.Add(t)
 	}
@@ -77,6 +121,53 @@ func New(ts ...Triple) *Graph {
 // FromTriples builds a graph from a slice of triples.
 func FromTriples(ts []Triple) *Graph { return New(ts...) }
 
+// Dict returns the dictionary the graph interns into. Graphs derived
+// from this one (clones, unions, instances, closures) share it.
+func (g *Graph) Dict() *dict.Dict { return g.d }
+
+// Intern interns a term into the graph's dictionary and returns its ID.
+func (g *Graph) Intern(t term.Term) dict.ID { return g.d.Intern(t) }
+
+// InternTriple interns all three positions of a triple.
+func (g *Graph) InternTriple(t Triple) dict.Triple3 {
+	return dict.Triple3{g.d.Intern(t.S), g.d.Intern(t.P), g.d.Intern(t.O)}
+}
+
+// lookupTriple encodes a triple without interning; ok is false when some
+// position has never been interned (the triple is then certainly absent).
+func (g *Graph) lookupTriple(t Triple) (dict.Triple3, bool) {
+	s, ok := g.d.Lookup(t.S)
+	if !ok {
+		return dict.Triple3{}, false
+	}
+	p, ok := g.d.Lookup(t.P)
+	if !ok {
+		return dict.Triple3{}, false
+	}
+	o, ok := g.d.Lookup(t.O)
+	if !ok {
+		return dict.Triple3{}, false
+	}
+	return dict.Triple3{s, p, o}, true
+}
+
+// decode resolves an ID triple back to terms.
+func (g *Graph) decode(t dict.Triple3) Triple {
+	terms := g.d.Terms()
+	return Triple{S: terms[t[0]-1], P: terms[t[1]-1], O: terms[t[2]-1]}
+}
+
+// insert adds a raw encoded triple, bypassing well-formedness checks
+// (Map.Apply relies on this: instances are kept exactly as produced).
+func (g *Graph) insert(t dict.Triple3) bool {
+	if _, ok := g.set[t]; ok {
+		return false
+	}
+	g.set[t] = struct{}{}
+	g.version++
+	return true
+}
+
 // Add inserts a triple. It returns true if the triple was not yet present.
 // Ill-formed triples (wrong positional kinds, variables) are rejected with
 // a false return and not inserted.
@@ -84,10 +175,23 @@ func (g *Graph) Add(t Triple) bool {
 	if !t.WellFormed() {
 		return false
 	}
+	return g.insert(g.InternTriple(t))
+}
+
+// AddID inserts an already-encoded triple, validating the positional
+// kinds through the dictionary. It returns true if the triple is
+// well-formed and was not yet present. The presence probe runs before
+// the kind check, keeping re-derivation-heavy callers (saturation) on
+// the cheap path.
+func (g *Graph) AddID(t dict.Triple3) bool {
 	if _, ok := g.set[t]; ok {
 		return false
 	}
+	if !WellFormedID(g.d, t) {
+		return false
+	}
 	g.set[t] = struct{}{}
+	g.version++
 	return true
 }
 
@@ -97,20 +201,35 @@ func (g *Graph) MustAdd(t Triple) {
 	if !t.WellFormed() {
 		panic(fmt.Sprintf("graph: ill-formed triple %s", t))
 	}
-	g.set[t] = struct{}{}
+	g.insert(g.InternTriple(t))
 }
 
 // Remove deletes a triple, reporting whether it was present.
 func (g *Graph) Remove(t Triple) bool {
-	if _, ok := g.set[t]; ok {
-		delete(g.set, t)
-		return true
+	enc, ok := g.lookupTriple(t)
+	if !ok {
+		return false
 	}
-	return false
+	if _, ok := g.set[enc]; !ok {
+		return false
+	}
+	delete(g.set, enc)
+	g.version++
+	return true
 }
 
 // Has reports membership of a triple.
 func (g *Graph) Has(t Triple) bool {
+	enc, ok := g.lookupTriple(t)
+	if !ok {
+		return false
+	}
+	_, present := g.set[enc]
+	return present
+}
+
+// HasID reports membership of an encoded triple.
+func (g *Graph) HasID(t dict.Triple3) bool {
 	_, ok := g.set[t]
 	return ok
 }
@@ -121,32 +240,128 @@ func (g *Graph) Len() int { return len(g.set) }
 // IsEmpty reports whether the graph has no triples.
 func (g *Graph) IsEmpty() bool { return len(g.set) == 0 }
 
-// Triples returns the triples in canonical (sorted) order.
+// Triples returns the triples in canonical (sorted) order. The sort
+// runs over the 12-byte encoded triples — equal IDs short-circuit the
+// string comparison — and decoding happens once, in final order.
 func (g *Graph) Triples() []Triple {
-	ts := make([]Triple, 0, len(g.set))
-	for t := range g.set {
-		ts = append(ts, t)
+	terms := g.d.Terms()
+	encs := make([]dict.Triple3, 0, len(g.set))
+	for enc := range g.set {
+		encs = append(encs, enc)
 	}
-	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+	sort.Slice(encs, func(i, j int) bool {
+		a, b := encs[i], encs[j]
+		for k := 0; k < 3; k++ {
+			if a[k] == b[k] {
+				continue
+			}
+			if c := terms[a[k]-1].Compare(terms[b[k]-1]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	ts := make([]Triple, len(encs))
+	for i, enc := range encs {
+		ts[i] = Triple{S: terms[enc[0]-1], P: terms[enc[1]-1], O: terms[enc[2]-1]}
+	}
 	return ts
 }
 
 // Each calls fn for every triple in unspecified order; if fn returns
 // false, iteration stops early.
 func (g *Graph) Each(fn func(Triple) bool) {
-	for t := range g.set {
+	terms := g.d.Terms()
+	for enc := range g.set {
+		t := Triple{S: terms[enc[0]-1], P: terms[enc[1]-1], O: terms[enc[2]-1]}
 		if !fn(t) {
 			return
 		}
 	}
 }
 
-// Clone returns an independent copy of the graph.
-func (g *Graph) Clone() *Graph {
-	h := &Graph{set: make(map[Triple]struct{}, len(g.set))}
-	for t := range g.set {
-		h.set[t] = struct{}{}
+// EachID calls fn for every encoded triple in unspecified order; if fn
+// returns false, iteration stops early.
+func (g *Graph) EachID(fn func(dict.Triple3) bool) {
+	for enc := range g.set {
+		if !fn(enc) {
+			return
+		}
 	}
+}
+
+// index returns the sorted permutation for the given order, building it
+// on first use and after mutations. Built indexes are immutable.
+func (g *Graph) index(o dict.Order) []dict.Triple3 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if st := g.idx[o]; st != nil && st.version == g.version {
+		return st.keys
+	}
+	keys := make([]dict.Triple3, 0, len(g.set))
+	for enc := range g.set {
+		keys = append(keys, dict.Permute(enc, o))
+	}
+	dict.SortIndex(keys)
+	g.idx[o] = &idxState{version: g.version, keys: keys}
+	return keys
+}
+
+// MatchID streams every stored triple matching the pattern (Wildcard =
+// any position) to fn; iteration stops early when fn returns false. The
+// scan uses the permutation whose key prefix covers the bound positions,
+// so it is a binary-search range scan with no post-filtering.
+func (g *Graph) MatchID(sp, pp, op dict.ID, fn func(dict.Triple3) bool) {
+	if sp != dict.Wildcard && pp != dict.Wildcard && op != dict.Wildcard {
+		enc := dict.Triple3{sp, pp, op}
+		if g.HasID(enc) {
+			fn(enc)
+		}
+		return
+	}
+	o, prefix := dict.ChooseOrder(sp != dict.Wildcard, pp != dict.Wildcard, op != dict.Wildcard)
+	idx := g.index(o)
+	key := dict.Permute(dict.Triple3{sp, pp, op}, o)
+	lo, hi := dict.SearchRange(idx, key, prefix)
+	for i := lo; i < hi; i++ {
+		if !fn(dict.Unpermute(idx[i], o)) {
+			return
+		}
+	}
+}
+
+// CountID returns the number of triples matching the pattern. With all
+// three permutations maintained this is exact and costs two binary
+// searches.
+func (g *Graph) CountID(sp, pp, op dict.ID) int {
+	if sp != dict.Wildcard && pp != dict.Wildcard && op != dict.Wildcard {
+		if g.HasID(dict.Triple3{sp, pp, op}) {
+			return 1
+		}
+		return 0
+	}
+	o, prefix := dict.ChooseOrder(sp != dict.Wildcard, pp != dict.Wildcard, op != dict.Wildcard)
+	if prefix == 0 {
+		return len(g.set)
+	}
+	idx := g.index(o)
+	key := dict.Permute(dict.Triple3{sp, pp, op}, o)
+	lo, hi := dict.SearchRange(idx, key, prefix)
+	return hi - lo
+}
+
+// Clone returns an independent copy of the graph sharing its dictionary.
+// Already-built permutation indexes are carried over (they are immutable)
+// and invalidated on the clone's first mutation.
+func (g *Graph) Clone() *Graph {
+	h := &Graph{d: g.d, set: make(map[dict.Triple3]struct{}, len(g.set))}
+	for enc := range g.set {
+		h.set[enc] = struct{}{}
+	}
+	h.version = g.version
+	g.mu.Lock()
+	h.idx = g.idx
+	g.mu.Unlock()
 	return h
 }
 
@@ -155,8 +370,20 @@ func (g *Graph) Equal(h *Graph) bool {
 	if g.Len() != h.Len() {
 		return false
 	}
-	for t := range g.set {
-		if !h.Has(t) {
+	if g.d == h.d {
+		for enc := range g.set {
+			if _, ok := h.set[enc]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for enc := range g.set {
+		henc, ok := h.lookupTriple(g.decode(enc))
+		if !ok {
+			return false
+		}
+		if _, ok := h.set[henc]; !ok {
 			return false
 		}
 	}
@@ -168,8 +395,20 @@ func (g *Graph) SubgraphOf(h *Graph) bool {
 	if g.Len() > h.Len() {
 		return false
 	}
-	for t := range g.set {
-		if !h.Has(t) {
+	if g.d == h.d {
+		for enc := range g.set {
+			if _, ok := h.set[enc]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for enc := range g.set {
+		henc, ok := h.lookupTriple(g.decode(enc))
+		if !ok {
+			return false
+		}
+		if _, ok := h.set[henc]; !ok {
 			return false
 		}
 	}
@@ -181,21 +420,40 @@ func (g *Graph) ProperSubgraphOf(h *Graph) bool {
 	return g.Len() < h.Len() && g.SubgraphOf(h)
 }
 
-// AddAll inserts every triple of h into g and returns g.
+// AddAll inserts every triple of h into g and returns g. When the two
+// graphs share a dictionary this copies IDs; otherwise each triple is
+// re-interned once.
 func (g *Graph) AddAll(h *Graph) *Graph {
-	for t := range h.set {
-		g.set[t] = struct{}{}
+	if g.d == h.d {
+		for enc := range h.set {
+			g.insert(enc)
+		}
+		return g
+	}
+	terms := h.d.Terms()
+	for enc := range h.set {
+		g.insert(dict.Triple3{
+			g.d.Intern(terms[enc[0]-1]),
+			g.d.Intern(terms[enc[1]-1]),
+			g.d.Intern(terms[enc[2]-1]),
+		})
 	}
 	return g
 }
 
-// Minus returns g ∖ h as a new graph.
+// Minus returns g ∖ h as a new graph (sharing g's dictionary).
 func (g *Graph) Minus(h *Graph) *Graph {
-	out := New()
-	for t := range g.set {
-		if !h.Has(t) {
-			out.set[t] = struct{}{}
+	out := NewWithDict(g.d)
+	sameDict := g.d == h.d
+	for enc := range g.set {
+		if sameDict {
+			if _, ok := h.set[enc]; ok {
+				continue
+			}
+		} else if h.Has(g.decode(enc)) {
+			continue
 		}
+		out.set[enc] = struct{}{}
 	}
 	return out
 }
@@ -250,14 +508,24 @@ func freshBlank(base string, used map[term.Term]struct{}, other *Graph) term.Ter
 	}
 }
 
+// universeIDs returns the set of IDs occurring in the triples of G.
+func (g *Graph) universeIDs() map[dict.ID]struct{} {
+	u := make(map[dict.ID]struct{})
+	for enc := range g.set {
+		u[enc[0]] = struct{}{}
+		u[enc[1]] = struct{}{}
+		u[enc[2]] = struct{}{}
+	}
+	return u
+}
+
 // Universe returns universe(G): the set of elements of U ∪ B (and
 // literals, in the extended model) occurring in the triples of G.
 func (g *Graph) Universe() map[term.Term]struct{} {
+	terms := g.d.Terms()
 	u := make(map[term.Term]struct{})
-	for t := range g.set {
-		u[t.S] = struct{}{}
-		u[t.P] = struct{}{}
-		u[t.O] = struct{}{}
+	for id := range g.universeIDs() {
+		u[terms[id-1]] = struct{}{}
 	}
 	return u
 }
@@ -275,26 +543,43 @@ func (g *Graph) UniverseList() []term.Term {
 
 // Vocabulary returns voc(G) = universe(G) ∩ U.
 func (g *Graph) Vocabulary() map[term.Term]struct{} {
+	terms := g.d.Terms()
+	kinds := g.d.Kinds()
 	v := make(map[term.Term]struct{})
-	for t := range g.set {
-		for _, x := range t.Terms() {
-			if x.IsIRI() {
-				v[x] = struct{}{}
-			}
+	for id := range g.universeIDs() {
+		if kinds[id-1] == term.KindIRI {
+			v[terms[id-1]] = struct{}{}
 		}
 	}
 	return v
 }
 
+// BlankIDs returns the set of blank-node IDs occurring in G.
+func (g *Graph) BlankIDs() map[dict.ID]struct{} {
+	kinds := g.d.Kinds()
+	b := make(map[dict.ID]struct{})
+	for enc := range g.set {
+		if kinds[enc[0]-1] == term.KindBlank {
+			b[enc[0]] = struct{}{}
+		}
+		if kinds[enc[2]-1] == term.KindBlank {
+			b[enc[2]] = struct{}{}
+		}
+		// A blank predicate cannot occur in a well-formed triple, but
+		// Map.Apply keeps instances exactly as produced, so check anyway.
+		if kinds[enc[1]-1] == term.KindBlank {
+			b[enc[1]] = struct{}{}
+		}
+	}
+	return b
+}
+
 // BlankNodes returns the set of blank nodes occurring in G.
 func (g *Graph) BlankNodes() map[term.Term]struct{} {
+	terms := g.d.Terms()
 	b := make(map[term.Term]struct{})
-	for t := range g.set {
-		for _, x := range t.Terms() {
-			if x.IsBlank() {
-				b[x] = struct{}{}
-			}
-		}
+	for id := range g.BlankIDs() {
+		b[terms[id-1]] = struct{}{}
 	}
 	return b
 }
@@ -312,8 +597,11 @@ func (g *Graph) BlankNodeList() []term.Term {
 
 // IsGround reports whether G has no blank nodes.
 func (g *Graph) IsGround() bool {
-	for t := range g.set {
-		if !t.IsGround() {
+	kinds := g.d.Kinds()
+	for enc := range g.set {
+		if kinds[enc[0]-1] == term.KindBlank ||
+			kinds[enc[1]-1] == term.KindBlank ||
+			kinds[enc[2]-1] == term.KindBlank {
 			return false
 		}
 	}
@@ -322,22 +610,30 @@ func (g *Graph) IsGround() bool {
 
 // Predicates returns the set of predicates used in G.
 func (g *Graph) Predicates() map[term.Term]struct{} {
+	terms := g.d.Terms()
 	p := make(map[term.Term]struct{})
-	for t := range g.set {
-		p[t.P] = struct{}{}
+	seen := make(map[dict.ID]struct{})
+	for enc := range g.set {
+		if _, ok := seen[enc[1]]; !ok {
+			seen[enc[1]] = struct{}{}
+			p[terms[enc[1]-1]] = struct{}{}
+		}
 	}
 	return p
 }
 
 // WithPredicate returns the triples of G whose predicate is p, in
-// canonical order.
+// canonical order. The lookup is a POS range scan.
 func (g *Graph) WithPredicate(p term.Term) []Triple {
-	var out []Triple
-	for t := range g.set {
-		if t.P == p {
-			out = append(out, t)
-		}
+	pid, ok := g.d.Lookup(p)
+	if !ok {
+		return nil
 	}
+	var out []Triple
+	g.MatchID(dict.Wildcard, pid, dict.Wildcard, func(enc dict.Triple3) bool {
+		out = append(out, g.decode(enc))
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }
@@ -375,10 +671,29 @@ func (m Map) ApplyTriple(t Triple) Triple {
 // become ill-formed under μ (a blank mapped into predicate position can
 // not occur, since predicates are URIs and maps preserve URIs) are kept
 // as produced; Apply never invents or drops triples beyond set collapse.
+// The result shares g's dictionary and the substitution runs on IDs.
 func (m Map) Apply(g *Graph) *Graph {
-	out := New()
-	for t := range g.set {
-		out.set[m.ApplyTriple(t)] = struct{}{}
+	out := NewWithDict(g.d)
+	if len(m) == 0 {
+		for enc := range g.set {
+			out.set[enc] = struct{}{}
+		}
+		return out
+	}
+	idm := make(map[dict.ID]dict.ID, len(m))
+	for k, v := range m {
+		if kid, ok := g.d.Lookup(k); ok {
+			idm[kid] = g.d.Intern(v)
+		}
+	}
+	sub := func(id dict.ID) dict.ID {
+		if y, ok := idm[id]; ok {
+			return y
+		}
+		return id
+	}
+	for enc := range g.set {
+		out.set[dict.Triple3{sub(enc[0]), sub(enc[1]), sub(enc[2])}] = struct{}{}
 	}
 	return out
 }
@@ -432,44 +747,62 @@ func IsInstanceOf(h, g *Graph, m Map) bool {
 const SkolemPrefix = "urn:semwebdb:skolem:"
 
 // Skolemize returns G*: the graph obtained by replacing each blank node X
-// of G by the fresh constant c_X (Definition preceding Lemma 3.4).
+// of G by the fresh constant c_X (Definition preceding Lemma 3.4). The
+// result shares G's dictionary.
 func Skolemize(g *Graph) *Graph {
-	out := New()
-	for t := range g.set {
-		out.set[Triple{S: skolemTerm(t.S), P: t.P, O: skolemTerm(t.O)}] = struct{}{}
+	terms := g.d.Terms()
+	idm := make(map[dict.ID]dict.ID)
+	for id := range g.BlankIDs() {
+		idm[id] = g.d.Intern(term.NewIRI(SkolemPrefix + terms[id-1].Value))
+	}
+	sub := func(id dict.ID) dict.ID {
+		if y, ok := idm[id]; ok {
+			return y
+		}
+		return id
+	}
+	out := NewWithDict(g.d)
+	for enc := range g.set {
+		out.set[dict.Triple3{sub(enc[0]), enc[1], sub(enc[2])}] = struct{}{}
 	}
 	return out
-}
-
-func skolemTerm(x term.Term) term.Term {
-	if x.IsBlank() {
-		return term.NewIRI(SkolemPrefix + x.Value)
-	}
-	return x
 }
 
 // Unskolemize returns H⋆: the graph obtained by replacing each skolem
 // constant c_X back by the blank X and deleting triples that end up with
 // a blank in predicate position (which are not well-formed RDF triples).
 func Unskolemize(h *Graph) *Graph {
-	out := New()
-	for t := range h.set {
-		s := unskolemTerm(t.S)
-		p := unskolemTerm(t.P)
-		o := unskolemTerm(t.O)
-		if p.IsBlank() {
-			continue // ill-formed: dropped, per Section 3.1
+	terms := h.d.Terms()
+	kinds := h.d.Kinds()
+	memo := make(map[dict.ID]dict.ID)
+	isSkolem := make(map[dict.ID]bool)
+	sub := func(id dict.ID) (dict.ID, bool) {
+		if y, ok := memo[id]; ok {
+			return y, isSkolem[id]
 		}
-		out.set[Triple{S: s, P: p, O: o}] = struct{}{}
+		y := id
+		skolem := false
+		if kinds[id-1] == term.KindIRI {
+			if v := terms[id-1].Value; strings.HasPrefix(v, SkolemPrefix) {
+				y = h.d.Intern(term.NewBlank(strings.TrimPrefix(v, SkolemPrefix)))
+				skolem = true
+			}
+		}
+		memo[id] = y
+		isSkolem[id] = skolem
+		return y, skolem
+	}
+	out := NewWithDict(h.d)
+	for enc := range h.set {
+		s, _ := sub(enc[0])
+		p, pSkolem := sub(enc[1])
+		o, _ := sub(enc[2])
+		if pSkolem {
+			continue // blank in predicate position: dropped, per Section 3.1
+		}
+		out.set[dict.Triple3{s, p, o}] = struct{}{}
 	}
 	return out
-}
-
-func unskolemTerm(x term.Term) term.Term {
-	if x.IsIRI() && strings.HasPrefix(x.Value, SkolemPrefix) {
-		return term.NewBlank(strings.TrimPrefix(x.Value, SkolemPrefix))
-	}
-	return x
 }
 
 // IsSkolemConstant reports whether the term is a skolem constant c_X.
@@ -490,11 +823,15 @@ func RenameBlanksApart(g *Graph, suffix string) *Graph {
 
 // GroundPart returns the subgraph of ground triples of g.
 func (g *Graph) GroundPart() *Graph {
-	out := New()
-	for t := range g.set {
-		if t.IsGround() {
-			out.set[t] = struct{}{}
+	kinds := g.d.Kinds()
+	out := NewWithDict(g.d)
+	for enc := range g.set {
+		if kinds[enc[0]-1] == term.KindBlank ||
+			kinds[enc[1]-1] == term.KindBlank ||
+			kinds[enc[2]-1] == term.KindBlank {
+			continue
 		}
+		out.set[enc] = struct{}{}
 	}
 	return out
 }
@@ -502,10 +839,13 @@ func (g *Graph) GroundPart() *Graph {
 // NonGroundTriples returns the triples mentioning at least one blank, in
 // canonical order.
 func (g *Graph) NonGroundTriples() []Triple {
+	kinds := g.d.Kinds()
 	var out []Triple
-	for t := range g.set {
-		if !t.IsGround() {
-			out = append(out, t)
+	for enc := range g.set {
+		if kinds[enc[0]-1] == term.KindBlank ||
+			kinds[enc[1]-1] == term.KindBlank ||
+			kinds[enc[2]-1] == term.KindBlank {
+			out = append(out, g.decode(enc))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })

@@ -11,6 +11,7 @@ package hom
 import (
 	"context"
 
+	"semwebdb/internal/dict"
 	"semwebdb/internal/graph"
 	"semwebdb/internal/match"
 	"semwebdb/internal/term"
@@ -24,11 +25,12 @@ func blankUnknown(t term.Term) bool { return t.IsBlank() }
 // reusing one index.
 type Finder struct {
 	ix *match.Index
+	d  *dict.Dict
 }
 
 // NewFinder builds a Finder for maps into dst.
 func NewFinder(dst *graph.Graph) *Finder {
-	return &Finder{ix: match.NewIndex(dst)}
+	return &Finder{ix: match.NewIndex(dst), d: dst.Dict()}
 }
 
 // Find returns a map μ with μ(src) ⊆ dst, if one exists.
@@ -38,7 +40,7 @@ func (f *Finder) Find(src *graph.Graph) (graph.Map, bool) {
 	if !ok {
 		return nil, false
 	}
-	return bindingToMap(b), true
+	return bindingToMap(b, f.d), true
 }
 
 // FindCtx is Find under a context: the backtracking search polls ctx
@@ -52,7 +54,7 @@ func (f *Finder) FindCtx(ctx context.Context, src *graph.Graph) (graph.Map, bool
 	if !ok {
 		return nil, false, nil
 	}
-	return bindingToMap(b), true, nil
+	return bindingToMap(b, f.d), true, nil
 }
 
 // FindBudget is Find with a bounded search budget. The third result is
@@ -64,7 +66,7 @@ func (f *Finder) FindBudget(src *graph.Graph, maxSteps int) (graph.Map, bool, bo
 	if !ok {
 		return nil, false, complete
 	}
-	return bindingToMap(b), true, true
+	return bindingToMap(b, f.d), true, true
 }
 
 // Enumerate yields every map μ with μ(src) ⊆ dst until yield returns
@@ -72,16 +74,13 @@ func (f *Finder) FindBudget(src *graph.Graph, maxSteps int) (graph.Map, bool, bo
 func (f *Finder) Enumerate(src *graph.Graph, yield func(graph.Map) bool) bool {
 	solver := match.NewSolver(f.ix, match.Options{IsUnknown: blankUnknown})
 	return solver.Solve(src.Triples(), func(b match.Binding) bool {
-		return yield(bindingToMap(b))
+		return yield(bindingToMap(b, f.d))
 	})
 }
 
-func bindingToMap(b match.Binding) graph.Map {
-	m := make(graph.Map, len(b))
-	for k, v := range b {
-		m[k] = v
-	}
-	return m
+// bindingToMap decodes an ID-level binding into a term-level map μ.
+func bindingToMap(b match.Binding, d *dict.Dict) graph.Map {
+	return graph.Map(b.Terms(d))
 }
 
 // FindMap returns a map μ : src → dst (i.e. μ(src) ⊆ dst), if one exists.
@@ -150,11 +149,11 @@ func Isomorphic(g1, g2 *graph.Graph) bool {
 	if !g1.GroundPart().Equal(g2.GroundPart()) {
 		return false
 	}
-	blankSet2 := g2.BlankNodes()
+	blankSet2 := g2.BlankIDs()
 	opts := match.Options{
 		IsUnknown: blankUnknown,
 		Injective: true,
-		Admissible: func(_, value term.Term) bool {
+		Admissible: func(_, value dict.ID) bool {
 			_, ok := blankSet2[value]
 			return ok
 		},
@@ -163,7 +162,7 @@ func Isomorphic(g1, g2 *graph.Graph) bool {
 	match.Solve(g1.Triples(), g2, opts, func(b match.Binding) bool {
 		// The binding is an injective blank(G1) → blank(G2) assignment
 		// with μ(G1) ⊆ G2; equal sizes and injectivity force μ(G1) = G2.
-		m := bindingToMap(b)
+		m := bindingToMap(b, g2.Dict())
 		if m.Apply(g1).Equal(g2) {
 			found = true
 			return false
@@ -181,18 +180,18 @@ func FindIsomorphism(g1, g2 *graph.Graph) (graph.Map, bool) {
 	if !g1.GroundPart().Equal(g2.GroundPart()) {
 		return nil, false
 	}
-	blankSet2 := g2.BlankNodes()
+	blankSet2 := g2.BlankIDs()
 	opts := match.Options{
 		IsUnknown: blankUnknown,
 		Injective: true,
-		Admissible: func(_, value term.Term) bool {
+		Admissible: func(_, value dict.ID) bool {
 			_, ok := blankSet2[value]
 			return ok
 		},
 	}
 	var iso graph.Map
 	match.Solve(g1.Triples(), g2, opts, func(b match.Binding) bool {
-		m := bindingToMap(b)
+		m := bindingToMap(b, g2.Dict())
 		if m.Apply(g1).Equal(g2) {
 			iso = m
 			return false
@@ -205,18 +204,18 @@ func FindIsomorphism(g1, g2 *graph.Graph) (graph.Map, bool) {
 // Automorphisms returns the blank-renaming bijections g → g (limit 0 = no
 // limit). The identity is always included.
 func Automorphisms(g *graph.Graph, limit int) []graph.Map {
-	blanks := g.BlankNodes()
+	blanks := g.BlankIDs()
 	opts := match.Options{
 		IsUnknown: blankUnknown,
 		Injective: true,
-		Admissible: func(_, value term.Term) bool {
+		Admissible: func(_, value dict.ID) bool {
 			_, ok := blanks[value]
 			return ok
 		},
 	}
 	var out []graph.Map
 	match.Solve(g.Triples(), g, opts, func(b match.Binding) bool {
-		m := bindingToMap(b)
+		m := bindingToMap(b, g.Dict())
 		if m.Apply(g).Equal(g) {
 			out = append(out, m)
 			if limit != 0 && len(out) >= limit {

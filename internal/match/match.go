@@ -11,21 +11,27 @@
 //   - matching v(B) ⊆ nf(D) when the unknowns are the query variables of a
 //     tableau body B (Definition 4.3).
 //
-// The engine picks the next pattern by estimated selectivity
-// (most-constrained-first) using per-position indexes; ablation A3 in
-// DESIGN.md measures the effect of that heuristic.
+// The engine is dictionary-encoded end-to-end: patterns are interned into
+// the data graph's dictionary once at setup, bindings map term IDs to term
+// IDs, and candidate generation is a binary-search range scan over the
+// graph's sorted SPO/POS/OSP permutations — the inner search loop never
+// touches a string. The engine picks the next pattern by estimated
+// selectivity (most-constrained-first) using exact range-scan counts;
+// ablation A3 in DESIGN.md measures the effect of that heuristic.
 package match
 
 import (
 	"context"
 	"sort"
 
+	"semwebdb/internal/dict"
 	"semwebdb/internal/graph"
 	"semwebdb/internal/term"
 )
 
-// Binding assigns data-graph terms to unknowns.
-type Binding map[term.Term]term.Term
+// Binding assigns data-graph term IDs to unknown term IDs. Resolve IDs
+// back to terms through the dictionary of the data graph (Index.Dict).
+type Binding map[dict.ID]dict.ID
 
 // Clone returns an independent copy of the binding.
 func (b Binding) Clone() Binding {
@@ -36,11 +42,23 @@ func (b Binding) Clone() Binding {
 	return out
 }
 
+// Terms decodes the binding to a term-level substitution through d.
+func (b Binding) Terms(d *dict.Dict) map[term.Term]term.Term {
+	terms := d.Terms()
+	out := make(map[term.Term]term.Term, len(b))
+	for k, v := range b {
+		out[terms[k-1]] = terms[v-1]
+	}
+	return out
+}
+
 // Options configures a Solve call.
 type Options struct {
 	// IsUnknown tells which pattern terms are unknowns to be bound. The
 	// default treats query variables as unknowns; homomorphism search
-	// passes a predicate that also treats blank nodes as unknowns.
+	// passes a predicate that also treats blank nodes as unknowns. It is
+	// evaluated once per distinct pattern term at setup, never in the
+	// search loop.
 	IsUnknown func(term.Term) bool
 
 	// Injective requires pairwise-distinct values for distinct unknowns
@@ -49,8 +67,9 @@ type Options struct {
 
 	// Admissible, when non-nil, filters candidate values per unknown
 	// (e.g. "must not be a blank node" for constrained query variables,
-	// or "must be a blank node" for isomorphism search).
-	Admissible func(unknown, value term.Term) bool
+	// or "must be a blank node" for isomorphism search). It receives
+	// dictionary IDs; resolve them through Index.Dict if needed.
+	Admissible func(unknown, value dict.ID) bool
 
 	// NoReorder disables the most-constrained-first heuristic and
 	// processes patterns in the order given (ablation A3).
@@ -70,129 +89,71 @@ type Options struct {
 
 func defaultIsUnknown(t term.Term) bool { return t.IsVar() }
 
-// Index is a per-graph set of lookup structures for pattern candidates.
-// Build one Index per data graph and reuse it across Solve calls.
-type Index struct {
-	g   *graph.Graph
-	all []graph.Triple
-
-	byS  map[term.Term][]graph.Triple
-	byP  map[term.Term][]graph.Triple
-	byO  map[term.Term][]graph.Triple
-	bySP map[pair][]graph.Triple
-	byPO map[pair][]graph.Triple
-	bySO map[pair][]graph.Triple
-
-	// mode selects which indexes are consulted (ablation A1).
-	mode IndexMode
-}
-
-type pair struct{ a, b term.Term }
-
 // IndexMode selects the index configuration (ablation A1).
 type IndexMode int
 
 const (
-	// FullIndexes consults all single- and double-position indexes.
+	// FullIndexes scans the permutation whose prefix covers all bound
+	// positions (SPO/POS/OSP range scans).
 	FullIndexes IndexMode = iota
-	// PredicateOnly consults only the by-predicate index; all other
-	// filtering is done by scanning (a common "thin RDF library" design).
+	// PredicateOnly narrows only by the predicate position (a common
+	// "thin RDF library" design); subject/object filtering backtracks.
 	PredicateOnly
 	// ScanOnly performs full scans for every pattern (baseline).
 	ScanOnly
 )
 
-// NewIndex builds a full index over g.
+// Index is the matcher's view of a data graph. The heavy lookup
+// structures — the sorted ID permutations — live on the graph itself and
+// are built lazily and cached there, so constructing an Index is cheap
+// and repeated Solve calls share the same scans.
+type Index struct {
+	g    *graph.Graph
+	mode IndexMode
+}
+
+// NewIndex builds a full-index view over g.
 func NewIndex(g *graph.Graph) *Index { return NewIndexMode(g, FullIndexes) }
 
-// NewIndexMode builds an index over g with the given configuration.
+// NewIndexMode builds a view over g with the given configuration.
 func NewIndexMode(g *graph.Graph, mode IndexMode) *Index {
-	ix := &Index{
-		g:    g,
-		all:  g.Triples(),
-		mode: mode,
-	}
-	if mode == ScanOnly {
-		return ix
-	}
-	ix.byP = make(map[term.Term][]graph.Triple)
-	if mode == FullIndexes {
-		ix.byS = make(map[term.Term][]graph.Triple)
-		ix.byO = make(map[term.Term][]graph.Triple)
-		ix.bySP = make(map[pair][]graph.Triple)
-		ix.byPO = make(map[pair][]graph.Triple)
-		ix.bySO = make(map[pair][]graph.Triple)
-	}
-	for _, t := range ix.all {
-		ix.byP[t.P] = append(ix.byP[t.P], t)
-		if mode == FullIndexes {
-			ix.byS[t.S] = append(ix.byS[t.S], t)
-			ix.byO[t.O] = append(ix.byO[t.O], t)
-			ix.bySP[pair{t.S, t.P}] = append(ix.bySP[pair{t.S, t.P}], t)
-			ix.byPO[pair{t.P, t.O}] = append(ix.byPO[pair{t.P, t.O}], t)
-			ix.bySO[pair{t.S, t.O}] = append(ix.bySO[pair{t.S, t.O}], t)
-		}
-	}
-	return ix
+	return &Index{g: g, mode: mode}
 }
 
 // Graph returns the indexed data graph.
 func (ix *Index) Graph() *graph.Graph { return ix.g }
 
+// Dict returns the dictionary bindings resolve through.
+func (ix *Index) Dict() *dict.Dict { return ix.g.Dict() }
+
 // Terms returns the universe of the indexed graph in canonical order.
 func (ix *Index) Terms() []term.Term { return ix.g.UniverseList() }
 
-// candidates returns the triples of the data graph compatible with the
-// pattern after substituting bound unknowns. Ground positions narrow the
-// index lookup; remaining filtering happens in unify.
-func (ix *Index) candidates(p graph.Triple, b Binding, isUnknown func(term.Term) bool) []graph.Triple {
-	s, sKnown := resolve(p.S, b, isUnknown)
-	pr, pKnown := resolve(p.P, b, isUnknown)
-	o, oKnown := resolve(p.O, b, isUnknown)
-
+// scanKey narrows a pattern key according to the index mode: modes that
+// ignore a position turn it into a wildcard (the search loop re-checks
+// every position during unification, so over-approximation is sound).
+func (ix *Index) scanKey(key dict.Triple3) dict.Triple3 {
 	switch ix.mode {
 	case ScanOnly:
-		return ix.all
+		return dict.Triple3{}
 	case PredicateOnly:
-		if pKnown {
-			return ix.byP[pr]
-		}
-		return ix.all
-	}
-
-	switch {
-	case sKnown && pKnown && oKnown:
-		t := graph.Triple{S: s, P: pr, O: o}
-		if ix.g.Has(t) {
-			return []graph.Triple{t}
-		}
-		return nil
-	case sKnown && pKnown:
-		return ix.bySP[pair{s, pr}]
-	case pKnown && oKnown:
-		return ix.byPO[pair{pr, o}]
-	case sKnown && oKnown:
-		return ix.bySO[pair{s, o}]
-	case sKnown:
-		return ix.byS[s]
-	case pKnown:
-		return ix.byP[pr]
-	case oKnown:
-		return ix.byO[o]
+		return dict.Triple3{dict.Wildcard, key[1], dict.Wildcard}
 	default:
-		return ix.all
+		return key
 	}
 }
 
-// resolve returns the concrete value of a pattern position, if known.
-func resolve(x term.Term, b Binding, isUnknown func(term.Term) bool) (term.Term, bool) {
-	if !isUnknown(x) {
-		return x, true
-	}
-	if v, ok := b[x]; ok {
-		return v, true
-	}
-	return term.Term{}, false
+// candidates streams the data triples compatible with the pattern key
+// under the index mode.
+func (ix *Index) candidates(key dict.Triple3, fn func(dict.Triple3) bool) {
+	k := ix.scanKey(key)
+	ix.g.MatchID(k[0], k[1], k[2], fn)
+}
+
+// count returns the number of candidate triples for the pattern key.
+func (ix *Index) count(key dict.Triple3) int {
+	k := ix.scanKey(key)
+	return ix.g.CountID(k[0], k[1], k[2])
 }
 
 // Solver runs pattern matching against a fixed Index.
@@ -205,7 +166,8 @@ type Solver struct {
 	done <-chan struct{} // cached opts.Ctx.Done()
 	err  error           // context error observed during the search
 
-	used map[term.Term]int // value -> refcount, for Injective
+	unknown map[dict.ID]bool // pattern terms that are unknowns (per Solve)
+	used    map[dict.ID]int  // value -> refcount, for Injective
 }
 
 // ctxPollMask controls how often the context is polled: every
@@ -223,7 +185,7 @@ func NewSolver(ix *Index, opts Options) *Solver {
 		s.done = opts.Ctx.Done()
 	}
 	if opts.Injective {
-		s.used = make(map[term.Term]int)
+		s.used = make(map[dict.ID]int)
 	}
 	return s
 }
@@ -253,6 +215,41 @@ func (s *Solver) interrupted() bool {
 	}
 }
 
+// encode interns the patterns into the data dictionary and records which
+// pattern IDs are unknowns. Ground pattern terms absent from the data
+// receive fresh IDs that match no triple, which is the correct failure.
+func (s *Solver) encode(patterns []graph.Triple) []dict.Triple3 {
+	d := s.ix.Dict()
+	s.unknown = make(map[dict.ID]bool)
+	out := make([]dict.Triple3, len(patterns))
+	for i, p := range patterns {
+		for j, x := range p.Terms() {
+			id := d.Intern(x)
+			out[i][j] = id
+			if _, seen := s.unknown[id]; !seen {
+				s.unknown[id] = s.opts.IsUnknown(x)
+			}
+		}
+	}
+	return out
+}
+
+// resolveKey substitutes bound unknowns into the pattern, leaving
+// Wildcard at unbound positions.
+func (s *Solver) resolveKey(p dict.Triple3, b Binding) dict.Triple3 {
+	var key dict.Triple3
+	for i, id := range p {
+		if !s.unknown[id] {
+			key[i] = id
+		} else if v, ok := b[id]; ok {
+			key[i] = v
+		} else {
+			key[i] = dict.Wildcard
+		}
+	}
+	return key
+}
+
 // Solve enumerates bindings that satisfy all patterns, invoking yield for
 // each. If yield returns false the search stops (reported as complete).
 // The returned flag is false only if the MaxSteps budget was exhausted
@@ -260,11 +257,10 @@ func (s *Solver) interrupted() bool {
 func (s *Solver) Solve(patterns []graph.Triple, yield func(Binding) bool) (complete bool) {
 	s.steps = 0
 	s.err = nil
+	encoded := s.encode(patterns)
 	b := make(Binding)
-	remaining := make([]graph.Triple, len(patterns))
-	copy(remaining, patterns)
 	stopped := false
-	ok := s.solve(remaining, b, func(bind Binding) bool {
+	ok := s.solve(encoded, b, func(bind Binding) bool {
 		if !yield(bind) {
 			stopped = true
 			return false
@@ -300,17 +296,19 @@ func (s *Solver) First(patterns []graph.Triple) (Binding, bool, bool) {
 	return found, found != nil, complete
 }
 
-func (s *Solver) solve(remaining []graph.Triple, b Binding, yield func(Binding) bool) bool {
+func (s *Solver) solve(remaining []dict.Triple3, b Binding, yield func(Binding) bool) bool {
 	if len(remaining) == 0 {
 		return yield(b)
 	}
 
-	// Pick the next pattern: most-constrained-first unless disabled.
+	// Pick the next pattern: most-constrained-first unless disabled. The
+	// selectivity estimate is an exact range-scan count (two binary
+	// searches per pattern), not a materialized candidate list.
 	pick := 0
 	if !s.opts.NoReorder {
 		best := -1
 		for i, p := range remaining {
-			n := len(s.ix.candidates(p, b, s.opts.IsUnknown))
+			n := s.ix.count(s.resolveKey(p, b))
 			if best == -1 || n < best {
 				best = n
 				pick = i
@@ -321,78 +319,81 @@ func (s *Solver) solve(remaining []graph.Triple, b Binding, yield func(Binding) 
 		}
 	}
 	p := remaining[pick]
-	rest := make([]graph.Triple, 0, len(remaining)-1)
+	rest := make([]dict.Triple3, 0, len(remaining)-1)
 	rest = append(rest, remaining[:pick]...)
 	rest = append(rest, remaining[pick+1:]...)
 
-	for _, cand := range s.ix.candidates(p, b, s.opts.IsUnknown) {
+	ok := true
+	s.ix.candidates(s.resolveKey(p, b), func(cand dict.Triple3) bool {
 		if s.interrupted() {
+			ok = false
 			return false
 		}
 		if s.opts.MaxSteps > 0 {
 			s.steps++
 			if s.steps > s.opts.MaxSteps {
+				ok = false
 				return false
 			}
 		}
-		newly, ok := s.unify(p, cand, b)
-		if !ok {
-			continue
+		newly, unified := s.unify(p, cand, b)
+		if !unified {
+			return true
 		}
 		if !s.solve(rest, b, yield) {
 			s.retract(newly, b)
+			ok = false
 			return false
 		}
 		s.retract(newly, b)
-	}
-	return true
+		return true
+	})
+	return ok
 }
 
 // unify extends b so that pattern p instantiates to triple cand. It
 // returns the unknowns newly bound (for backtracking) and whether
-// unification succeeded.
-func (s *Solver) unify(p, cand graph.Triple, b Binding) ([]term.Term, bool) {
-	var newly []term.Term
-	positions := [3][2]term.Term{
-		{p.S, cand.S},
-		{p.P, cand.P},
-		{p.O, cand.O},
-	}
-	for _, pos := range positions {
-		pat, val := pos[0], pos[1]
-		if !s.opts.IsUnknown(pat) {
+// unification succeeded. All comparisons are integer ID comparisons.
+func (s *Solver) unify(p, cand dict.Triple3, b Binding) ([3]dict.ID, bool) {
+	var newly [3]dict.ID // 0 (Wildcard) slots are unused
+	for i := 0; i < 3; i++ {
+		pat, val := p[i], cand[i]
+		if !s.unknown[pat] {
 			if pat != val {
 				s.retract(newly, b)
-				return nil, false
+				return newly, false
 			}
 			continue
 		}
 		if bound, ok := b[pat]; ok {
 			if bound != val {
 				s.retract(newly, b)
-				return nil, false
+				return newly, false
 			}
 			continue
 		}
 		if s.opts.Admissible != nil && !s.opts.Admissible(pat, val) {
 			s.retract(newly, b)
-			return nil, false
+			return newly, false
 		}
 		if s.opts.Injective && s.used[val] > 0 {
 			s.retract(newly, b)
-			return nil, false
+			return newly, false
 		}
 		b[pat] = val
 		if s.opts.Injective {
 			s.used[val]++
 		}
-		newly = append(newly, pat)
+		newly[i] = pat
 	}
 	return newly, true
 }
 
-func (s *Solver) retract(newly []term.Term, b Binding) {
+func (s *Solver) retract(newly [3]dict.ID, b Binding) {
 	for _, u := range newly {
+		if u == dict.Wildcard {
+			continue
+		}
 		if s.opts.Injective {
 			v := b[u]
 			s.used[v]--

@@ -3,6 +3,7 @@ package match
 import (
 	"testing"
 
+	"semwebdb/internal/dict"
 	"semwebdb/internal/graph"
 	"semwebdb/internal/term"
 )
@@ -13,10 +14,11 @@ func v(s string) term.Term   { return term.NewVar(s) }
 
 func data(ts ...graph.Triple) *graph.Graph { return graph.New(ts...) }
 
-func allSolutions(patterns []graph.Triple, g *graph.Graph, opts Options) []Binding {
-	var out []Binding
+// allSolutions decodes every solution binding back to terms.
+func allSolutions(patterns []graph.Triple, g *graph.Graph, opts Options) []map[term.Term]term.Term {
+	var out []map[term.Term]term.Term
 	Solve(patterns, g, opts, func(b Binding) bool {
-		out = append(out, b.Clone())
+		out = append(out, b.Terms(g.Dict()))
 		return true
 	})
 	return out
@@ -108,8 +110,9 @@ func TestAdmissibleFilter(t *testing.T) {
 		graph.T(iri("a"), iri("p"), blk("x")),
 		graph.T(iri("a"), iri("p"), iri("b")),
 	)
+	d := g.Dict()
 	opts := Options{
-		Admissible: func(_, value term.Term) bool { return !value.IsBlank() },
+		Admissible: func(_, value dict.ID) bool { return d.KindOf(value) != term.KindBlank },
 	}
 	sols := allSolutions([]graph.Triple{{S: iri("a"), P: iri("p"), O: v("Y")}}, g, opts)
 	if len(sols) != 1 || sols[0][v("Y")] != iri("b") {
@@ -235,11 +238,20 @@ func TestSolutionCountCartesian(t *testing.T) {
 }
 
 func TestBindingClone(t *testing.T) {
-	b := Binding{v("X"): iri("a")}
+	b := Binding{1: 2}
 	c := b.Clone()
-	c[v("X")] = iri("b")
-	if b[v("X")] != iri("a") {
+	c[1] = 3
+	if b[1] != 2 {
 		t.Fatal("clone aliases original")
+	}
+}
+
+func TestBindingTerms(t *testing.T) {
+	d := dict.New()
+	x, a := d.Intern(v("X")), d.Intern(iri("a"))
+	m := Binding{x: a}.Terms(d)
+	if m[v("X")] != iri("a") {
+		t.Fatalf("Terms = %v", m)
 	}
 }
 

@@ -1,0 +1,72 @@
+package ntriples
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary documents to the N-Triples parser. The
+// invariants: the parser never panics, and every successfully parsed
+// document round-trips through Serialize/Parse to an equal graph.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"# comment only\n",
+		"<urn:a> <urn:p> <urn:b> .",
+		"<urn:a> <urn:p> \"lit\" .\n<urn:a> <urn:p> \"l\"@en .",
+		"_:b1 <urn:p> _:b2 .",
+		"<urn:a> <urn:p> \"x\"^^<urn:dt> .",
+		"<urn:u\\u0041> <urn:p> \"esc\\n\\t\\\"q\\\"\" .",
+		"<urn:a> <urn:p> <urn:b>", // missing dot
+		"<urn:a> <urn:p> .",       // missing object
+		"\"s\" <urn:p> <urn:o> .", // literal subject
+		"<urn:a> _:b <urn:o> .",   // blank predicate
+		"_: <urn:p> <urn:o> .",    // empty blank label
+		"<urn:a> <urn:p> \"unterminated .",
+		"<urn:a> <urn:p> \"bad\\uZZZZ\" .",
+		"<urn:a> <urn:p> \"\\u00e9\\U0001F600\" .",
+		"<unclosed <urn:p> <urn:o> .",
+		"<urn:a><urn:p><urn:o>.",
+		"<urn:a>\t<urn:p>\t<urn:o>\t.  # trailing comment",
+		"\x00\x01\xff",
+		strings.Repeat("<urn:a> <urn:p> <urn:b> .\n", 3),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := Serialize(&sb, g); err != nil {
+			t.Fatalf("serialize of parsed graph failed: %v", err)
+		}
+		back, err := ParseString(sb.String())
+		if err != nil {
+			t.Fatalf("round trip re-parse failed: %v\nserialized:\n%s", err, sb.String())
+		}
+		if !back.Equal(g) {
+			t.Fatalf("round trip changed the graph:\nin:\n%s\nout:\n%s", g, back)
+		}
+	})
+}
+
+// FuzzParseLine exercises the single-line entry point used by the
+// store's streaming bulk loader.
+func FuzzParseLine(f *testing.F) {
+	f.Add("<urn:a> <urn:p> <urn:b> .")
+	f.Add("   # comment")
+	f.Add("_:x <urn:p> \"v\"@en-US .")
+	f.Add("junk")
+	f.Fuzz(func(t *testing.T, line string) {
+		tr, ok, err := ParseLine(line, 1)
+		if err != nil || !ok {
+			return
+		}
+		if !tr.WellFormed() {
+			t.Fatalf("ParseLine accepted ill-formed triple %s", tr)
+		}
+	})
+}

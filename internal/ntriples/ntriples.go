@@ -18,8 +18,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"sort"
 	"strings"
+	"unicode/utf8"
 
 	"semwebdb/internal/graph"
 	"semwebdb/internal/term"
@@ -74,6 +74,12 @@ func MustParse(s string) *graph.Graph {
 // ParseLine parses a single line. ok is false for blank/comment lines.
 func ParseLine(line string, lineNo int) (t graph.Triple, ok bool, err error) {
 	p := &lineParser{src: line, line: lineNo}
+	if !utf8.ValidString(line) {
+		// The N-Triples grammar is defined over UTF-8 documents; raw
+		// invalid bytes would silently decay to U+FFFD on
+		// serialization, breaking round trips.
+		return graph.Triple{}, false, p.errf("invalid UTF-8")
+	}
 	p.skipWS()
 	if p.eof() || p.peek() == '#' {
 		return graph.Triple{}, false, nil
@@ -165,7 +171,9 @@ func (p *lineParser) object() (term.Term, error) {
 }
 
 func (p *lineParser) iriRef() (term.Term, error) {
-	if p.peek() != '<' {
+	if p.eof() || p.peek() != '<' {
+		// The eof guard matters: a literal ending in a bare "^^" reaches
+		// here with the cursor past the end of the line.
 		return term.Term{}, p.errf("expected '<'")
 	}
 	p.pos++
@@ -351,8 +359,7 @@ func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 // Serialize writes the graph in canonical N-Triples: triples sorted,
 // one per line, with full escaping. The output round-trips through Parse.
 func Serialize(w io.Writer, g *graph.Graph) error {
-	ts := g.Triples()
-	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+	ts := g.Triples() // already in canonical sorted order
 	bw := bufio.NewWriter(w)
 	for _, t := range ts {
 		if err := writeTerm(bw, t.S); err != nil {

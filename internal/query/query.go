@@ -15,6 +15,7 @@ import (
 
 	"semwebdb/internal/closure"
 	"semwebdb/internal/core"
+	"semwebdb/internal/dict"
 	"semwebdb/internal/graph"
 	"semwebdb/internal/match"
 	"semwebdb/internal/term"
@@ -270,53 +271,99 @@ func EvaluatePreparedCtx(ctx context.Context, q *Query, prepared *graph.Graph, o
 	return evaluateAgainst(ctx, q, prepared, opts)
 }
 
+// EvaluatePreparedIndexCtx is EvaluatePreparedCtx against a reusable
+// match.Index over the prepared graph, so callers (semweb.DB) can cache
+// the matcher's view alongside the prepared normal form.
+func EvaluatePreparedIndexCtx(ctx context.Context, q *Query, ix *match.Index, opts Options) (*Answer, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		// A dead context must fail even when the prepared graph came
+		// from a cache and the match would be trivial.
+		return nil, err
+	}
+	return evaluateIndexed(ctx, q, ix, opts)
+}
+
 // evaluateAgainst runs the matching and answer assembly against an
 // already-normalized data graph.
 func evaluateAgainst(ctx context.Context, q *Query, data *graph.Graph, opts Options) (*Answer, error) {
-	bodyVars := varsIn(q.Body)
-	headBlanks := q.headBlanks()
+	return evaluateIndexed(ctx, q, match.NewIndex(data), opts)
+}
+
+// evaluateIndexed runs the dictionary-encoded matching loop: the body is
+// solved over ID range scans, and each matching instantiates the head by
+// ID substitution — single answers share the data dictionary, so
+// deduplication and answer assembly compare integers. Strings appear
+// only in the Skolem signature (head blanks, a term-identity function by
+// Proposition 4.5) and in the final deterministic ordering.
+func evaluateIndexed(ctx context.Context, q *Query, ix *match.Index, opts Options) (*Answer, error) {
+	data := ix.Graph()
+	d := data.Dict()
+	inst := newHeadInstantiator(q, data)
+
+	constrained := make(map[dict.ID]bool, len(q.Constraints))
+	for v := range q.Constraints {
+		constrained[d.Intern(v)] = true
+	}
 
 	ans := &Answer{Semantics: opts.Semantics}
 	seen := map[string]bool{}
 
 	solverOpts := match.Options{
-		Admissible: func(unknown, value term.Term) bool {
-			if q.Constraints[unknown] && value.IsBlank() {
+		Ctx: ctx,
+		Admissible: func(unknown, value dict.ID) bool {
+			if constrained[unknown] && d.KindOf(value) == term.KindBlank {
 				return false
 			}
 			return true
 		},
 	}
-	err := match.SolveCtx(ctx, q.Body, data, solverOpts, func(b match.Binding) bool {
+	solver := match.NewSolver(ix, solverOpts)
+	solver.Solve(q.Body, func(b match.Binding) bool {
 		ans.Matchings++
-		single, ok := instantiateHead(q, b, bodyVars, headBlanks)
+		encs, key, ok := inst.instantiate(b)
 		if !ok {
 			return true // v(H) not a well-formed RDF graph: skipped
 		}
-		key := single.String()
 		if !seen[key] {
 			seen[key] = true
+			single := graph.NewWithDict(d)
+			for _, enc := range encs {
+				single.AddID(enc)
+			}
 			ans.Singles = append(ans.Singles, single)
 		}
 		return opts.MaxMatchings == 0 || ans.Matchings < opts.MaxMatchings
 	})
-	if err != nil {
+	if err := solver.Err(); err != nil {
 		return nil, err
 	}
 
-	// Deterministic order for reproducible merges.
-	sort.Slice(ans.Singles, func(i, j int) bool {
-		return ans.Singles[i].String() < ans.Singles[j].String()
-	})
+	// Deterministic order for reproducible merges: sort by the canonical
+	// serialization, computed once per single answer.
+	type keyed struct {
+		g *graph.Graph
+		k string
+	}
+	ordered := make([]keyed, len(ans.Singles))
+	for i, s := range ans.Singles {
+		ordered[i] = keyed{g: s, k: s.String()}
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].k < ordered[j].k })
+	for i, s := range ordered {
+		ans.Singles[i] = s.g
+	}
 
 	switch opts.Semantics {
 	case MergeSemantics:
-		ans.Graph = graph.New()
+		ans.Graph = graph.NewWithDict(d)
 		for i, s := range ans.Singles {
 			ans.Graph.AddAll(graph.RenameBlanksApart(s, fmt.Sprintf("!m%d", i)))
 		}
 	default:
-		ans.Graph = graph.New()
+		ans.Graph = graph.NewWithDict(d)
 		for _, s := range ans.Singles {
 			ans.Graph.AddAll(s)
 		}
@@ -324,40 +371,116 @@ func evaluateAgainst(ctx context.Context, q *Query, data *graph.Graph, opts Opti
 	return ans, nil
 }
 
-// instantiateHead computes the single answer v(H): head variables are
-// replaced by their bindings and each head blank N by the Skolem value
-// f_N(v(X1), …, v(Xk)) over the body variables (Section 4.1). ok is false
-// when v(H) is not a well-formed RDF graph.
-func instantiateHead(q *Query, b match.Binding, bodyVars, headBlanks []term.Term) (*graph.Graph, bool) {
-	skolem := map[term.Term]term.Term{}
-	if len(headBlanks) > 0 {
+// headInstantiator computes single answers v(H) on interned IDs: head
+// variables are replaced by their bindings and each head blank N by the
+// Skolem value f_N(v(X1), …, v(Xk)) over the body variables (Section
+// 4.1). The head template is encoded once per evaluation.
+type headInstantiator struct {
+	d          *dict.Dict
+	head       []dict.Triple3
+	kinds      []term.Kind // head-position kinds, parallel to head IDs
+	bodyVars   []term.Term
+	bodyVarIDs []dict.ID
+	headBlanks []term.Term
+	blankIDs   []dict.ID
+	scratch    []dict.Triple3 // per-matching instantiation buffer
+}
+
+func newHeadInstantiator(q *Query, data *graph.Graph) *headInstantiator {
+	d := data.Dict()
+	h := &headInstantiator{
+		d:          d,
+		bodyVars:   varsIn(q.Body),
+		headBlanks: q.headBlanks(),
+	}
+	h.head = make([]dict.Triple3, len(q.Head))
+	for i, t := range q.Head {
+		h.head[i] = data.InternTriple(t)
+	}
+	h.bodyVarIDs = make([]dict.ID, len(h.bodyVars))
+	for i, v := range h.bodyVars {
+		h.bodyVarIDs[i] = d.Intern(v)
+	}
+	h.blankIDs = make([]dict.ID, len(h.headBlanks))
+	for i, n := range h.headBlanks {
+		h.blankIDs[i] = d.Intern(n)
+	}
+	return h
+}
+
+// instantiate computes the encoded triples of v(H) for one matching,
+// into a scratch buffer valid until the next call. The returned key is a
+// cheap content fingerprint (sorted encoded triples) used for single-
+// answer deduplication; ok is false when v(H) is not a well-formed RDF
+// graph.
+func (h *headInstantiator) instantiate(b match.Binding) ([]dict.Triple3, string, bool) {
+	var skolem map[dict.ID]dict.ID
+	if len(h.blankIDs) > 0 {
+		terms := h.d.Terms()
 		var sig strings.Builder
-		for _, v := range bodyVars {
-			sig.WriteString(b[v].String())
+		for _, vid := range h.bodyVarIDs {
+			sig.WriteString(terms[b[vid]-1].String())
 			sig.WriteByte('|')
 		}
-		for _, n := range headBlanks {
-			skolem[n] = skolemBlank(n, sig.String())
+		skolem = make(map[dict.ID]dict.ID, len(h.blankIDs))
+		for i, nid := range h.blankIDs {
+			skolem[nid] = h.d.Intern(skolemBlank(h.headBlanks[i], sig.String()))
 		}
 	}
-	subst := func(x term.Term) term.Term {
-		if x.IsVar() {
-			return b[x]
+	sub := func(id dict.ID) dict.ID {
+		switch h.d.KindOf(id) {
+		case term.KindVar:
+			return b[id]
+		case term.KindBlank:
+			if s, ok := skolem[id]; ok {
+				return s
+			}
+			return id
+		default:
+			return id
 		}
-		if x.IsBlank() {
-			return skolem[x]
-		}
-		return x
 	}
-	out := graph.New()
-	for _, t := range q.Head {
-		inst := graph.T(subst(t.S), subst(t.P), subst(t.O))
-		if !inst.WellFormed() {
-			return nil, false
-		}
-		out.MustAdd(inst)
+	if cap(h.scratch) < len(h.head) {
+		h.scratch = make([]dict.Triple3, len(h.head))
 	}
-	return out, true
+	encs := h.scratch[:0]
+	for _, t := range h.head {
+		enc := dict.Triple3{sub(t[0]), sub(t[1]), sub(t[2])}
+		if !graph.WellFormedID(h.d, enc) {
+			return nil, "", false
+		}
+		encs = append(encs, enc)
+	}
+	// Insertion sort: heads are tiny and sort.Slice costs reflection.
+	for i := 1; i < len(encs); i++ {
+		for j := i; j > 0 && encs[j].Less(encs[j-1]); j-- {
+			encs[j], encs[j-1] = encs[j-1], encs[j]
+		}
+	}
+	// Compact duplicates: v(H) is a set, and two head patterns can
+	// instantiate to the same triple; the dedup key must fingerprint
+	// the set, not the multiset.
+	if len(encs) > 1 {
+		w := 1
+		for i := 1; i < len(encs); i++ {
+			if encs[i] != encs[w-1] {
+				encs[w] = encs[i]
+				w++
+			}
+		}
+		encs = encs[:w]
+	}
+	var key strings.Builder
+	key.Grow(12 * len(encs))
+	for _, enc := range encs {
+		for _, id := range enc {
+			key.WriteByte(byte(id))
+			key.WriteByte(byte(id >> 8))
+			key.WriteByte(byte(id >> 16))
+			key.WriteByte(byte(id >> 24))
+		}
+	}
+	return encs, key.String(), true
 }
 
 // skolemBlank is the deterministic Skolem function f_N: the same blank

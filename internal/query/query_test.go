@@ -459,3 +459,43 @@ func TestQueryString(t *testing.T) {
 		}
 	}
 }
+
+func TestSingleAnswerDedupCollapsesMultisetHeads(t *testing.T) {
+	// Two head patterns can instantiate to the same triple under one
+	// matching and to distinct triples under another; single answers
+	// are graphs (sets), so v(H) = {A,A,B} and v(H) = {A,B,B} are the
+	// same single answer and must be deduplicated.
+	d := graph.New(
+		graph.T(iri("a"), iri("p"), iri("b")),
+		graph.T(iri("c"), iri("p"), iri("d")),
+	)
+	q := New(
+		[]graph.Triple{
+			{S: v("X1"), P: iri("p"), O: v("Y1")},
+			{S: v("X2"), P: iri("p"), O: v("Y2")},
+		},
+		[]graph.Triple{
+			{S: v("X1"), P: iri("p"), O: v("Y1")},
+			{S: v("X2"), P: iri("p"), O: v("Y2")},
+		},
+	)
+	a := eval(t, q, d, Options{})
+	if a.Matchings != 4 {
+		t.Fatalf("matchings = %d, want 4", a.Matchings)
+	}
+	// Distinct single answers: {A,A}={A}, {A,B}, {B,A}={A,B}, {B,B}={B}
+	// -> {A}, {B}, {A,B}.
+	if len(a.Singles) != 3 {
+		for _, s := range a.Singles {
+			t.Logf("single:\n%s", s)
+		}
+		t.Fatalf("singles = %d, want 3", len(a.Singles))
+	}
+	for i, s := range a.Singles {
+		for j := i + 1; j < len(a.Singles); j++ {
+			if s.Equal(a.Singles[j]) {
+				t.Fatalf("singles %d and %d are equal graphs (dedup failed)", i, j)
+			}
+		}
+	}
+}

@@ -1,68 +1,48 @@
 // Package store implements a dictionary-encoded, triply-indexed triple
-// store — the database substrate behind the command-line tools and the
-// workload benchmarks. Terms are interned to dense integer IDs and
-// triples are kept in three sorted permutations (SPO, POS, OSP), so that
-// every triple pattern with at least one bound position resolves to a
-// binary-search range scan.
+// store — the bulk-loading database substrate behind the command-line
+// tools and the workload benchmarks. It builds on the shared
+// internal/dict encoding layer (the same one graph.Graph uses): terms
+// are interned to dense integer IDs and triples are kept in sorted
+// permutations (SPO, POS, OSP), so that every triple pattern with at
+// least one bound position resolves to a binary-search range scan.
+//
+// Unlike graph.Graph — whose permutations are rebuilt from scratch when
+// a snapshot changes — the store maintains its indexes incrementally
+// (append + lazy resort, tombstone-free removal), and the set of
+// maintained orders is configurable (ablation A1).
 package store
 
 import (
-	"sort"
-
+	"semwebdb/internal/dict"
 	"semwebdb/internal/graph"
 	"semwebdb/internal/term"
 )
 
 // ID is a dictionary-encoded term identifier. The zero ID is reserved.
-type ID uint32
+type ID = dict.ID
 
 // Wildcard marks an unbound position in a pattern.
-const Wildcard ID = 0
+const Wildcard = dict.Wildcard
 
 // Triple3 is a dictionary-encoded triple.
-type Triple3 [3]ID
+type Triple3 = dict.Triple3
 
 // Order names one of the maintained index permutations.
-type Order int
+type Order = dict.Order
 
 const (
 	// SPO orders triples by subject, predicate, object.
-	SPO Order = iota
+	SPO = dict.SPO
 	// POS orders triples by predicate, object, subject.
-	POS
+	POS = dict.POS
 	// OSP orders triples by object, subject, predicate.
-	OSP
+	OSP = dict.OSP
 )
-
-// permute maps a triple into the key layout of the given order.
-func permute(t Triple3, o Order) Triple3 {
-	switch o {
-	case POS:
-		return Triple3{t[1], t[2], t[0]}
-	case OSP:
-		return Triple3{t[2], t[0], t[1]}
-	default:
-		return t
-	}
-}
-
-// unpermute inverts permute.
-func unpermute(k Triple3, o Order) Triple3 {
-	switch o {
-	case POS:
-		return Triple3{k[2], k[0], k[1]}
-	case OSP:
-		return Triple3{k[1], k[2], k[0]}
-	default:
-		return k
-	}
-}
 
 // Store is an in-memory indexed triple store. The zero value is not ready
 // to use; construct with New.
 type Store struct {
-	dict    map[term.Term]ID
-	reverse []term.Term // reverse[id-1] = term
+	dict *dict.Dict
 
 	present map[Triple3]struct{}
 	indexes [3][]Triple3 // permuted keys, sorted
@@ -77,8 +57,18 @@ func New() *Store { return NewWithOrders(SPO, POS, OSP) }
 // NewWithOrders returns an empty store maintaining only the given orders.
 // SPO is always maintained (it is the primary).
 func NewWithOrders(orders ...Order) *Store {
+	return NewSharedWithOrders(dict.New(), orders...)
+}
+
+// NewShared returns an empty store interning into the given shared
+// dictionary, maintaining all three index orders.
+func NewShared(d *dict.Dict) *Store { return NewSharedWithOrders(d, SPO, POS, OSP) }
+
+// NewSharedWithOrders returns an empty store over a shared dictionary
+// maintaining only the given orders (SPO is always maintained).
+func NewSharedWithOrders(d *dict.Dict, orders ...Order) *Store {
 	s := &Store{
-		dict:    make(map[term.Term]ID),
+		dict:    d,
 		present: make(map[Triple3]struct{}),
 	}
 	seen := map[Order]bool{SPO: true}
@@ -92,34 +82,24 @@ func NewWithOrders(orders ...Order) *Store {
 	return s
 }
 
+// Dict returns the store's dictionary.
+func (s *Store) Dict() *dict.Dict { return s.dict }
+
 // Intern returns the ID for a term, allocating one if needed.
-func (s *Store) Intern(t term.Term) ID {
-	if id, ok := s.dict[t]; ok {
-		return id
-	}
-	s.reverse = append(s.reverse, t)
-	id := ID(len(s.reverse))
-	s.dict[t] = id
-	return id
-}
+func (s *Store) Intern(t term.Term) ID { return s.dict.Intern(t) }
 
 // Lookup returns the ID of a term if it is interned.
-func (s *Store) Lookup(t term.Term) (ID, bool) {
-	id, ok := s.dict[t]
-	return id, ok
-}
+func (s *Store) Lookup(t term.Term) (ID, bool) { return s.dict.Lookup(t) }
 
 // TermOf returns the term for an ID. It panics on the zero or an unknown
 // ID.
-func (s *Store) TermOf(id ID) term.Term {
-	return s.reverse[id-1]
-}
+func (s *Store) TermOf(id ID) term.Term { return s.dict.TermOf(id) }
 
 // Len returns the number of stored triples.
 func (s *Store) Len() int { return len(s.present) }
 
 // DictSize returns the number of interned terms.
-func (s *Store) DictSize() int { return len(s.reverse) }
+func (s *Store) DictSize() int { return s.dict.Len() }
 
 // Add inserts a triple, interning its terms. It reports whether the
 // triple was new. Ill-formed triples are rejected.
@@ -137,7 +117,7 @@ func (s *Store) addEncoded(enc Triple3) bool {
 	}
 	s.present[enc] = struct{}{}
 	for _, o := range s.orders {
-		s.indexes[o] = append(s.indexes[o], permute(enc, o))
+		s.indexes[o] = append(s.indexes[o], dict.Permute(enc, o))
 		s.dirty[o] = true
 	}
 	return true
@@ -155,7 +135,7 @@ func (s *Store) Remove(t graph.Triple) bool {
 	}
 	delete(s.present, enc)
 	for _, o := range s.orders {
-		key := permute(enc, o)
+		key := dict.Permute(enc, o)
 		idx := s.indexes[o]
 		// Tombstone by swap-with-last; resort lazily.
 		for i, k := range idx {
@@ -181,15 +161,15 @@ func (s *Store) Has(t graph.Triple) bool {
 }
 
 func (s *Store) encodeExisting(t graph.Triple) (Triple3, bool) {
-	sID, ok := s.dict[t.S]
+	sID, ok := s.dict.Lookup(t.S)
 	if !ok {
 		return Triple3{}, false
 	}
-	pID, ok := s.dict[t.P]
+	pID, ok := s.dict.Lookup(t.P)
 	if !ok {
 		return Triple3{}, false
 	}
-	oID, ok := s.dict[t.O]
+	oID, ok := s.dict.Lookup(t.O)
 	if !ok {
 		return Triple3{}, false
 	}
@@ -200,19 +180,8 @@ func (s *Store) ensureSorted(o Order) {
 	if !s.dirty[o] {
 		return
 	}
-	idx := s.indexes[o]
-	sort.Slice(idx, func(i, j int) bool { return less(idx[i], idx[j]) })
+	dict.SortIndex(s.indexes[o])
 	s.dirty[o] = false
-}
-
-func less(a, b Triple3) bool {
-	if a[0] != b[0] {
-		return a[0] < b[0]
-	}
-	if a[1] != b[1] {
-		return a[1] < b[1]
-	}
-	return a[2] < b[2]
 }
 
 // hasOrder reports whether the store maintains the given order.
@@ -228,10 +197,6 @@ func (s *Store) hasOrder(o Order) bool {
 // chooseOrder selects the best maintained index for a pattern: the one
 // whose leading positions are bound.
 func (s *Store) chooseOrder(sb, pb, ob bool) (Order, int) {
-	type cand struct {
-		o      Order
-		prefix int
-	}
 	prefixLen := func(a, b, c bool) int {
 		switch {
 		case a && b && c:
@@ -244,20 +209,18 @@ func (s *Store) chooseOrder(sb, pb, ob bool) (Order, int) {
 			return 0
 		}
 	}
-	cands := []cand{{SPO, prefixLen(sb, pb, ob)}}
+	best, bestLen := SPO, prefixLen(sb, pb, ob)
 	if s.hasOrder(POS) {
-		cands = append(cands, cand{POS, prefixLen(pb, ob, sb)})
-	}
-	if s.hasOrder(OSP) {
-		cands = append(cands, cand{OSP, prefixLen(ob, sb, pb)})
-	}
-	best := cands[0]
-	for _, c := range cands[1:] {
-		if c.prefix > best.prefix {
-			best = c
+		if n := prefixLen(pb, ob, sb); n > bestLen {
+			best, bestLen = POS, n
 		}
 	}
-	return best.o, best.prefix
+	if s.hasOrder(OSP) {
+		if n := prefixLen(ob, sb, pb); n > bestLen {
+			best, bestLen = OSP, n
+		}
+	}
+	return best, bestLen
 }
 
 // Match streams every stored triple matching the pattern (Wildcard = any
@@ -268,19 +231,11 @@ func (s *Store) Match(sp, pp, op ID, fn func(Triple3) bool) {
 	o, prefix := s.chooseOrder(sp != Wildcard, pp != Wildcard, op != Wildcard)
 	s.ensureSorted(o)
 	idx := s.indexes[o]
-	key := permute(Triple3{sp, pp, op}, o)
+	key := dict.Permute(Triple3{sp, pp, op}, o)
 
-	lo, hi := 0, len(idx)
-	if prefix > 0 {
-		lo = sort.Search(len(idx), func(i int) bool {
-			return !prefixLess(idx[i], key, prefix)
-		})
-		hi = sort.Search(len(idx), func(i int) bool {
-			return prefixGreater(idx[i], key, prefix)
-		})
-	}
+	lo, hi := dict.SearchRange(idx, key, prefix)
 	for i := lo; i < hi; i++ {
-		t := unpermute(idx[i], o)
+		t := dict.Unpermute(idx[i], o)
 		if sp != Wildcard && t[0] != sp {
 			continue
 		}
@@ -296,24 +251,6 @@ func (s *Store) Match(sp, pp, op ID, fn func(Triple3) bool) {
 	}
 }
 
-func prefixLess(a, key Triple3, n int) bool {
-	for i := 0; i < n; i++ {
-		if a[i] != key[i] {
-			return a[i] < key[i]
-		}
-	}
-	return false
-}
-
-func prefixGreater(a, key Triple3, n int) bool {
-	for i := 0; i < n; i++ {
-		if a[i] != key[i] {
-			return a[i] > key[i]
-		}
-	}
-	return false
-}
-
 // MatchTerms is Match with term-level pattern positions; a zero Term is a
 // wildcard. Unknown (never-interned) bound terms yield no matches.
 func (s *Store) MatchTerms(sub, pred, obj term.Term, fn func(graph.Triple) bool) {
@@ -321,8 +258,7 @@ func (s *Store) MatchTerms(sub, pred, obj term.Term, fn func(graph.Triple) bool)
 		if t.IsZero() {
 			return Wildcard, true
 		}
-		id, ok := s.dict[t]
-		return id, ok
+		return s.dict.Lookup(t)
 	}
 	sp, ok1 := enc(sub)
 	pp, ok2 := enc(pred)
@@ -330,8 +266,9 @@ func (s *Store) MatchTerms(sub, pred, obj term.Term, fn func(graph.Triple) bool)
 	if !ok1 || !ok2 || !ok3 {
 		return
 	}
+	terms := s.dict.Terms()
 	s.Match(sp, pp, op, func(t Triple3) bool {
-		return fn(graph.T(s.TermOf(t[0]), s.TermOf(t[1]), s.TermOf(t[2])))
+		return fn(graph.T(terms[t[0]-1], terms[t[1]-1], terms[t[2]-1]))
 	})
 }
 
@@ -342,21 +279,23 @@ func (s *Store) Count(sp, pp, op ID) int {
 	return n
 }
 
-// FromGraph loads every triple of g.
+// FromGraph loads every triple of g, sharing g's dictionary so that no
+// term is re-interned.
 func FromGraph(g *graph.Graph) *Store {
-	s := New()
-	g.Each(func(t graph.Triple) bool {
-		s.Add(t)
+	s := NewShared(g.Dict())
+	g.EachID(func(t Triple3) bool {
+		s.addEncoded(t)
 		return true
 	})
 	return s
 }
 
-// ToGraph materializes the store contents as a graph.
+// ToGraph materializes the store contents as a graph sharing the
+// store's dictionary.
 func (s *Store) ToGraph() *graph.Graph {
-	g := graph.New()
+	g := graph.NewWithDict(s.dict)
 	for enc := range s.present {
-		g.Add(graph.T(s.TermOf(enc[0]), s.TermOf(enc[1]), s.TermOf(enc[2])))
+		g.AddID(enc)
 	}
 	return g
 }

@@ -19,6 +19,7 @@ package turtle
 import (
 	"fmt"
 	"strings"
+	"unicode/utf8"
 
 	"semwebdb/internal/graph"
 	"semwebdb/internal/rdfs"
@@ -39,6 +40,11 @@ func (e *ParseError) Error() string {
 
 // Parse parses a Turtle document into a graph.
 func Parse(src string) (*graph.Graph, error) {
+	if !utf8.ValidString(src) {
+		// Turtle documents are UTF-8 by definition; raw invalid bytes
+		// would decay to U+FFFD on serialization, breaking round trips.
+		return nil, &ParseError{Line: 1, Col: 1, Msg: "invalid UTF-8"}
+	}
 	p := &parser{
 		src:      src,
 		line:     1,

@@ -7,7 +7,9 @@ import (
 	"sync"
 
 	"semwebdb/internal/closure"
+	"semwebdb/internal/dict"
 	"semwebdb/internal/graph"
+	"semwebdb/internal/match"
 	"semwebdb/internal/query"
 )
 
@@ -15,22 +17,43 @@ import (
 // the inference, normalization and query machinery of the paper behind
 // one handle.
 //
+// The DB owns a single term dictionary shared by every snapshot and
+// every graph derived from one (closures, normal forms, answers):
+// terms are interned to integer IDs once, at load time, and the engine
+// layers compare IDs from then on — strings reappear only when answers
+// are rendered. The dictionary is append-only: query pattern terms and
+// the Skolem blanks of blank-headed answers are interned too, so it
+// grows with the distinct terms ever seen, not just the current data
+// (Stats reports both; dictionary compaction is a ROADMAP item).
+//
 // A DB is safe for concurrent use. Mutations (Load*, Add, AddGraph)
 // install a fresh snapshot under a write lock, while readers — queries
 // included — operate on immutable snapshots, so long evaluations never
 // block loads and vice versa.
 type DB struct {
-	mu  sync.RWMutex
-	g   *graph.Graph        // current snapshot; treated as immutable
-	mem *closure.Membership // lazy closure-membership index for g
+	mu   sync.RWMutex
+	dict *dict.Dict          // shared across all snapshots
+	g    *graph.Graph        // current snapshot; treated as immutable
+	mem  *closure.Membership // lazy closure-membership index for g
 
-	// prepared caches the premise-free matching universe (nf(D) and/or
-	// cl(D), keyed by the skip-normal-form flag) for the current
-	// snapshot, so repeated Evals do not redo the closure saturation
-	// and the coNP-hard core retraction. Invalidated on every mutation.
-	prepared map[bool]*graph.Graph
+	// prepared caches, per skip-normal-form flag, the premise-free
+	// matching universe (nf(D) or cl(D)) for the current snapshot
+	// together with the match.Index view over it. Retaining the
+	// prepared graph is what keeps the matcher's lookup structures
+	// alive — the sorted SPO/POS/OSP permutations are built lazily on
+	// the graph itself and cached there — so repeated Evals neither
+	// redo the closure saturation and the coNP-hard core retraction
+	// nor re-sort the scan indexes. Invalidated on every mutation.
+	prepared map[bool]*preparedState
 
 	cfg config
+}
+
+// preparedState is one cached matching universe plus the (cheap,
+// reusable) match index view over it.
+type preparedState struct {
+	data *graph.Graph
+	ix   *match.Index
 }
 
 // config collects the Open options.
@@ -69,11 +92,12 @@ func Open(opts ...Option) (*DB, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	g := graph.New()
+	d := dict.New()
+	g := graph.NewWithDict(d)
 	if cfg.initial != nil {
 		g.AddAll(cfg.initial)
 	}
-	return &DB{g: g, cfg: cfg}, nil
+	return &DB{dict: d, g: g, cfg: cfg}, nil
 }
 
 // addGraph unions new triples into a fresh snapshot. The whole
@@ -88,33 +112,34 @@ func (db *DB) addGraph(add *graph.Graph) {
 	db.mu.Unlock()
 }
 
-// preparedData returns the cached premise-free matching universe for
-// the snapshot g, computing and caching it on first use. Concurrent
-// first calls may compute it twice; only one result is retained.
-func (db *DB) preparedData(ctx context.Context, g *graph.Graph, skipNF bool) (*graph.Graph, error) {
+// preparedData returns the cached premise-free matching universe and
+// match index for the snapshot g, computing and caching both on first
+// use. Concurrent first calls may compute them twice; only one result
+// is retained.
+func (db *DB) preparedData(ctx context.Context, g *graph.Graph, skipNF bool) (*preparedState, error) {
 	db.mu.RLock()
-	cached := db.g == g && db.prepared != nil
-	var data *graph.Graph
-	if cached {
-		data = db.prepared[skipNF]
+	var st *preparedState
+	if db.g == g && db.prepared != nil {
+		st = db.prepared[skipNF]
 	}
 	db.mu.RUnlock()
-	if data != nil {
-		return data, nil
+	if st != nil {
+		return st, nil
 	}
 	data, err := query.Prepare(ctx, g, skipNF)
 	if err != nil {
 		return nil, err
 	}
+	st = &preparedState{data: data, ix: match.NewIndex(data)}
 	db.mu.Lock()
 	if db.g == g { // cache only if no mutation slipped in
 		if db.prepared == nil {
-			db.prepared = make(map[bool]*graph.Graph, 2)
+			db.prepared = make(map[bool]*preparedState, 2)
 		}
-		db.prepared[skipNF] = data
+		db.prepared[skipNF] = st
 	}
 	db.mu.Unlock()
-	return data, nil
+	return st, nil
 }
 
 // snapshot returns the current immutable graph.
@@ -184,18 +209,41 @@ func (db *DB) Len() int { return db.snapshot().Len() }
 // result is a copy: mutating it does not affect the database.
 func (db *DB) Snapshot() *Graph { return db.snapshot().Clone() }
 
-// Stats summarizes the current contents.
+// Stats summarizes the current contents and the dictionary-encoded
+// representation behind it.
 type Stats struct {
 	// Triples is |D|.
 	Triples int
 	// BlankNodes is the number of distinct blank nodes.
 	BlankNodes int
+	// Terms is the number of distinct terms occurring in D
+	// (|universe(D)|).
+	Terms int
+	// DictTerms is the number of terms interned in the database's
+	// shared dictionary. It is at least Terms: the dictionary also
+	// holds terms from earlier snapshots, query patterns and derived
+	// graphs (closures, skolemizations, answers).
+	DictTerms int
+	// IndexSizes are the entry counts of the three sorted index
+	// permutations over the current snapshot, in the order SPO, POS,
+	// OSP. Each permutation holds one entry per triple.
+	IndexSizes [3]int
 }
 
-// Stats returns size statistics for the current contents.
+// Stats returns size statistics for the current contents. Each sorted
+// permutation holds exactly one entry per triple, so IndexSizes is
+// derived without forcing the snapshot's lazy index builds (queries
+// run against the cached prepared graph, not the raw snapshot).
 func (db *DB) Stats() Stats {
 	g := db.snapshot()
-	return Stats{Triples: g.Len(), BlankNodes: len(g.BlankNodes())}
+	n := g.Len()
+	return Stats{
+		Triples:    n,
+		BlankNodes: len(g.BlankNodes()),
+		Terms:      len(g.Universe()),
+		DictTerms:  g.Dict().Len(),
+		IndexSizes: [3]int{n, n, n},
+	}
 }
 
 // Has reports whether the triple is asserted (syntactic membership).
@@ -252,13 +300,14 @@ func (db *DB) Eval(ctx context.Context, q *Query) (*Answer, error) {
 	g := db.snapshot()
 	var ans *query.Answer
 	if iq.Premise == nil || iq.Premise.Len() == 0 {
-		// Premise-free: match against the cached nf(D) (or cl(D)),
-		// computed once per snapshot instead of once per query.
-		data, perr := db.preparedData(ctx, g, opts.SkipNormalForm)
+		// Premise-free: match against the cached nf(D) (or cl(D)) and
+		// its cached match index, computed once per snapshot instead of
+		// once per query.
+		st, perr := db.preparedData(ctx, g, opts.SkipNormalForm)
 		if perr != nil {
 			return nil, wrapEngineError(perr)
 		}
-		ans, err = query.EvaluatePreparedCtx(ctx, iq, data, opts)
+		ans, err = query.EvaluatePreparedIndexCtx(ctx, iq, st.ix, opts)
 	} else {
 		// A premise changes the matching universe to nf(D + P); no
 		// caching across queries is possible.

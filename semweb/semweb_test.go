@@ -510,3 +510,35 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatalf("after concurrent adds: %d triples, want 13", db.Len())
 	}
 }
+
+func TestStatsExtended(t *testing.T) {
+	db := openFigure1(t)
+	st := db.Stats()
+	if st.Triples != 9 {
+		t.Fatalf("Triples = %d, want 9", st.Triples)
+	}
+	if st.Terms <= 0 || st.DictTerms < st.Terms {
+		t.Fatalf("Terms = %d, DictTerms = %d: dictionary must cover the universe", st.Terms, st.DictTerms)
+	}
+	for i, n := range st.IndexSizes {
+		if n != st.Triples {
+			t.Fatalf("IndexSizes[%d] = %d, want %d (one entry per triple)", i, n, st.Triples)
+		}
+	}
+	// Queries may grow the dictionary (patterns, skolem blanks) but
+	// never the data statistics.
+	X := semweb.Var("X")
+	q := semweb.NewQuery().
+		Head(semweb.T(X, semweb.IRI("urn:art:isArtist"), semweb.IRI("urn:art:yes"))).
+		Body(semweb.T(X, semweb.Type, semweb.IRI("urn:art:artist")))
+	if _, err := db.Eval(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	st2 := db.Stats()
+	if st2.Triples != st.Triples || st2.Terms != st.Terms {
+		t.Fatalf("query evaluation changed data stats: %+v -> %+v", st, st2)
+	}
+	if st2.DictTerms < st.DictTerms {
+		t.Fatalf("dictionary shrank: %d -> %d", st.DictTerms, st2.DictTerms)
+	}
+}
