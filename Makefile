@@ -5,9 +5,11 @@ GO ?= go
 # Benchmark settings for the JSON perf snapshot. 0.2s per benchmark
 # keeps a full run around a minute while staying reasonably stable.
 BENCHTIME ?= 0.2s
-BENCH_JSON ?= BENCH_pr2.json
+BENCH_JSON ?= BENCH_pr3.json
+# The newest committed per-PR snapshot is the regression baseline.
+BENCH_BASELINE ?= $(shell ls BENCH_pr*.json 2>/dev/null | sort -V | tail -1)
 
-.PHONY: verify check fmt vet test bench bench-json fuzz build examples
+.PHONY: verify check fmt vet test bench bench-json bench-gate fuzz build examples
 
 # Tier-1: must stay green (ROADMAP.md).
 verify: build test
@@ -42,12 +44,28 @@ bench-json:
 		| $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 	@echo "wrote $(BENCH_JSON)"
 
-# Short fuzz pass over the parsers (native Go fuzzing; seeds under
-# internal/*/testdata/fuzz are always exercised by plain `make test`).
+# Benchmark regression gate: run the tracked benchmark families fresh
+# and compare against the newest committed BENCH_pr*.json, failing on
+# >30% regressions (see cmd/benchjson -compare for the noise floors).
+# On hardware other than the baseline's, ns/op comparisons are
+# meaningless — set BENCH_GATE_FLAGS=-allocs-only to gate solely on
+# the machine-independent allocation counts (CI does).
+BENCH_GATE_FLAGS ?=
+bench-gate:
+	@test -n "$(BENCH_BASELINE)" || { echo "no BENCH_pr*.json baseline found"; exit 2; }
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson > bench_fresh.json
+	$(GO) run ./cmd/benchjson -compare $(BENCH_GATE_FLAGS) $(BENCH_BASELINE) bench_fresh.json
+
+# Short fuzz pass over the parsers and the storage codecs (native Go
+# fuzzing; seeds under internal/*/testdata/fuzz are always exercised by
+# plain `make test`).
 fuzz:
 	$(GO) test -fuzz 'FuzzParse$$' -fuzztime 30s ./internal/ntriples/
 	$(GO) test -fuzz FuzzParseLine -fuzztime 15s ./internal/ntriples/
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/turtle/
+	$(GO) test -fuzz FuzzDecodeSnapshot -fuzztime 30s ./internal/persist/
+	$(GO) test -fuzz FuzzReplayWAL -fuzztime 30s ./internal/persist/
 
 # Run every example program (living API documentation).
 examples:

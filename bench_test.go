@@ -6,7 +6,10 @@ package semwebdb_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"semwebdb/internal/closure"
@@ -24,6 +27,7 @@ import (
 	"semwebdb/internal/rdfs"
 	"semwebdb/internal/store"
 	"semwebdb/internal/term"
+	"semwebdb/semweb"
 )
 
 // --- E1/E2: simple entailment = graph homomorphism (Theorem 2.9) ---
@@ -409,6 +413,159 @@ func BenchmarkNTriplesSerialize(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- persistence: snapshot open vs re-parse, bulk vs per-call load ---
+
+// openBench lazily prepares a ≥100k-triple dataset twice: as an
+// N-Triples file and as a checkpointed database directory (binary
+// snapshot, empty WAL). BenchmarkOpenNTriples and
+// BenchmarkOpenSnapshot then measure the two cold-start paths over the
+// same data.
+var openBench struct {
+	once   sync.Once
+	err    error
+	root   string // temp dir removed by TestMain
+	ntPath string
+	dbDir  string
+	n      int
+}
+
+// TestMain exists to clean up the openBench scratch directory after
+// benchmark runs (sync.Once has no paired teardown).
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if openBench.root != "" {
+		os.RemoveAll(openBench.root)
+	}
+	os.Exit(code)
+}
+
+func setupOpenBench(b *testing.B) (string, string, int) {
+	openBench.once.Do(func() {
+		dir, err := os.MkdirTemp("", "semwebdb-openbench")
+		if err != nil {
+			openBench.err = err
+			return
+		}
+		openBench.root = dir
+		g := gen.EncGround(gen.RandomGraph(20000, 105000, 77), "d")
+		if g.Len() < 100000 {
+			openBench.err = fmt.Errorf("dataset too small: %d triples", g.Len())
+			return
+		}
+		openBench.n = g.Len()
+		openBench.ntPath = filepath.Join(dir, "data.nt")
+		f, err := os.Create(openBench.ntPath)
+		if err != nil {
+			openBench.err = err
+			return
+		}
+		if err := ntriples.Serialize(f, g); err != nil {
+			openBench.err = err
+			return
+		}
+		if err := f.Close(); err != nil {
+			openBench.err = err
+			return
+		}
+		openBench.dbDir = filepath.Join(dir, "db")
+		db, err := semweb.OpenAt(openBench.dbDir, semweb.WithoutFsync())
+		if err != nil {
+			openBench.err = err
+			return
+		}
+		if err := db.LoadFile(openBench.ntPath); err != nil {
+			openBench.err = err
+			return
+		}
+		if err := db.Snapshot(); err != nil {
+			openBench.err = err
+			return
+		}
+		openBench.err = db.Close()
+	})
+	if openBench.err != nil {
+		b.Fatal(openBench.err)
+	}
+	return openBench.ntPath, openBench.dbDir, openBench.n
+}
+
+func BenchmarkOpenNTriples(b *testing.B) {
+	ntPath, _, n := setupOpenBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db, err := semweb.Open()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.LoadFile(ntPath); err != nil {
+			b.Fatal(err)
+		}
+		if db.Len() != n {
+			b.Fatalf("loaded %d triples, want %d", db.Len(), n)
+		}
+	}
+}
+
+func BenchmarkOpenSnapshot(b *testing.B) {
+	_, dbDir, n := setupOpenBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db, err := semweb.OpenAt(dbDir, semweb.WithoutFsync())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if db.Len() != n {
+			b.Fatalf("opened %d triples, want %d", db.Len(), n)
+		}
+		if err := db.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBulkLoad contrasts K per-call ingests (one snapshot
+// re-union each) against one AddGraphs batch (a single clone-publish),
+// the ROADMAP "Batched loads" fix.
+func BenchmarkBulkLoad(b *testing.B) {
+	const chunks = 64
+	parts := make([]*semweb.Graph, chunks)
+	for c := range parts {
+		g := semweb.NewGraph()
+		for i := 0; i < 500; i++ {
+			g.Add(semweb.T(
+				term.NewIRI(fmt.Sprintf("urn:bulk:s:%d:%d", c, i%125)),
+				term.NewIRI(fmt.Sprintf("urn:bulk:p:%d", i%7)),
+				term.NewIRI(fmt.Sprintf("urn:bulk:o:%d", i)),
+			))
+		}
+		parts[c] = g
+	}
+	b.Run("addgraph-per-chunk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db, err := semweb.Open()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, g := range parts {
+				if err := db.AddGraph(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("addgraphs-batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db, err := semweb.Open()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := db.AddGraphs(parts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- isomorphism (used by Theorems 3.11/3.19 decision procedures) ---

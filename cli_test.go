@@ -2,6 +2,7 @@ package semwebdb_test
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -24,7 +25,7 @@ func tools(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, tool := range []string{"rdfcheck", "rdfnorm", "rdfquery", "experiments"} {
+		for _, tool := range []string{"rdfcheck", "rdfnorm", "rdfquery", "experiments", "benchjson"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
 			var out bytes.Buffer
 			cmd.Stderr = &out
@@ -112,6 +113,101 @@ func TestRdfcheckBadUsage(t *testing.T) {
 	_, code = run(t, "rdfcheck", "-op", "lean", "testdata/does-not-exist.nt")
 	if code != 2 {
 		t.Fatalf("missing-file exit = %d, want 2", code)
+	}
+}
+
+func TestRdfcheckSnapshotRestore(t *testing.T) {
+	dbdir := filepath.Join(t.TempDir(), "db")
+	out, code := run(t, "rdfcheck", "-op", "snapshot", "testdata/art.ttl", dbdir)
+	if code != 0 {
+		t.Fatalf("snapshot exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "snapshotted") {
+		t.Fatalf("snapshot output:\n%s", out)
+	}
+	restored, code := run(t, "rdfcheck", "-op", "restore", dbdir)
+	if code != 0 {
+		t.Fatalf("restore exit %d:\n%s", code, restored)
+	}
+	// The restored dump must be isomorphic to the original file: feed
+	// it back through rdfcheck -op iso.
+	dump := filepath.Join(t.TempDir(), "restored.nt")
+	if err := os.WriteFile(dump, []byte(restored), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, code := run(t, "rdfcheck", "-op", "iso", dump, "testdata/art.ttl"); code != 0 {
+		t.Fatalf("restored dump not isomorphic to source (exit %d)", code)
+	}
+	// stats on a database directory reports the on-disk footprint.
+	out, code = run(t, "rdfcheck", "-op", "stats", dbdir)
+	if code != 0 || !strings.Contains(out, "snapshot:") || !strings.Contains(out, "wal:") {
+		t.Fatalf("dir stats (exit %d):\n%s", code, out)
+	}
+	// restore on a path with no database must fail, not conjure an
+	// empty one (a typoed directory would otherwise be created and
+	// dumped as empty with exit 0).
+	missing := filepath.Join(t.TempDir(), "no-such-db")
+	if err := os.MkdirAll(missing, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	out, code = run(t, "rdfcheck", "-op", "restore", missing)
+	if code != 2 || !strings.Contains(out, "not a database directory") {
+		t.Fatalf("restore of non-database (exit %d):\n%s", code, out)
+	}
+	if _, err := os.Stat(filepath.Join(missing, "wal.swdb")); !os.IsNotExist(err) {
+		t.Fatal("failed restore created database files")
+	}
+}
+
+func TestBenchjsonCompare(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, ns, allocs float64) string {
+		path := filepath.Join(dir, name)
+		doc := fmt.Sprintf(`{"context":{},"benchmarks":{
+			"BenchmarkA":{"iterations":10,"ns_per_op":%f,"allocs_per_op":%f},
+			"BenchmarkTiny":{"iterations":10,"ns_per_op":50,"allocs_per_op":2}}}`, ns, allocs)
+		if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	old := write("old.json", 100000, 1000)
+
+	// Within threshold: clean exit.
+	ok := write("ok.json", 110000, 1100)
+	out, code := run(t, "benchjson", "-compare", old, ok)
+	if code != 0 {
+		t.Fatalf("clean compare exit %d:\n%s", code, out)
+	}
+	// >30% ns/op regression: exit 1 and a REGRESSION line.
+	slow := write("slow.json", 140000, 1000)
+	out, code = run(t, "benchjson", "-compare", old, slow)
+	if code != 1 || !strings.Contains(out, "REGRESSION BenchmarkA") {
+		t.Fatalf("regression compare exit %d:\n%s", code, out)
+	}
+	// -allocs-only ignores the (machine-dependent) ns/op regression…
+	out, code = run(t, "benchjson", "-compare", "-allocs-only", old, slow)
+	if code != 0 {
+		t.Fatalf("allocs-only compare exit %d:\n%s", code, out)
+	}
+	// …but still catches allocation growth.
+	leaky := write("leaky.json", 100000, 1500)
+	out, code = run(t, "benchjson", "-compare", "-allocs-only", old, leaky)
+	if code != 1 || !strings.Contains(out, "allocs/op") {
+		t.Fatalf("allocs-only regression exit %d:\n%s", code, out)
+	}
+	// Benchmarks under the noise floor never trip the gate (BenchmarkTiny
+	// is identical here, but a tiny-regression variant must also pass).
+	tiny := filepath.Join(dir, "tiny.json")
+	doc := `{"context":{},"benchmarks":{
+		"BenchmarkA":{"iterations":10,"ns_per_op":100000,"allocs_per_op":1000},
+		"BenchmarkTiny":{"iterations":10,"ns_per_op":500,"allocs_per_op":2}}}`
+	if err := os.WriteFile(tiny, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	out, code = run(t, "benchjson", "-compare", old, tiny)
+	if code != 0 {
+		t.Fatalf("noise-floor compare exit %d:\n%s", code, out)
 	}
 }
 

@@ -4,16 +4,27 @@
 // It backs the `make bench-json` target, which tracks the performance
 // trajectory of the engine across PRs (BENCH_pr<N>.json files).
 //
+// With -compare it instead reads two such documents and acts as the
+// CI regression gate: it exits 1 when any benchmark present in both
+// regresses by more than the threshold in ns/op (for benchmarks above
+// the -min-ns noise floor) or in allocs/op (above the -min-allocs
+// floor; allocation counts are machine-independent, so they gate
+// reliably even when the baseline was recorded on different hardware).
+//
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson > BENCH.json
+//	benchjson -compare old.json new.json [-threshold 0.30] [-min-ns 10000] [-min-allocs 10]
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -34,6 +45,23 @@ type Report struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two benchmark JSON files: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 0.30, "with -compare: fail on relative regressions above this fraction")
+	minNs := flag.Float64("min-ns", 10000, "with -compare: ignore ns/op regressions of benchmarks whose baseline is below this (noise floor)")
+	minAllocs := flag.Float64("min-allocs", 10, "with -compare: ignore allocs/op regressions of benchmarks whose baseline is below this")
+	minIters := flag.Int64("min-iters", 2, "with -compare: ignore ns/op regressions unless both runs measured at least this many iterations (a single sample proves nothing)")
+	allocsOnly := flag.Bool("allocs-only", false, "with -compare: gate only on allocs/op, which is machine-independent — use when baseline and fresh run come from different hardware (CI)")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json")
+			os.Exit(2)
+		}
+		if *allocsOnly {
+			*minNs = math.Inf(1)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold, *minNs, *minAllocs, *minIters))
+	}
 	rep := Report{
 		Context:    map[string]string{},
 		Benchmarks: map[string]Metrics{},
@@ -109,3 +137,78 @@ func trimProcsSuffix(name string) string {
 }
 
 func ptr(v float64) *float64 { return &v }
+
+// runCompare loads two reports and prints a regression table; it
+// returns the process exit code (0 clean, 1 regressions found, 2 bad
+// input).
+func runCompare(oldPath, newPath string, threshold, minNs, minAllocs float64, minIters int64) int {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	names := make([]string, 0, len(oldRep.Benchmarks))
+	for name := range oldRep.Benchmarks {
+		if _, ok := newRep.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks in common")
+		return 2
+	}
+
+	regressions := 0
+	for _, name := range names {
+		o, n := oldRep.Benchmarks[name], newRep.Benchmarks[name]
+		var notes []string
+		if o.NsPerOp >= minNs && o.NsPerOp > 0 &&
+			o.Iterations >= minIters && n.Iterations >= minIters {
+			if r := n.NsPerOp / o.NsPerOp; r > 1+threshold {
+				notes = append(notes, fmt.Sprintf("ns/op %.0f -> %.0f (x%.2f)", o.NsPerOp, n.NsPerOp, r))
+			}
+		}
+		if o.AllocsPerOp != nil && n.AllocsPerOp != nil && *o.AllocsPerOp >= minAllocs {
+			if r := *n.AllocsPerOp / *o.AllocsPerOp; r > 1+threshold {
+				notes = append(notes, fmt.Sprintf("allocs/op %.0f -> %.0f (x%.2f)", *o.AllocsPerOp, *n.AllocsPerOp, r))
+			}
+		}
+		if len(notes) > 0 {
+			regressions++
+			fmt.Printf("REGRESSION %s: %s\n", name, strings.Join(notes, ", "))
+		}
+	}
+	dropped := len(oldRep.Benchmarks) - len(names)
+	fmt.Printf("compared %d benchmarks (%s vs %s): %d regression(s) above %.0f%%",
+		len(names), oldPath, newPath, regressions, threshold*100)
+	if dropped > 0 {
+		fmt.Printf("; %d baseline benchmark(s) missing from the new run", dropped)
+	}
+	fmt.Println()
+	if regressions > 0 {
+		return 1
+	}
+	return 0
+}
+
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &rep, nil
+}

@@ -9,29 +9,35 @@
 //	rdfcheck -op iso      g1.nt g2.nt   # G1 ≅ G2 ?
 //	rdfcheck -op lean     g.nt          # is G lean?
 //	rdfcheck -op simple   g.nt          # is G a simple graph?
-//	rdfcheck -op stats    g.nt          # size and index statistics
+//	rdfcheck -op stats    g.nt|dbdir    # size, index and on-disk statistics
+//	rdfcheck -op snapshot g.nt dbdir    # load G and checkpoint it into a database directory
+//	rdfcheck -op restore  dbdir         # dump a database directory as canonical N-Triples
 //
-// With -proof, entailment also prints a checked derivation in the
-// deductive system of Section 2.3.2. Exit status: 0 when the relation
-// holds, 1 when it does not, 2 on errors.
+// snapshot and restore work on the durable database directories of
+// semweb.OpenAt (binary snapshot + write-ahead log); stats accepts a
+// directory too and then reports the on-disk footprint. With -proof,
+// entailment also prints a checked derivation in the deductive system
+// of Section 2.3.2. Exit status: 0 when the relation holds, 1 when it
+// does not, 2 on errors.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"semwebdb/semweb"
 	"semwebdb/semweb/cliutil"
 )
 
 func main() {
-	op := flag.String("op", "entails", "operation: entails | equiv | iso | lean | simple | stats")
+	op := flag.String("op", "entails", "operation: entails | equiv | iso | lean | simple | stats | snapshot | restore")
 	proof := flag.Bool("proof", false, "with -op entails: print a checked proof (Definition 2.5)")
 	quiet := flag.Bool("q", false, "suppress output; use the exit status only")
 	flag.Parse()
 
-	tool := cliutil.New("rdfcheck", "rdfcheck -op entails|equiv|iso|lean|simple|stats [-proof] [-q] file [file]")
+	tool := cliutil.New("rdfcheck", "rdfcheck -op entails|equiv|iso|lean|simple|stats|snapshot|restore [-proof] [-q] file|dir [file|dir]")
 	ctx := tool.Context()
 
 	say := func(format string, args ...any) {
@@ -99,7 +105,13 @@ func main() {
 		say("simple: %v", holds)
 	case "stats":
 		args := needArgs(1)
-		db, err := semweb.Open(semweb.WithGraph(tool.LoadGraph(args[0])))
+		var db *semweb.DB
+		var err error
+		if fi, serr := os.Stat(args[0]); serr == nil && fi.IsDir() {
+			db, err = openExistingDB(tool, args[0])
+		} else {
+			db, err = semweb.Open(semweb.WithGraph(tool.LoadGraph(args[0])))
+		}
 		if err != nil {
 			tool.Fail(err)
 		}
@@ -108,6 +120,43 @@ func main() {
 		say("blanks:     %d", st.BlankNodes)
 		say("terms:      %d distinct (%d interned)", st.Terms, st.DictTerms)
 		say("indexes:    SPO=%d POS=%d OSP=%d entries", st.IndexSizes[0], st.IndexSizes[1], st.IndexSizes[2])
+		if st.Persistent {
+			say("snapshot:   %d bytes on disk", st.SnapshotBytes)
+			say("wal:        %d bytes in %d records", st.WALBytes, st.WALRecords)
+			if err := db.Close(); err != nil {
+				tool.Fail(err)
+			}
+		}
+		holds = true
+	case "snapshot":
+		args := needArgs(2)
+		g := tool.LoadGraph(args[0])
+		db, err := semweb.OpenAt(args[1])
+		if err != nil {
+			tool.Fail(err)
+		}
+		if err := db.AddGraph(g); err != nil {
+			tool.Fail(err)
+		}
+		if err := db.Snapshot(); err != nil {
+			tool.Fail(err)
+		}
+		st := db.Stats()
+		if err := db.Close(); err != nil {
+			tool.Fail(err)
+		}
+		say("snapshotted %d triples (%d terms) into %s: %d bytes", st.Triples, st.DictTerms, args[1], st.SnapshotBytes)
+		holds = true
+	case "restore":
+		args := needArgs(1)
+		db, err := openExistingDB(tool, args[0])
+		if err != nil {
+			tool.Fail(err)
+		}
+		tool.WriteGraph(db.Graph())
+		if err := db.Close(); err != nil {
+			tool.Fail(err)
+		}
 		holds = true
 	default:
 		tool.Failf("unknown operation %q", *op)
@@ -115,4 +164,23 @@ func main() {
 	if !holds {
 		os.Exit(1)
 	}
+}
+
+// openExistingDB opens a database directory for inspection, read-only:
+// it refuses paths that do not already hold a database (a writable
+// OpenAt would silently create one — fatal for a typoed restore), and
+// never creates, locks, truncates or compacts anything, so it is safe
+// against a directory a live service is writing.
+func openExistingDB(tool *cliutil.Tool, dir string) (*semweb.DB, error) {
+	isDB := false
+	for _, name := range []string{semweb.SnapshotFileName, semweb.WALFileName} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			isDB = true
+			break
+		}
+	}
+	if !isDB {
+		tool.Failf("%s is not a database directory (no %s or %s)", dir, semweb.SnapshotFileName, semweb.WALFileName)
+	}
+	return semweb.OpenAtReadOnly(dir)
 }

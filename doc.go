@@ -9,10 +9,12 @@
 // every theorem and worked example of the paper.
 //
 // The public API is the semwebdb/semweb package: a DB opened with
-// semweb.Open, loaded through LoadNTriples/LoadTurtle/LoadFile, and
-// queried with the fluent Query builder via DB.Eval — which returns a
-// typed Answer and honors context cancellation throughout the engine's
-// hot loops. Graph-level operations (entailment, closure, normal form,
+// semweb.Open (in memory) or semweb.OpenAt (durable: binary snapshot +
+// write-ahead log in a directory, crash recovery on reopen), loaded
+// through LoadNTriples/LoadTurtle/LoadFile/LoadFiles, and queried with
+// the fluent Query builder via DB.Eval — which returns a typed Answer
+// and honors context cancellation throughout the engine's hot loops.
+// Graph-level operations (entailment, closure, normal form,
 // containment, fingerprints) are package-level functions there. The
 // command line tools under cmd/ and the walkthroughs under examples/
 // are written exclusively against that facade.

@@ -31,7 +31,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("database:")
-	fmt.Print(db.Snapshot())
+	fmt.Print(db.Graph())
 
 	X := semweb.Var("X")
 

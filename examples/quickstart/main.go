@@ -34,7 +34,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("G:")
-	fmt.Print(db.Snapshot())
+	fmt.Print(db.Graph())
 
 	// 2. Parse more data from N-Triples and union it in.
 	err = db.LoadNTriples(strings.NewReader(

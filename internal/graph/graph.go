@@ -118,6 +118,13 @@ func NewWithDict(d *dict.Dict, ts ...Triple) *Graph {
 	return g
 }
 
+// NewWithDictCap returns an empty graph over a shared dictionary with
+// room preallocated for n triples — the bulk-ingest constructor used
+// by the snapshot loader.
+func NewWithDictCap(d *dict.Dict, n int) *Graph {
+	return &Graph{d: d, set: make(map[dict.Triple3]struct{}, n)}
+}
+
 // FromTriples builds a graph from a slice of triples.
 func FromTriples(ts []Triple) *Graph { return New(ts...) }
 
@@ -305,6 +312,25 @@ func (g *Graph) index(o dict.Order) []dict.Triple3 {
 	dict.SortIndex(keys)
 	g.idx[o] = &idxState{version: g.version, keys: keys}
 	return keys
+}
+
+// Index returns the sorted permutation of the current triple set for
+// the given order, building it on first use. The returned slice is the
+// graph's cached index: it is immutable and must not be modified. A
+// snapshot serializer uses this to persist the permutations exactly as
+// the scans consume them.
+func (g *Graph) Index(o dict.Order) []dict.Triple3 { return g.index(o) }
+
+// InstallIndex installs keys as the sorted permutation for the given
+// order, replacing any cached index. The caller asserts that keys is
+// precisely Permute(set, o) in sorted order for the graph's current
+// triple set — a snapshot loader uses this so that reopened databases
+// scan without re-sorting. Installing an index that violates the
+// contract corrupts MatchID/CountID results.
+func (g *Graph) InstallIndex(o dict.Order, keys []dict.Triple3) {
+	g.mu.Lock()
+	g.idx[o] = &idxState{version: g.version, keys: keys}
+	g.mu.Unlock()
 }
 
 // MatchID streams every stored triple matching the pattern (Wildcard =

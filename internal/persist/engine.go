@@ -1,0 +1,322 @@
+package persist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"semwebdb/internal/dict"
+	"semwebdb/internal/graph"
+)
+
+// File names inside a database directory.
+const (
+	// SnapshotFile is the current binary snapshot.
+	SnapshotFile = "snapshot.swdb"
+	// WALFile is the sidecar write-ahead log.
+	WALFile = "wal.swdb"
+	// snapshotTmp is the in-progress snapshot; renamed over SnapshotFile
+	// once fully written and synced, so a crash mid-write never damages
+	// the current snapshot.
+	snapshotTmp = "snapshot.swdb.tmp"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// CompactThreshold is the WAL payload size (bytes past the header)
+	// above which Open compacts: it writes a fresh snapshot covering the
+	// replayed state and truncates the log. Zero means DefaultCompactThreshold;
+	// negative disables compaction on open.
+	CompactThreshold int64
+	// NoSync disables fsync on WAL batches and snapshot writes. Crash
+	// durability is lost; intended for benchmarks and bulk imports that
+	// checkpoint explicitly.
+	NoSync bool
+}
+
+// DefaultCompactThreshold is the default WAL size that triggers
+// compaction on open.
+const DefaultCompactThreshold = 64 << 20
+
+// Engine manages the on-disk state of one database directory: the
+// snapshot file, the WAL, and the compaction that folds the latter
+// into the former. The owning database serializes mutations (Append,
+// Compact, Close); the stats accessors are safe to call concurrently
+// with them.
+type Engine struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex // guards the fields below against Stats readers
+	wal       *WAL
+	snapBytes int64
+	closed    bool
+}
+
+// Open opens (creating if needed) the database directory and returns
+// the engine together with the recovered dictionary and graph: the
+// snapshot decoded (permutations installed, IDs dense and stable) and
+// the WAL's valid prefix replayed on top. When the surviving WAL
+// exceeds the compaction threshold, the state is folded into a fresh
+// snapshot and the log truncated before returning.
+func Open(dir string, opts Options) (*Engine, *dict.Dict, *graph.Graph, error) {
+	if opts.CompactThreshold == 0 {
+		opts.CompactThreshold = DefaultCompactThreshold
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, err
+	}
+	e := &Engine{dir: dir, opts: opts}
+
+	var (
+		d   *dict.Dict
+		g   *graph.Graph
+		err error
+	)
+	snapPath := filepath.Join(dir, SnapshotFile)
+	if f, ferr := os.Open(snapPath); ferr == nil {
+		st, serr := f.Stat()
+		if serr != nil {
+			f.Close()
+			return nil, nil, nil, serr
+		}
+		d, g, err = ReadSnapshot(bufio.NewReaderSize(f, 1<<20))
+		f.Close()
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("%s: %w", snapPath, err)
+		}
+		e.snapBytes = st.Size()
+	} else if os.IsNotExist(ferr) {
+		d = dict.New()
+		g = graph.NewWithDict(d)
+	} else {
+		return nil, nil, nil, ferr
+	}
+
+	wal, err := OpenWAL(filepath.Join(dir, WALFile), d, g, !opts.NoSync)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	e.wal = wal
+
+	if opts.CompactThreshold > 0 && wal.Size()-walHeaderSize > opts.CompactThreshold {
+		if err := e.Compact(g); err != nil {
+			wal.Close()
+			return nil, nil, nil, err
+		}
+	}
+	return e, d, g, nil
+}
+
+// OpenReadOnly recovers the state of a database directory without
+// touching it: the snapshot is decoded, the WAL's valid prefix is
+// replayed in memory, and nothing is created, locked, truncated or
+// compacted — safe to run against a directory another process is
+// actively writing, and on read-only media. It fails if the directory
+// does not exist or holds no database.
+//
+// Because the snapshot and WAL are read without coordination, a
+// compaction racing between the two reads can pair an old snapshot
+// with a new WAL generation; that transient mismatch looks like
+// corruption, so ErrCorrupt results are retried with fresh reads a few
+// times before being believed.
+func OpenReadOnly(dir string) (*dict.Dict, *graph.Graph, Stats, error) {
+	var (
+		d   *dict.Dict
+		g   *graph.Graph
+		st  Stats
+		err error
+	)
+	for attempt := 0; ; attempt++ {
+		d, g, st, err = openReadOnlyOnce(dir)
+		if err == nil || !errors.Is(err, ErrCorrupt) || attempt == 3 {
+			return d, g, st, err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func openReadOnlyOnce(dir string) (*dict.Dict, *graph.Graph, Stats, error) {
+	var stats Stats
+	if fi, err := os.Stat(dir); err != nil {
+		return nil, nil, stats, err
+	} else if !fi.IsDir() {
+		return nil, nil, stats, fmt.Errorf("persist: %s is not a directory", dir)
+	}
+
+	d := dict.New()
+	var g *graph.Graph
+	snapPath := filepath.Join(dir, SnapshotFile)
+	haveSnap := false
+	if f, err := os.Open(snapPath); err == nil {
+		st, serr := f.Stat()
+		if serr != nil {
+			f.Close()
+			return nil, nil, stats, serr
+		}
+		d, g, err = ReadSnapshot(bufio.NewReaderSize(f, 1<<20))
+		f.Close()
+		if err != nil {
+			return nil, nil, stats, fmt.Errorf("%s: %w", snapPath, err)
+		}
+		stats.SnapshotBytes = st.Size()
+		haveSnap = true
+	} else if !os.IsNotExist(err) {
+		return nil, nil, stats, err
+	}
+	if g == nil {
+		g = graph.NewWithDict(d)
+	}
+
+	walPath := filepath.Join(dir, WALFile)
+	if f, err := os.Open(walPath); err == nil {
+		defer f.Close()
+		st, serr := f.Stat()
+		if serr != nil {
+			return nil, nil, stats, serr
+		}
+		if st.Size() >= walHeaderSize {
+			res, err := ReplayWAL(f, d, g)
+			if err != nil {
+				return nil, nil, stats, fmt.Errorf("%s: %w", walPath, err)
+			}
+			stats.WALBytes = res.Valid - walHeaderSize
+			stats.WALRecords = res.Records
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, stats, err
+	} else if !haveSnap {
+		return nil, nil, stats, fmt.Errorf("persist: %s holds no database (no %s or %s)", dir, SnapshotFile, WALFile)
+	}
+	return d, g, stats, nil
+}
+
+// Append logs a batch of freshly added triples. The caller passes the
+// dictionary the IDs live in; terms not yet durable are inlined ahead
+// of the triples referencing them.
+func (e *Engine) Append(d *dict.Dict, triples []dict.Triple3) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("persist: engine is closed")
+	}
+	return e.wal.Append(d, triples)
+}
+
+// Compact checkpoints the given state: it writes a fresh snapshot
+// beside the current one, atomically renames it into place, and
+// truncates the WAL into a new generation. A crash before the rename
+// leaves the old snapshot + full WAL; a crash after it leaves the new
+// snapshot + a stale WAL whose replay is idempotent — either way,
+// reopening recovers exactly the state passed here or a superset from
+// later appends.
+func (e *Engine) Compact(g *graph.Graph) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("persist: engine is closed")
+	}
+	tmp := filepath.Join(e.dir, snapshotTmp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	n, persistedTerms, err := writeSnapshotSynced(f, g, !e.opts.NoSync)
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(e.dir, SnapshotFile)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if !e.opts.NoSync {
+		if err := syncDir(e.dir); err != nil {
+			return err
+		}
+	}
+	e.snapBytes = n
+	// The new WAL generation's base is the term count the snapshot
+	// actually persisted — NOT the dictionary's current length, which a
+	// concurrent query may have grown past the persisted prefix since
+	// the write (the shared dictionary interns lock-free outside any
+	// database lock). A base beyond the persisted terms would make
+	// every future open fail its base-vs-dictionary check.
+	return e.wal.Reset(dict.ID(persistedTerms))
+}
+
+func writeSnapshotSynced(f *os.File, g *graph.Graph, sync bool) (int64, int, error) {
+	bw := bufio.NewWriterSize(f, 1<<20)
+	n, persistedTerms, err := WriteSnapshot(bw, g)
+	if err != nil {
+		return n, persistedTerms, err
+	}
+	if err := bw.Flush(); err != nil {
+		return n, persistedTerms, err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			return n, persistedTerms, err
+		}
+	}
+	return n, persistedTerms, nil
+}
+
+// syncDir fsyncs a directory so a completed rename survives a crash.
+func syncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	return df.Sync()
+}
+
+// Stats reports the on-disk footprint.
+type Stats struct {
+	// SnapshotBytes is the size of the current snapshot file (0 when no
+	// snapshot has been written yet).
+	SnapshotBytes int64
+	// WALBytes is the size of the WAL's valid record payloads past its
+	// header.
+	WALBytes int64
+	// WALRecords is the number of valid WAL records.
+	WALRecords int
+}
+
+// Stats returns the current on-disk footprint. Safe to call
+// concurrently with mutations.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := Stats{SnapshotBytes: e.snapBytes}
+	if e.wal != nil {
+		s.WALBytes = e.wal.Size() - walHeaderSize
+		s.WALRecords = e.wal.Records()
+	}
+	return s
+}
+
+// Dir returns the database directory.
+func (e *Engine) Dir() string { return e.dir }
+
+// Close flushes and closes the WAL. The engine rejects further
+// mutations; Close is idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	return e.wal.Close()
+}

@@ -1,0 +1,210 @@
+// Package persist implements the durable storage engine behind
+// semweb.OpenAt: a versioned binary snapshot format for the
+// dictionary-encoded store plus a sidecar write-ahead log (WAL).
+//
+// A snapshot file carries a magic/version header followed by framed
+// sections — the term dictionary in ID order (so decoding is a straight
+// re-intern producing the same dense IDs), the SPO-sorted base triple
+// set (which doubles as the SPO permutation, Permute(t, SPO) = t), and
+// the POS and OSP permutations. Every section is framed with its byte
+// length and a CRC32 of its payload, so a decoder can validate each
+// section independently and skip sections it does not need (including
+// sections introduced by future versions).
+//
+// The WAL appends framed add-triple records; terms not covered by the
+// snapshot are inlined as define-term records immediately before first
+// use. Records are covered by per-record CRCs, appends are fsynced per
+// batch rather than per record, and replay tolerates a torn final
+// record: the longest valid prefix wins, exactly as a crashed writer
+// left it.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"semwebdb/internal/term"
+)
+
+// Format versioning. A decoder accepts exactly the versions it knows;
+// adding new optional snapshot sections or WAL record kinds does not
+// require a version bump (unknown sections are skipped, unknown record
+// kinds are a hard error because the WAL is a semantic log), while any
+// change to the header layout or the meaning of existing sections does.
+const (
+	snapMagic = "SWDB-SNP" // snapshot files
+	walMagic  = "SWDB-WAL" // write-ahead log files
+
+	formatVersion = 1
+
+	// snapHeaderSize is magic(8) + version(2) + flags(2).
+	snapHeaderSize = 12
+	// walHeaderSize is magic(8) + version(2) + flags(2) + baseTerms(8).
+	walHeaderSize = 20
+)
+
+// Snapshot section identifiers.
+const (
+	secDict byte = 1 // term records in ID order
+	secSPO  byte = 2 // SPO-sorted base triple set (= SPO permutation)
+	secPOS  byte = 3 // POS permutation, sorted
+	secOSP  byte = 4 // OSP permutation, sorted
+)
+
+// WAL record kinds.
+const (
+	recDefineTerm byte = 1 // inline term payload; implicitly assigns the next ID
+	recAddTriple  byte = 2 // three uvarint term IDs
+)
+
+// ErrCorrupt is wrapped by every decoding failure caused by malformed
+// or damaged on-disk state (as opposed to I/O errors from the
+// filesystem). Match with errors.Is.
+var ErrCorrupt = errors.New("persist: corrupt file")
+
+// corruptf builds an ErrCorrupt-wrapping error.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func checksum(p []byte) uint32 { return crc32.Checksum(p, crcTable) }
+
+// buf is a little append-only encoding buffer.
+type buf struct{ b []byte }
+
+func (e *buf) bytes() []byte { return e.b }
+
+func (e *buf) byte1(v byte) { e.b = append(e.b, v) }
+
+func (e *buf) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+
+func (e *buf) varint(v int64) { e.b = binary.AppendVarint(e.b, v) }
+
+func (e *buf) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// encodeTerm appends a term record: kind byte, value, and for literals
+// the datatype and language tag.
+func encodeTerm(e *buf, t term.Term) {
+	e.byte1(byte(t.Knd))
+	e.str(t.Value)
+	if t.Knd == term.KindLiteral {
+		e.str(t.Datatype)
+		e.str(t.Lang)
+	}
+}
+
+// cursor is the matching decode side, reading from an in-memory
+// payload. Every read is bounds-checked against the payload, so a
+// hostile length can never trigger an allocation larger than the input
+// that claimed it.
+type cursor struct {
+	p   []byte
+	off int
+}
+
+func (c *cursor) remaining() int { return len(c.p) - c.off }
+
+func (c *cursor) done() bool { return c.off == len(c.p) }
+
+func (c *cursor) byte1() (byte, error) {
+	if c.off >= len(c.p) {
+		return 0, corruptf("unexpected end of payload")
+	}
+	b := c.p[c.off]
+	c.off++
+	return b, nil
+}
+
+func (c *cursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.p[c.off:])
+	if n <= 0 {
+		return 0, corruptf("bad uvarint at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *cursor) varint() (int64, error) {
+	v, n := binary.Varint(c.p[c.off:])
+	if n <= 0 {
+		return 0, corruptf("bad varint at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *cursor) str() (string, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(c.remaining()) {
+		return "", corruptf("string length %d exceeds remaining payload %d", n, c.remaining())
+	}
+	s := string(c.p[c.off : c.off+int(n)])
+	c.off += int(n)
+	return s, nil
+}
+
+// decodeTerm reads one term record and validates it structurally.
+func decodeTerm(c *cursor) (term.Term, error) {
+	k, err := c.byte1()
+	if err != nil {
+		return term.Term{}, err
+	}
+	t := term.Term{Knd: term.Kind(k)}
+	switch t.Knd {
+	case term.KindIRI, term.KindBlank, term.KindVar, term.KindLiteral:
+	default:
+		return term.Term{}, corruptf("invalid term kind %d", k)
+	}
+	if t.Value, err = c.str(); err != nil {
+		return term.Term{}, err
+	}
+	if t.Knd == term.KindLiteral {
+		if t.Datatype, err = c.str(); err != nil {
+			return term.Term{}, err
+		}
+		if t.Lang, err = c.str(); err != nil {
+			return term.Term{}, err
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return term.Term{}, corruptf("invalid term record: %v", err)
+	}
+	return t, nil
+}
+
+// zigzag delta helpers for sorted ID-triple columns: consecutive keys in
+// a sorted permutation share long prefixes, so per-column deltas are
+// tiny and the varint encoding shrinks each 12-byte key to a few bytes.
+
+func deltaEncodeKey(e *buf, prev, cur [3]uint32) {
+	for i := 0; i < 3; i++ {
+		e.varint(int64(cur[i]) - int64(prev[i]))
+	}
+}
+
+func deltaDecodeKey(c *cursor, prev [3]uint32) ([3]uint32, error) {
+	var cur [3]uint32
+	for i := 0; i < 3; i++ {
+		d, err := c.varint()
+		if err != nil {
+			return cur, err
+		}
+		v := int64(prev[i]) + d
+		if v < 0 || v > math.MaxUint32 {
+			return cur, corruptf("triple component out of range: %d", v)
+		}
+		cur[i] = uint32(v)
+	}
+	return cur, nil
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// lockFileExcl is a no-op where flock is unavailable: writer exclusion
+// is only enforced on unix platforms.
+func lockFileExcl(*os.File) error { return nil }

@@ -1,0 +1,21 @@
+//go:build unix
+
+package persist
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFileExcl takes a non-blocking exclusive flock on the open file —
+// the WAL, whose lifetime matches the writer's. The lock is released
+// automatically when the file is closed (or the process dies), so a
+// crashed writer never leaves the database locked.
+func lockFileExcl(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == syscall.EWOULDBLOCK {
+		return fmt.Errorf("persist: %s is locked by another process", f.Name())
+	}
+	return err
+}

@@ -1,0 +1,294 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"semwebdb/internal/dict"
+	"semwebdb/internal/graph"
+)
+
+// Snapshot file layout (version 1):
+//
+//	header   magic "SWDB-SNP" | uint16 version | uint16 flags (LE)
+//	section* id byte | uint64 payload length | payload | uint32 CRC32-C
+//
+// Sections appear in the order DICT, SPO, POS, OSP; decoders skip
+// sections with unknown ids (forward compatibility: new auxiliary
+// sections do not bump the version), and the framing lets a partial
+// reader seek past any section it does not need. The DICT payload is
+// the full term dictionary in ID order, so re-interning at decode time
+// reproduces the exact dense IDs the triple sections reference. The
+// SPO payload is the sorted base triple set — Permute(t, SPO) = t, so
+// it doubles as the SPO permutation — and POS/OSP are the other two
+// sorted permutations, stored so a reopened database range-scans
+// without re-sorting. All triple payloads are per-column zigzag-delta
+// varints over the sorted order.
+
+// WriteSnapshot serializes the graph and its full dictionary. The
+// triple sections are taken from the graph's cached sorted permutations
+// (building them if needed). It returns the number of bytes written and
+// the number of terms actually persisted — which can be fewer than the
+// dictionary holds by the time it returns: the shared dictionary grows
+// lock-free under concurrent queries, so callers deriving durable state
+// (the WAL generation base) must use the returned count, never a later
+// Dict().Len().
+func WriteSnapshot(w io.Writer, g *graph.Graph) (int64, int, error) {
+	cw := &countingWriter{w: w}
+	var hdr [snapHeaderSize]byte
+	copy(hdr[:8], snapMagic)
+	binary.LittleEndian.PutUint16(hdr[8:10], formatVersion)
+	binary.LittleEndian.PutUint16(hdr[10:12], 0)
+	terms := g.Dict().Terms()
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return cw.n, len(terms), err
+	}
+
+	var e buf
+	e.uvarint(uint64(len(terms)))
+	for _, t := range terms {
+		encodeTerm(&e, t)
+	}
+	if err := writeSection(cw, secDict, e.bytes()); err != nil {
+		return cw.n, len(terms), err
+	}
+
+	for _, s := range []struct {
+		id byte
+		o  dict.Order
+	}{{secSPO, dict.SPO}, {secPOS, dict.POS}, {secOSP, dict.OSP}} {
+		keys := g.Index(s.o)
+		e = buf{b: e.b[:0]}
+		e.uvarint(uint64(len(keys)))
+		prev := [3]uint32{}
+		for _, k := range keys {
+			cur := [3]uint32{uint32(k[0]), uint32(k[1]), uint32(k[2])}
+			deltaEncodeKey(&e, prev, cur)
+			prev = cur
+		}
+		if err := writeSection(cw, s.id, e.bytes()); err != nil {
+			return cw.n, len(terms), err
+		}
+	}
+	return cw.n, len(terms), nil
+}
+
+func writeSection(w io.Writer, id byte, payload []byte) error {
+	var hdr [9]byte
+	hdr[0] = id
+	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], checksum(payload))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadSnapshot decodes a snapshot into a fresh dictionary and graph.
+// The dictionary holds exactly the persisted terms with their original
+// dense IDs, and the graph comes back with all three sorted
+// permutations installed, ready for range scans without re-sorting.
+// Damaged input fails with an error wrapping ErrCorrupt; ReadSnapshot
+// never allocates more than a small multiple of the actual input size,
+// whatever lengths the file claims.
+func ReadSnapshot(r io.Reader) (*dict.Dict, *graph.Graph, error) {
+	var hdr [snapHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, corruptf("short header: %v", err)
+	}
+	if string(hdr[:8]) != snapMagic {
+		return nil, nil, corruptf("bad magic %q", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[8:10]); v != formatVersion {
+		return nil, nil, corruptf("unsupported snapshot version %d", v)
+	}
+
+	d := dict.New()
+	var (
+		g       *graph.Graph // built once the base set's size is known
+		seen    [5]bool      // indexed by section id
+		triples []dict.Triple3
+		indexes [3][]dict.Triple3
+	)
+	for {
+		id, payload, err := readSection(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		switch id {
+		case secDict, secSPO, secPOS, secOSP:
+			if seen[id] {
+				return nil, nil, corruptf("duplicate section %d", id)
+			}
+			// The triple sections validate against the dictionary, and
+			// the permutations against the base set, so the canonical
+			// order is enforced rather than re-buffered.
+			if id != secDict && !seen[secDict] {
+				return nil, nil, corruptf("section %d before dictionary", id)
+			}
+			if (id == secPOS || id == secOSP) && !seen[secSPO] {
+				return nil, nil, corruptf("permutation section %d before triple set", id)
+			}
+			seen[id] = true
+		default:
+			continue // unknown section: skip (forward compatibility)
+		}
+		c := &cursor{p: payload}
+		switch id {
+		case secDict:
+			if err := decodeDictSection(c, d); err != nil {
+				return nil, nil, err
+			}
+		case secSPO:
+			if triples, err = decodeKeys(c, d.Len()); err != nil {
+				return nil, nil, err
+			}
+			g = graph.NewWithDictCap(d, len(triples))
+			for _, t := range triples {
+				if !g.AddID(t) {
+					return nil, nil, corruptf("ill-formed triple %v in base set", t)
+				}
+			}
+		case secPOS, secOSP:
+			o := dict.POS
+			if id == secOSP {
+				o = dict.OSP
+			}
+			keys, err := decodeKeys(c, d.Len())
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(keys) != len(triples) {
+				return nil, nil, corruptf("permutation %d has %d keys, want %d", id, len(keys), len(triples))
+			}
+			for _, k := range keys {
+				if !g.HasID(dict.Unpermute(k, o)) {
+					return nil, nil, corruptf("permutation %d key %v not in base set", id, k)
+				}
+			}
+			indexes[o] = keys
+		}
+		if !c.done() {
+			return nil, nil, corruptf("section %d has %d trailing bytes", id, c.remaining())
+		}
+	}
+	for _, id := range []byte{secDict, secSPO, secPOS, secOSP} {
+		if !seen[id] {
+			return nil, nil, corruptf("missing section %d", id)
+		}
+	}
+	g.InstallIndex(dict.SPO, triples)
+	g.InstallIndex(dict.POS, indexes[dict.POS])
+	g.InstallIndex(dict.OSP, indexes[dict.OSP])
+	return d, g, nil
+}
+
+// readSection reads one framed section, verifying its CRC. It returns
+// io.EOF exactly at a clean end of the stream.
+func readSection(r io.Reader) (byte, []byte, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, corruptf("short section header: %v", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[1:])
+	if n > uint64(1)<<56 {
+		return 0, nil, corruptf("section %d claims %d bytes", hdr[0], n)
+	}
+	// Copy through a growing buffer: the allocation tracks the bytes
+	// actually present, not the claimed length.
+	var pb bytes.Buffer
+	if _, err := io.CopyN(&pb, r, int64(n)); err != nil {
+		return 0, nil, corruptf("section %d truncated: %v", hdr[0], err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return 0, nil, corruptf("section %d missing checksum: %v", hdr[0], err)
+	}
+	payload := pb.Bytes()
+	if got, want := checksum(payload), binary.LittleEndian.Uint32(crc[:]); got != want {
+		return 0, nil, corruptf("section %d checksum mismatch (got %08x, want %08x)", hdr[0], got, want)
+	}
+	return hdr[0], payload, nil
+}
+
+func decodeDictSection(c *cursor, d *dict.Dict) error {
+	count, err := c.uvarint()
+	if err != nil {
+		return err
+	}
+	// Every term record is at least 2 bytes (kind + empty value).
+	if count > uint64(c.remaining()/2+1) {
+		return corruptf("dictionary claims %d terms in %d bytes", count, c.remaining())
+	}
+	for i := uint64(0); i < count; i++ {
+		t, err := decodeTerm(c)
+		if err != nil {
+			return fmt.Errorf("term %d: %w", i+1, err)
+		}
+		if id := d.Intern(t); id != dict.ID(i+1) {
+			return corruptf("duplicate term record %s (ID %d at position %d)", t, id, i+1)
+		}
+	}
+	return nil
+}
+
+// decodeKeys reads a delta-encoded sorted key list, enforcing strict
+// ascending order (which also rules out duplicates) and that every ID
+// is a valid dictionary ID.
+func decodeKeys(c *cursor, dictLen int) ([]dict.Triple3, error) {
+	count, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Every key record is at least 3 bytes (three varints).
+	if count > uint64(c.remaining()/3+1) {
+		return nil, corruptf("key list claims %d entries in %d bytes", count, c.remaining())
+	}
+	keys := make([]dict.Triple3, 0, count)
+	prev := [3]uint32{}
+	for i := uint64(0); i < count; i++ {
+		cur, err := deltaDecodeKey(c, prev)
+		if err != nil {
+			return nil, err
+		}
+		k := dict.Triple3{dict.ID(cur[0]), dict.ID(cur[1]), dict.ID(cur[2])}
+		if i > 0 {
+			p := dict.Triple3{dict.ID(prev[0]), dict.ID(prev[1]), dict.ID(prev[2])}
+			if !p.Less(k) {
+				return nil, corruptf("key list not strictly sorted at entry %d", i)
+			}
+		}
+		for _, id := range k {
+			if id == dict.Wildcard || int(id) > dictLen {
+				return nil, corruptf("key %v references unknown term ID %d", k, id)
+			}
+		}
+		keys = append(keys, k)
+		prev = cur
+	}
+	return keys, nil
+}

@@ -1,0 +1,181 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"semwebdb/internal/dict"
+	"semwebdb/internal/graph"
+	"semwebdb/internal/term"
+)
+
+// testGraph builds a graph exercising every term shape the format
+// carries: IRIs, blanks, plain / language-tagged / typed literals.
+func testGraph() *graph.Graph {
+	g := graph.New()
+	p, q := term.NewIRI("urn:p"), term.NewIRI("urn:q")
+	g.MustAdd(graph.T(term.NewIRI("urn:a"), p, term.NewIRI("urn:b")))
+	g.MustAdd(graph.T(term.NewBlank("x"), p, term.NewBlank("y")))
+	g.MustAdd(graph.T(term.NewIRI("urn:a"), q, term.NewLiteral("plain \"quoted\"\nline")))
+	g.MustAdd(graph.T(term.NewIRI("urn:b"), q, term.NewLangLiteral("hello", "en-US")))
+	g.MustAdd(graph.T(term.NewBlank("x"), q, term.NewTypedLiteral("5", "urn:xsd:int")))
+	for i := 0; i < 40; i++ {
+		g.MustAdd(graph.T(
+			term.NewIRI(fmt.Sprintf("urn:n:%d", i%7)),
+			p,
+			term.NewIRI(fmt.Sprintf("urn:n:%d", (i*3)%11))))
+	}
+	return g
+}
+
+// sameTriples reports that the two graphs hold identical encoded
+// triple sets — stronger than isomorphism: the dictionary IDs must
+// have survived byte-for-byte.
+func sameTriples(t *testing.T, got, want *graph.Graph) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("triple count = %d, want %d", got.Len(), want.Len())
+	}
+	want.EachID(func(enc dict.Triple3) bool {
+		if !got.HasID(enc) {
+			t.Fatalf("decoded graph is missing encoded triple %v", enc)
+		}
+		return true
+	})
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := testGraph()
+	// Intern a few transient terms (query patterns, variables) that are
+	// in the dictionary but in no triple: the snapshot must keep them so
+	// IDs stay dense and stable across reopen.
+	g.Dict().Intern(term.NewVar("X"))
+	g.Dict().Intern(term.NewIRI("urn:pattern-only"))
+
+	var b bytes.Buffer
+	n, persisted, err := WriteSnapshot(&b, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(b.Len()) {
+		t.Fatalf("WriteSnapshot reported %d bytes, wrote %d", n, b.Len())
+	}
+	if persisted != g.Dict().Len() {
+		t.Fatalf("WriteSnapshot persisted %d terms, dictionary has %d", persisted, g.Dict().Len())
+	}
+
+	d2, g2, err := ReadSnapshot(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTriples(t, g2, g)
+
+	// Dictionary: same terms, same order, same IDs.
+	want, got := g.Dict().Terms(), d2.Terms()
+	if len(got) != len(want) {
+		t.Fatalf("dict size = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dict ID %d = %v, want %v", i+1, got[i], want[i])
+		}
+	}
+
+	// Permutations: installed and identical to the originals, usable
+	// directly by the range scans.
+	for _, o := range []dict.Order{dict.SPO, dict.POS, dict.OSP} {
+		wantIdx, gotIdx := g.Index(o), g2.Index(o)
+		if len(gotIdx) != len(wantIdx) {
+			t.Fatalf("order %d: %d keys, want %d", o, len(gotIdx), len(wantIdx))
+		}
+		for i := range wantIdx {
+			if gotIdx[i] != wantIdx[i] {
+				t.Fatalf("order %d key %d = %v, want %v", o, i, gotIdx[i], wantIdx[i])
+			}
+		}
+	}
+
+	// The decoded graph answers pattern scans correctly.
+	pid, ok := d2.Lookup(term.NewIRI("urn:p"))
+	if !ok {
+		t.Fatal("urn:p lost")
+	}
+	if n1, n2 := g.CountID(dict.Wildcard, pid, dict.Wildcard), g2.CountID(dict.Wildcard, pid, dict.Wildcard); n1 != n2 {
+		t.Fatalf("POS scan count = %d, want %d", n2, n1)
+	}
+}
+
+func TestSnapshotRoundTripEmpty(t *testing.T) {
+	var b bytes.Buffer
+	if _, _, err := WriteSnapshot(&b, graph.New()); err != nil {
+		t.Fatal(err)
+	}
+	d2, g2, err := ReadSnapshot(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 0 || g2.Len() != 0 {
+		t.Fatalf("empty snapshot decoded to %d terms, %d triples", d2.Len(), g2.Len())
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	var b bytes.Buffer
+	if _, _, err := WriteSnapshot(&b, testGraph()); err != nil {
+		t.Fatal(err)
+	}
+	valid := b.Bytes()
+
+	// Any truncation must error (a snapshot is complete or worthless —
+	// unlike the WAL there is no valid prefix semantics).
+	for _, cut := range []int{0, 3, snapHeaderSize - 1, snapHeaderSize, snapHeaderSize + 5, len(valid) / 2, len(valid) - 1} {
+		if _, _, err := ReadSnapshot(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", cut)
+		}
+	}
+
+	// Bad magic and bad version.
+	for _, mut := range []struct {
+		name string
+		off  int
+	}{{"magic", 0}, {"version", 8}} {
+		c := bytes.Clone(valid)
+		c[mut.off] ^= 0xff
+		if _, _, err := ReadSnapshot(bytes.NewReader(c)); err == nil {
+			t.Fatalf("corrupt %s decoded successfully", mut.name)
+		}
+	}
+
+	// Flipping any payload byte must be caught by a section CRC (or a
+	// framing error downstream of it).
+	for off := snapHeaderSize; off < len(valid); off += 7 {
+		c := bytes.Clone(valid)
+		c[off] ^= 0x20
+		if _, _, err := ReadSnapshot(bytes.NewReader(c)); err == nil {
+			t.Fatalf("byte flip at offset %d decoded successfully", off)
+		}
+	}
+}
+
+func TestSnapshotSkipsUnknownSections(t *testing.T) {
+	g := testGraph()
+	var b bytes.Buffer
+	if _, _, err := WriteSnapshot(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	// Splice an unknown (future) section between the header and the
+	// first real section: decoders must skip it.
+	var spliced bytes.Buffer
+	spliced.Write(b.Bytes()[:snapHeaderSize])
+	if err := writeSection(&spliced, 0x7f, []byte("future payload")); err != nil {
+		t.Fatal(err)
+	}
+	spliced.Write(b.Bytes()[snapHeaderSize:])
+
+	_, g2, err := ReadSnapshot(bytes.NewReader(spliced.Bytes()))
+	if err != nil {
+		t.Fatalf("unknown section not skipped: %v", err)
+	}
+	sameTriples(t, g2, g)
+}

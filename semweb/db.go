@@ -10,6 +10,7 @@ import (
 	"semwebdb/internal/dict"
 	"semwebdb/internal/graph"
 	"semwebdb/internal/match"
+	"semwebdb/internal/persist"
 	"semwebdb/internal/query"
 )
 
@@ -30,11 +31,25 @@ import (
 // install a fresh snapshot under a write lock, while readers — queries
 // included — operate on immutable snapshots, so long evaluations never
 // block loads and vice versa.
+//
+// A DB opened with OpenAt is durable: mutations are appended to a
+// write-ahead log before they are published, Snapshot checkpoints the
+// state into a binary snapshot file, and reopening the same directory
+// recovers the exact dictionary IDs and sorted index permutations
+// without re-parsing or re-sorting anything.
 type DB struct {
-	mu   sync.RWMutex
-	dict *dict.Dict          // shared across all snapshots
-	g    *graph.Graph        // current snapshot; treated as immutable
-	mem  *closure.Membership // lazy closure-membership index for g
+	// commitMu serializes mutations (and checkpoints) end to end, so
+	// that the WAL append — including its fsync — runs without holding
+	// mu: readers never wait on a disk sync, only on the O(1) snapshot
+	// publish. Lock order: commitMu before mu, always.
+	commitMu sync.Mutex
+	mu       sync.RWMutex
+	dict     *dict.Dict          // shared across all snapshots
+	g        *graph.Graph        // current snapshot; treated as immutable
+	mem      *closure.Membership // lazy closure-membership index for g
+	eng      *persist.Engine     // nil for purely in-memory databases
+	ro       *persist.Stats      // read-only open: frozen on-disk stats
+	closed   bool
 
 	// prepared caches, per skip-normal-form flag, the premise-free
 	// matching universe (nf(D) or cl(D)) for the current snapshot
@@ -61,7 +76,17 @@ type config struct {
 	semantics      Semantics
 	skipNormalForm bool
 	initial        *Graph
+	walThreshold   int64
+	noFsync        bool
 }
+
+// File names inside a durable database directory (see OpenAt).
+const (
+	// SnapshotFileName is the binary snapshot file.
+	SnapshotFileName = persist.SnapshotFile
+	// WALFileName is the write-ahead log file.
+	WALFileName = persist.WALFile
+)
 
 // Option configures Open.
 type Option func(*config)
@@ -86,7 +111,24 @@ func WithGraph(g *Graph) Option {
 	return func(c *config) { c.initial = g }
 }
 
-// Open creates a database.
+// WithWALThreshold sets the write-ahead-log size (in bytes) above
+// which OpenAt folds the log into a fresh snapshot before returning.
+// Zero keeps the default (64 MiB); a negative threshold disables
+// compaction on open. It has no effect on in-memory databases.
+func WithWALThreshold(bytes int64) Option {
+	return func(c *config) { c.walThreshold = bytes }
+}
+
+// WithoutFsync disables fsync on WAL batches and snapshot writes.
+// Mutations remain crash-atomic (torn tails are discarded on reopen)
+// but may be lost on power failure; intended for bulk imports and
+// benchmarks that checkpoint explicitly with Snapshot.
+func WithoutFsync() Option {
+	return func(c *config) { c.noFsync = true }
+}
+
+// Open creates an in-memory database. Its contents live and die with
+// the process; use OpenAt for a durable one.
 func Open(opts ...Option) (*DB, error) {
 	var cfg config
 	for _, o := range opts {
@@ -100,16 +142,145 @@ func Open(opts ...Option) (*DB, error) {
 	return &DB{dict: d, g: g, cfg: cfg}, nil
 }
 
-// addGraph unions new triples into a fresh snapshot. The whole
-// read-union-swap runs under the write lock so concurrent mutations
-// cannot lose each other's triples; the union allocates a new graph,
-// keeping published snapshots immutable.
-func (db *DB) addGraph(add *graph.Graph) {
+// OpenAt opens a durable database rooted at the directory dir,
+// creating it if needed. The directory holds a binary snapshot
+// (dictionary + triples + the three sorted index permutations, see
+// DESIGN.md for the wire format) and a sidecar write-ahead log; OpenAt
+// decodes the snapshot, replays the log's valid prefix on top —
+// discarding a torn final record, as a crashed writer leaves one —
+// and, when the surviving log exceeds the WAL threshold, compacts it
+// into a fresh snapshot. The recovered database has the same dense
+// dictionary IDs and ready-sorted permutations it was closed with, so
+// opening is a read, not a re-parse/re-intern/re-sort.
+//
+// Every later mutation is appended to the log before its snapshot is
+// published. Recovery keeps the longest prefix of intact log records:
+// after a crash that is everything up to the batches an fsync has not
+// covered (none, unless WithoutFsync is set); if later record bytes
+// are ever damaged in place, the records beyond them are dropped from
+// the replay too, and every discarded byte is preserved beside the log
+// in a ".torn" file rather than silently destroyed.
+//
+// The write-ahead log is flock-protected (on unix): a second writer
+// opening the same directory fails rather than corrupting it. Use
+// OpenAtReadOnly to inspect a directory another process is writing.
+func OpenAt(dir string, opts ...Option) (*DB, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	eng, d, g, err := persist.Open(dir, persist.Options{
+		CompactThreshold: cfg.walThreshold,
+		NoSync:           cfg.noFsync,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{dict: d, g: g, eng: eng, cfg: cfg}
+	if cfg.initial != nil {
+		if err := db.AddGraph(cfg.initial); err != nil {
+			eng.Close()
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// OpenAtReadOnly recovers a database directory for inspection without
+// touching it: no file is created, locked, truncated or compacted, so
+// it is safe against a directory another process is actively writing
+// and works on read-only media. The returned database is closed for
+// mutation (Add and friends fail with ErrClosed; Snapshot with
+// ErrNotPersistent) but serves reads and queries, and Stats reports
+// the on-disk footprint as recovered. It fails if the directory does
+// not exist or holds no database.
+func OpenAtReadOnly(dir string, opts ...Option) (*DB, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	d, g, st, err := persist.OpenReadOnly(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{dict: d, g: g, ro: &st, closed: true, cfg: cfg}, nil
+}
+
+// addGraphs unions batches of new triples into one fresh snapshot: the
+// current snapshot is cloned once, every batch lands in the clone, and
+// the clone is published once — the bulk-load path that replaces a
+// re-union (O(|D|) copy) per call with one per batch. The whole
+// read-union-log-swap runs under the write lock so concurrent
+// mutations cannot lose each other's triples, and published snapshots
+// stay immutable. On a durable database the freshly added triples are
+// appended to the WAL (one fsync per call) before the new snapshot is
+// published; if logging fails, the database is unchanged.
+func (db *DB) addGraphs(adds []*graph.Graph) error {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.mu.RLock()
+	base, closed := db.g, db.closed
+	db.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	next := base.Clone()
+	var fresh []dict.Triple3
+	var illFormed *Triple
+	for _, add := range adds {
+		if add == nil {
+			continue
+		}
+		// The database stores well-formed RDF only — the durable codecs
+		// enforce the positional restrictions on every decode, so an
+		// ill-formed triple admitted here (possible in a raw Graph via
+		// Map.Apply, which preserves instances exactly) would poison
+		// every future reopen. Reject the batch instead, matching Add.
+		if add.Dict() == db.dict {
+			add.EachID(func(enc dict.Triple3) bool {
+				if !graph.WellFormedID(db.dict, enc) {
+					t := decodeTriple(db.dict, enc)
+					illFormed = &t
+					return false
+				}
+				if next.AddID(enc) {
+					fresh = append(fresh, enc)
+				}
+				return true
+			})
+		} else {
+			add.Each(func(t Triple) bool {
+				if !t.WellFormed() {
+					illFormed = &t
+					return false
+				}
+				enc := next.InternTriple(t)
+				if next.AddID(enc) {
+					fresh = append(fresh, enc)
+				}
+				return true
+			})
+		}
+		if illFormed != nil {
+			return fmt.Errorf("%w: %s", ErrIllFormedTriple, *illFormed)
+		}
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	// Log first — outside mu, so the fsync stalls no reader — then
+	// publish. commitMu guarantees base is still the current snapshot.
+	if db.eng != nil {
+		if err := db.eng.Append(db.dict, fresh); err != nil {
+			return fmt.Errorf("semweb: logging mutation: %w", err)
+		}
+	}
 	db.mu.Lock()
-	db.g = graph.Union(db.g, add)
+	db.g = next
 	db.mem = nil
 	db.prepared = nil
 	db.mu.Unlock()
+	return nil
 }
 
 // preparedData returns the cached premise-free matching universe and
@@ -142,6 +313,12 @@ func (db *DB) preparedData(ctx context.Context, g *graph.Graph, skipNF bool) (*p
 	return st, nil
 }
 
+// decodeTriple resolves an encoded triple against the dictionary.
+func decodeTriple(d *dict.Dict, enc dict.Triple3) Triple {
+	terms := d.Terms()
+	return Triple{S: terms[enc[0]-1], P: terms[enc[1]-1], O: terms[enc[2]-1]}
+}
+
 // snapshot returns the current immutable graph.
 func (db *DB) snapshot() *graph.Graph {
 	db.mu.RLock()
@@ -157,8 +334,7 @@ func (db *DB) LoadNTriples(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	db.addGraph(g)
-	return nil
+	return db.addGraphs([]*graph.Graph{g})
 }
 
 // LoadTurtle parses a Turtle document from r and unions it into the
@@ -169,8 +345,7 @@ func (db *DB) LoadTurtle(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	db.addGraph(g)
-	return nil
+	return db.addGraphs([]*graph.Graph{g})
 }
 
 // LoadFile reads an RDF file chosen by extension (see LoadGraph) and
@@ -180,8 +355,25 @@ func (db *DB) LoadFile(path string) error {
 	if err != nil {
 		return err
 	}
-	db.addGraph(g)
-	return nil
+	return db.addGraphs([]*graph.Graph{g})
+}
+
+// LoadFiles reads several RDF files and unions them into the database
+// in one bulk ingest: all files are parsed up front (any error leaves
+// the database unchanged), then applied through a single
+// clone-union-publish — and, when durable, a single logged batch —
+// instead of one per file. For K files over a database of n triples
+// this is one O(n) snapshot copy rather than K of them.
+func (db *DB) LoadFiles(paths ...string) error {
+	gs := make([]*graph.Graph, 0, len(paths))
+	for _, p := range paths {
+		g, err := LoadGraph(p)
+		if err != nil {
+			return err
+		}
+		gs = append(gs, g)
+	}
+	return db.addGraphs(gs)
 }
 
 // Add inserts triples. It fails with an error wrapping
@@ -193,21 +385,76 @@ func (db *DB) Add(ts ...Triple) error {
 			return fmt.Errorf("%w: %s", ErrIllFormedTriple, t)
 		}
 	}
-	db.addGraph(graph.New(ts...))
-	return nil
+	return db.addGraphs([]*graph.Graph{graph.New(ts...)})
 }
 
-// AddGraph unions the triples of g into the database.
-func (db *DB) AddGraph(g *Graph) {
-	db.addGraph(g)
+// AddGraph unions the triples of g into the database. Like Add, it
+// fails with an error wrapping ErrIllFormedTriple — storing nothing —
+// if g holds a triple violating the RDF positional restrictions (only
+// possible in a Graph built through Map.Apply, which preserves
+// instances exactly; parsers and NewGraph never produce one).
+func (db *DB) AddGraph(g *Graph) error {
+	return db.addGraphs([]*graph.Graph{g})
+}
+
+// AddGraphs unions the triples of several graphs into the database as
+// one bulk ingest: one snapshot swap (and, when durable, one logged
+// and fsynced batch) for the whole slice. This is the batched-load
+// fast path; prefer it over calling AddGraph in a loop.
+func (db *DB) AddGraphs(gs ...*Graph) error {
+	return db.addGraphs(gs)
 }
 
 // Len returns the number of triples currently stored (|D|).
 func (db *DB) Len() int { return db.snapshot().Len() }
 
-// Snapshot returns the current contents as an independent graph. The
+// Graph returns the current contents as an independent graph. The
 // result is a copy: mutating it does not affect the database.
-func (db *DB) Snapshot() *Graph { return db.snapshot().Clone() }
+func (db *DB) Graph() *Graph { return db.snapshot().Clone() }
+
+// Snapshot checkpoints a durable database: the current state —
+// dictionary, triples and the three sorted permutations — is written
+// to a fresh binary snapshot file, atomically renamed into place, and
+// the write-ahead log is truncated into a new generation. A crash at
+// any point leaves either the old snapshot with the full log or the
+// new snapshot with a log whose replay is idempotent; reopening
+// recovers the checkpointed state either way.
+//
+// On an in-memory database (Open) it fails with ErrNotPersistent.
+func (db *DB) Snapshot() error {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	if db.eng == nil {
+		return ErrNotPersistent
+	}
+	db.mu.RLock()
+	g, closed := db.g, db.closed
+	db.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	// Compact runs without mu: the snapshot is immutable and commitMu
+	// keeps concurrent mutations from appending to the log it is about
+	// to truncate.
+	return db.eng.Compact(g)
+}
+
+// Close flushes and closes the write-ahead log of a durable database
+// and rejects further mutations; queries keep working against the last
+// published snapshot. Closing an in-memory database only marks it
+// closed. Close is idempotent.
+func (db *DB) Close() error {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.mu.Lock()
+	wasClosed := db.closed
+	db.closed = true
+	db.mu.Unlock()
+	if wasClosed || db.eng == nil {
+		return nil
+	}
+	return db.eng.Close()
+}
 
 // Stats summarizes the current contents and the dictionary-encoded
 // representation behind it.
@@ -228,6 +475,17 @@ type Stats struct {
 	// permutations over the current snapshot, in the order SPO, POS,
 	// OSP. Each permutation holds one entry per triple.
 	IndexSizes [3]int
+	// Persistent reports whether the database is backed by a directory
+	// (OpenAt). The remaining fields are zero when it is not.
+	Persistent bool
+	// SnapshotBytes is the size of the on-disk binary snapshot file; 0
+	// until the first checkpoint (Snapshot or threshold compaction).
+	SnapshotBytes int64
+	// WALBytes is the size of the valid write-ahead-log records not yet
+	// folded into the snapshot.
+	WALBytes int64
+	// WALRecords is the number of valid write-ahead-log records.
+	WALRecords int
 }
 
 // Stats returns size statistics for the current contents. Each sorted
@@ -237,13 +495,27 @@ type Stats struct {
 func (db *DB) Stats() Stats {
 	g := db.snapshot()
 	n := g.Len()
-	return Stats{
+	st := Stats{
 		Triples:    n,
 		BlankNodes: len(g.BlankNodes()),
 		Terms:      len(g.Universe()),
 		DictTerms:  g.Dict().Len(),
 		IndexSizes: [3]int{n, n, n},
 	}
+	switch {
+	case db.eng != nil:
+		es := db.eng.Stats()
+		st.Persistent = true
+		st.SnapshotBytes = es.SnapshotBytes
+		st.WALBytes = es.WALBytes
+		st.WALRecords = es.WALRecords
+	case db.ro != nil:
+		st.Persistent = true
+		st.SnapshotBytes = db.ro.SnapshotBytes
+		st.WALBytes = db.ro.WALBytes
+		st.WALRecords = db.ro.WALRecords
+	}
+	return st
 }
 
 // Has reports whether the triple is asserted (syntactic membership).

@@ -4,11 +4,25 @@
 // closures, cores and normal forms, tableau queries with premises and
 // constraints under union and merge semantics, and query containment.
 //
-// The central type is DB, opened with Open and populated with
-// LoadNTriples, LoadTurtle, LoadFile or Add:
+// The central type is DB, opened with Open (in memory) or OpenAt
+// (durable, rooted at a directory) and populated with LoadNTriples,
+// LoadTurtle, LoadFile, LoadFiles or Add:
 //
 //	db, _ := semweb.Open()
 //	if err := db.LoadFile("data.ttl"); err != nil { ... }
+//
+// A durable database keeps a binary snapshot (term dictionary, triple
+// set and the three sorted index permutations, all CRC-framed) plus a
+// write-ahead log in its directory: every mutation is logged before it
+// is published, Snapshot checkpoints the state and truncates the log,
+// Close flushes it, and reopening recovers the exact dictionary IDs
+// and ready-sorted indexes — including after a crash, where a torn
+// final log record is discarded and every complete one replays:
+//
+//	db, _ := semweb.OpenAt("/var/lib/mydb")
+//	defer db.Close()
+//	if err := db.LoadFiles("a.nt", "b.nt"); err != nil { ... } // one logged batch
+//	if err := db.Snapshot(); err != nil { ... }                // checkpoint
 //
 // Queries are assembled with the fluent builder and evaluated with
 // DB.Eval, which honors context cancellation and deadlines all the way

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"semwebdb/internal/ntriples"
+	"semwebdb/internal/persist"
 	"semwebdb/internal/query"
 	"semwebdb/internal/turtle"
 )
@@ -27,6 +28,22 @@ var (
 	// RDF positional restrictions (subject in U∪B, predicate in U,
 	// object in U∪B∪L) or containing query variables.
 	ErrIllFormedTriple = errors.New("semweb: ill-formed triple")
+
+	// ErrNotPersistent is returned by DB.Snapshot on a database opened
+	// in memory (Open rather than OpenAt): there is no directory to
+	// checkpoint into.
+	ErrNotPersistent = errors.New("semweb: database is not persistent")
+
+	// ErrClosed is returned by mutations after DB.Close. Reads keep
+	// working against the last published snapshot.
+	ErrClosed = errors.New("semweb: database is closed")
+
+	// ErrCorrupt wraps every OpenAt failure caused by damaged on-disk
+	// state (as opposed to filesystem errors): a snapshot failing its
+	// checksums, an unsupported format version, a write-ahead log whose
+	// intact records contradict the snapshot. A torn final WAL record is
+	// not corruption — crash recovery discards it silently.
+	ErrCorrupt = persist.ErrCorrupt
 )
 
 // ParseError reports a syntax error from one of the parsers (N-Triples,

@@ -1,0 +1,366 @@
+package semweb_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"semwebdb/semweb"
+)
+
+func mustOpenAt(t *testing.T, dir string, opts ...semweb.Option) *semweb.DB {
+	t.Helper()
+	db, err := semweb.OpenAt(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func nTriplesDoc(n, seed int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "<urn:s:%d> <urn:p:%d> \"v%d\"@en .\n", (seed+i)%97, i%5, i%13)
+	}
+	return sb.String()
+}
+
+func TestOpenAtRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpenAt(t, dir)
+	if err := db.LoadNTriples(strings.NewReader(nTriplesDoc(200, 0))); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(semweb.T(semweb.Blank("b"), semweb.IRI("urn:p:0"), semweb.Literal("x"))); err != nil {
+		t.Fatal(err)
+	}
+	want := db.Graph()
+	wantStats := db.Stats()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: recovered purely from the WAL.
+	db2 := mustOpenAt(t, dir)
+	defer db2.Close()
+	got := db2.Graph()
+	if !got.Equal(want) {
+		t.Fatalf("reopened contents differ: %d vs %d triples", got.Len(), want.Len())
+	}
+	gotStats := db2.Stats()
+	if gotStats.Triples != wantStats.Triples || gotStats.BlankNodes != wantStats.BlankNodes ||
+		gotStats.Terms != wantStats.Terms || gotStats.IndexSizes != wantStats.IndexSizes {
+		t.Fatalf("stats changed across reopen:\n got %+v\nwant %+v", gotStats, wantStats)
+	}
+	if !gotStats.Persistent || gotStats.WALRecords == 0 {
+		t.Fatalf("persistence stats missing: %+v", gotStats)
+	}
+	if !semweb.Isomorphic(got, want) {
+		t.Fatal("reopened graph not isomorphic to original")
+	}
+}
+
+func TestSnapshotCheckpointAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpenAt(t, dir)
+	if err := db.LoadNTriples(strings.NewReader(nTriplesDoc(150, 7))); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.SnapshotBytes <= 0 {
+		t.Fatalf("no snapshot on disk: %+v", st)
+	}
+	if st.WALBytes != 0 || st.WALRecords != 0 {
+		t.Fatalf("WAL not truncated by checkpoint: %+v", st)
+	}
+	// Mutations after the checkpoint land in the fresh WAL generation.
+	if err := db.Add(semweb.T(semweb.IRI("urn:late"), semweb.IRI("urn:p:0"), semweb.IRI("urn:o"))); err != nil {
+		t.Fatal(err)
+	}
+	want := db.Graph()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := mustOpenAt(t, dir)
+	defer db2.Close()
+	if got := db2.Graph(); !got.Equal(want) {
+		t.Fatalf("snapshot+WAL reopen differs: %d vs %d triples", got.Len(), want.Len())
+	}
+
+	// And the recovered database answers queries.
+	q := semweb.NewQuery().
+		Head(semweb.T(semweb.Var("S"), semweb.IRI("urn:p:0"), semweb.Var("O"))).
+		Body(semweb.T(semweb.Var("S"), semweb.IRI("urn:p:0"), semweb.Var("O")))
+	ans, err := db2.Eval(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() == 0 {
+		t.Fatal("no answers from recovered database")
+	}
+}
+
+func TestOpenAtThresholdCompaction(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpenAt(t, dir)
+	if err := db.LoadNTriples(strings.NewReader(nTriplesDoc(100, 3))); err != nil {
+		t.Fatal(err)
+	}
+	want := db.Graph()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A 1-byte threshold forces compaction during open.
+	db2 := mustOpenAt(t, dir, semweb.WithWALThreshold(1))
+	st := db2.Stats()
+	if st.SnapshotBytes <= 0 || st.WALBytes != 0 {
+		t.Fatalf("open did not compact: %+v", st)
+	}
+	if got := db2.Graph(); !got.Equal(want) {
+		t.Fatal("compaction changed the contents")
+	}
+	db2.Close()
+}
+
+func TestOpenAtTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpenAt(t, dir)
+	for i := 0; i < 5; i++ {
+		if err := db.Add(semweb.T(semweb.IRI(fmt.Sprintf("urn:s:%d", i)), semweb.IRI("urn:p"), semweb.Literal("v"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, "wal.swdb")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-record: the last fully-framed records survive, the tail
+	// is discarded, and the database opens.
+	if err := os.WriteFile(walPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2 := mustOpenAt(t, dir)
+	defer db2.Close()
+	if n := db2.Len(); n != 4 {
+		t.Fatalf("torn-tail recovery kept %d triples, want 4", n)
+	}
+}
+
+func TestOpenAtCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpenAt(t, dir)
+	if err := db.LoadNTriples(strings.NewReader(nTriplesDoc(50, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	snapPath := filepath.Join(dir, "snapshot.swdb")
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(snapPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := semweb.OpenAt(dir); !errors.Is(err, semweb.ErrCorrupt) {
+		t.Fatalf("corrupt snapshot: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestInMemorySnapshotAndClose(t *testing.T) {
+	db, err := semweb.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Snapshot(); !errors.Is(err, semweb.ErrNotPersistent) {
+		t.Fatalf("Snapshot on in-memory DB: %v, want ErrNotPersistent", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(semweb.T(semweb.IRI("urn:s"), semweb.IRI("urn:p"), semweb.IRI("urn:o"))); !errors.Is(err, semweb.ErrClosed) {
+		t.Fatalf("mutation after Close: %v, want ErrClosed", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close is not idempotent: %v", err)
+	}
+}
+
+func TestAddGraphRejectsIllFormed(t *testing.T) {
+	// Map.Apply preserves instances exactly, so it can mint a graph
+	// holding an ill-formed triple (literal in subject position). The
+	// database must reject the batch like Add does — the durable codecs
+	// enforce well-formedness on decode, so admitting it would poison
+	// every future reopen.
+	g := semweb.NewGraph(semweb.T(semweb.Blank("b"), semweb.IRI("urn:p"), semweb.IRI("urn:o")))
+	m := semweb.Map{semweb.Blank("b"): semweb.Literal("oops")}
+	bad := m.Apply(g)
+
+	db := mustOpenAt(t, t.TempDir())
+	defer db.Close()
+	if err := db.AddGraph(bad); !errors.Is(err, semweb.ErrIllFormedTriple) {
+		t.Fatalf("AddGraph(ill-formed) = %v, want ErrIllFormedTriple", err)
+	}
+	if db.Len() != 0 {
+		t.Fatalf("rejected batch still stored %d triples", db.Len())
+	}
+}
+
+func TestBulkLoadMatchesIncremental(t *testing.T) {
+	docs := make([]string, 8)
+	for i := range docs {
+		docs[i] = nTriplesDoc(40, i*31)
+	}
+	one, err := semweb.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gs []*semweb.Graph
+	for _, doc := range docs {
+		if err := one.LoadNTriples(strings.NewReader(doc)); err != nil {
+			t.Fatal(err)
+		}
+		g, err := semweb.ParseNTriples(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs = append(gs, g)
+	}
+	bulk, err := semweb.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bulk.AddGraphs(gs...); err != nil {
+		t.Fatal(err)
+	}
+	if !bulk.Graph().Equal(one.Graph()) {
+		t.Fatalf("bulk load differs from incremental: %d vs %d triples", bulk.Len(), one.Len())
+	}
+}
+
+func TestLoadFiles(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 3; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("part%d.nt", i))
+		if err := os.WriteFile(p, []byte(nTriplesDoc(30, i*13)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	db := mustOpenAt(t, filepath.Join(dir, "db"))
+	defer db.Close()
+	if err := db.LoadFiles(paths...); err != nil {
+		t.Fatal(err)
+	}
+	want, err := semweb.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if err := want.LoadFile(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !db.Graph().Equal(want.Graph()) {
+		t.Fatal("LoadFiles differs from sequential LoadFile")
+	}
+	// A parse error in any file leaves the database untouched.
+	bad := filepath.Join(dir, "bad.nt")
+	if err := os.WriteFile(bad, []byte("<urn:a> <urn:p> .\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Len()
+	if err := db.LoadFiles(paths[0], bad); err == nil {
+		t.Fatal("bad file accepted")
+	}
+	if db.Len() != before {
+		t.Fatal("failed LoadFiles mutated the database")
+	}
+}
+
+func TestOpenAtReadOnlyAndWriterLock(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpenAt(t, dir)
+	defer db.Close()
+	if err := db.LoadNTriples(strings.NewReader(nTriplesDoc(60, 5))); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second writer on the same directory is refused while the first
+	// holds it.
+	if _, err := semweb.OpenAt(dir); err == nil {
+		t.Fatal("second writer opened a locked database")
+	}
+
+	// A read-only open works alongside the live writer and sees its
+	// committed state, but rejects mutation and checkpointing.
+	ro, err := semweb.OpenAtReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ro.Graph().Equal(db.Graph()) {
+		t.Fatal("read-only view differs from the writer's state")
+	}
+	st := ro.Stats()
+	if !st.Persistent || st.WALRecords == 0 {
+		t.Fatalf("read-only stats: %+v", st)
+	}
+	if err := ro.Add(semweb.T(semweb.IRI("urn:s"), semweb.IRI("urn:p"), semweb.IRI("urn:o"))); !errors.Is(err, semweb.ErrClosed) {
+		t.Fatalf("mutation on read-only DB: %v, want ErrClosed", err)
+	}
+	if err := ro.Snapshot(); !errors.Is(err, semweb.ErrNotPersistent) {
+		t.Fatalf("checkpoint on read-only DB: %v, want ErrNotPersistent", err)
+	}
+
+	// Read-only opens refuse directories that hold no database.
+	if _, err := semweb.OpenAtReadOnly(t.TempDir()); err == nil {
+		t.Fatal("read-only open of empty directory succeeded")
+	}
+}
+
+// TestPersistentConcurrency exercises concurrent readers against a
+// writer on a durable database; run under -race this guards the
+// engine's stats/append locking.
+func TestPersistentConcurrency(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpenAt(t, dir, semweb.WithoutFsync())
+	defer db.Close()
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				db.Stats()
+				db.Len()
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if err := db.Add(semweb.T(semweb.IRI(fmt.Sprintf("urn:w:%d", i)), semweb.IRI("urn:p"), semweb.IRI("urn:o"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if err := db.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+}

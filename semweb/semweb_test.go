@@ -269,7 +269,7 @@ func TestEntailmentAndFingerprint(t *testing.T) {
 	if !ok {
 		t.Fatal("no proof found")
 	}
-	if err := proof.Verify(db.Snapshot(), h); err != nil {
+	if err := proof.Verify(db.Graph(), h); err != nil {
 		t.Fatalf("proof fails verification: %v", err)
 	}
 
