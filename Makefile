@@ -5,11 +5,11 @@ GO ?= go
 # Benchmark settings for the JSON perf snapshot. 0.2s per benchmark
 # keeps a full run around a minute while staying reasonably stable.
 BENCHTIME ?= 0.2s
-BENCH_JSON ?= BENCH_pr3.json
+BENCH_JSON ?= BENCH_pr4.json
 # The newest committed per-PR snapshot is the regression baseline.
 BENCH_BASELINE ?= $(shell ls BENCH_pr*.json 2>/dev/null | sort -V | tail -1)
 
-.PHONY: verify check fmt vet test bench bench-json bench-gate fuzz build examples
+.PHONY: verify check fmt vet test test-race race-closure bench bench-json bench-gate fuzz build examples
 
 # Tier-1: must stay green (ROADMAP.md).
 verify: build test
@@ -19,6 +19,16 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Full race-detector pass (slow; CI runs the closure-focused subset).
+test-race:
+	$(GO) test -race ./...
+
+# The race leg CI runs per GOMAXPROCS matrix entry: vet plus the
+# closure engine (the only layer with intra-request parallelism) under
+# the race detector.
+race-closure: vet
+	$(GO) test -race -count=1 ./internal/closure/...
 
 # verify + static hygiene.
 check: verify vet fmt

@@ -7,6 +7,7 @@ package closure
 
 import (
 	"context"
+	"math/rand"
 
 	"semwebdb/internal/dict"
 	"semwebdb/internal/graph"
@@ -32,7 +33,15 @@ func RDFSCl(g *graph.Graph) *graph.Graph {
 // periodically and aborts with its error when it is cancelled, so
 // closures of large graphs are interruptible.
 func RDFSClCtx(ctx context.Context, g *graph.Graph) (*graph.Graph, error) {
+	return rdfsClSequential(ctx, g, lifoOrder, nil)
+}
+
+// rdfsClSequential runs the single-threaded semi-naive engine with an
+// explicit queue drain order (tests use FIFO/shuffled to assert the
+// result is order-independent).
+func rdfsClSequential(ctx context.Context, g *graph.Graph, order queueOrder, rng *rand.Rand) (*graph.Graph, error) {
 	e := newEngine(g.Dict())
+	e.order, e.shuffleRng = order, rng
 	g.EachID(func(t dict.Triple3) bool {
 		e.add(t)
 		return true
@@ -89,6 +98,20 @@ func NaiveRDFSCl(g *graph.Graph) *graph.Graph {
 	}
 }
 
+// queueOrder selects the order in which the engine drains its work
+// queue. The order is an implementation detail: the closure is the
+// unique fixpoint of a monotone rule set, so every drain order produces
+// the same triple set (TestClosureOrderIndependent asserts this). LIFO
+// is the default purely for locality — freshly derived triples tend to
+// join against indexes still hot in cache.
+type queueOrder int
+
+const (
+	lifoOrder queueOrder = iota
+	fifoOrder
+	shuffledOrder
+)
+
 // engine is the semi-naive saturation state, entirely ID-encoded.
 type engine struct {
 	d   *dict.Dict
@@ -97,7 +120,9 @@ type engine struct {
 	// saturation can touch (no new terms are created after setup).
 	kinds []term.Kind
 
-	queue []dict.Triple3
+	queue      []dict.Triple3
+	order      queueOrder
+	shuffleRng *rand.Rand // drives shuffledOrder pops (tests only)
 
 	// Interned rdfsV constants.
 	sp, sc, typ, dom, rng dict.ID
@@ -191,11 +216,31 @@ func (e *engine) run(ctx context.Context) error {
 			default:
 			}
 		}
-		t := e.queue[len(e.queue)-1]
-		e.queue = e.queue[:len(e.queue)-1]
-		e.process(t)
+		e.process(e.pop())
 	}
 	return nil
+}
+
+// pop removes and returns the next queued triple according to the
+// engine's queue order (LIFO unless a test selected another order).
+func (e *engine) pop() dict.Triple3 {
+	switch e.order {
+	case fifoOrder:
+		t := e.queue[0]
+		e.queue = e.queue[1:]
+		return t
+	case shuffledOrder:
+		i := e.shuffleRng.Intn(len(e.queue))
+		last := len(e.queue) - 1
+		e.queue[i], e.queue[last] = e.queue[last], e.queue[i]
+		t := e.queue[last]
+		e.queue = e.queue[:last]
+		return t
+	default:
+		t := e.queue[len(e.queue)-1]
+		e.queue = e.queue[:len(e.queue)-1]
+		return t
+	}
 }
 
 // process fires every rule that has t as one of its antecedents, joining

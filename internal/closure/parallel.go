@@ -1,0 +1,580 @@
+// This file implements the parallel saturation engine; see parEngine
+// for the design. The public entry points are RDFSClWorkers and
+// ClWorkers.
+
+package closure
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"semwebdb/internal/dict"
+	"semwebdb/internal/graph"
+	"semwebdb/internal/rdfs"
+	"semwebdb/internal/term"
+)
+
+// minParallelTriples is the input size below which RDFSClWorkers routes
+// to the sequential engine: a handful of barrier crossings costs more
+// than saturating a small graph outright. Tests exercise the parallel
+// engine below the cutoff through parRDFSCl directly.
+const minParallelTriples = 192
+
+// maxWorkers bounds the shard fan-out; beyond this, more workers only
+// add barrier traffic.
+const maxWorkers = 128
+
+// normWorkers clamps a requested parallelism degree: values ≤ 1 mean
+// sequential (callers resolve "auto" before reaching this layer).
+func normWorkers(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	if n > maxWorkers {
+		return maxWorkers
+	}
+	return n
+}
+
+// RDFSClWorkers is RDFSClCtx with an explicit parallelism degree:
+// workers ≤ 1 runs the sequential semi-naive engine, larger values run
+// the sharded saturation on that many goroutines. Both engines compute
+// the same closure (the fixpoint is unique); inputs smaller than an
+// internal cutoff always take the sequential path, where per-round
+// barriers would dominate. The result shares g's dictionary and, on
+// the parallel path, arrives with its three sorted permutations
+// already installed.
+func RDFSClWorkers(ctx context.Context, g *graph.Graph, workers int) (*graph.Graph, error) {
+	nw := normWorkers(workers)
+	if nw == 1 || g.Len() < minParallelTriples {
+		return RDFSClCtx(ctx, g)
+	}
+	return parRDFSCl(ctx, g, nw)
+}
+
+// ClWorkers is ClCtx with an explicit parallelism degree (see
+// RDFSClWorkers): skolemize, saturate on the worker pool, unskolemize.
+//
+// Ground graphs (no blank nodes — the common shape of loaded
+// databases) take a direct path: skolemization is the identity on
+// them and the rules introduce no skolem constants, so cl(G) is
+// RDFS-cl(G) verbatim. Skipping the two copies also preserves the
+// permutations the parallel engine installed on its result, which the
+// unskolemize rewrite would otherwise discard; with blank nodes
+// present the rewrite changes IDs and the scan indexes of the result
+// are rebuilt lazily as usual.
+func ClWorkers(ctx context.Context, g *graph.Graph, workers int) (*graph.Graph, error) {
+	if g.IsGround() {
+		return RDFSClWorkers(ctx, g, workers)
+	}
+	closed, err := RDFSClWorkers(ctx, graph.Skolemize(g), workers)
+	if err != nil {
+		return nil, err
+	}
+	return graph.Unskolemize(closed), nil
+}
+
+// parRDFSCl runs the sharded engine unconditionally on nw workers
+// (nw ≥ 2); RDFSClWorkers applies the small-input cutoff, tests call
+// this directly to cover tiny graphs too.
+func parRDFSCl(ctx context.Context, g *graph.Graph, nw int) (*graph.Graph, error) {
+	pe := newParEngine(g, nw)
+	if err := pe.run(ctx); err != nil {
+		return nil, err
+	}
+	return pe.finish(), nil
+}
+
+// parShard holds the rule-firing indexes for the predicates it owns.
+// Only the owning goroutine writes a shard (during the index phase);
+// every worker reads any shard during a firing phase, when all shards
+// are frozen.
+type parShard struct {
+	byPred map[dict.ID][]dict.Triple3 // predicate -> triples
+
+	spOut map[dict.ID]map[dict.ID]struct{} // a -> {b : (a,sp,b)}
+	spIn  map[dict.ID]map[dict.ID]struct{}
+	scOut map[dict.ID]map[dict.ID]struct{}
+	scIn  map[dict.ID]map[dict.ID]struct{}
+
+	domOf     map[dict.ID][]dict.ID // A -> {B : (A,dom,B)}
+	rangeOf   map[dict.ID][]dict.ID
+	typeByObj map[dict.ID][]dict.ID // class -> {x : (x,type,class)}
+}
+
+func newParShard() parShard {
+	return parShard{
+		byPred:    make(map[dict.ID][]dict.Triple3),
+		spOut:     make(map[dict.ID]map[dict.ID]struct{}),
+		spIn:      make(map[dict.ID]map[dict.ID]struct{}),
+		scOut:     make(map[dict.ID]map[dict.ID]struct{}),
+		scIn:      make(map[dict.ID]map[dict.ID]struct{}),
+		domOf:     make(map[dict.ID][]dict.ID),
+		rangeOf:   make(map[dict.ID][]dict.ID),
+		typeByObj: make(map[dict.ID][]dict.ID),
+	}
+}
+
+// parWorker is the per-goroutine firing state, reused across rounds.
+type parWorker struct {
+	// local memoizes every distinct conclusion this worker emitted in
+	// the current round (known or novel): re-derivations cost one
+	// private map probe, and each novel conclusion enters its out
+	// buffer exactly once.
+	local map[dict.Triple3]struct{}
+	// out buffers novel conclusions routed per dedup shard.
+	out [][]dict.Triple3
+}
+
+// parEngine is the sharded, bulk-synchronous variant of the semi-naive
+// engine in closure.go. The closure is the unique fixpoint of the
+// monotone rule set (2)–(13), so any schedule that fires every rule
+// instantiation at least once computes exactly the same triple set as
+// the sequential engine; parallelism changes wall-clock time, never
+// the result (props_test.go asserts bit-identical closures for worker
+// counts 1, 2 and 8).
+//
+// Work proceeds in rounds over frozen state:
+//
+//   - The rule-firing indexes (byPred, the sp/sc adjacency maps,
+//     domOf/rangeOf, typeByObj) are sharded by predicate ID: each
+//     shard owns the index entries for the predicates that hash to
+//     it, and only the owner ever writes them. During a firing phase
+//     every worker reads any shard freely — the maps are frozen
+//     between barriers.
+//   - The dedup "seen" sets are sharded separately, by a hash of the
+//     whole triple. RDFS closures are heavily skewed toward a handful
+//     of predicates (type, sc, sp), so predicate-sharded dedup would
+//     serialize on the hot predicate; triple-hash sharding keeps the
+//     merge phase balanced regardless of skew.
+//   - A round has three barrier-separated phases. Fire: the round's
+//     delta is strided across the worker pool; each worker joins its
+//     triples against the frozen indexes exactly as engine.process
+//     does, dropping conclusions already in a seen shard and routing
+//     the survivors to per-(worker, dedup-shard) buffers. Merge: each
+//     dedup shard's owner drains the buffers routed to it, discarding
+//     duplicates and ill-formed conclusions, and admits the rest into
+//     its seen set — these are the next delta. Index: each predicate
+//     shard's owner folds the new delta into its rule indexes.
+//   - The fixpoint is reached when a merge admits nothing. Because a
+//     delta triple is fired only after the whole delta is indexed, a
+//     rule instantiation whose antecedents land in the same round is
+//     discovered from either antecedent, and one whose antecedents
+//     land in different rounds is discovered when the later one
+//     fires — the same exactly-once coverage argument as the
+//     sequential engine's add-then-process discipline.
+//
+// The output graph is assembled by finish without a global re-sort:
+// each seen shard sorts its own keys for the three permutations in
+// parallel, the sorted runs are k-way merged (dict.MergeSortedKeys),
+// and the merged permutations are installed directly
+// (graph.NewFromIndexes), so the closure arrives with its scan
+// indexes already built.
+type parEngine struct {
+	d     *dict.Dict
+	kinds []term.Kind // stable snapshot covering every reachable ID
+	nw    int
+
+	// Interned rdfsV constants.
+	sp, sc, typ, dom, rng dict.ID
+
+	shards []parShard                  // predicate-sharded rule indexes
+	seen   []map[dict.Triple3]struct{} // triple-hash dedup shards
+
+	// Cached owner shards of the five reserved predicates, resolved
+	// once so the firing loop does not re-hash them per join.
+	spSh, scSh, typSh, domSh, rngSh *parShard
+
+	workers []parWorker
+	delta   []dict.Triple3
+	aborted atomic.Bool // set by any worker observing ctx cancellation
+}
+
+func newParEngine(g *graph.Graph, nw int) *parEngine {
+	d := g.Dict()
+	pe := &parEngine{d: d, nw: nw}
+	// Rule-produced vocabulary is interned up front in one batch; the
+	// rounds themselves never intern, so one kinds snapshot taken here
+	// covers every ID the saturation can touch.
+	ids := d.InternMany(rdfs.Vocabulary())
+	pe.sp, pe.sc, pe.typ, pe.dom, pe.rng = ids[0], ids[1], ids[2], ids[3], ids[4]
+	pe.kinds = d.Kinds()
+
+	pe.shards = make([]parShard, nw)
+	pe.seen = make([]map[dict.Triple3]struct{}, nw)
+	for i := 0; i < nw; i++ {
+		pe.shards[i] = newParShard()
+		pe.seen[i] = make(map[dict.Triple3]struct{})
+	}
+	pe.spSh = &pe.shards[pe.predShardOf(pe.sp)]
+	pe.scSh = &pe.shards[pe.predShardOf(pe.sc)]
+	pe.typSh = &pe.shards[pe.predShardOf(pe.typ)]
+	pe.domSh = &pe.shards[pe.predShardOf(pe.dom)]
+	pe.rngSh = &pe.shards[pe.predShardOf(pe.rng)]
+
+	pe.workers = make([]parWorker, nw)
+	for i := range pe.workers {
+		pe.workers[i] = parWorker{
+			local: make(map[dict.Triple3]struct{}),
+			out:   make([][]dict.Triple3, nw),
+		}
+	}
+
+	// Round zero's delta: the (well-formed, deduplicated) input plus
+	// the unconditional rule (9) loops (p, sp, p) for p ∈ rdfsV.
+	g.EachID(func(t dict.Triple3) bool {
+		pe.bootstrap(t)
+		return true
+	})
+	for _, p := range ids {
+		pe.bootstrap(dict.Triple3{p, pe.sp, p})
+	}
+	return pe
+}
+
+// bootstrap admits an initial triple: validate, dedup, index, queue.
+func (pe *parEngine) bootstrap(t dict.Triple3) {
+	if !pe.wellFormed(t) {
+		return
+	}
+	s := pe.dedupShardOf(t)
+	if _, ok := pe.seen[s][t]; ok {
+		return
+	}
+	pe.seen[s][t] = struct{}{}
+	pe.indexInto(&pe.shards[pe.predShardOf(t[1])], t)
+	pe.delta = append(pe.delta, t)
+}
+
+// wellFormed checks the RDF positional restrictions against the kinds
+// snapshot (the sharded counterpart of graph.WellFormedID).
+func (pe *parEngine) wellFormed(t dict.Triple3) bool {
+	s, p, o := pe.kinds[t[0]-1], pe.kinds[t[1]-1], pe.kinds[t[2]-1]
+	return (s == term.KindIRI || s == term.KindBlank) &&
+		p == term.KindIRI &&
+		(o == term.KindIRI || o == term.KindBlank || o == term.KindLiteral)
+}
+
+// mix64 is the splitmix64 finalizer; IDs are dense, so shard routing
+// needs a real mix to decorrelate from allocation order.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (pe *parEngine) predShardOf(p dict.ID) int {
+	return int(mix64(uint64(p)) % uint64(pe.nw))
+}
+
+func (pe *parEngine) dedupShardOf(t dict.Triple3) int {
+	h := mix64(uint64(t[0])*0x9e3779b97f4a7c15 ^
+		uint64(t[1])*0xc2b2ae3d27d4eb4f ^
+		uint64(t[2])*0x165667b19e3779f9)
+	return int(h % uint64(pe.nw))
+}
+
+// byPredOf resolves the byPred entry for an arbitrary predicate
+// through its owning shard.
+func (pe *parEngine) byPredOf(p dict.ID) []dict.Triple3 {
+	return pe.shards[pe.predShardOf(p)].byPred[p]
+}
+
+// indexInto folds a triple into a shard's rule indexes (the sharded
+// counterpart of engine.add's index maintenance).
+func (pe *parEngine) indexInto(sh *parShard, t dict.Triple3) {
+	sh.byPred[t[1]] = append(sh.byPred[t[1]], t)
+	switch t[1] {
+	case pe.sp:
+		addEdge(sh.spOut, t[0], t[2])
+		addEdge(sh.spIn, t[2], t[0])
+	case pe.sc:
+		addEdge(sh.scOut, t[0], t[2])
+		addEdge(sh.scIn, t[2], t[0])
+	case pe.dom:
+		sh.domOf[t[0]] = append(sh.domOf[t[0]], t[2])
+	case pe.rng:
+		sh.rangeOf[t[0]] = append(sh.rangeOf[t[0]], t[2])
+	case pe.typ:
+		sh.typeByObj[t[2]] = append(sh.typeByObj[t[2]], t[0])
+	}
+}
+
+// run drives rounds to the fixpoint.
+func (pe *parEngine) run(ctx context.Context) error {
+	done := ctx.Done()
+	for len(pe.delta) > 0 {
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		pe.fireRound(done)
+		if pe.aborted.Load() {
+			return ctx.Err()
+		}
+		pe.delta = pe.mergeRound()
+	}
+	return nil
+}
+
+// parallelDo runs f(0..n-1) on n goroutines and waits for all of them.
+func parallelDo(n int, f func(i int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// fireRound strides the current delta across the worker pool and fires
+// every rule with each delta triple as an antecedent against the
+// frozen indexes. Workers poll ctx periodically (both per triple and
+// inside heavy join fan-outs, via the emit counter) and raise the
+// shared abort flag on cancellation.
+func (pe *parEngine) fireRound(done <-chan struct{}) {
+	delta := pe.delta
+	parallelDo(pe.nw, func(w int) {
+		wk := &pe.workers[w]
+		clear(wk.local)
+		for s := range wk.out {
+			wk.out[s] = wk.out[s][:0]
+		}
+		emits := 0
+		emit := func(c dict.Triple3) {
+			if emits++; emits&0x1fff == 0 {
+				if done != nil && pollDone(done) {
+					pe.aborted.Store(true)
+				}
+				if pe.aborted.Load() {
+					return
+				}
+			}
+			// Probe the worker-private memo first: re-derivations of
+			// the same conclusion (the overwhelmingly common case in
+			// transitive workloads) cost one probe of a local map,
+			// mirroring the sequential engine's single AddID presence
+			// check, and skip both the shard hash and the shared seen
+			// probe entirely.
+			if _, ok := wk.local[c]; ok {
+				return
+			}
+			wk.local[c] = struct{}{}
+			s := pe.dedupShardOf(c)
+			if _, ok := pe.seen[s][c]; ok {
+				return
+			}
+			wk.out[s] = append(wk.out[s], c)
+		}
+		for n, i := 0, w; i < len(delta); n, i = n+1, i+pe.nw {
+			if done != nil && n&0xff == 0 && pollDone(done) {
+				pe.aborted.Store(true)
+			}
+			if pe.aborted.Load() {
+				return
+			}
+			pe.fire(delta[i], emit)
+		}
+	})
+}
+
+func pollDone(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// mergeRound dedups the round's conclusions into the seen shards
+// (phase owned by dedup-shard hash) and folds the admitted triples
+// into the rule indexes (phase owned by predicate hash), returning the
+// next delta. The merge phase buckets each admitted triple by its
+// predicate shard as it admits it, so the index phase is O(|delta|)
+// total rather than every owner rescanning the whole delta.
+func (pe *parEngine) mergeRound() []dict.Triple3 {
+	novel := make([][]dict.Triple3, pe.nw)    // per dedup shard
+	routed := make([][][]dict.Triple3, pe.nw) // [dedup shard][pred shard]
+	parallelDo(pe.nw, func(s int) {
+		seen := pe.seen[s]
+		byPs := make([][]dict.Triple3, pe.nw)
+		var out []dict.Triple3
+		for w := range pe.workers {
+			for _, c := range pe.workers[w].out[s] {
+				if _, ok := seen[c]; ok {
+					continue // duplicate across workers
+				}
+				if !pe.wellFormed(c) {
+					continue
+				}
+				seen[c] = struct{}{}
+				out = append(out, c)
+				ps := pe.predShardOf(c[1])
+				byPs[ps] = append(byPs[ps], c)
+			}
+		}
+		novel[s] = out
+		routed[s] = byPs
+	})
+	parallelDo(pe.nw, func(ps int) {
+		sh := &pe.shards[ps]
+		for s := range routed {
+			for _, c := range routed[s][ps] {
+				pe.indexInto(sh, c)
+			}
+		}
+	})
+	total := 0
+	for _, lst := range novel {
+		total += len(lst)
+	}
+	out := make([]dict.Triple3, 0, total)
+	for _, lst := range novel {
+		out = append(out, lst...)
+	}
+	return out
+}
+
+// fire is engine.process against the sharded indexes: it fires every
+// rule that has t as one of its antecedents. Comments reference the
+// paper's rule numbers; see engine.process for the coverage argument.
+func (pe *parEngine) fire(t dict.Triple3, emit func(dict.Triple3)) {
+	s, p, o := t[0], t[1], t[2]
+	// Rule (8): (X,A,Y) ⊢ (A,sp,A).
+	emit(dict.Triple3{p, pe.sp, p})
+	// Rule (3): (A,sp,B), (X,A,Y) ⊢ (X,B,Y), for the new (X,A,Y) = t.
+	for b := range pe.spSh.spOut[p] {
+		if pe.kinds[b-1] == term.KindIRI {
+			emit(dict.Triple3{s, b, o})
+		}
+	}
+	// Rules (6)/(7) with t as the body triple (X,C,Y).
+	for a := range pe.spSh.spOut[p] {
+		for _, b := range pe.domSh.domOf[a] {
+			emit(dict.Triple3{s, pe.typ, b})
+		}
+		for _, b := range pe.rngSh.rangeOf[a] {
+			emit(dict.Triple3{o, pe.typ, b})
+		}
+	}
+
+	switch p {
+	case pe.sp:
+		a, b := s, o
+		// Rule (2): transitivity, joining on both sides.
+		for c := range pe.spSh.spOut[b] {
+			emit(dict.Triple3{a, pe.sp, c})
+		}
+		for z := range pe.spSh.spIn[a] {
+			emit(dict.Triple3{z, pe.sp, b})
+		}
+		// Rule (11): reflexivity of both endpoints.
+		emit(dict.Triple3{a, pe.sp, a})
+		emit(dict.Triple3{b, pe.sp, b})
+		// Rule (3) with t as the (A,sp,B) antecedent.
+		if pe.kinds[b-1] == term.KindIRI {
+			for _, body := range pe.byPredOf(a) {
+				emit(dict.Triple3{body[0], b, body[2]})
+			}
+		}
+		// Rules (6)/(7) with t as the (C,sp,A) antecedent.
+		for _, cls := range pe.domSh.domOf[b] {
+			for _, body := range pe.byPredOf(a) {
+				emit(dict.Triple3{body[0], pe.typ, cls})
+			}
+		}
+		for _, cls := range pe.rngSh.rangeOf[b] {
+			for _, body := range pe.byPredOf(a) {
+				emit(dict.Triple3{body[2], pe.typ, cls})
+			}
+		}
+	case pe.sc:
+		a, b := s, o
+		// Rule (4): transitivity.
+		for c := range pe.scSh.scOut[b] {
+			emit(dict.Triple3{a, pe.sc, c})
+		}
+		for z := range pe.scSh.scIn[a] {
+			emit(dict.Triple3{z, pe.sc, b})
+		}
+		// Rule (13): reflexivity of both endpoints.
+		emit(dict.Triple3{a, pe.sc, a})
+		emit(dict.Triple3{b, pe.sc, b})
+		// Rule (5) with t as the (A,sc,B) antecedent.
+		for _, x := range pe.typSh.typeByObj[a] {
+			emit(dict.Triple3{x, pe.typ, b})
+		}
+	case pe.dom:
+		// Rule (10) and rule (12).
+		emit(dict.Triple3{s, pe.sp, s})
+		emit(dict.Triple3{o, pe.sc, o})
+		pe.fireDomRange(s, o, true, emit)
+	case pe.rng:
+		emit(dict.Triple3{s, pe.sp, s})
+		emit(dict.Triple3{o, pe.sc, o})
+		pe.fireDomRange(s, o, false, emit)
+	case pe.typ:
+		x, a := s, o
+		// Rule (5) with t as the (X,type,A) antecedent.
+		for b := range pe.scSh.scOut[a] {
+			emit(dict.Triple3{x, pe.typ, b})
+		}
+		// Rule (12).
+		emit(dict.Triple3{a, pe.sc, a})
+	}
+}
+
+// fireDomRange fires rule (6) (dom) or (7) (range) for a newly added
+// (A, dom/range, B): for every C with (C,sp,A) and every body (X,C,Y),
+// emit the typing conclusion (see engine.fireDomRange).
+func (pe *parEngine) fireDomRange(a, b dict.ID, isDom bool, emit func(dict.Triple3)) {
+	for c := range pe.spSh.spIn[a] {
+		for _, body := range pe.byPredOf(c) {
+			if isDom {
+				emit(dict.Triple3{body[0], pe.typ, b})
+			} else {
+				emit(dict.Triple3{body[2], pe.typ, b})
+			}
+		}
+	}
+}
+
+// finish assembles the output graph from the seen shards: every shard
+// sorts its keys for the three permutations in parallel, the sorted
+// runs are merged per order, and the merged permutations are installed
+// directly — no global re-sort, and the closure is returned with its
+// scan indexes already built.
+func (pe *parEngine) finish() *graph.Graph {
+	var runs [3][][]dict.Triple3
+	for o := range runs {
+		runs[o] = make([][]dict.Triple3, pe.nw)
+	}
+	parallelDo(pe.nw, func(s int) {
+		set := pe.seen[s]
+		for o := 0; o < 3; o++ {
+			ord := dict.Order(o)
+			keys := make([]dict.Triple3, 0, len(set))
+			for t := range set {
+				keys = append(keys, dict.Permute(t, ord))
+			}
+			dict.SortIndex(keys)
+			runs[o][s] = keys
+		}
+	})
+	var idx [3][]dict.Triple3
+	parallelDo(3, func(o int) {
+		idx[o] = dict.MergeSortedKeys(runs[o])
+	})
+	return graph.NewFromIndexes(pe.d, idx[dict.SPO], idx[dict.POS], idx[dict.OSP])
+}

@@ -1,0 +1,148 @@
+package closure
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"semwebdb/internal/dict"
+	"semwebdb/internal/graph"
+	"semwebdb/internal/rdfs"
+	"semwebdb/internal/term"
+)
+
+// workerCounts are the parallelism degrees the equivalence suite runs
+// at (the acceptance matrix of the parallel engine).
+var workerCounts = []int{1, 2, 8}
+
+// randVocabAsDataGraph is randClosureGraph with reserved vocabulary
+// also appearing in subject/object position, which pushes Membership
+// onto its materialized-closure fallback and exercises the saturation
+// corner cases (sp edges into dom/range, reflexive reserved loops).
+func randVocabAsDataGraph(rng *rand.Rand, n int) *graph.Graph {
+	names := []term.Term{
+		iri("a"), iri("b"), iri("c"), blk("x"), blk("y"),
+		rdfs.Domain, rdfs.Range, rdfs.Type,
+	}
+	preds := []term.Term{
+		iri("p"), iri("q"), rdfs.SubClassOf, rdfs.SubPropertyOf,
+		rdfs.Type, rdfs.Domain, rdfs.Range,
+	}
+	g := graph.New()
+	for k := 0; k < n; k++ {
+		g.Add(graph.T(names[rng.Intn(len(names))], preds[rng.Intn(len(preds))], names[rng.Intn(len(names))]))
+	}
+	return g
+}
+
+// TestParallelClosurePublicAPI drives RDFSClWorkers above the
+// small-input cutoff, so the real dispatch path (including the
+// finish-time permutation install) is covered, and cross-checks the
+// installed indexes against fresh range scans.
+func TestParallelClosurePublicAPI(t *testing.T) {
+	g := scChain(96) // 95 triples… too small; widen below
+	rng := rand.New(rand.NewSource(73))
+	for i := 0; i < 300; i++ {
+		g.Add(graph.T(
+			iri(fmt.Sprintf("s%d", rng.Intn(60))),
+			iri(fmt.Sprintf("p%d", rng.Intn(7))),
+			iri(fmt.Sprintf("o%d", rng.Intn(60)))))
+	}
+	g.Add(graph.T(iri("p0"), rdfs.Domain, iri("D")))
+	g.Add(graph.T(iri("p1"), rdfs.Range, iri("R")))
+	if g.Len() < minParallelTriples {
+		t.Fatalf("test graph too small (%d) to cross the parallel cutoff", g.Len())
+	}
+	want := RDFSCl(g)
+	for _, nw := range []int{2, 8} {
+		got, err := RDFSClWorkers(context.Background(), g, nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("w%d: parallel closure differs: only-seq %v, only-par %v",
+				nw, want.Minus(got).Len(), got.Minus(want).Len())
+		}
+		// The installed permutations must agree with scans over the
+		// sequential result: same counts for every pattern shape.
+		checkScans(t, want, got)
+	}
+}
+
+// checkScans compares CountID over all bound/wildcard pattern shapes
+// between two graphs expected to be equal, validating installed
+// permutations against lazily built ones.
+func checkScans(t *testing.T, want, got *graph.Graph) {
+	t.Helper()
+	probe := func(s, p, o dict.ID) {
+		if w, g := want.CountID(s, p, o), got.CountID(s, p, o); w != g {
+			t.Fatalf("CountID(%d,%d,%d): sequential %d, parallel %d", s, p, o, w, g)
+		}
+	}
+	n := 0
+	want.EachID(func(tr dict.Triple3) bool {
+		probe(tr[0], dict.Wildcard, dict.Wildcard)
+		probe(dict.Wildcard, tr[1], dict.Wildcard)
+		probe(dict.Wildcard, dict.Wildcard, tr[2])
+		probe(tr[0], tr[1], dict.Wildcard)
+		probe(dict.Wildcard, tr[1], tr[2])
+		probe(tr[0], dict.Wildcard, tr[2])
+		n++
+		return n < 200
+	})
+}
+
+// TestClosureOrderIndependent asserts the sequential engine's queue
+// order is an implementation detail: LIFO (the default), FIFO and a
+// seeded shuffle all reach the same fixpoint.
+func TestClosureOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for round := 0; round < 40; round++ {
+		g := randVocabAsDataGraph(rng, 3+rng.Intn(9))
+		want, err := rdfsClSequential(context.Background(), g, lifoOrder, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fifo, err := rdfsClSequential(context.Background(), g, fifoOrder, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fifo.Equal(want) {
+			t.Fatalf("round %d: FIFO drain produced a different closure", round)
+		}
+		for seed := int64(0); seed < 3; seed++ {
+			shuf, err := rdfsClSequential(context.Background(), g, shuffledOrder, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !shuf.Equal(want) {
+				t.Fatalf("round %d seed %d: shuffled drain produced a different closure", round, seed)
+			}
+		}
+	}
+}
+
+// TestParallelClWorkers covers the skolemize/saturate/unskolemize path
+// under parallelism: ClWorkers must equal Cl for every worker count,
+// on graphs with blanks (full round trip) and on ground graphs (the
+// direct path that skips skolemization and keeps installed indexes).
+func TestParallelClWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for round := 0; round < 25; round++ {
+		g := randClosureGraph(rng, 4+rng.Intn(8))
+		for _, in := range []*graph.Graph{g, g.GroundPart()} {
+			want := Cl(in)
+			for _, nw := range workerCounts {
+				got, err := ClWorkers(context.Background(), in, nw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("round %d w%d (ground=%v): ClWorkers differs from Cl",
+						round, nw, in.IsGround())
+				}
+			}
+		}
+	}
+}

@@ -108,6 +108,44 @@ func SortIndex(idx []Triple3) {
 	sort.Slice(idx, func(i, j int) bool { return idx[i].Less(idx[j]) })
 }
 
+// MergeSortedKeys merges sorted, pairwise-disjoint key runs into one
+// sorted slice. It is the reduce step used to assemble a permutation
+// from per-shard sorted runs without re-sorting the concatenation: the
+// parallel closure engine sorts each shard's keys independently and
+// merges the runs here in O(k·n) for k runs. A single non-empty run is
+// returned as-is (callers hand over ownership of the runs).
+func MergeSortedKeys(runs [][]Triple3) []Triple3 {
+	live := make([][]Triple3, 0, len(runs))
+	total := 0
+	for _, r := range runs {
+		if len(r) > 0 {
+			live = append(live, r)
+			total += len(r)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	out := make([]Triple3, 0, total)
+	for len(live) > 1 {
+		best := 0
+		for i := 1; i < len(live); i++ {
+			if live[i][0].Less(live[best][0]) {
+				best = i
+			}
+		}
+		out = append(out, live[best][0])
+		if live[best] = live[best][1:]; len(live[best]) == 0 {
+			live[best] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	return append(out, live[0]...)
+}
+
 // SearchRange returns the half-open interval [lo, hi) of entries of the
 // sorted key slice idx whose first `prefix` positions equal those of
 // key. A prefix of 0 selects the whole slice.
@@ -187,6 +225,36 @@ func (d *Dict) Intern(t term.Term) ID {
 	d.ids[t] = id
 	d.v.Store(nv)
 	return id
+}
+
+// InternMany interns every term of ts and returns their IDs in order.
+// It takes the writer lock once for the whole batch, so concurrent
+// engines interning fixed vocabularies (the closure engine interns
+// rdfsV at setup) do not interleave their allocations with other
+// writers mid-batch.
+func (d *Dict) InternMany(ts []term.Term) []ID {
+	out := make([]ID, len(ts))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := d.v.Load()
+	terms, kinds := old.terms, old.kinds
+	dirty := false
+	for i, t := range ts {
+		if id, ok := d.ids[t]; ok {
+			out[i] = id
+			continue
+		}
+		terms = append(terms, t)
+		kinds = append(kinds, t.Kind())
+		id := ID(len(terms))
+		d.ids[t] = id
+		out[i] = id
+		dirty = true
+	}
+	if dirty {
+		d.v.Store(&view{terms: terms, kinds: kinds})
+	}
+	return out
 }
 
 // Lookup returns the ID of t if it has been interned.

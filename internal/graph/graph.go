@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"semwebdb/internal/dict"
 	"semwebdb/internal/term"
@@ -92,14 +93,16 @@ type idxState struct {
 //
 // A Graph is not safe for concurrent mutation, but an immutable graph
 // (no Add/Remove after publication) is safe for concurrent readers,
-// including the lazy index builds triggered by MatchID/CountID.
+// including the lazy index builds triggered by MatchID/CountID. Each
+// permutation has its own build lock, so concurrent first scans of
+// different orders build their indexes in parallel.
 type Graph struct {
 	d   *dict.Dict
 	set map[dict.Triple3]struct{}
 
-	version uint64     // bumped on every mutation
-	mu      sync.Mutex // guards idx
-	idx     [3]*idxState
+	version uint64        // bumped on every mutation
+	imu     [3]sync.Mutex // per-order build locks
+	idx     [3]atomic.Pointer[idxState]
 }
 
 // New returns an empty graph with a private dictionary, optionally
@@ -298,11 +301,17 @@ func (g *Graph) EachID(fn func(dict.Triple3) bool) {
 }
 
 // index returns the sorted permutation for the given order, building it
-// on first use and after mutations. Built indexes are immutable.
+// on first use and after mutations. Built indexes are immutable and
+// published atomically; the per-order lock only serializes builders of
+// the same order, so readers warming different permutations at the same
+// time proceed in parallel.
 func (g *Graph) index(o dict.Order) []dict.Triple3 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if st := g.idx[o]; st != nil && st.version == g.version {
+	if st := g.idx[o].Load(); st != nil && st.version == g.version {
+		return st.keys
+	}
+	g.imu[o].Lock()
+	defer g.imu[o].Unlock()
+	if st := g.idx[o].Load(); st != nil && st.version == g.version {
 		return st.keys
 	}
 	keys := make([]dict.Triple3, 0, len(g.set))
@@ -310,7 +319,7 @@ func (g *Graph) index(o dict.Order) []dict.Triple3 {
 		keys = append(keys, dict.Permute(enc, o))
 	}
 	dict.SortIndex(keys)
-	g.idx[o] = &idxState{version: g.version, keys: keys}
+	g.idx[o].Store(&idxState{version: g.version, keys: keys})
 	return keys
 }
 
@@ -328,9 +337,30 @@ func (g *Graph) Index(o dict.Order) []dict.Triple3 { return g.index(o) }
 // scan without re-sorting. Installing an index that violates the
 // contract corrupts MatchID/CountID results.
 func (g *Graph) InstallIndex(o dict.Order, keys []dict.Triple3) {
-	g.mu.Lock()
-	g.idx[o] = &idxState{version: g.version, keys: keys}
-	g.mu.Unlock()
+	g.idx[o].Store(&idxState{version: g.version, keys: keys})
+}
+
+// NewFromIndexes constructs a graph over d directly from prebuilt
+// sorted permutations: spo, pos and osp must be the SPO/POS/OSP
+// permutations (in the sense of dict.Permute) of one and the same
+// well-formed triple set, each in sorted order. Since Permute(t, SPO)
+// is the identity, spo doubles as the triple set itself. The caller
+// hands over ownership of all three slices; violating the contract
+// corrupts MatchID/CountID results, exactly as with InstallIndex.
+//
+// The parallel closure engine uses this to publish its result without
+// a global re-sort: per-shard runs are sorted and merged while the
+// shards are still partitioned, and the set map is the only structure
+// built here.
+func NewFromIndexes(d *dict.Dict, spo, pos, osp []dict.Triple3) *Graph {
+	g := &Graph{d: d, set: make(map[dict.Triple3]struct{}, len(spo))}
+	for _, enc := range spo {
+		g.set[enc] = struct{}{}
+	}
+	g.InstallIndex(dict.SPO, spo)
+	g.InstallIndex(dict.POS, pos)
+	g.InstallIndex(dict.OSP, osp)
+	return g
 }
 
 // MatchID streams every stored triple matching the pattern (Wildcard =
@@ -385,9 +415,9 @@ func (g *Graph) Clone() *Graph {
 		h.set[enc] = struct{}{}
 	}
 	h.version = g.version
-	g.mu.Lock()
-	h.idx = g.idx
-	g.mu.Unlock()
+	for o := range g.idx {
+		h.idx[o].Store(g.idx[o].Load())
+	}
 	return h
 }
 

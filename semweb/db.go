@@ -4,10 +4,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 
 	"semwebdb/internal/closure"
+	"semwebdb/internal/core"
 	"semwebdb/internal/dict"
+	"semwebdb/internal/entail"
 	"semwebdb/internal/graph"
 	"semwebdb/internal/match"
 	"semwebdb/internal/persist"
@@ -78,6 +81,7 @@ type config struct {
 	initial        *Graph
 	walThreshold   int64
 	noFsync        bool
+	parallelism    int // closure saturation workers; 0 means 1
 }
 
 // File names inside a durable database directory (see OpenAt).
@@ -117,6 +121,29 @@ func WithGraph(g *Graph) Option {
 // compaction on open. It has no effect on in-memory databases.
 func WithWALThreshold(bytes int64) Option {
 	return func(c *config) { c.walThreshold = bytes }
+}
+
+// WithParallelism sets the worker count for RDFS closure saturation —
+// the engine behind Eval's matching-universe preparation, Entails,
+// Closure, NormalForm, Fingerprint and Infers. The answer never
+// depends on n; only wall-clock time does. n ≤ 0 selects
+// runtime.GOMAXPROCS(0) (one worker per available core); n == 1 (the
+// default) stays on the sequential engine.
+//
+// Guidance on choosing n: saturation parallelizes the rule-firing
+// joins, so it pays off on schema-heavy databases whose closures are
+// large (many subclass/subproperty edges, deep hierarchies) — there,
+// n = number of cores is the right setting, and WithParallelism(0)
+// says exactly that. Small databases, or workloads dominated by the
+// coNP-hard core retraction rather than the closure, see no benefit;
+// the engine routes saturations of small graphs to the sequential
+// path regardless of n, so over-setting it is safe but pointless.
+// More workers than cores only adds scheduling overhead.
+func WithParallelism(n int) Option {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return func(c *config) { c.parallelism = n }
 }
 
 // WithoutFsync disables fsync on WAL batches and snapshot writes.
@@ -251,7 +278,11 @@ func (db *DB) addGraphs(adds []*graph.Graph) error {
 		} else {
 			add.Each(func(t Triple) bool {
 				if !t.WellFormed() {
-					illFormed = &t
+					// Copy before taking the address: &t would make the
+					// parameter escape and cost one heap Triple per
+					// iteration on the hot path, not just here.
+					bad := t
+					illFormed = &bad
 					return false
 				}
 				enc := next.InternTriple(t)
@@ -297,7 +328,7 @@ func (db *DB) preparedData(ctx context.Context, g *graph.Graph, skipNF bool) (*p
 	if st != nil {
 		return st, nil
 	}
-	data, err := query.Prepare(ctx, g, skipNF)
+	data, err := query.PrepareWorkers(ctx, g, skipNF, db.parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -311,6 +342,15 @@ func (db *DB) preparedData(ctx context.Context, g *graph.Graph, skipNF bool) (*p
 	}
 	db.mu.Unlock()
 	return st, nil
+}
+
+// parallelism resolves the configured closure saturation worker count
+// (≥ 1; the zero config value means sequential).
+func (db *DB) parallelism() int {
+	if db.cfg.parallelism < 1 {
+		return 1
+	}
+	return db.cfg.parallelism
 }
 
 // decodeTriple resolves an encoded triple against the dictionary.
@@ -530,7 +570,7 @@ func (db *DB) Infers(t Triple) bool {
 	g := db.g
 	db.mu.RUnlock()
 	if mem == nil {
-		mem = closure.NewMembership(g)
+		mem = closure.NewMembershipWorkers(g, db.parallelism())
 		db.mu.Lock()
 		if db.g == g { // only cache if no mutation slipped in
 			db.mem = mem
@@ -562,6 +602,7 @@ func (db *DB) Eval(ctx context.Context, q *Query) (*Answer, error) {
 		Semantics:      db.cfg.semantics,
 		SkipNormalForm: db.cfg.skipNormalForm,
 		MaxMatchings:   q.maxMatchings,
+		Parallelism:    db.parallelism(),
 	}
 	if q.semanticsSet {
 		opts.Semantics = q.semantics
@@ -591,9 +632,11 @@ func (db *DB) Eval(ctx context.Context, q *Query) (*Answer, error) {
 	return &Answer{inner: ans}, nil
 }
 
-// Entails reports D ⊨ h.
+// Entails reports D ⊨ h. The closure saturation behind the decision
+// honors WithParallelism.
 func (db *DB) Entails(ctx context.Context, h *Graph) (bool, error) {
-	return Entails(ctx, db.snapshot(), h)
+	ok, err := entail.EntailsWorkers(ctx, db.snapshot(), h, db.parallelism())
+	return ok, wrapEngineError(err)
 }
 
 // Prove decides D ⊨ h and returns a checked derivation when it holds.
@@ -601,14 +644,16 @@ func (db *DB) Prove(h *Graph) (*Proof, bool) {
 	return Prove(db.snapshot(), h)
 }
 
-// Equivalent reports D ≡ h.
+// Equivalent reports D ≡ h (both saturations honor WithParallelism).
 func (db *DB) Equivalent(ctx context.Context, h *Graph) (bool, error) {
-	return Equivalent(ctx, db.snapshot(), h)
+	ok, err := entail.EquivalentWorkers(ctx, db.snapshot(), h, db.parallelism())
+	return ok, wrapEngineError(err)
 }
 
-// Closure returns cl(D).
+// Closure returns cl(D). The saturation honors WithParallelism.
 func (db *DB) Closure(ctx context.Context) (*Graph, error) {
-	return Closure(ctx, db.snapshot())
+	cl, err := closure.ClWorkers(ctx, db.snapshot(), db.parallelism())
+	return cl, wrapEngineError(err)
 }
 
 // Core returns core(D).
@@ -616,9 +661,11 @@ func (db *DB) Core(ctx context.Context) (*Graph, error) {
 	return CoreOf(ctx, db.snapshot())
 }
 
-// NormalForm returns nf(D) = core(cl(D)).
+// NormalForm returns nf(D) = core(cl(D)). The closure saturation
+// honors WithParallelism; the core retraction is sequential.
 func (db *DB) NormalForm(ctx context.Context) (*Graph, error) {
-	return NormalForm(ctx, db.snapshot())
+	nf, err := core.NormalFormWorkers(ctx, db.snapshot(), db.parallelism())
+	return nf, wrapEngineError(err)
 }
 
 // MinimalRepresentation returns the unique minimal representation of D
@@ -631,9 +678,11 @@ func (db *DB) MinimalRepresentation() (*Graph, error) {
 // Canonical returns D with canonically relabelled blank nodes.
 func (db *DB) Canonical() *Graph { return Canonicalize(db.snapshot()) }
 
-// Fingerprint returns the equivalence certificate of D.
+// Fingerprint returns the equivalence certificate of D. The closure
+// saturation inside nf(D) honors WithParallelism.
 func (db *DB) Fingerprint(ctx context.Context) (string, error) {
-	return Fingerprint(ctx, db.snapshot())
+	fp, err := core.FingerprintWorkers(ctx, db.snapshot(), db.parallelism())
+	return fp, wrapEngineError(err)
 }
 
 // IsLean reports whether D is lean.

@@ -59,6 +59,8 @@ type ParseError struct {
 	Msg string
 }
 
+// Error renders the position-annotated message, e.g.
+// "data.nt: ntriples: line 3 col 7: unterminated IRI".
 func (e *ParseError) Error() string {
 	pos := ""
 	if e.Path != "" {

@@ -1,0 +1,123 @@
+package semweb_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"semwebdb/semweb"
+)
+
+// parallelFixture builds a schema-heavy database large enough to cross
+// the engine's parallel cutoff: a subclass chain with typed members
+// plus a property hierarchy with domain/range typing.
+func parallelFixture(t *testing.T, opts ...semweb.Option) *semweb.DB {
+	t.Helper()
+	db, err := semweb.Open(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := semweb.NewGraph()
+	for i := 0; i < 120; i++ {
+		g.Add(semweb.T(
+			semweb.IRI(fmt.Sprintf("urn:t:c%d", i)), semweb.SubClassOf,
+			semweb.IRI(fmt.Sprintf("urn:t:c%d", i+1))))
+		g.Add(semweb.T(
+			semweb.IRI(fmt.Sprintf("urn:t:m%d", i)), semweb.Type,
+			semweb.IRI(fmt.Sprintf("urn:t:c%d", i))))
+	}
+	for i := 0; i < 40; i++ {
+		g.Add(semweb.T(
+			semweb.IRI(fmt.Sprintf("urn:t:p%d", i)), semweb.SubPropertyOf,
+			semweb.IRI(fmt.Sprintf("urn:t:p%d", i+1))))
+		g.Add(semweb.T(
+			semweb.IRI(fmt.Sprintf("urn:t:x%d", i)),
+			semweb.IRI(fmt.Sprintf("urn:t:p%d", i)),
+			semweb.IRI(fmt.Sprintf("urn:t:y%d", i))))
+	}
+	g.Add(semweb.T(semweb.IRI("urn:t:p40"), semweb.Domain, semweb.IRI("urn:t:D")))
+	g.Add(semweb.T(semweb.IRI("urn:t:p40"), semweb.Range, semweb.IRI("urn:t:R")))
+	if err := db.AddGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestWithParallelismSameAnswers runs the same workload against a
+// sequential and an 8-worker database and requires identical results
+// everywhere the parallelism knob reaches: Eval, Closure, Entails,
+// Infers and Fingerprint.
+func TestWithParallelismSameAnswers(t *testing.T) {
+	ctx := context.Background()
+	seq := parallelFixture(t)
+	par := parallelFixture(t, semweb.WithParallelism(8), semweb.WithoutNormalForm())
+	parNF := parallelFixture(t, semweb.WithParallelism(8))
+
+	clSeq, err := seq.Closure(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clPar, err := par.Closure(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clSeq.Equal(clPar) {
+		t.Fatalf("Closure differs between parallelism 1 and 8: %d vs %d triples",
+			clSeq.Len(), clPar.Len())
+	}
+
+	h := semweb.NewGraph(semweb.T(semweb.IRI("urn:t:m0"), semweb.Type, semweb.IRI("urn:t:c100")))
+	for _, db := range []*semweb.DB{seq, par, parNF} {
+		if ok, err := db.Entails(ctx, h); err != nil || !ok {
+			t.Fatalf("Entails(m0 type c100) = %v, %v; want true", ok, err)
+		}
+		if !db.Infers(semweb.T(semweb.IRI("urn:t:m5"), semweb.Type, semweb.IRI("urn:t:c80"))) {
+			t.Fatal("Infers misses a subclass-lifted typing")
+		}
+	}
+
+	X := semweb.Var("X")
+	q := semweb.NewQuery().
+		Head(semweb.T(X, semweb.IRI("urn:t:deep"), semweb.IRI("urn:t:yes"))).
+		Body(semweb.T(X, semweb.Type, semweb.IRI("urn:t:c115")))
+	ansSeq, err := seq.Eval(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ansPar, err := parNF.Eval(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ansSeq.NTriples() != ansPar.NTriples() {
+		t.Fatalf("Eval answers differ:\nseq:\n%s\npar:\n%s", ansSeq.NTriples(), ansPar.NTriples())
+	}
+	if len(ansSeq.Graph().Triples()) != 116 {
+		t.Fatalf("unexpected answer size %d, want 116", len(ansSeq.Graph().Triples()))
+	}
+
+	fpSeq, err := seq.Fingerprint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpPar, err := parNF.Fingerprint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpSeq != fpPar {
+		t.Fatal("Fingerprint differs between parallelism 1 and 8")
+	}
+}
+
+// TestWithParallelismCancellation: cancellation still works
+// mid-saturation on the parallel path, surfacing ErrCancelled.
+func TestWithParallelismCancellation(t *testing.T) {
+	db := parallelFixture(t, semweb.WithParallelism(8))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.Closure(ctx); err == nil {
+		t.Fatal("want error from cancelled Closure")
+	}
+	if _, err := db.Eval(ctx, semweb.Identity()); err == nil {
+		t.Fatal("want error from cancelled Eval")
+	}
+}

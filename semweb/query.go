@@ -11,6 +11,8 @@ import (
 // (Section 4.1 of the paper).
 type Semantics = query.Semantics
 
+// The two answer semantics of Section 4.1; select one with Query.Under
+// or Open(WithDefaultSemantics(...)).
 const (
 	// Union is ans∪: the set union of the single answers; blank nodes
 	// of the database keep their identity across single answers.
