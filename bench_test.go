@@ -17,6 +17,7 @@ import (
 	"semwebdb/internal/containment"
 	"semwebdb/internal/core"
 	"semwebdb/internal/cq"
+	"semwebdb/internal/dict"
 	"semwebdb/internal/entail"
 	"semwebdb/internal/gen"
 	"semwebdb/internal/graph"
@@ -604,6 +605,91 @@ func BenchmarkBulkLoad(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- dictionary lifecycle: scratch-interning query churn + compaction ---
+
+// BenchmarkDictChurn measures the long-lived-server query loop the
+// scratch overlay exists for: repeated blank-headed evaluations whose
+// Skolem blanks and pattern terms would previously have accreted in
+// the shared dictionary. The benchmark asserts the leak fix (DictTerms
+// fixed across iterations) while measuring per-eval cost.
+func BenchmarkDictChurn(b *testing.B) {
+	db, err := semweb.Open()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := semweb.NewGraph()
+	for i := 0; i < 2000; i++ {
+		g.Add(semweb.T(
+			term.NewIRI(fmt.Sprintf("urn:churn:s:%d", i%500)),
+			term.NewIRI(fmt.Sprintf("urn:churn:p:%d", i%7)),
+			term.NewIRI(fmt.Sprintf("urn:churn:o:%d", i)),
+		))
+	}
+	if err := db.AddGraph(g); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	X, Y := term.NewVar("X"), term.NewVar("Y")
+	// One warm-up evaluation builds the cached prepared universe; the
+	// loop then measures the steady-state per-query path.
+	warm := semweb.NewQuery().
+		Head(semweb.T(X, term.NewIRI("urn:q:made"), term.NewBlank("N"))).
+		Body(semweb.T(X, term.NewIRI("urn:churn:p:0"), Y))
+	if _, err := db.Eval(ctx, warm); err != nil {
+		b.Fatal(err)
+	}
+	base := db.Stats().DictTerms
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := semweb.NewQuery().
+			Head(semweb.T(X, term.NewIRI(fmt.Sprintf("urn:q:made:%d", i%64)), term.NewBlank("N"))).
+			Body(semweb.T(X, term.NewIRI(fmt.Sprintf("urn:churn:p:%d", i%7)), Y))
+		ans, err := db.Eval(ctx, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ans.Len() == 0 {
+			b.Fatal("empty answer")
+		}
+	}
+	b.StopTimer()
+	if got := db.Stats().DictTerms; got != base {
+		b.Fatalf("dictionary leaked: %d -> %d terms over %d evals", base, got, b.N)
+	}
+}
+
+// BenchmarkCompact measures the epoch-compaction rebuild (dense remap
+// + permutation rewrite, no re-sort) on graphs whose dictionaries are
+// two-thirds garbage.
+func BenchmarkCompact(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		g := graph.New()
+		d := g.Dict()
+		for i := 0; i < n; i++ {
+			d.Intern(term.NewIRI(fmt.Sprintf("urn:dead:a:%d", i)))
+			d.Intern(term.NewIRI(fmt.Sprintf("urn:dead:b:%d", i)))
+			g.MustAdd(graph.T(
+				term.NewIRI(fmt.Sprintf("urn:live:s:%d", i%(n/4+1))),
+				term.NewIRI(fmt.Sprintf("urn:live:p:%d", i%11)),
+				term.NewIRI(fmt.Sprintf("urn:live:o:%d", i)),
+			))
+		}
+		// Warm the permutations once: Compacted rewrites the cached
+		// indexes, it does not rebuild them.
+		for _, o := range []dict.Order{dict.SPO, dict.POS, dict.OSP} {
+			g.Index(o)
+		}
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ng, dropped := graph.Compacted(g)
+				if dropped == 0 || ng.Len() != g.Len() {
+					b.Fatal("compaction produced wrong state")
+				}
+			}
+		})
+	}
 }
 
 // --- isomorphism (used by Theorems 3.11/3.19 decision procedures) ---

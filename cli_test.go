@@ -159,6 +159,41 @@ func TestRdfcheckSnapshotRestore(t *testing.T) {
 	}
 }
 
+func TestRdfcheckCompact(t *testing.T) {
+	dbdir := filepath.Join(t.TempDir(), "db")
+	if out, code := run(t, "rdfcheck", "-op", "snapshot", "testdata/art.ttl", dbdir); code != 0 {
+		t.Fatalf("snapshot exit %d:\n%s", code, out)
+	}
+	out, code := run(t, "rdfcheck", "-op", "compact", dbdir)
+	if code != 0 {
+		t.Fatalf("compact exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "dict terms:") || !strings.Contains(out, "snapshot:") {
+		t.Fatalf("compact output:\n%s", out)
+	}
+	// The compacted directory still restores to an isomorphic graph.
+	restored, code := run(t, "rdfcheck", "-op", "restore", dbdir)
+	if code != 0 {
+		t.Fatalf("restore after compact exit %d:\n%s", code, restored)
+	}
+	dump := filepath.Join(t.TempDir(), "restored.nt")
+	if err := os.WriteFile(dump, []byte(restored), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, code := run(t, "rdfcheck", "-op", "iso", dump, "testdata/art.ttl"); code != 0 {
+		t.Fatalf("post-compact dump not isomorphic to source (exit %d)", code)
+	}
+	// compact must refuse a directory that holds no database.
+	missing := filepath.Join(t.TempDir(), "no-such-db")
+	if err := os.MkdirAll(missing, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	out, code = run(t, "rdfcheck", "-op", "compact", missing)
+	if code != 2 || !strings.Contains(out, "not a database directory") {
+		t.Fatalf("compact of non-database (exit %d):\n%s", code, out)
+	}
+}
+
 func TestBenchjsonCompare(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name string, ns, allocs float64) string {

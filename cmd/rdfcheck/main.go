@@ -12,13 +12,18 @@
 //	rdfcheck -op stats    g.nt|dbdir    # size, index and on-disk statistics
 //	rdfcheck -op snapshot g.nt dbdir    # load G and checkpoint it into a database directory
 //	rdfcheck -op restore  dbdir         # dump a database directory as canonical N-Triples
+//	rdfcheck -op compact  dbdir         # rebuild the dictionary from the live triples
 //
-// snapshot and restore work on the durable database directories of
-// semweb.OpenAt (binary snapshot + write-ahead log); stats accepts a
-// directory too and then reports the on-disk footprint. With -proof,
-// entailment also prints a checked derivation in the deductive system
-// of Section 2.3.2. Exit status: 0 when the relation holds, 1 when it
-// does not, 2 on errors.
+// snapshot, restore and compact work on the durable database
+// directories of semweb.OpenAt (binary snapshot + write-ahead log);
+// stats accepts a directory too and then reports the on-disk
+// footprint. compact drops dictionary entries no stored triple uses,
+// renumbers the rest densely and rewrites the snapshot, printing the
+// before/after term and byte counts — the maintenance command for
+// long-lived databases whose dictionaries outgrew their data. With
+// -proof, entailment also prints a checked derivation in the deductive
+// system of Section 2.3.2. Exit status: 0 when the relation holds, 1
+// when it does not, 2 on errors.
 package main
 
 import (
@@ -32,12 +37,12 @@ import (
 )
 
 func main() {
-	op := flag.String("op", "entails", "operation: entails | equiv | iso | lean | simple | stats | snapshot | restore")
+	op := flag.String("op", "entails", "operation: entails | equiv | iso | lean | simple | stats | snapshot | restore | compact")
 	proof := flag.Bool("proof", false, "with -op entails: print a checked proof (Definition 2.5)")
 	quiet := flag.Bool("q", false, "suppress output; use the exit status only")
 	flag.Parse()
 
-	tool := cliutil.New("rdfcheck", "rdfcheck -op entails|equiv|iso|lean|simple|stats|snapshot|restore [-proof] [-q] file|dir [file|dir]")
+	tool := cliutil.New("rdfcheck", "rdfcheck -op entails|equiv|iso|lean|simple|stats|snapshot|restore|compact [-proof] [-q] file|dir [file|dir]")
 	ctx := tool.Context()
 
 	say := func(format string, args ...any) {
@@ -147,6 +152,25 @@ func main() {
 		}
 		say("snapshotted %d triples (%d terms) into %s: %d bytes", st.Triples, st.DictTerms, args[1], st.SnapshotBytes)
 		holds = true
+	case "compact":
+		args := needArgs(1)
+		requireDBDir(tool, args[0])
+		db, err := semweb.OpenAt(args[0])
+		if err != nil {
+			tool.Fail(err)
+		}
+		before := db.Stats()
+		if err := db.Compact(); err != nil {
+			tool.Fail(err)
+		}
+		after := db.Stats()
+		if err := db.Close(); err != nil {
+			tool.Fail(err)
+		}
+		say("dict terms: %d -> %d (%d live)", before.DictTerms, after.DictTerms, after.Terms)
+		say("snapshot:   %d -> %d bytes on disk", before.SnapshotBytes, after.SnapshotBytes)
+		say("wal:        %d -> %d bytes", before.WALBytes, after.WALBytes)
+		holds = true
 	case "restore":
 		args := needArgs(1)
 		db, err := openExistingDB(tool, args[0])
@@ -166,21 +190,23 @@ func main() {
 	}
 }
 
-// openExistingDB opens a database directory for inspection, read-only:
-// it refuses paths that do not already hold a database (a writable
-// OpenAt would silently create one — fatal for a typoed restore), and
-// never creates, locks, truncates or compacts anything, so it is safe
-// against a directory a live service is writing.
-func openExistingDB(tool *cliutil.Tool, dir string) (*semweb.DB, error) {
-	isDB := false
+// requireDBDir fails unless dir already holds a database — a writable
+// OpenAt would silently create one, fatal for a typoed restore or
+// compact.
+func requireDBDir(tool *cliutil.Tool, dir string) {
 	for _, name := range []string{semweb.SnapshotFileName, semweb.WALFileName} {
 		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
-			isDB = true
-			break
+			return
 		}
 	}
-	if !isDB {
-		tool.Failf("%s is not a database directory (no %s or %s)", dir, semweb.SnapshotFileName, semweb.WALFileName)
-	}
+	tool.Failf("%s is not a database directory (no %s or %s)", dir, semweb.SnapshotFileName, semweb.WALFileName)
+}
+
+// openExistingDB opens a database directory for inspection, read-only:
+// it refuses paths that do not already hold a database and never
+// creates, locks, truncates or compacts anything, so it is safe
+// against a directory a live service is writing.
+func openExistingDB(tool *cliutil.Tool, dir string) (*semweb.DB, error) {
+	requireDBDir(tool, dir)
 	return semweb.OpenAtReadOnly(dir)
 }

@@ -116,9 +116,6 @@ const (
 type engine struct {
 	d   *dict.Dict
 	out *graph.Graph
-	// kinds is a snapshot of the dictionary kinds covering every ID the
-	// saturation can touch (no new terms are created after setup).
-	kinds []term.Kind
 
 	queue      []dict.Triple3
 	order      queueOrder
@@ -157,21 +154,15 @@ func newEngine(d *dict.Dict) *engine {
 		byPred:    make(map[dict.ID][]dict.Triple3),
 		typeByObj: make(map[dict.ID][]dict.ID),
 	}
-	e.kinds = d.Kinds()
 	return e
 }
 
-// kind resolves a term kind, refreshing the snapshot for IDs interned
-// after engine construction (the vocabulary constants, at most).
-func (e *engine) kind(id dict.ID) term.Kind {
-	if int(id) > len(e.kinds) {
-		e.kinds = e.d.Kinds()
-	}
-	return e.kinds[id-1]
-}
-
 // canPredicate reports whether the term may occupy predicate position.
-func (e *engine) canPredicate(id dict.ID) bool { return e.kind(id) == term.KindIRI }
+// Kinds are resolved through the dictionary directly (one lock-free
+// load), which keeps saturation over scratch-overlay dictionaries —
+// the premise-evaluation and prepared-universe paths — from ever
+// flattening the overlay into a kinds snapshot.
+func (e *engine) canPredicate(id dict.ID) bool { return e.d.KindOf(id) == term.KindIRI }
 
 func addEdge(m map[dict.ID]map[dict.ID]struct{}, a, b dict.ID) {
 	s, ok := m[a]

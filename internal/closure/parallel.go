@@ -172,9 +172,8 @@ type parWorker struct {
 // (graph.NewFromIndexes), so the closure arrives with its scan
 // indexes already built.
 type parEngine struct {
-	d     *dict.Dict
-	kinds []term.Kind // stable snapshot covering every reachable ID
-	nw    int
+	d  *dict.Dict
+	nw int
 
 	// Interned rdfsV constants.
 	sp, sc, typ, dom, rng dict.ID
@@ -195,11 +194,12 @@ func newParEngine(g *graph.Graph, nw int) *parEngine {
 	d := g.Dict()
 	pe := &parEngine{d: d, nw: nw}
 	// Rule-produced vocabulary is interned up front in one batch; the
-	// rounds themselves never intern, so one kinds snapshot taken here
-	// covers every ID the saturation can touch.
+	// rounds themselves never intern, so every ID the saturation can
+	// touch is resolvable through d from here on (kind lookups go
+	// through d.KindOf — lock-free, and on a scratch overlay they read
+	// the frozen base layers without flattening them).
 	ids := d.InternMany(rdfs.Vocabulary())
 	pe.sp, pe.sc, pe.typ, pe.dom, pe.rng = ids[0], ids[1], ids[2], ids[3], ids[4]
-	pe.kinds = d.Kinds()
 
 	pe.shards = make([]parShard, nw)
 	pe.seen = make([]map[dict.Triple3]struct{}, nw)
@@ -247,10 +247,10 @@ func (pe *parEngine) bootstrap(t dict.Triple3) {
 	pe.delta = append(pe.delta, t)
 }
 
-// wellFormed checks the RDF positional restrictions against the kinds
-// snapshot (the sharded counterpart of graph.WellFormedID).
+// wellFormed checks the RDF positional restrictions through the
+// dictionary (the sharded counterpart of graph.WellFormedID).
 func (pe *parEngine) wellFormed(t dict.Triple3) bool {
-	s, p, o := pe.kinds[t[0]-1], pe.kinds[t[1]-1], pe.kinds[t[2]-1]
+	s, p, o := pe.d.KindOf(t[0]), pe.d.KindOf(t[1]), pe.d.KindOf(t[2])
 	return (s == term.KindIRI || s == term.KindBlank) &&
 		p == term.KindIRI &&
 		(o == term.KindIRI || o == term.KindBlank || o == term.KindLiteral)
@@ -455,7 +455,7 @@ func (pe *parEngine) fire(t dict.Triple3, emit func(dict.Triple3)) {
 	emit(dict.Triple3{p, pe.sp, p})
 	// Rule (3): (A,sp,B), (X,A,Y) ⊢ (X,B,Y), for the new (X,A,Y) = t.
 	for b := range pe.spSh.spOut[p] {
-		if pe.kinds[b-1] == term.KindIRI {
+		if pe.d.KindOf(b) == term.KindIRI {
 			emit(dict.Triple3{s, b, o})
 		}
 	}
@@ -483,7 +483,7 @@ func (pe *parEngine) fire(t dict.Triple3, emit func(dict.Triple3)) {
 		emit(dict.Triple3{a, pe.sp, a})
 		emit(dict.Triple3{b, pe.sp, b})
 		// Rule (3) with t as the (A,sp,B) antecedent.
-		if pe.kinds[b-1] == term.KindIRI {
+		if pe.d.KindOf(b) == term.KindIRI {
 			for _, body := range pe.byPredOf(a) {
 				emit(dict.Triple3{body[0], b, body[2]})
 			}

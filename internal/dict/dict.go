@@ -181,19 +181,45 @@ func prefixGreater(a, key Triple3, n int) bool {
 }
 
 // view is the atomically published read state: parallel append-only
-// slices indexed by ID-1. Published elements are never rewritten, so a
-// loaded view stays valid while writers append behind it.
+// slices indexed by ID-1 (minus the scratch offset for overlays).
+// Published elements are never rewritten, so a loaded view stays valid
+// while writers append behind it.
 type view struct {
 	terms []term.Term
 	kinds []term.Kind
 }
 
+// segment is one frozen layer of base-dictionary state visible through
+// a scratch overlay: the terms with IDs in (lo, hi], sharing the base's
+// published backing arrays (published elements are immutable, so the
+// shared prefix never changes under the overlay).
+type segment struct {
+	lo, hi int
+	terms  []term.Term
+	kinds  []term.Kind
+}
+
 // Dict interns terms to dense IDs and resolves them back. The zero
 // value is not ready to use; construct with New.
+//
+// A Dict is either a root dictionary (New) owning the whole ID space,
+// or a scratch overlay (Scratch) that reads through a base dictionary
+// and appends only to a private extension of its ID space. All methods
+// behave identically on both; see Scratch for the overlay contract.
 type Dict struct {
 	mu  sync.RWMutex // guards ids and writer-side appends
 	ids map[term.Term]ID
 	v   atomic.Pointer[view]
+
+	// Scratch-overlay state; zero for root dictionaries. off is the
+	// number of base IDs frozen into the overlay's view of the ID space,
+	// segs are the frozen base layers in ascending ID order (contiguous:
+	// segs[0].lo == 0, segs[k].lo == segs[k-1].hi, segs[last].hi == off),
+	// and base is the dictionary term→ID lookups fall through to.
+	off  int
+	segs []segment
+	base *Dict
+	comb atomic.Pointer[view] // cached Terms/Kinds materialization
 }
 
 // New returns an empty dictionary.
@@ -203,8 +229,69 @@ func New() *Dict {
 	return d
 }
 
+// Scratch returns a copy-on-write overlay over d: a dictionary that
+// resolves every ID and term d holds at the time of the call exactly as
+// d does — ID→term reads stay lock-free and fall straight through to
+// the frozen base layers — while new interns land only in the overlay's
+// private ID range (base len + 1 and up) and die with it. The base is
+// never mutated through the overlay, which is what lets query
+// evaluation intern pattern variables and per-matching Skolem blanks
+// without growing the database dictionary.
+//
+// Terms interned into d after the overlay was created are not visible
+// through it (their IDs would collide with the overlay's); such terms
+// re-intern into the overlay with fresh private IDs. Overlays nest:
+// Scratch on a scratch freezes the whole chain. An overlay is safe for
+// concurrent use under the same contract as a root dictionary.
+func (d *Dict) Scratch() *Dict {
+	bv := d.v.Load()
+	s := &Dict{
+		ids:  make(map[term.Term]ID),
+		off:  d.off + len(bv.terms),
+		base: d,
+	}
+	s.segs = make([]segment, 0, len(d.segs)+1)
+	s.segs = append(s.segs, d.segs...)
+	s.segs = append(s.segs, segment{lo: d.off, hi: d.off + len(bv.terms), terms: bv.terms, kinds: bv.kinds})
+	s.v.Store(&view{})
+	return s
+}
+
+// Base returns the dictionary this overlay reads through, or nil for a
+// root dictionary.
+func (d *Dict) Base() *Dict { return d.base }
+
+// lookupBounded resolves t against d and its base chain, accepting only
+// IDs at or below max — IDs interned after an overlay froze this layer
+// are invisible to that overlay and must be rejected, or the overlay's
+// private range would alias them.
+func (d *Dict) lookupBounded(t term.Term, max int) (ID, bool) {
+	d.mu.RLock()
+	id, ok := d.ids[t]
+	d.mu.RUnlock()
+	if ok {
+		if int(id) <= max {
+			return id, true
+		}
+		return 0, false
+	}
+	if d.base != nil {
+		m := d.off
+		if max < m {
+			m = max
+		}
+		return d.base.lookupBounded(t, m)
+	}
+	return 0, false
+}
+
 // Intern returns the ID of t, allocating one if needed.
 func (d *Dict) Intern(t term.Term) ID {
+	if d.base != nil {
+		if id, ok := d.base.lookupBounded(t, d.off); ok {
+			return id
+		}
+	}
 	d.mu.RLock()
 	id, ok := d.ids[t]
 	d.mu.RUnlock()
@@ -221,7 +308,7 @@ func (d *Dict) Intern(t term.Term) ID {
 		terms: append(old.terms, t),
 		kinds: append(old.kinds, t.Kind()),
 	}
-	id = ID(len(nv.terms))
+	id = ID(d.off + len(nv.terms))
 	d.ids[t] = id
 	d.v.Store(nv)
 	return id
@@ -240,13 +327,19 @@ func (d *Dict) InternMany(ts []term.Term) []ID {
 	terms, kinds := old.terms, old.kinds
 	dirty := false
 	for i, t := range ts {
+		if d.base != nil {
+			if id, ok := d.base.lookupBounded(t, d.off); ok {
+				out[i] = id
+				continue
+			}
+		}
 		if id, ok := d.ids[t]; ok {
 			out[i] = id
 			continue
 		}
 		terms = append(terms, t)
 		kinds = append(kinds, t.Kind())
-		id := ID(len(terms))
+		id := ID(d.off + len(terms))
 		d.ids[t] = id
 		out[i] = id
 		dirty = true
@@ -257,29 +350,100 @@ func (d *Dict) InternMany(ts []term.Term) []ID {
 	return out
 }
 
-// Lookup returns the ID of t if it has been interned.
+// Lookup returns the ID of t if it has been interned (in this
+// dictionary or, for a scratch overlay, in a visible base layer).
 func (d *Dict) Lookup(t term.Term) (ID, bool) {
 	d.mu.RLock()
 	id, ok := d.ids[t]
 	d.mu.RUnlock()
-	return id, ok
+	if ok {
+		return id, true
+	}
+	if d.base != nil {
+		return d.base.lookupBounded(t, d.off)
+	}
+	return 0, false
+}
+
+// baseTerm resolves an ID frozen below the overlay: the segments are
+// contiguous and at most a few deep, so this is a couple of integer
+// compares, no lock and no pointer chase through the base.
+func (d *Dict) baseTerm(i int) term.Term {
+	for k := len(d.segs) - 1; ; k-- {
+		if s := &d.segs[k]; i > s.lo {
+			return s.terms[i-s.lo-1]
+		}
+	}
+}
+
+func (d *Dict) baseKind(i int) term.Kind {
+	for k := len(d.segs) - 1; ; k-- {
+		if s := &d.segs[k]; i > s.lo {
+			return s.kinds[i-s.lo-1]
+		}
+	}
 }
 
 // TermOf returns the term for an ID. It panics on the Wildcard or an
 // unallocated ID.
-func (d *Dict) TermOf(id ID) term.Term { return d.v.Load().terms[id-1] }
+func (d *Dict) TermOf(id ID) term.Term {
+	if i := int(id); i <= d.off {
+		return d.baseTerm(i)
+	}
+	return d.v.Load().terms[int(id)-d.off-1]
+}
 
 // KindOf returns the syntactic category of the term named by id.
-func (d *Dict) KindOf(id ID) term.Kind { return d.v.Load().kinds[id-1] }
+func (d *Dict) KindOf(id ID) term.Kind {
+	if i := int(id); i <= d.off {
+		return d.baseKind(i)
+	}
+	return d.v.Load().kinds[int(id)-d.off-1]
+}
 
-// Len returns the number of interned terms.
-func (d *Dict) Len() int { return len(d.v.Load().terms) }
+// Len returns the number of interned terms (including, for a scratch
+// overlay, the frozen base prefix it reads through).
+func (d *Dict) Len() int { return d.off + len(d.v.Load().terms) }
+
+// combined materializes (and caches) the flattened base+overlay view of
+// a scratch dictionary. The copy is O(Len) and invalidated by overlay
+// interns; engine hot paths use TermOf/KindOf instead and never pay it.
+func (d *Dict) combined() *view {
+	ov := d.v.Load()
+	n := d.off + len(ov.terms)
+	if c := d.comb.Load(); c != nil && len(c.terms) == n {
+		return c
+	}
+	terms := make([]term.Term, 0, n)
+	kinds := make([]term.Kind, 0, n)
+	for _, s := range d.segs {
+		terms = append(terms, s.terms...)
+		kinds = append(kinds, s.kinds...)
+	}
+	terms = append(terms, ov.terms...)
+	kinds = append(kinds, ov.kinds...)
+	c := &view{terms: terms, kinds: kinds}
+	d.comb.Store(c)
+	return c
+}
 
 // Terms returns a stable snapshot of the interned terms, indexed by
 // ID-1. The slice is shared and must not be modified; terms interned
-// after the call are not visible through it.
-func (d *Dict) Terms() []term.Term { return d.v.Load().terms }
+// after the call are not visible through it. On a scratch overlay this
+// materializes (and caches) a flattened copy — cold-path callers only;
+// hot loops resolve individual IDs with TermOf.
+func (d *Dict) Terms() []term.Term {
+	if d.base == nil {
+		return d.v.Load().terms
+	}
+	return d.combined().terms
+}
 
 // Kinds returns a stable snapshot of the term kinds, indexed by ID-1,
-// under the same contract as Terms.
-func (d *Dict) Kinds() []term.Kind { return d.v.Load().kinds }
+// under the same contract (and scratch-overlay cost) as Terms.
+func (d *Dict) Kinds() []term.Kind {
+	if d.base == nil {
+		return d.v.Load().kinds
+	}
+	return d.combined().kinds
+}

@@ -1,0 +1,50 @@
+package graph
+
+import "semwebdb/internal/dict"
+
+// Compacted rebuilds g over a fresh dictionary holding exactly the
+// terms occurring in g's triples — the epoch-compaction step that
+// reclaims dictionary entries left behind by earlier snapshots,
+// rejected batches and mutated copies. It returns the rebuilt graph
+// and the number of dictionary entries dropped.
+//
+// The new IDs are assigned in ascending old-ID order, so the remapping
+// is monotone: a key slice sorted under the old IDs is still sorted
+// under the new ones. That lets the three cached permutations be
+// rewritten entry-by-entry through the old→new table — no re-sort, the
+// whole rebuild is O(|dict| + |G|) — and handed to NewFromIndexes.
+//
+// The result is equal to g as a set of term triples (same Fingerprint,
+// same serialization); only the integer encoding changes. g itself is
+// not modified and stays valid on its old dictionary.
+func Compacted(g *Graph) (*Graph, int) {
+	d := g.Dict()
+	oldLen := d.Len()
+	live := make([]bool, oldLen+1)
+	for enc := range g.set {
+		live[enc[0]] = true
+		live[enc[1]] = true
+		live[enc[2]] = true
+	}
+	remap := make([]dict.ID, oldLen+1)
+	nd := dict.New()
+	kept := 0
+	for id := 1; id <= oldLen; id++ {
+		if live[id] {
+			remap[id] = nd.Intern(d.TermOf(dict.ID(id)))
+			kept++
+		}
+	}
+	remapKeys := func(keys []dict.Triple3) []dict.Triple3 {
+		out := make([]dict.Triple3, len(keys))
+		for i, k := range keys {
+			out[i] = dict.Triple3{remap[k[0]], remap[k[1]], remap[k[2]]}
+		}
+		return out
+	}
+	ng := NewFromIndexes(nd,
+		remapKeys(g.Index(dict.SPO)),
+		remapKeys(g.Index(dict.POS)),
+		remapKeys(g.Index(dict.OSP)))
+	return ng, oldLen - kept
+}

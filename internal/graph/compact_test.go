@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"semwebdb/internal/dict"
+	"semwebdb/internal/term"
+)
+
+// churnedGraph builds a graph whose dictionary holds garbage: live
+// triples interleaved with interned-but-unused terms, so the live IDs
+// are non-contiguous.
+func churnedGraph(n int) (*Graph, int) {
+	g := New()
+	d := g.Dict()
+	garbage := 0
+	for i := 0; i < n; i++ {
+		d.Intern(term.NewIRI(fmt.Sprintf("urn:dead:%d", i)))
+		garbage++
+		g.MustAdd(T(
+			term.NewIRI(fmt.Sprintf("urn:s:%d", i)),
+			term.NewIRI(fmt.Sprintf("urn:p:%d", i%7)),
+			term.NewIRI(fmt.Sprintf("urn:o:%d", i%13))))
+		d.Intern(term.NewBlank(fmt.Sprintf("dead%d", i)))
+		garbage++
+	}
+	return g, garbage
+}
+
+func TestCompactedDropsGarbageAndPreservesSet(t *testing.T) {
+	g, garbage := churnedGraph(200)
+	before := g.String()
+	oldLen := g.Dict().Len()
+
+	ng, dropped := Compacted(g)
+	if dropped != garbage {
+		t.Fatalf("dropped %d terms, want %d", dropped, garbage)
+	}
+	nd := ng.Dict()
+	if nd.Len() != oldLen-garbage {
+		t.Fatalf("new dict has %d terms, want %d", nd.Len(), oldLen-garbage)
+	}
+	if nd.Len() != ng.UniverseSize() {
+		t.Fatalf("new dict not dense: %d terms, %d live", nd.Len(), ng.UniverseSize())
+	}
+	if ng.Len() != g.Len() {
+		t.Fatalf("triple count changed: %d -> %d", g.Len(), ng.Len())
+	}
+	if after := ng.String(); after != before {
+		t.Fatalf("serialization changed by compaction:\n%s\nvs\n%s", before, after)
+	}
+	// The source graph is untouched and still valid on its old dict.
+	if g.Dict().Len() != oldLen {
+		t.Fatalf("source dict mutated: %d -> %d", oldLen, g.Dict().Len())
+	}
+	if g.String() != before {
+		t.Fatal("source graph mutated")
+	}
+}
+
+// TestCompactedPermutations: the rewritten permutations must stay
+// sorted (the remap is monotone) and agree with the triple set, so
+// range scans keep working without a rebuild.
+func TestCompactedPermutations(t *testing.T) {
+	g, _ := churnedGraph(150)
+	ng, _ := Compacted(g)
+	for _, o := range []dict.Order{dict.SPO, dict.POS, dict.OSP} {
+		keys := ng.Index(o)
+		if len(keys) != ng.Len() {
+			t.Fatalf("order %d: %d keys, want %d", o, len(keys), ng.Len())
+		}
+		for i := 1; i < len(keys); i++ {
+			if !keys[i-1].Less(keys[i]) {
+				t.Fatalf("order %d not sorted at %d", o, i)
+			}
+		}
+		for _, k := range keys {
+			if !ng.HasID(dict.Unpermute(k, o)) {
+				t.Fatalf("order %d key %v not in set", o, k)
+			}
+		}
+	}
+	// A representative range scan through the rebuilt indexes.
+	pid, ok := ng.Dict().Lookup(term.NewIRI("urn:p:0"))
+	if !ok {
+		t.Fatal("live predicate missing from compacted dict")
+	}
+	n := ng.CountID(dict.Wildcard, pid, dict.Wildcard)
+	m := 0
+	ng.MatchID(dict.Wildcard, pid, dict.Wildcard, func(enc dict.Triple3) bool {
+		if ng.Dict().TermOf(enc[1]) != term.NewIRI("urn:p:0") {
+			t.Fatalf("scan returned wrong predicate %v", ng.Dict().TermOf(enc[1]))
+		}
+		m++
+		return true
+	})
+	if n != m || n == 0 {
+		t.Fatalf("CountID = %d, scan = %d", n, m)
+	}
+}
+
+func TestCompactedNoGarbageIsIdentityShaped(t *testing.T) {
+	g := New(
+		T(term.NewIRI("urn:s"), term.NewIRI("urn:p"), term.NewIRI("urn:o")),
+		T(term.NewIRI("urn:s"), term.NewIRI("urn:p"), term.NewBlank("b")))
+	ng, dropped := Compacted(g)
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+	if !ng.Equal(g) {
+		t.Fatal("compacted graph differs")
+	}
+}
+
+func TestCompactedEmpty(t *testing.T) {
+	g := New()
+	g.Dict().Intern(term.NewIRI("urn:dead"))
+	ng, dropped := Compacted(g)
+	if dropped != 1 || ng.Len() != 0 || ng.Dict().Len() != 0 {
+		t.Fatalf("empty compaction: dropped=%d len=%d dict=%d", dropped, ng.Len(), ng.Dict().Len())
+	}
+}

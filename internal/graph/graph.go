@@ -73,10 +73,11 @@ func (t Triple) String() string {
 func (t Triple) Terms() [3]term.Term { return [3]term.Term{t.S, t.P, t.O} }
 
 // WellFormedID reports whether the ID triple respects the RDF positional
-// restrictions, resolving kinds through d.
+// restrictions, resolving kinds through d. Kinds are resolved one ID at
+// a time so the check is cheap on scratch-overlay dictionaries too (no
+// flattened Kinds slice is materialized).
 func WellFormedID(d *dict.Dict, t dict.Triple3) bool {
-	kinds := d.Kinds()
-	s, p, o := kinds[t[0]-1], kinds[t[1]-1], kinds[t[2]-1]
+	s, p, o := d.KindOf(t[0]), d.KindOf(t[1]), d.KindOf(t[2])
 	return (s == term.KindIRI || s == term.KindBlank) &&
 		p == term.KindIRI &&
 		(o == term.KindIRI || o == term.KindBlank || o == term.KindLiteral)
@@ -163,8 +164,7 @@ func (g *Graph) lookupTriple(t Triple) (dict.Triple3, bool) {
 
 // decode resolves an ID triple back to terms.
 func (g *Graph) decode(t dict.Triple3) Triple {
-	terms := g.d.Terms()
-	return Triple{S: terms[t[0]-1], P: terms[t[1]-1], O: terms[t[2]-1]}
+	return Triple{S: g.d.TermOf(t[0]), P: g.d.TermOf(t[1]), O: g.d.TermOf(t[2])}
 }
 
 // insert adds a raw encoded triple, bypassing well-formedness checks
@@ -254,7 +254,7 @@ func (g *Graph) IsEmpty() bool { return len(g.set) == 0 }
 // runs over the 12-byte encoded triples — equal IDs short-circuit the
 // string comparison — and decoding happens once, in final order.
 func (g *Graph) Triples() []Triple {
-	terms := g.d.Terms()
+	d := g.d
 	encs := make([]dict.Triple3, 0, len(g.set))
 	for enc := range g.set {
 		encs = append(encs, enc)
@@ -265,7 +265,7 @@ func (g *Graph) Triples() []Triple {
 			if a[k] == b[k] {
 				continue
 			}
-			if c := terms[a[k]-1].Compare(terms[b[k]-1]); c != 0 {
+			if c := d.TermOf(a[k]).Compare(d.TermOf(b[k])); c != 0 {
 				return c < 0
 			}
 		}
@@ -273,7 +273,7 @@ func (g *Graph) Triples() []Triple {
 	})
 	ts := make([]Triple, len(encs))
 	for i, enc := range encs {
-		ts[i] = Triple{S: terms[enc[0]-1], P: terms[enc[1]-1], O: terms[enc[2]-1]}
+		ts[i] = Triple{S: d.TermOf(enc[0]), P: d.TermOf(enc[1]), O: d.TermOf(enc[2])}
 	}
 	return ts
 }
@@ -281,9 +281,9 @@ func (g *Graph) Triples() []Triple {
 // Each calls fn for every triple in unspecified order; if fn returns
 // false, iteration stops early.
 func (g *Graph) Each(fn func(Triple) bool) {
-	terms := g.d.Terms()
+	d := g.d
 	for enc := range g.set {
-		t := Triple{S: terms[enc[0]-1], P: terms[enc[1]-1], O: terms[enc[2]-1]}
+		t := Triple{S: d.TermOf(enc[0]), P: d.TermOf(enc[1]), O: d.TermOf(enc[2])}
 		if !fn(t) {
 			return
 		}
@@ -421,6 +421,26 @@ func (g *Graph) Clone() *Graph {
 	return h
 }
 
+// WithDict returns a read-only view of g that resolves and interns
+// through nd instead of g's own dictionary. nd must resolve every ID of
+// g's dictionary to the same term — in practice nd is a scratch overlay
+// of g.Dict() (see dict.Scratch) — so the view shares g's triple set
+// and cached permutations unchanged. Derivations from the view
+// (closures, merges, answers) then intern new terms into the overlay
+// rather than the shared base dictionary.
+//
+// The view aliases g's triple set: neither the view nor g may be
+// mutated afterwards. Clone the view first if a mutable graph is
+// needed.
+func (g *Graph) WithDict(nd *dict.Dict) *Graph {
+	h := &Graph{d: nd, set: g.set}
+	h.version = g.version
+	for o := range g.idx {
+		h.idx[o].Store(g.idx[o].Load())
+	}
+	return h
+}
+
 // Equal reports set equality of the two graphs (not isomorphism).
 func (g *Graph) Equal(h *Graph) bool {
 	if g.Len() != h.Len() {
@@ -486,12 +506,11 @@ func (g *Graph) AddAll(h *Graph) *Graph {
 		}
 		return g
 	}
-	terms := h.d.Terms()
 	for enc := range h.set {
 		g.insert(dict.Triple3{
-			g.d.Intern(terms[enc[0]-1]),
-			g.d.Intern(terms[enc[1]-1]),
-			g.d.Intern(terms[enc[2]-1]),
+			g.d.Intern(h.d.TermOf(enc[0])),
+			g.d.Intern(h.d.TermOf(enc[1])),
+			g.d.Intern(h.d.TermOf(enc[2])),
 		})
 	}
 	return g
@@ -578,13 +597,17 @@ func (g *Graph) universeIDs() map[dict.ID]struct{} {
 // Universe returns universe(G): the set of elements of U ∪ B (and
 // literals, in the extended model) occurring in the triples of G.
 func (g *Graph) Universe() map[term.Term]struct{} {
-	terms := g.d.Terms()
 	u := make(map[term.Term]struct{})
 	for id := range g.universeIDs() {
-		u[terms[id-1]] = struct{}{}
+		u[g.d.TermOf(id)] = struct{}{}
 	}
 	return u
 }
+
+// UniverseSize returns |universe(G)| without decoding any term — the
+// live-term count the database compares against its dictionary length
+// when deciding whether compaction would pay off.
+func (g *Graph) UniverseSize() int { return len(g.universeIDs()) }
 
 // UniverseList returns universe(G) in canonical order.
 func (g *Graph) UniverseList() []term.Term {
@@ -599,12 +622,10 @@ func (g *Graph) UniverseList() []term.Term {
 
 // Vocabulary returns voc(G) = universe(G) ∩ U.
 func (g *Graph) Vocabulary() map[term.Term]struct{} {
-	terms := g.d.Terms()
-	kinds := g.d.Kinds()
 	v := make(map[term.Term]struct{})
 	for id := range g.universeIDs() {
-		if kinds[id-1] == term.KindIRI {
-			v[terms[id-1]] = struct{}{}
+		if g.d.KindOf(id) == term.KindIRI {
+			v[g.d.TermOf(id)] = struct{}{}
 		}
 	}
 	return v
@@ -612,18 +633,18 @@ func (g *Graph) Vocabulary() map[term.Term]struct{} {
 
 // BlankIDs returns the set of blank-node IDs occurring in G.
 func (g *Graph) BlankIDs() map[dict.ID]struct{} {
-	kinds := g.d.Kinds()
+	d := g.d
 	b := make(map[dict.ID]struct{})
 	for enc := range g.set {
-		if kinds[enc[0]-1] == term.KindBlank {
+		if d.KindOf(enc[0]) == term.KindBlank {
 			b[enc[0]] = struct{}{}
 		}
-		if kinds[enc[2]-1] == term.KindBlank {
+		if d.KindOf(enc[2]) == term.KindBlank {
 			b[enc[2]] = struct{}{}
 		}
 		// A blank predicate cannot occur in a well-formed triple, but
 		// Map.Apply keeps instances exactly as produced, so check anyway.
-		if kinds[enc[1]-1] == term.KindBlank {
+		if d.KindOf(enc[1]) == term.KindBlank {
 			b[enc[1]] = struct{}{}
 		}
 	}
@@ -632,10 +653,9 @@ func (g *Graph) BlankIDs() map[dict.ID]struct{} {
 
 // BlankNodes returns the set of blank nodes occurring in G.
 func (g *Graph) BlankNodes() map[term.Term]struct{} {
-	terms := g.d.Terms()
 	b := make(map[term.Term]struct{})
 	for id := range g.BlankIDs() {
-		b[terms[id-1]] = struct{}{}
+		b[g.d.TermOf(id)] = struct{}{}
 	}
 	return b
 }
@@ -653,11 +673,11 @@ func (g *Graph) BlankNodeList() []term.Term {
 
 // IsGround reports whether G has no blank nodes.
 func (g *Graph) IsGround() bool {
-	kinds := g.d.Kinds()
+	d := g.d
 	for enc := range g.set {
-		if kinds[enc[0]-1] == term.KindBlank ||
-			kinds[enc[1]-1] == term.KindBlank ||
-			kinds[enc[2]-1] == term.KindBlank {
+		if d.KindOf(enc[0]) == term.KindBlank ||
+			d.KindOf(enc[1]) == term.KindBlank ||
+			d.KindOf(enc[2]) == term.KindBlank {
 			return false
 		}
 	}
@@ -666,13 +686,12 @@ func (g *Graph) IsGround() bool {
 
 // Predicates returns the set of predicates used in G.
 func (g *Graph) Predicates() map[term.Term]struct{} {
-	terms := g.d.Terms()
 	p := make(map[term.Term]struct{})
 	seen := make(map[dict.ID]struct{})
 	for enc := range g.set {
 		if _, ok := seen[enc[1]]; !ok {
 			seen[enc[1]] = struct{}{}
-			p[terms[enc[1]-1]] = struct{}{}
+			p[g.d.TermOf(enc[1])] = struct{}{}
 		}
 	}
 	return p
@@ -806,10 +825,9 @@ const SkolemPrefix = "urn:semwebdb:skolem:"
 // of G by the fresh constant c_X (Definition preceding Lemma 3.4). The
 // result shares G's dictionary.
 func Skolemize(g *Graph) *Graph {
-	terms := g.d.Terms()
 	idm := make(map[dict.ID]dict.ID)
 	for id := range g.BlankIDs() {
-		idm[id] = g.d.Intern(term.NewIRI(SkolemPrefix + terms[id-1].Value))
+		idm[id] = g.d.Intern(term.NewIRI(SkolemPrefix + g.d.TermOf(id).Value))
 	}
 	sub := func(id dict.ID) dict.ID {
 		if y, ok := idm[id]; ok {
@@ -828,8 +846,6 @@ func Skolemize(g *Graph) *Graph {
 // constant c_X back by the blank X and deleting triples that end up with
 // a blank in predicate position (which are not well-formed RDF triples).
 func Unskolemize(h *Graph) *Graph {
-	terms := h.d.Terms()
-	kinds := h.d.Kinds()
 	memo := make(map[dict.ID]dict.ID)
 	isSkolem := make(map[dict.ID]bool)
 	sub := func(id dict.ID) (dict.ID, bool) {
@@ -838,8 +854,8 @@ func Unskolemize(h *Graph) *Graph {
 		}
 		y := id
 		skolem := false
-		if kinds[id-1] == term.KindIRI {
-			if v := terms[id-1].Value; strings.HasPrefix(v, SkolemPrefix) {
+		if h.d.KindOf(id) == term.KindIRI {
+			if v := h.d.TermOf(id).Value; strings.HasPrefix(v, SkolemPrefix) {
 				y = h.d.Intern(term.NewBlank(strings.TrimPrefix(v, SkolemPrefix)))
 				skolem = true
 			}
@@ -879,12 +895,12 @@ func RenameBlanksApart(g *Graph, suffix string) *Graph {
 
 // GroundPart returns the subgraph of ground triples of g.
 func (g *Graph) GroundPart() *Graph {
-	kinds := g.d.Kinds()
+	d := g.d
 	out := NewWithDict(g.d)
 	for enc := range g.set {
-		if kinds[enc[0]-1] == term.KindBlank ||
-			kinds[enc[1]-1] == term.KindBlank ||
-			kinds[enc[2]-1] == term.KindBlank {
+		if d.KindOf(enc[0]) == term.KindBlank ||
+			d.KindOf(enc[1]) == term.KindBlank ||
+			d.KindOf(enc[2]) == term.KindBlank {
 			continue
 		}
 		out.set[enc] = struct{}{}
@@ -895,12 +911,12 @@ func (g *Graph) GroundPart() *Graph {
 // NonGroundTriples returns the triples mentioning at least one blank, in
 // canonical order.
 func (g *Graph) NonGroundTriples() []Triple {
-	kinds := g.d.Kinds()
+	d := g.d
 	var out []Triple
 	for enc := range g.set {
-		if kinds[enc[0]-1] == term.KindBlank ||
-			kinds[enc[1]-1] == term.KindBlank ||
-			kinds[enc[2]-1] == term.KindBlank {
+		if d.KindOf(enc[0]) == term.KindBlank ||
+			d.KindOf(enc[1]) == term.KindBlank ||
+			d.KindOf(enc[2]) == term.KindBlank {
 			out = append(out, g.decode(enc))
 		}
 	}

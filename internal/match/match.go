@@ -44,10 +44,9 @@ func (b Binding) Clone() Binding {
 
 // Terms decodes the binding to a term-level substitution through d.
 func (b Binding) Terms(d *dict.Dict) map[term.Term]term.Term {
-	terms := d.Terms()
 	out := make(map[term.Term]term.Term, len(b))
 	for k, v := range b {
-		out[terms[k-1]] = terms[v-1]
+		out[d.TermOf(k)] = d.TermOf(v)
 	}
 	return out
 }
@@ -85,6 +84,14 @@ type Options struct {
 	// Solver.Err reports the cause, making long homomorphism searches
 	// interruptible.
 	Ctx context.Context
+
+	// Dict, when non-nil, is the dictionary patterns are interned
+	// through instead of the index graph's own. It must resolve the
+	// data graph's IDs identically — a scratch overlay of the data
+	// dictionary (dict.Scratch) is the intended value — so callers can
+	// run searches whose pattern terms (query variables, ground terms
+	// absent from the data) never grow the shared data dictionary.
+	Dict *dict.Dict
 }
 
 func defaultIsUnknown(t term.Term) bool { return t.IsVar() }
@@ -215,11 +222,15 @@ func (s *Solver) interrupted() bool {
 	}
 }
 
-// encode interns the patterns into the data dictionary and records which
-// pattern IDs are unknowns. Ground pattern terms absent from the data
-// receive fresh IDs that match no triple, which is the correct failure.
+// encode interns the patterns into the solver's dictionary (Options.Dict
+// if set, otherwise the data dictionary) and records which pattern IDs
+// are unknowns. Ground pattern terms absent from the data receive fresh
+// IDs that match no triple, which is the correct failure.
 func (s *Solver) encode(patterns []graph.Triple) []dict.Triple3 {
-	d := s.ix.Dict()
+	d := s.opts.Dict
+	if d == nil {
+		d = s.ix.Dict()
+	}
 	s.unknown = make(map[dict.ID]bool)
 	out := make([]dict.Triple3, len(patterns))
 	for i, p := range patterns {

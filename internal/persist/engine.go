@@ -220,21 +220,51 @@ func (e *Engine) Compact(g *graph.Graph) error {
 	if e.closed {
 		return fmt.Errorf("persist: engine is closed")
 	}
+	return e.checkpointLocked(g)
+}
+
+func (e *Engine) checkpointLocked(g *graph.Graph) error {
+	n, persistedTerms, err := e.writeSnapshotTmp(g)
+	if err != nil {
+		return err
+	}
+	if err := e.renameSnapshot(n); err != nil {
+		return err
+	}
+	// The new WAL generation's base is the term count the snapshot
+	// actually persisted — NOT the dictionary's current length, which a
+	// concurrent query may have grown past the persisted prefix since
+	// the write (the shared dictionary interns lock-free outside any
+	// database lock). A base beyond the persisted terms would make
+	// every future open fail its base-vs-dictionary check.
+	return e.wal.Reset(dict.ID(persistedTerms))
+}
+
+// writeSnapshotTmp writes and syncs the snapshot of g to the tmp file
+// without renaming it into place.
+func (e *Engine) writeSnapshotTmp(g *graph.Graph) (int64, int, error) {
 	tmp := filepath.Join(e.dir, snapshotTmp)
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	n, persistedTerms, err := writeSnapshotSynced(f, g, !e.opts.NoSync)
 	if err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return 0, 0, err
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return err
+		return 0, 0, err
 	}
+	return n, persistedTerms, nil
+}
+
+// renameSnapshot atomically installs the previously written tmp
+// snapshot of size n as the current one.
+func (e *Engine) renameSnapshot(n int64) error {
+	tmp := filepath.Join(e.dir, snapshotTmp)
 	if err := os.Rename(tmp, filepath.Join(e.dir, SnapshotFile)); err != nil {
 		os.Remove(tmp)
 		return err
@@ -245,13 +275,54 @@ func (e *Engine) Compact(g *graph.Graph) error {
 		}
 	}
 	e.snapBytes = n
-	// The new WAL generation's base is the term count the snapshot
-	// actually persisted — NOT the dictionary's current length, which a
-	// concurrent query may have grown past the persisted prefix since
-	// the write (the shared dictionary interns lock-free outside any
-	// database lock). A base beyond the persisted terms would make
-	// every future open fail its base-vs-dictionary check.
-	return e.wal.Reset(dict.ID(persistedTerms))
+	return nil
+}
+
+// Swap replaces the durable state with a rewritten representation of
+// the same triple set under a new dictionary — the epoch-compaction
+// checkpoint: rewritten is cur rebuilt over a dense dictionary
+// (graph.Compacted), so their IDs disagree and their term sets may
+// differ.
+//
+// A WAL record references IDs of the dictionary its snapshot was
+// written with; once the rewritten snapshot is in place, records from
+// the old generation would replay into wrong triples. The sequence
+// therefore keeps the log empty across the snapshot switch:
+//
+//  1. If the WAL holds records, checkpoint cur first (ordinary
+//     Compact): the old-dictionary snapshot then covers everything and
+//     the log is empty.
+//  2. Write and sync the rewritten snapshot to the tmp file.
+//  3. Reset the WAL to an empty generation based at the rewritten
+//     dictionary's size — before the rename, so the on-disk pair is
+//     never (rewritten snapshot, old-generation log).
+//  4. Atomically rename the rewritten snapshot into place.
+//
+// A crash between any two steps recovers consistently: before 3 the
+// old snapshot + empty log reproduce the full state; between 3 and 4
+// the old snapshot decodes a dictionary at least as large as the new
+// base, and the empty log adds nothing; after 4 the rewritten snapshot
+// and its matching generation are exactly the compacted state.
+func (e *Engine) Swap(cur, rewritten *graph.Graph) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("persist: engine is closed")
+	}
+	if e.wal.Records() > 0 {
+		if err := e.checkpointLocked(cur); err != nil {
+			return err
+		}
+	}
+	n, persistedTerms, err := e.writeSnapshotTmp(rewritten)
+	if err != nil {
+		return err
+	}
+	if err := e.wal.Reset(dict.ID(persistedTerms)); err != nil {
+		os.Remove(filepath.Join(e.dir, snapshotTmp))
+		return err
+	}
+	return e.renameSnapshot(n)
 }
 
 func writeSnapshotSynced(f *os.File, g *graph.Graph, sync bool) (int64, int, error) {

@@ -1,0 +1,186 @@
+package persist
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"semwebdb/internal/dict"
+	"semwebdb/internal/graph"
+	"semwebdb/internal/term"
+)
+
+// churnedState opens a fresh engine in dir, logs n triples through it
+// while deliberately bloating the dictionary with dead terms, and
+// returns the engine with its live state.
+func churnedState(t *testing.T, dir string, n int) (*Engine, *dict.Dict, *graph.Graph) {
+	t.Helper()
+	e, d, g, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := term.NewIRI("urn:p")
+	for i := 0; i < n; i++ {
+		d.Intern(term.NewIRI(fmt.Sprintf("urn:dead:%d", i)))
+		enc := addTriple(d, g, term.NewIRI(fmt.Sprintf("urn:s:%d", i)), p, term.NewLiteral(fmt.Sprintf("v%d", i)))
+		if err := e.Append(d, []dict.Triple3{enc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e, d, g
+}
+
+// reopenGraph recovers the directory and returns the decoded graph.
+func reopenGraph(t *testing.T, dir string) (*graph.Graph, *dict.Dict) {
+	t.Helper()
+	e, d, g, err := Open(dir, Options{NoSync: true, CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return g, d
+}
+
+// TestSwapRewritesStateAndSurvivesReopen: the happy path — Swap with a
+// non-empty WAL checkpoints, installs the compacted snapshot, and a
+// reopen recovers the same triples over the dense dictionary; appends
+// after the swap land in the new generation and replay cleanly.
+func TestSwapRewritesStateAndSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	e, d, g := churnedState(t, dir, 50)
+	want := g.String()
+	oldLen := d.Len()
+
+	ng, dropped := graph.Compacted(g)
+	if dropped == 0 {
+		t.Fatal("setup produced no garbage")
+	}
+	if err := e.Swap(g, ng); err != nil {
+		t.Fatal(err)
+	}
+	nd := ng.Dict()
+
+	// Appends against the new dictionary go into the new generation.
+	enc := addTriple(nd, ng, term.NewIRI("urn:s:new"), term.NewIRI("urn:p"), term.NewLiteral("after-swap"))
+	if err := e.Append(nd, []dict.Triple3{enc}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, gotDict := reopenGraph(t, dir)
+	if gotDict.Len() >= oldLen {
+		t.Fatalf("reopened dictionary has %d terms, want < %d", gotDict.Len(), oldLen)
+	}
+	ng.Each(func(tr graph.Triple) bool {
+		if !got.Has(tr) {
+			t.Fatalf("missing triple after reopen: %v", tr)
+		}
+		return true
+	})
+	if got.Len() != ng.Len() {
+		t.Fatalf("reopened %d triples, want %d", got.Len(), ng.Len())
+	}
+	_ = want
+}
+
+// TestSwapCrashWindowBeforeRename reconstructs the on-disk state of a
+// crash between the WAL reset and the snapshot rename: the old
+// (uncompacted, fully-checkpointed) snapshot beside an empty WAL whose
+// base is the smaller compacted term count. Recovery must accept the
+// pair and reproduce the full pre-swap state.
+func TestSwapCrashWindowBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	e, d, g := churnedState(t, dir, 30)
+	want := g.String()
+	// Checkpoint so the snapshot alone covers the state (step 1 of Swap).
+	if err := e.Compact(g); err != nil {
+		t.Fatal(err)
+	}
+	ng, _ := graph.Compacted(g)
+	newBase := dict.ID(ng.Dict().Len())
+	if int(newBase) >= d.Len() {
+		t.Fatal("setup produced no garbage")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crash window: reset the WAL to the new (smaller)
+	// base while the old snapshot is still in place, and leave a stale
+	// tmp snapshot lying around (step 2 wrote it; the rename never ran).
+	walPath := filepath.Join(dir, WALFile)
+	{
+		wd := dict.New()
+		wg := graph.NewWithDict(wd)
+		// Decode the current snapshot so OpenWAL replays against real state.
+		f, err := os.Open(filepath.Join(dir, SnapshotFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wd, wg, err = ReadSnapshot(bufio.NewReaderSize(f, 1<<20))
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := OpenWAL(walPath, wd, wg, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Reset(newBase); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapshotTmp), []byte("torn tmp snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, gotDict := reopenGraph(t, dir)
+	if got.String() != want {
+		t.Fatalf("crash window lost state:\ngot:\n%s\nwant:\n%s", got.String(), want)
+	}
+	if gotDict.Len() != d.Len() {
+		t.Fatalf("reopened dictionary has %d terms, want the uncompacted %d", gotDict.Len(), d.Len())
+	}
+}
+
+// TestSwapEmptyWAL: swapping when the log is already empty skips the
+// extra checkpoint and still round-trips.
+func TestSwapEmptyWAL(t *testing.T) {
+	dir := t.TempDir()
+	e, d, g := churnedState(t, dir, 20)
+	if err := e.Compact(g); err != nil { // empties the WAL
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.WALRecords != 0 {
+		t.Fatalf("WAL not empty after checkpoint: %d records", st.WALRecords)
+	}
+	before := st.SnapshotBytes
+	ng, _ := graph.Compacted(g)
+	if err := e.Swap(g, ng); err != nil {
+		t.Fatal(err)
+	}
+	if after := e.Stats().SnapshotBytes; after >= before {
+		t.Fatalf("compacted snapshot is %d bytes, want < %d", after, before)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, gotDict := reopenGraph(t, dir)
+	if got.Len() != g.Len() {
+		t.Fatalf("reopened %d triples, want %d", got.Len(), g.Len())
+	}
+	if gotDict.Len() != ng.Dict().Len() {
+		t.Fatalf("reopened dict %d terms, want dense %d", gotDict.Len(), ng.Dict().Len())
+	}
+	_ = d
+}

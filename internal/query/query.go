@@ -212,9 +212,16 @@ type Answer struct {
 	Singles []*graph.Graph
 	// Graph is ans∪(q,D) or ans+(q,D) depending on the semantics.
 	Graph *graph.Graph
-	// Matchings counts the matchings of B (before constraint filtering
-	// collapse to equal single answers).
+	// Matchings counts the matchings of B considered (before constraint
+	// filtering collapse to equal single answers). It never exceeds
+	// Options.MaxMatchings when that cap is set.
 	Matchings int
+	// Truncated reports that the matching enumeration was cut off by
+	// Options.MaxMatchings: at least one further matching existed and
+	// was discarded, so the answer may be incomplete. An answer whose
+	// body has exactly MaxMatchings matchings is complete and reports
+	// false.
+	Truncated bool
 	// Semantics records how Graph was assembled.
 	Semantics Semantics
 }
@@ -229,13 +236,22 @@ func Evaluate(q *Query, d *graph.Graph, opts Options) (*Answer, error) {
 // normal-form retraction searches, and the body-matching backtracking
 // loop all poll ctx and abort with its error when it is cancelled or its
 // deadline passes.
+//
+// Evaluation never mutates the dictionaries of d or of the premise: the
+// merged universe, its saturation (skolem constants, RDFS vocabulary),
+// renamed premise blanks and everything evaluateIndexed interns all
+// land in scratch overlays (dict.Scratch) that die with the answer.
 func EvaluateCtx(ctx context.Context, q *Query, d *graph.Graph, opts Options) (*Answer, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	data := d
+	data := d.WithDict(d.Dict().Scratch())
 	if q.Premise != nil && q.Premise.Len() > 0 {
-		data = graph.Merge(d, q.Premise)
+		// The merge renames colliding premise blanks; routing the premise
+		// through its own overlay keeps those renames (and nothing else)
+		// out of the caller-owned premise dictionary too.
+		p := q.Premise.WithDict(q.Premise.Dict().Scratch())
+		data = graph.Merge(data, p)
 	}
 	var err error
 	if opts.SkipNormalForm {
@@ -285,7 +301,11 @@ func EvaluatePreparedCtx(ctx context.Context, q *Query, prepared *graph.Graph, o
 
 // EvaluatePreparedIndexCtx is EvaluatePreparedCtx against a reusable
 // match.Index over the prepared graph, so callers (semweb.DB) can cache
-// the matcher's view alongside the prepared normal form.
+// the matcher's view alongside the prepared normal form. It never
+// interns into the prepared graph's dictionary: every term evaluation
+// mints (pattern terms, variables, Skolem blanks) lives in a scratch
+// overlay owned by the returned Answer, so concurrent evaluations over
+// one cached index are safe and the shared dictionary stays fixed.
 func EvaluatePreparedIndexCtx(ctx context.Context, q *Query, ix *match.Index, opts Options) (*Answer, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -306,14 +326,21 @@ func evaluateAgainst(ctx context.Context, q *Query, data *graph.Graph, opts Opti
 
 // evaluateIndexed runs the dictionary-encoded matching loop: the body is
 // solved over ID range scans, and each matching instantiates the head by
-// ID substitution — single answers share the data dictionary, so
-// deduplication and answer assembly compare integers. Strings appear
+// ID substitution — single answers share one dictionary with the data,
+// so deduplication and answer assembly compare integers. Strings appear
 // only in the Skolem signature (head blanks, a term-identity function by
 // Proposition 4.5) and in the final deterministic ordering.
+//
+// Everything evaluation interns — body pattern terms, variables,
+// constraint IDs, the per-matching Skolem blanks — lands in a scratch
+// overlay (dict.Scratch) over the data dictionary, created here and
+// owned by the returned Answer. The data dictionary itself is never
+// mutated, so a long-lived database can serve any number of
+// (blank-headed, constrained, premised) queries without growing its
+// dictionary or its snapshots.
 func evaluateIndexed(ctx context.Context, q *Query, ix *match.Index, opts Options) (*Answer, error) {
-	data := ix.Graph()
-	d := data.Dict()
-	inst := newHeadInstantiator(q, data)
+	d := ix.Dict().Scratch()
+	inst := newHeadInstantiator(q, d)
 
 	constrained := make(map[dict.ID]bool, len(q.Constraints))
 	for v := range q.Constraints {
@@ -324,7 +351,8 @@ func evaluateIndexed(ctx context.Context, q *Query, ix *match.Index, opts Option
 	seen := map[string]bool{}
 
 	solverOpts := match.Options{
-		Ctx: ctx,
+		Ctx:  ctx,
+		Dict: d,
 		Admissible: func(unknown, value dict.ID) bool {
 			if constrained[unknown] && d.KindOf(value) == term.KindBlank {
 				return false
@@ -334,6 +362,14 @@ func evaluateIndexed(ctx context.Context, q *Query, ix *match.Index, opts Option
 	}
 	solver := match.NewSolver(ix, solverOpts)
 	solver.Solve(q.Body, func(b match.Binding) bool {
+		if opts.MaxMatchings > 0 && ans.Matchings >= opts.MaxMatchings {
+			// A further matching exists beyond the cap: record the
+			// truncation and stop without considering it, so Matchings
+			// stays within the cap and a body with exactly MaxMatchings
+			// matchings is not reported as truncated.
+			ans.Truncated = true
+			return false
+		}
 		ans.Matchings++
 		encs, key, ok := inst.instantiate(b)
 		if !ok {
@@ -347,7 +383,7 @@ func evaluateIndexed(ctx context.Context, q *Query, ix *match.Index, opts Option
 			}
 			ans.Singles = append(ans.Singles, single)
 		}
-		return opts.MaxMatchings == 0 || ans.Matchings < opts.MaxMatchings
+		return true
 	})
 	if err := solver.Err(); err != nil {
 		return nil, err
@@ -386,11 +422,13 @@ func evaluateIndexed(ctx context.Context, q *Query, ix *match.Index, opts Option
 // headInstantiator computes single answers v(H) on interned IDs: head
 // variables are replaced by their bindings and each head blank N by the
 // Skolem value f_N(v(X1), …, v(Xk)) over the body variables (Section
-// 4.1). The head template is encoded once per evaluation.
+// 4.1). The head template is encoded once per evaluation, into the
+// evaluation's scratch dictionary — head pattern terms, variables and
+// the Skolem blanks minted per matching all stay out of the shared
+// data dictionary.
 type headInstantiator struct {
-	d          *dict.Dict
+	d          *dict.Dict // the evaluation's scratch overlay
 	head       []dict.Triple3
-	kinds      []term.Kind // head-position kinds, parallel to head IDs
 	bodyVars   []term.Term
 	bodyVarIDs []dict.ID
 	headBlanks []term.Term
@@ -398,8 +436,7 @@ type headInstantiator struct {
 	scratch    []dict.Triple3 // per-matching instantiation buffer
 }
 
-func newHeadInstantiator(q *Query, data *graph.Graph) *headInstantiator {
-	d := data.Dict()
+func newHeadInstantiator(q *Query, d *dict.Dict) *headInstantiator {
 	h := &headInstantiator{
 		d:          d,
 		bodyVars:   varsIn(q.Body),
@@ -407,7 +444,7 @@ func newHeadInstantiator(q *Query, data *graph.Graph) *headInstantiator {
 	}
 	h.head = make([]dict.Triple3, len(q.Head))
 	for i, t := range q.Head {
-		h.head[i] = data.InternTriple(t)
+		h.head[i] = dict.Triple3{d.Intern(t.S), d.Intern(t.P), d.Intern(t.O)}
 	}
 	h.bodyVarIDs = make([]dict.ID, len(h.bodyVars))
 	for i, v := range h.bodyVars {
@@ -428,10 +465,9 @@ func newHeadInstantiator(q *Query, data *graph.Graph) *headInstantiator {
 func (h *headInstantiator) instantiate(b match.Binding) ([]dict.Triple3, string, bool) {
 	var skolem map[dict.ID]dict.ID
 	if len(h.blankIDs) > 0 {
-		terms := h.d.Terms()
 		var sig strings.Builder
 		for _, vid := range h.bodyVarIDs {
-			sig.WriteString(terms[b[vid]-1].String())
+			sig.WriteString(h.d.TermOf(b[vid]).String())
 			sig.WriteByte('|')
 		}
 		skolem = make(map[dict.ID]dict.ID, len(h.blankIDs))

@@ -1,0 +1,251 @@
+package semweb_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"semwebdb/semweb"
+)
+
+// churnDict grows the database's shared dictionary without touching its
+// triple set, the way long-lived deployments do: a Graph() copy shares
+// the dictionary, so terms written to the copy intern into it.
+func churnDict(t *testing.T, db *semweb.DB, n int) {
+	t.Helper()
+	copy := db.Graph()
+	for i := 0; i < n; i++ {
+		copy.Add(semweb.T(
+			semweb.IRI(fmt.Sprintf("urn:churn:s:%d", i)),
+			semweb.IRI("urn:churn:p"),
+			semweb.IRI(fmt.Sprintf("urn:churn:o:%d", i))))
+	}
+}
+
+func loadTriples(t *testing.T, db *semweb.DB, n int) {
+	t.Helper()
+	var doc strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&doc, "<urn:s:%d> <urn:p:%d> _:b%d .\n", i, i%5, i%3)
+	}
+	if err := db.LoadNTriples(strings.NewReader(doc.String())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactInMemory: the property triple — Fingerprint preserved, IDs
+// dense (DictTerms == Terms), queries still correct — on an in-memory
+// database.
+func TestCompactInMemory(t *testing.T) {
+	db, err := semweb.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadTriples(t, db, 60)
+	churnDict(t, db, 500)
+	ctx := context.Background()
+
+	fpBefore, err := db.Fingerprint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.DictTerms <= st.Terms {
+		t.Fatalf("setup failed to bloat the dictionary: %d terms, %d interned", st.Terms, st.DictTerms)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := db.Stats()
+	if st2.DictTerms != st2.Terms {
+		t.Fatalf("after Compact DictTerms = %d, Terms = %d; want equal (dense IDs)", st2.DictTerms, st2.Terms)
+	}
+	if st2.Triples != st.Triples || st2.Terms != st.Terms {
+		t.Fatalf("Compact changed the data: %+v vs %+v", st2, st)
+	}
+	fpAfter, err := db.Fingerprint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpAfter != fpBefore {
+		t.Fatal("Compact changed the Fingerprint")
+	}
+
+	// Queries over the rebuilt state still work (fresh prepared caches).
+	X, Y := semweb.Var("X"), semweb.Var("Y")
+	ans, err := db.Eval(ctx, semweb.NewQuery().
+		Head(semweb.T(X, semweb.IRI("urn:p:0"), Y)).
+		Body(semweb.T(X, semweb.IRI("urn:p:0"), Y)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() == 0 {
+		t.Fatal("no answers after compaction")
+	}
+	if got := db.Stats().DictTerms; got != st2.DictTerms {
+		t.Fatalf("eval after Compact grew DictTerms to %d", got)
+	}
+}
+
+// TestCompactDurableShrinksSnapshot: on a durable database, Compact
+// rewrites the snapshot; the churned dictionary stops being persisted
+// and the file shrinks. Reopening recovers the compacted state with
+// dense IDs and the same fingerprint.
+func TestCompactDurableShrinksSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	db, err := semweb.OpenAt(dir, semweb.WithoutFsync(), semweb.WithWALThreshold(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadTriples(t, db, 80)
+	churnDict(t, db, 600)
+	ctx := context.Background()
+	fpBefore, err := db.Fingerprint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.DictTerms <= st.Terms {
+		t.Fatal("setup failed to bloat the dictionary")
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := db.Stats()
+	if st2.DictTerms != st2.Terms {
+		t.Fatalf("after Compact DictTerms = %d, Terms = %d", st2.DictTerms, st2.Terms)
+	}
+	if st2.SnapshotBytes == 0 {
+		t.Fatal("Compact wrote no snapshot")
+	}
+	if st2.WALRecords != 0 {
+		t.Fatalf("WAL not empty after Compact: %d records", st2.WALRecords)
+	}
+	fpAfter, err := db.Fingerprint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpAfter != fpBefore {
+		t.Fatal("durable Compact changed the Fingerprint")
+	}
+	// Mutations after compaction land in the new WAL generation.
+	if err := db.Add(semweb.T(semweb.IRI("urn:post:s"), semweb.IRI("urn:post:p"), semweb.IRI("urn:post:o"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := semweb.OpenAt(dir, semweb.WithoutFsync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rst := re.Stats()
+	if rst.Triples != st2.Triples+1 {
+		t.Fatalf("reopened %d triples, want %d", rst.Triples, st2.Triples+1)
+	}
+	// Dense modulo the one post-compaction add (3 new terms).
+	if rst.DictTerms != rst.Terms {
+		t.Fatalf("reopened DictTerms = %d, Terms = %d; want dense IDs", rst.DictTerms, rst.Terms)
+	}
+	fpRe, err := re.Fingerprint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpRe == fpBefore {
+		t.Fatal("fingerprint should differ after the post-compaction add")
+	}
+	if !re.Has(semweb.T(semweb.IRI("urn:post:s"), semweb.IRI("urn:post:p"), semweb.IRI("urn:post:o"))) {
+		t.Fatal("post-compaction add lost across reopen")
+	}
+}
+
+// TestSnapshotShrinksAfterCompactVsBloated compares on-disk footprints
+// directly: a checkpoint of the bloated state vs the compacted rewrite
+// of the same triple set.
+func TestSnapshotShrinksAfterCompactVsBloated(t *testing.T) {
+	dir := t.TempDir()
+	db, err := semweb.OpenAt(dir, semweb.WithoutFsync(), semweb.WithWALThreshold(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadTriples(t, db, 40)
+	churnDict(t, db, 400) // heavy churn, but under the auto-compact slack
+	if err := db.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	bloated := db.Stats().SnapshotBytes
+	if bloated == 0 {
+		t.Fatal("no bloated snapshot written")
+	}
+	if db.Stats().DictTerms == db.Stats().Terms {
+		t.Fatal("Snapshot auto-compacted; test wants the bloated checkpoint (lower the churn)")
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	compacted := db.Stats().SnapshotBytes
+	if compacted >= bloated {
+		t.Fatalf("compacted snapshot %d bytes, want < bloated %d", compacted, bloated)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotAutoCompacts: once DictTerms outgrows Terms by the
+// documented factor and slack, a plain Snapshot performs the rebuild on
+// its own.
+func TestSnapshotAutoCompacts(t *testing.T) {
+	dir := t.TempDir()
+	db, err := semweb.OpenAt(dir, semweb.WithoutFsync(), semweb.WithWALThreshold(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	loadTriples(t, db, 30)
+	churnDict(t, db, 1200) // 2400 dead terms: over both factor and slack
+	st := db.Stats()
+	if st.DictTerms < 2*st.Terms || st.DictTerms-st.Terms < 1024 {
+		t.Fatalf("setup below auto-compact threshold: %+v", st)
+	}
+	if err := db.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := db.Stats()
+	if st2.DictTerms != st2.Terms {
+		t.Fatalf("Snapshot did not auto-compact: DictTerms = %d, Terms = %d", st2.DictTerms, st2.Terms)
+	}
+	if st2.Triples != st.Triples {
+		t.Fatalf("auto-compact changed the data: %d -> %d triples", st.Triples, st2.Triples)
+	}
+}
+
+// TestCompactClosedAndReadOnly: Compact respects the closed flag, and a
+// read-only handle never compacts.
+func TestCompactClosedAndReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	db, err := semweb.OpenAt(dir, semweb.WithoutFsync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadTriples(t, db, 5)
+	if err := db.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != semweb.ErrClosed {
+		t.Fatalf("Compact on closed DB = %v, want ErrClosed", err)
+	}
+	ro, err := semweb.OpenAtReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.Compact(); err != semweb.ErrClosed {
+		t.Fatalf("Compact on read-only DB = %v, want ErrClosed", err)
+	}
+}

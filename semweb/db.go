@@ -21,19 +21,31 @@ import (
 // the inference, normalization and query machinery of the paper behind
 // one handle.
 //
-// The DB owns a single term dictionary shared by every snapshot and
-// every graph derived from one (closures, normal forms, answers):
-// terms are interned to integer IDs once, at load time, and the engine
-// layers compare IDs from then on — strings reappear only when answers
-// are rendered. The dictionary is append-only: query pattern terms and
-// the Skolem blanks of blank-headed answers are interned too, so it
-// grows with the distinct terms ever seen, not just the current data
-// (Stats reports both; dictionary compaction is a ROADMAP item).
+// The DB owns a single term dictionary shared by every snapshot: terms
+// are interned to integer IDs once, at load time, and the engine layers
+// compare IDs from then on — strings reappear only when answers are
+// rendered. Only mutations (Load*, Add, AddGraph) intern into that
+// dictionary. Read operations — Eval, Entails, Closure, NormalForm,
+// Fingerprint, Infers and the rest — run against scratch overlays
+// (dict.Scratch): query pattern terms, variables, per-matching Skolem
+// blanks, premise merges and saturation vocabulary land in a
+// copy-on-write layer that dies with the evaluation, so Stats'
+// DictTerms is unchanged by any amount of query traffic and a
+// long-lived server's snapshots do not grow with it.
 //
-// A DB is safe for concurrent use. Mutations (Load*, Add, AddGraph)
-// install a fresh snapshot under a write lock, while readers — queries
-// included — operate on immutable snapshots, so long evaluations never
-// block loads and vice versa.
+// The dictionary can still outgrow the live data: batches rejected
+// part-way intern their prefix, Graph() copies share the dictionary
+// and mutate it when written to, and snapshots written by earlier
+// versions may carry accumulated garbage. Compact rebuilds the
+// dictionary from the live triple set with a dense remapping (IDs
+// change, the triple set and Fingerprint do not), and Snapshot
+// triggers the same rebuild automatically when DictTerms has grown to
+// a multiple of Terms. Stats reports both counts.
+//
+// A DB is safe for concurrent use. Mutations install a fresh snapshot
+// under a write lock, while readers — queries included — operate on
+// immutable snapshots, so long evaluations never block loads (or a
+// compaction) and vice versa.
 //
 // A DB opened with OpenAt is durable: mutations are appended to a
 // write-ahead log before they are published, Snapshot checkpoints the
@@ -126,9 +138,11 @@ func WithWALThreshold(bytes int64) Option {
 // WithParallelism sets the worker count for RDFS closure saturation —
 // the engine behind Eval's matching-universe preparation, Entails,
 // Closure, NormalForm, Fingerprint and Infers. The answer never
-// depends on n; only wall-clock time does. n ≤ 0 selects
-// runtime.GOMAXPROCS(0) (one worker per available core); n == 1 (the
-// default) stays on the sequential engine.
+// depends on n; only wall-clock time does. n ≤ 0 selects one worker
+// per available core — resolved via runtime.GOMAXPROCS(0) at each use,
+// not when the option is built, so the per-core default tracks later
+// GOMAXPROCS changes in the process that actually evaluates. n == 1
+// (the default) stays on the sequential engine.
 //
 // Guidance on choosing n: saturation parallelizes the rule-firing
 // joins, so it pays off on schema-heavy databases whose closures are
@@ -141,10 +155,14 @@ func WithWALThreshold(bytes int64) Option {
 // More workers than cores only adds scheduling overhead.
 func WithParallelism(n int) Option {
 	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
+		n = parallelismPerCore
 	}
 	return func(c *config) { c.parallelism = n }
 }
+
+// parallelismPerCore is the config sentinel for WithParallelism(0):
+// "one worker per core", resolved against the runtime at use time.
+const parallelismPerCore = -1
 
 // WithoutFsync disables fsync on WAL batches and snapshot writes.
 // Mutations remain crash-atomic (torn tails are discarded on reopen)
@@ -318,6 +336,14 @@ func (db *DB) addGraphs(adds []*graph.Graph) error {
 // match index for the snapshot g, computing and caching both on first
 // use. Concurrent first calls may compute them twice; only one result
 // is retained.
+//
+// The universe is prepared over a scratch overlay of the shared
+// dictionary: the skolem constants and vocabulary the saturation
+// interns live in the overlay, which the cached prepared graph keeps
+// alive until the next mutation — so even the first Eval after a load
+// leaves DictTerms untouched. Per-query interning then goes into a
+// second, evaluation-owned overlay layered on this one (see
+// query.EvaluatePreparedIndexCtx).
 func (db *DB) preparedData(ctx context.Context, g *graph.Graph, skipNF bool) (*preparedState, error) {
 	db.mu.RLock()
 	var st *preparedState
@@ -328,7 +354,7 @@ func (db *DB) preparedData(ctx context.Context, g *graph.Graph, skipNF bool) (*p
 	if st != nil {
 		return st, nil
 	}
-	data, err := query.PrepareWorkers(ctx, g, skipNF, db.parallelism())
+	data, err := query.PrepareWorkers(ctx, scratchView(g), skipNF, db.parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -345,18 +371,33 @@ func (db *DB) preparedData(ctx context.Context, g *graph.Graph, skipNF bool) (*p
 }
 
 // parallelism resolves the configured closure saturation worker count
-// (≥ 1; the zero config value means sequential).
+// (≥ 1; the zero config value means sequential). The per-core sentinel
+// of WithParallelism(0) resolves here — at evaluation time — so the
+// default follows the runtime's current GOMAXPROCS, not the value it
+// happened to have when the option was constructed.
 func (db *DB) parallelism() int {
-	if db.cfg.parallelism < 1 {
+	n := db.cfg.parallelism
+	if n == parallelismPerCore {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
 		return 1
 	}
-	return db.cfg.parallelism
+	return n
+}
+
+// scratchView returns the given snapshot behind a fresh scratch-overlay
+// dictionary: derivations from it (closures, normal forms, merges,
+// answers) intern into the overlay, never into the database's shared
+// dictionary, which is how read operations keep Stats' DictTerms
+// fixed. The view is read-only and cheap (no triple is copied).
+func scratchView(g *graph.Graph) *graph.Graph {
+	return g.WithDict(g.Dict().Scratch())
 }
 
 // decodeTriple resolves an encoded triple against the dictionary.
 func decodeTriple(d *dict.Dict, enc dict.Triple3) Triple {
-	terms := d.Terms()
-	return Triple{S: terms[enc[0]-1], P: terms[enc[1]-1], O: terms[enc[2]-1]}
+	return Triple{S: d.TermOf(enc[0]), P: d.TermOf(enc[1]), O: d.TermOf(enc[2])}
 }
 
 // snapshot returns the current immutable graph.
@@ -449,7 +490,11 @@ func (db *DB) AddGraphs(gs ...*Graph) error {
 func (db *DB) Len() int { return db.snapshot().Len() }
 
 // Graph returns the current contents as an independent graph. The
-// result is a copy: mutating it does not affect the database.
+// result is a copy: mutating it does not affect the database's triple
+// set. It does share the database's term dictionary (so comparisons
+// between copies stay integer-valued); terms added to a copy therefore
+// intern into the shared dictionary and count toward Stats' DictTerms
+// until a Compact reclaims them.
 func (db *DB) Graph() *Graph { return db.snapshot().Clone() }
 
 // Snapshot checkpoints a durable database: the current state —
@@ -459,6 +504,11 @@ func (db *DB) Graph() *Graph { return db.snapshot().Clone() }
 // any point leaves either the old snapshot with the full log or the
 // new snapshot with a log whose replay is idempotent; reopening
 // recovers the checkpointed state either way.
+//
+// When the dictionary has grown well past the live term set (DictTerms
+// at least twice Terms, with meaningful slack — see Compact for the
+// sources of such growth), Snapshot compacts instead of persisting the
+// bloat: the checkpoint it writes is the dense-dictionary rebuild.
 //
 // On an in-memory database (Open) it fails with ErrNotPersistent.
 func (db *DB) Snapshot() error {
@@ -473,10 +523,83 @@ func (db *DB) Snapshot() error {
 	if closed {
 		return ErrClosed
 	}
-	// Compact runs without mu: the snapshot is immutable and commitMu
-	// keeps concurrent mutations from appending to the log it is about
-	// to truncate.
+	if shouldAutoCompact(g) {
+		return db.compactLocked(g)
+	}
+	// The checkpoint runs without mu: the snapshot is immutable and
+	// commitMu keeps concurrent mutations from appending to the log it
+	// is about to truncate.
 	return db.eng.Compact(g)
+}
+
+// Auto-compaction thresholds: Snapshot rebuilds the dictionary when it
+// holds at least autoCompactFactor times the live term count and the
+// absolute excess passes autoCompactSlack (so small databases are not
+// churned over a handful of stale entries).
+const (
+	autoCompactFactor = 2
+	autoCompactSlack  = 1024
+)
+
+func shouldAutoCompact(g *graph.Graph) bool {
+	dictLen := g.Dict().Len()
+	live := g.UniverseSize()
+	return dictLen >= autoCompactFactor*live && dictLen-live >= autoCompactSlack
+}
+
+// Compact rebuilds the dictionary from the live triple set: terms no
+// longer occurring in any stored triple are dropped and the survivors
+// are renumbered densely (old order preserved), the graph's encoded
+// triples and its three sorted permutations are rewritten through the
+// old→new map without re-sorting, and — on a durable database — a
+// fresh snapshot of the rebuilt state is written (see
+// persist.Engine.Swap for the crash-safe sequence; the write-ahead log
+// is checkpointed and restarted against the new dictionary). The
+// triple set, and therefore Fingerprint, is unchanged; Stats reports
+// DictTerms == Terms afterwards and a correspondingly smaller
+// snapshot.
+//
+// Dead dictionary entries accumulate from batches rejected part-way
+// through, from Graph() copies that interned new terms, and from
+// snapshots written before scratch-overlay evaluation existed (query
+// traffic itself no longer grows the dictionary). Snapshot triggers
+// this rebuild automatically once DictTerms is a multiple of Terms;
+// call Compact directly for deterministic control — e.g. from
+// rdfcheck -op compact during maintenance windows.
+//
+// Readers are never blocked: evaluations in flight keep their old
+// snapshot (and its dictionary) and drain naturally; only the O(1)
+// publish of the rebuilt state takes the write lock. Prepared-universe
+// and inference caches are rebuilt lazily on the next read.
+func (db *DB) Compact() error {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.mu.RLock()
+	g, closed := db.g, db.closed
+	db.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	return db.compactLocked(g)
+}
+
+// compactLocked rebuilds and publishes the compacted state for the
+// snapshot g (the current one; the caller holds commitMu, so no
+// mutation can slip between reading g and publishing its rebuild).
+func (db *DB) compactLocked(g *graph.Graph) error {
+	ng, _ := graph.Compacted(g)
+	if db.eng != nil {
+		if err := db.eng.Swap(g, ng); err != nil {
+			return fmt.Errorf("semweb: compacting: %w", err)
+		}
+	}
+	db.mu.Lock()
+	db.dict = ng.Dict()
+	db.g = ng
+	db.mem = nil
+	db.prepared = nil
+	db.mu.Unlock()
+	return nil
 }
 
 // Close flushes and closes the write-ahead log of a durable database
@@ -507,9 +630,11 @@ type Stats struct {
 	// (|universe(D)|).
 	Terms int
 	// DictTerms is the number of terms interned in the database's
-	// shared dictionary. It is at least Terms: the dictionary also
-	// holds terms from earlier snapshots, query patterns and derived
-	// graphs (closures, skolemizations, answers).
+	// shared dictionary. It is at least Terms; query evaluation never
+	// changes it (evaluation interns into scratch overlays), but
+	// rejected batches, written-to Graph() copies and pre-compaction
+	// snapshots can leave it larger. Compact restores
+	// DictTerms == Terms.
 	DictTerms int
 	// IndexSizes are the entry counts of the three sorted index
 	// permutations over the current snapshot, in the order SPO, POS,
@@ -538,7 +663,7 @@ func (db *DB) Stats() Stats {
 	st := Stats{
 		Triples:    n,
 		BlankNodes: len(g.BlankNodes()),
-		Terms:      len(g.Universe()),
+		Terms:      g.UniverseSize(),
 		DictTerms:  g.Dict().Len(),
 		IndexSizes: [3]int{n, n, n},
 	}
@@ -570,7 +695,10 @@ func (db *DB) Infers(t Triple) bool {
 	g := db.g
 	db.mu.RUnlock()
 	if mem == nil {
-		mem = closure.NewMembershipWorkers(g, db.parallelism())
+		// Built over a scratch overlay: the fallback path materializes
+		// the closure, whose derived terms must not grow the shared
+		// dictionary. The overlay lives as long as the cached index.
+		mem = closure.NewMembershipWorkers(scratchView(g), db.parallelism())
 		db.mu.Lock()
 		if db.g == g { // only cache if no mutation slipped in
 			db.mem = mem
@@ -633,26 +761,29 @@ func (db *DB) Eval(ctx context.Context, q *Query) (*Answer, error) {
 }
 
 // Entails reports D ⊨ h. The closure saturation behind the decision
-// honors WithParallelism.
+// honors WithParallelism and runs over a scratch overlay, leaving the
+// database dictionary unchanged.
 func (db *DB) Entails(ctx context.Context, h *Graph) (bool, error) {
-	ok, err := entail.EntailsWorkers(ctx, db.snapshot(), h, db.parallelism())
+	ok, err := entail.EntailsWorkers(ctx, scratchView(db.snapshot()), h, db.parallelism())
 	return ok, wrapEngineError(err)
 }
 
 // Prove decides D ⊨ h and returns a checked derivation when it holds.
 func (db *DB) Prove(h *Graph) (*Proof, bool) {
-	return Prove(db.snapshot(), h)
+	return Prove(scratchView(db.snapshot()), h)
 }
 
 // Equivalent reports D ≡ h (both saturations honor WithParallelism).
 func (db *DB) Equivalent(ctx context.Context, h *Graph) (bool, error) {
-	ok, err := entail.EquivalentWorkers(ctx, db.snapshot(), h, db.parallelism())
+	ok, err := entail.EquivalentWorkers(ctx, scratchView(db.snapshot()), h, db.parallelism())
 	return ok, wrapEngineError(err)
 }
 
-// Closure returns cl(D). The saturation honors WithParallelism.
+// Closure returns cl(D). The saturation honors WithParallelism. The
+// result's dictionary is a scratch overlay over the database's, so
+// materializing the closure does not grow the shared dictionary.
 func (db *DB) Closure(ctx context.Context) (*Graph, error) {
-	cl, err := closure.ClWorkers(ctx, db.snapshot(), db.parallelism())
+	cl, err := closure.ClWorkers(ctx, scratchView(db.snapshot()), db.parallelism())
 	return cl, wrapEngineError(err)
 }
 
@@ -662,9 +793,10 @@ func (db *DB) Core(ctx context.Context) (*Graph, error) {
 }
 
 // NormalForm returns nf(D) = core(cl(D)). The closure saturation
-// honors WithParallelism; the core retraction is sequential.
+// honors WithParallelism; the core retraction is sequential. Like
+// Closure, the result lives on a scratch overlay.
 func (db *DB) NormalForm(ctx context.Context) (*Graph, error) {
-	nf, err := core.NormalFormWorkers(ctx, db.snapshot(), db.parallelism())
+	nf, err := core.NormalFormWorkers(ctx, scratchView(db.snapshot()), db.parallelism())
 	return nf, wrapEngineError(err)
 }
 
@@ -675,13 +807,15 @@ func (db *DB) MinimalRepresentation() (*Graph, error) {
 	return MinimalRepresentation(db.snapshot())
 }
 
-// Canonical returns D with canonically relabelled blank nodes.
-func (db *DB) Canonical() *Graph { return Canonicalize(db.snapshot()) }
+// Canonical returns D with canonically relabelled blank nodes. The
+// result lives on a scratch overlay: the canonical labels are not
+// interned into the shared dictionary.
+func (db *DB) Canonical() *Graph { return Canonicalize(scratchView(db.snapshot())) }
 
 // Fingerprint returns the equivalence certificate of D. The closure
 // saturation inside nf(D) honors WithParallelism.
 func (db *DB) Fingerprint(ctx context.Context) (string, error) {
-	fp, err := core.FingerprintWorkers(ctx, db.snapshot(), db.parallelism())
+	fp, err := core.FingerprintWorkers(ctx, scratchView(db.snapshot()), db.parallelism())
 	return fp, wrapEngineError(err)
 }
 

@@ -157,6 +157,25 @@ func ExampleDB_Snapshot() {
 	// WAL records 4 -> 0, snapshot on disk: true
 }
 
+// ExampleDB_Compact reclaims dictionary entries the live triples no
+// longer use — here left behind by a mutated Graph() copy, which
+// shares the database's dictionary. Query evaluation itself never
+// grows the dictionary (it interns into scratch overlays).
+func ExampleDB_Compact() {
+	db, _ := semweb.Open()
+	_ = db.Add(semweb.T(semweb.IRI("urn:ex:a"), semweb.IRI("urn:ex:p"), semweb.IRI("urn:ex:b")))
+
+	scratchpad := db.Graph() // shares the dictionary
+	scratchpad.Add(semweb.T(semweb.IRI("urn:tmp:x"), semweb.IRI("urn:tmp:q"), semweb.IRI("urn:tmp:y")))
+
+	before := db.Stats()
+	_ = db.Compact()
+	after := db.Stats()
+	fmt.Printf("dict terms %d -> %d (live: %d)\n", before.DictTerms, after.DictTerms, after.Terms)
+	// Output:
+	// dict terms 6 -> 3 (live: 3)
+}
+
 // ExampleDB_LoadFiles ingests several files in one batch: a single
 // snapshot swap (and, on a durable database, a single logged fsync)
 // instead of one per file.

@@ -1,0 +1,163 @@
+package semweb_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"semwebdb/semweb"
+)
+
+// TestEvalDoesNotGrowDictionary is the regression test for the
+// dictionary leak: query evaluation — blank-headed (per-matching Skolem
+// blanks), constrained, premised (merge + saturation) and plain — must
+// leave Stats().DictTerms exactly where loading left it, on the first
+// Eval and on every repetition.
+func TestEvalDoesNotGrowDictionary(t *testing.T) {
+	db := openFigure1(t)
+	ctx := context.Background()
+	base := db.Stats().DictTerms
+
+	X := semweb.Var("X")
+	Y := semweb.Var("Y")
+	queries := map[string]*semweb.Query{
+		"plain": semweb.NewQuery().
+			Head(semweb.T(X, semweb.IRI("urn:q:creates"), Y)).
+			Body(semweb.T(X, semweb.IRI("urn:art:creates"), Y)),
+		"blank-headed": semweb.NewQuery().
+			Head(semweb.T(X, semweb.IRI("urn:q:madeSomething"), semweb.Blank("W"))).
+			Body(semweb.T(X, semweb.IRI("urn:art:creates"), Y)),
+		"constrained": semweb.NewQuery().
+			Head(semweb.T(X, semweb.IRI("urn:q:creates"), Y)).
+			Body(semweb.T(X, semweb.IRI("urn:art:creates"), Y)).
+			WithConstraints(X, Y),
+		"premised": semweb.NewQuery().
+			Head(semweb.T(X, semweb.IRI("urn:q:relative"), Y)).
+			Body(semweb.T(X, semweb.IRI("urn:fam:relative"), Y)).
+			WithPremiseTriples(
+				semweb.T(semweb.IRI("urn:fam:son"), semweb.SubPropertyOf, semweb.IRI("urn:fam:relative")),
+				semweb.T(semweb.IRI("urn:fam:alice"), semweb.IRI("urn:fam:son"), semweb.Blank("parent"))),
+	}
+
+	for name, q := range queries {
+		for i := 0; i < 3; i++ {
+			ans, err := db.Eval(ctx, q)
+			if err != nil {
+				t.Fatalf("%s eval %d: %v", name, i, err)
+			}
+			_ = ans.NTriples() // force answer rendering through the scratch
+			if got := db.Stats().DictTerms; got != base {
+				t.Fatalf("%s eval %d grew DictTerms %d -> %d", name, i, base, got)
+			}
+		}
+	}
+
+	// Merge semantics renames answer blanks apart — still scratch-local.
+	mq := semweb.NewQuery().
+		Head(semweb.T(X, semweb.IRI("urn:q:made"), semweb.Blank("W"))).
+		Body(semweb.T(X, semweb.IRI("urn:art:creates"), Y)).
+		Under(semweb.Merge)
+	for i := 0; i < 3; i++ {
+		ans, err := db.Eval(ctx, mq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Len() == 0 {
+			t.Fatal("merge answer empty")
+		}
+		_ = ans.Reduce()
+		_ = ans.Lean()
+	}
+	if got := db.Stats().DictTerms; got != base {
+		t.Fatalf("merge-semantics eval grew DictTerms %d -> %d", base, got)
+	}
+}
+
+// TestReadOpsDoNotGrowDictionary covers the non-Eval read paths that
+// derive graphs (closures intern skolem constants and RDFS vocabulary):
+// all of them must leave the shared dictionary untouched.
+func TestReadOpsDoNotGrowDictionary(t *testing.T) {
+	db := openFigure1(t)
+	ctx := context.Background()
+	base := db.Stats().DictTerms
+
+	if _, err := db.Closure(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.NormalForm(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Fingerprint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h, err := semweb.ParseNTriples("<urn:art:picasso> <urn:new:isA> <urn:new:artist> .\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Entails(ctx, h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Equivalent(ctx, h); err != nil {
+		t.Fatal(err)
+	}
+	if !db.Infers(semweb.T(semweb.IRI("urn:art:rodin"), semweb.Type, semweb.IRI("urn:art:artist"))) {
+		t.Fatal("expected inference")
+	}
+	db.Infers(semweb.T(semweb.IRI("urn:probe:s"), semweb.IRI("urn:probe:p"), semweb.IRI("urn:probe:o")))
+
+	if got := db.Stats().DictTerms; got != base {
+		t.Fatalf("read operations grew DictTerms %d -> %d", base, got)
+	}
+
+	// Canonical relabels blank nodes with fresh canonical labels; those
+	// must land on the overlay too. Use a database with blanks.
+	bdb, err := semweb.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bdb.Add(
+		semweb.T(semweb.Blank("x"), semweb.IRI("urn:p"), semweb.Blank("y")),
+		semweb.T(semweb.Blank("y"), semweb.IRI("urn:p"), semweb.IRI("urn:o"))); err != nil {
+		t.Fatal(err)
+	}
+	bbase := bdb.Stats().DictTerms
+	if g := bdb.Canonical(); g.Len() != 2 {
+		t.Fatalf("canonical graph has %d triples", g.Len())
+	}
+	if got := bdb.Stats().DictTerms; got != bbase {
+		t.Fatalf("Canonical grew DictTerms %d -> %d", bbase, got)
+	}
+}
+
+// TestDictChurnManyQueries drives many distinct blank-headed queries —
+// each minting distinct Skolem blanks and fresh pattern terms — and
+// asserts the dictionary stays fixed, the long-lived-server shape from
+// the motivation.
+func TestDictChurnManyQueries(t *testing.T) {
+	db, err := semweb.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc strings.Builder
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&doc, "<urn:s:%d> <urn:p:%d> <urn:o:%d> .\n", i, i%5, i%11)
+	}
+	if err := db.LoadNTriples(strings.NewReader(doc.String())); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	base := db.Stats().DictTerms
+	X, Y := semweb.Var("X"), semweb.Var("Y")
+	for i := 0; i < 25; i++ {
+		q := semweb.NewQuery().
+			Head(semweb.T(X, semweb.IRI(fmt.Sprintf("urn:fresh:%d", i)), semweb.Blank(fmt.Sprintf("N%d", i)))).
+			Body(semweb.T(X, semweb.IRI(fmt.Sprintf("urn:p:%d", i%5)), Y))
+		if _, err := db.Eval(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.Stats().DictTerms; got != base {
+		t.Fatalf("25 distinct blank-headed queries grew DictTerms %d -> %d", base, got)
+	}
+}

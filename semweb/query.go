@@ -35,7 +35,10 @@ const (
 //
 // The zero-value options inherit the DB defaults at Eval time. Queries
 // are cheap values; reusing one across Eval calls is safe as long as it
-// is not mutated concurrently.
+// is not mutated concurrently. Compilation (Eval, Validate) snapshots
+// the builder's pattern slices, so appending more patterns to a builder
+// — including to a copy sharing a backing array with this one — never
+// alters a query that has already been compiled or is being evaluated.
 type Query struct {
 	head        []Triple
 	body        []Triple
@@ -103,7 +106,9 @@ func (q *Query) WithoutNormalForm() *Query {
 }
 
 // LimitMatchings caps the number of body matchings considered
-// (0 = unlimited).
+// (0 = unlimited). An answer cut off by the cap reports
+// Answer.Truncated() == true, distinguishing it from one whose body
+// simply had no further matchings.
 func (q *Query) LimitMatchings(n int) *Query {
 	q.maxMatchings = n
 	return q
@@ -144,9 +149,18 @@ func (q *Query) Validate() error {
 	return err
 }
 
-// compile materializes the internal query and validates it.
+// compile materializes the internal query and validates it. The head
+// and body slices are copied: Head/Body grow the builder's slices with
+// append, so handing them to the internal query by reference would let
+// a later append — through this builder or a value copy sharing its
+// backing array — overwrite patterns a compiled (possibly in-flight)
+// query still reads. Constraints are copied into a map by
+// WithConstraints; the premise graph is shared by reference and must
+// not be mutated while the query is in use.
 func (q *Query) compile() (*query.Query, error) {
-	iq := query.New(q.head, q.body)
+	iq := query.New(
+		append([]Triple(nil), q.head...),
+		append([]Triple(nil), q.body...))
 	if q.premise != nil {
 		iq.WithPremise(q.premise)
 	}
@@ -221,8 +235,16 @@ func (a *Answer) Singles() []*Graph {
 }
 
 // Matchings counts the matchings of the body against the normalized
-// database (before deduplication of equal single answers).
+// database (before deduplication of equal single answers). It never
+// exceeds a LimitMatchings cap.
 func (a *Answer) Matchings() int { return a.inner.Matchings }
+
+// Truncated reports whether the matching enumeration was cut off by
+// LimitMatchings: true means at least one further matching existed and
+// was discarded, so the answer may be incomplete. A query whose body
+// has exactly as many matchings as the cap is complete and reports
+// false; without a cap Truncated is always false.
+func (a *Answer) Truncated() bool { return a.inner.Truncated }
 
 // Semantics reports how Graph was assembled.
 func (a *Answer) Semantics() Semantics { return a.inner.Semantics }

@@ -1,0 +1,61 @@
+package semweb_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"semwebdb/semweb"
+)
+
+// TestLimitMatchingsTruncated distinguishes a complete answer from a
+// capped one: Truncated is true exactly when a matching beyond the cap
+// was discarded, so a cap equal to the matching count is complete.
+func TestLimitMatchingsTruncated(t *testing.T) {
+	db, err := semweb.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc strings.Builder
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&doc, "<urn:s:%d> <urn:p> <urn:o:%d> .\n", i, i)
+	}
+	if err := db.LoadNTriples(strings.NewReader(doc.String())); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	X, Y := semweb.Var("X"), semweb.Var("Y")
+	mk := func(limit int) *semweb.Query {
+		return semweb.NewQuery().
+			Head(semweb.T(X, semweb.IRI("urn:q"), Y)).
+			Body(semweb.T(X, semweb.IRI("urn:p"), Y)).
+			LimitMatchings(limit)
+	}
+
+	cases := []struct {
+		limit         int
+		wantMatchings int
+		wantTruncated bool
+	}{
+		{0, 4, false}, // unlimited
+		{2, 2, true},  // capped mid-way
+		{4, 4, false}, // cap == matchings: complete, not truncated
+		{5, 4, false}, // cap above matchings
+	}
+	for _, c := range cases {
+		ans, err := db.Eval(ctx, mk(c.limit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Matchings() != c.wantMatchings {
+			t.Errorf("limit %d: Matchings = %d, want %d", c.limit, ans.Matchings(), c.wantMatchings)
+		}
+		if ans.Truncated() != c.wantTruncated {
+			t.Errorf("limit %d: Truncated = %v, want %v", c.limit, ans.Truncated(), c.wantTruncated)
+		}
+		if c.wantTruncated && ans.Len() >= 4 {
+			t.Errorf("limit %d: truncated answer has %d triples", c.limit, ans.Len())
+		}
+	}
+}
