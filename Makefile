@@ -5,11 +5,11 @@ GO ?= go
 # Benchmark settings for the JSON perf snapshot. 0.2s per benchmark
 # keeps a full run around a minute while staying reasonably stable.
 BENCHTIME ?= 0.2s
-BENCH_JSON ?= BENCH_pr4.json
+BENCH_JSON ?= BENCH_pr6.json
 # The newest committed per-PR snapshot is the regression baseline.
 BENCH_BASELINE ?= $(shell ls BENCH_pr*.json 2>/dev/null | sort -V | tail -1)
 
-.PHONY: verify check fmt vet test test-race race-closure bench bench-json bench-gate fuzz build examples
+.PHONY: verify check fmt vet test test-race race-closure race-serve serve-smoke bench bench-json bench-gate fuzz build examples
 
 # Tier-1: must stay green (ROADMAP.md).
 verify: build test
@@ -29,6 +29,18 @@ test-race:
 # the race detector.
 race-closure: vet
 	$(GO) test -race -count=1 ./internal/closure/...
+
+# The service tier's concurrency surface under the race detector: the
+# streaming cursor (producer goroutine per query) and the HTTP layer's
+# concurrent query/load/snapshot/compact interleavings.
+race-serve:
+	$(GO) test -race -count=1 ./semweb ./semweb/serve/...
+
+# End-to-end smoke of the semwebd binary: build it, serve a temp dbdir,
+# load the test data over HTTP, stream a query, hit the admin
+# endpoints, SIGINT, and require a clean drain + exit 0.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -count=1 -v ./cmd/semwebd
 
 # verify + static hygiene.
 check: verify vet fmt

@@ -705,3 +705,65 @@ func BenchmarkIsomorphism(b *testing.B) {
 		}
 	})
 }
+
+// --- service tier: streaming cursor vs materializing Eval ---
+
+// BenchmarkStreamVsMaterialize contrasts the two evaluation surfaces on
+// an n-row answer: Eval materializes all n single answers before
+// returning (allocations grow with n), while Stream hands back the
+// first row after O(1) work regardless of n — the memory bound the
+// semwebd query endpoint builds on. Gate on allocs/op: StreamFirstRow
+// must stay flat across the n sizes.
+func BenchmarkStreamVsMaterialize(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{100, 10000} {
+		db, err := semweb.Open()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var doc strings.Builder
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&doc, "<urn:s:%d> <urn:p> <urn:o:%d> .\n", i, i)
+		}
+		if err := db.LoadNTriples(strings.NewReader(doc.String())); err != nil {
+			b.Fatal(err)
+		}
+		X, Y := semweb.Var("X"), semweb.Var("Y")
+		q := semweb.NewQuery().
+			Head(semweb.T(X, semweb.IRI("urn:q"), Y)).
+			Body(semweb.T(X, semweb.IRI("urn:p"), Y))
+		// Warm the prepared-data cache so both measure evaluation, not
+		// the one-time nf(D) preparation.
+		if _, err := db.Eval(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run(fmt.Sprintf("Materialize/n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ans, err := db.Eval(ctx, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ans.Singles()) != n {
+					b.Fatalf("answer size %d, want %d", len(ans.Singles()), n)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("StreamFirstRow/n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows, err := db.Stream(ctx, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rows.Next() {
+					b.Fatalf("no first row: %v", rows.Err())
+				}
+				if err := rows.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,8 +1,11 @@
 package semwebdb_test
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -25,7 +28,7 @@ func tools(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, tool := range []string{"rdfcheck", "rdfnorm", "rdfquery", "experiments", "benchjson"} {
+		for _, tool := range []string{"rdfcheck", "rdfnorm", "rdfquery", "experiments", "benchjson", "semwebd"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
 			var out bytes.Buffer
 			cmd.Stderr = &out
@@ -286,6 +289,118 @@ func TestRdfquery(t *testing.T) {
 	out, code = run(t, "rdfquery", "-sem", "merge", "testdata/artists.rq", "testdata/art.ttl")
 	if code != 0 {
 		t.Fatalf("merge exit %d:\n%s", code, out)
+	}
+}
+
+// TestRdfcheckStatsJSON checks the machine-readable stats encoding — the
+// same JSON semwebd serves on GET /v1/{db}/stats.
+func TestRdfcheckStatsJSON(t *testing.T) {
+	out, code := run(t, "rdfcheck", "-op", "stats", "-json", "testdata/art.ttl")
+	if code != 0 {
+		t.Fatalf("stats -json exit %d:\n%s", code, out)
+	}
+	var st struct {
+		Triples    int    `json:"triples"`
+		Terms      int    `json:"terms"`
+		IndexSizes [3]int `json:"index_sizes"`
+		Persistent bool   `json:"persistent"`
+	}
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatalf("stats -json output is not JSON: %v\n%s", err, out)
+	}
+	if st.Triples == 0 || st.Terms == 0 || st.IndexSizes[0] != st.Triples || st.Persistent {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+
+	// Against a database directory, the on-disk fields appear too.
+	dbdir := filepath.Join(t.TempDir(), "db")
+	if out, code := run(t, "rdfcheck", "-op", "snapshot", "testdata/art.ttl", dbdir); code != 0 {
+		t.Fatalf("snapshot exit %d:\n%s", code, out)
+	}
+	out, code = run(t, "rdfcheck", "-op", "stats", "-json", dbdir)
+	if code != 0 || !strings.Contains(out, `"snapshot_bytes"`) || !strings.Contains(out, `"persistent":true`) {
+		t.Fatalf("dir stats -json (exit %d):\n%s", code, out)
+	}
+}
+
+// TestRdfqueryRemote drives the rdfquery client mode against a real
+// semwebd: rows arrive on stdout as NDJSON, -stats summarizes the
+// trailer instead.
+func TestRdfqueryRemote(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "art"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	srv := exec.Command(filepath.Join(tools(t), "semwebd"), "-addr", "127.0.0.1:0", "-root", root, "-quiet")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Signal(os.Interrupt)
+		srv.Wait()
+	}()
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no semwebd startup line: %v", sc.Err())
+	}
+	const marker = "listening on "
+	line := sc.Text()
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	addr := strings.TrimSpace(line[i+len(marker):])
+
+	ttl, err := os.ReadFile("testdata/art.ttl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/v1/art/load", "text/turtle", bytes.NewReader(ttl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("load: %d", resp.StatusCode)
+	}
+
+	out, code := run(t, "rdfquery", "-addr", addr, "-db", "art", "testdata/artists.rq")
+	if code != 0 {
+		t.Fatalf("remote query exit %d:\n%s", code, out)
+	}
+	gotRow := false
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var row struct {
+			Triples []string `json:"triples"`
+			Done    bool     `json:"done"`
+		}
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("stdout line is not NDJSON: %q (%v)", line, err)
+		}
+		if row.Done {
+			t.Fatalf("trailer leaked to stdout: %q", line)
+		}
+		if len(row.Triples) > 0 && strings.Contains(row.Triples[0], "urn:art:isArtist") {
+			gotRow = true
+		}
+	}
+	if !gotRow {
+		t.Fatalf("no isArtist row in remote output:\n%s", out)
+	}
+
+	out, code = run(t, "rdfquery", "-addr", addr, "-db", "art", "-stats", "testdata/artists.rq")
+	if code != 0 || !strings.Contains(out, "rows: 2") || !strings.Contains(out, "truncated: false") {
+		t.Fatalf("remote -stats (exit %d):\n%s", code, out)
+	}
+
+	// Unknown database: clean failure, exit 2.
+	out, code = run(t, "rdfquery", "-addr", addr, "-db", "nosuch", "testdata/artists.rq")
+	if code != 2 || !strings.Contains(out, "unknown database") {
+		t.Fatalf("unknown-db exit %d:\n%s", code, out)
 	}
 }
 

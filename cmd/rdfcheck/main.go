@@ -9,7 +9,7 @@
 //	rdfcheck -op iso      g1.nt g2.nt   # G1 ≅ G2 ?
 //	rdfcheck -op lean     g.nt          # is G lean?
 //	rdfcheck -op simple   g.nt          # is G a simple graph?
-//	rdfcheck -op stats    g.nt|dbdir    # size, index and on-disk statistics
+//	rdfcheck -op stats    g.nt|dbdir    # size, index and on-disk statistics (-json for machine output)
 //	rdfcheck -op snapshot g.nt dbdir    # load G and checkpoint it into a database directory
 //	rdfcheck -op restore  dbdir         # dump a database directory as canonical N-Triples
 //	rdfcheck -op compact  dbdir         # rebuild the dictionary from the live triples
@@ -27,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,10 +40,11 @@ import (
 func main() {
 	op := flag.String("op", "entails", "operation: entails | equiv | iso | lean | simple | stats | snapshot | restore | compact")
 	proof := flag.Bool("proof", false, "with -op entails: print a checked proof (Definition 2.5)")
+	asJSON := flag.Bool("json", false, "with -op stats: print semweb.Stats as JSON (the semwebd stats encoding)")
 	quiet := flag.Bool("q", false, "suppress output; use the exit status only")
 	flag.Parse()
 
-	tool := cliutil.New("rdfcheck", "rdfcheck -op entails|equiv|iso|lean|simple|stats|snapshot|restore|compact [-proof] [-q] file|dir [file|dir]")
+	tool := cliutil.New("rdfcheck", "rdfcheck -op entails|equiv|iso|lean|simple|stats|snapshot|restore|compact [-proof] [-json] [-q] file|dir [file|dir]")
 	ctx := tool.Context()
 
 	say := func(format string, args ...any) {
@@ -121,6 +123,21 @@ func main() {
 			tool.Fail(err)
 		}
 		st := db.Stats()
+		if *asJSON {
+			// The same encoding semwebd's GET /v1/{db}/stats serves, for
+			// scripts that consume either source.
+			enc := json.NewEncoder(os.Stdout)
+			if err := enc.Encode(st); err != nil {
+				tool.Fail(err)
+			}
+			if st.Persistent {
+				if err := db.Close(); err != nil {
+					tool.Fail(err)
+				}
+			}
+			holds = true
+			break
+		}
 		say("triples:    %d", st.Triples)
 		say("blanks:     %d", st.BlankNodes)
 		say("terms:      %d distinct (%d interned)", st.Terms, st.DictTerms)

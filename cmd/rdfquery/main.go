@@ -5,15 +5,25 @@
 // Usage:
 //
 //	rdfquery [-sem union|merge] [-stats] query.rq data.nt
+//	rdfquery -addr host:port -db name [-sem ...] [-limit N] [-timeout D] query.rq
 //
 // The query file format is documented on semweb.ParseQuery: HEAD:/BODY:
 // sections of triple patterns with ?variables, plus optional PREMISE:
 // and CONSTRAINTS: sections (Definition 4.1).
+//
+// With -addr the query runs remotely against a semwebd server instead
+// of a local file: the single answers stream to stdout as NDJSON rows
+// — one JSON object per line, as the solver finds them, in bounded
+// memory on both ends — followed by nothing (the end-of-stream trailer
+// is consumed and reported on stderr, or as the -stats summary).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
+	"time"
 
 	"semwebdb/semweb"
 	"semwebdb/semweb/cliutil"
@@ -23,13 +33,27 @@ func main() {
 	sem := flag.String("sem", "union", "answer semantics: union (ans∪) or merge (ans+)")
 	stats := flag.Bool("stats", false, "print counts instead of the answer graph")
 	skipNF := flag.Bool("skip-nf", false, "match against cl(D+P) instead of nf(D+P) (faster, loses Theorem 4.6 invariance)")
+	limit := flag.Int("limit", 0, "cap the matchings enumerated (0 = unlimited)")
+	addr := flag.String("addr", "", "query a semwebd server at this host:port instead of a local file")
+	dbName := flag.String("db", "", "with -addr: the database name to query")
+	timeout := flag.Duration("timeout", 0, "with -addr: server-side deadline for the query (0 = server default)")
 	flag.Parse()
 
-	tool := cliutil.New("rdfquery", "rdfquery [-sem union|merge] [-stats] query.rq data.nt")
+	tool := cliutil.New("rdfquery", "rdfquery [-sem union|merge] [-stats] query.rq data.nt | rdfquery -addr host:port -db name query.rq")
+	switch *sem {
+	case "union", "merge":
+	default:
+		tool.Failf("unknown semantics %q", *sem)
+	}
+
+	if *addr != "" {
+		runRemote(tool, *addr, *dbName, *sem, *skipNF, *limit, *timeout, *stats)
+		return
+	}
+
 	if flag.NArg() != 2 {
 		tool.UsageExit()
 	}
-
 	q, err := semweb.ParseQuery(string(tool.ReadFile(flag.Arg(0))))
 	if err != nil {
 		tool.Fail(err)
@@ -39,11 +63,12 @@ func main() {
 		q.Under(semweb.Union)
 	case "merge":
 		q.Under(semweb.Merge)
-	default:
-		tool.Failf("unknown semantics %q", *sem)
 	}
 	if *skipNF {
 		q.WithoutNormalForm()
+	}
+	if *limit > 0 {
+		q.LimitMatchings(*limit)
 	}
 
 	db, err := semweb.Open(semweb.WithGraph(tool.LoadGraph(flag.Arg(1))))
@@ -63,4 +88,36 @@ func main() {
 		return
 	}
 	tool.WriteGraph(ans.Graph())
+}
+
+// runRemote streams the query against a semwebd server (client mode).
+func runRemote(tool *cliutil.Tool, addr, dbName, sem string, skipNF bool, limit int, timeout time.Duration, stats bool) {
+	if dbName == "" {
+		tool.Failf("-addr needs -db NAME")
+	}
+	if flag.NArg() != 1 {
+		tool.UsageExit()
+	}
+	req := &cliutil.QueryRequest{
+		Addr:           addr,
+		DB:             dbName,
+		Query:          string(tool.ReadFile(flag.Arg(0))),
+		Semantics:      sem,
+		SkipNormalForm: skipNF,
+		Limit:          limit,
+		Timeout:        timeout,
+	}
+	var sink io.Writer = os.Stdout
+	if stats {
+		sink = io.Discard
+	}
+	trailer, err := cliutil.StreamQuery(tool.Context(), req, sink)
+	if err != nil {
+		tool.Fail(err)
+	}
+	if stats {
+		fmt.Printf("rows: %d\nmatchings: %d\ntruncated: %v\n", trailer.Rows, trailer.Matchings, trailer.Truncated)
+	} else if trailer.Truncated {
+		fmt.Fprintf(os.Stderr, "rdfquery: answer truncated at %d matchings (raise -limit)\n", trailer.Matchings)
+	}
 }

@@ -1,0 +1,132 @@
+// Command semwebd serves semweb databases over HTTP: tableau-query
+// evaluation with memory-bounded NDJSON answer streaming, bulk loads,
+// and snapshot/compact administration (package semweb/serve documents
+// the endpoints and wire format).
+//
+// Usage:
+//
+//	semwebd [-addr host:port] [-root DIR] [-db name=dir ...]
+//	        [-timeout D] [-max-timeout D] [-drain D] [-quiet]
+//
+// Databases come from two sources: every "-db name=dir" flag mounts one
+// directory under the given name (created on first use if missing), and
+// "-root DIR" serves every existing subdirectory of DIR under its own
+// name. At least one of the two is required.
+//
+// semwebd owns its database directories exclusively while running (the
+// write-ahead log takes an advisory lock); point other tools at them
+// only after shutdown. On SIGINT or SIGTERM the server stops accepting
+// connections, drains in-flight request streams for up to the -drain
+// window, then closes every database and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"semwebdb/semweb/serve"
+)
+
+// mountFlags collects repeated -db name=dir flags.
+type mountFlags map[string]string
+
+func (m mountFlags) String() string { return fmt.Sprintf("%v", map[string]string(m)) }
+
+func (m mountFlags) Set(v string) error {
+	name, dir, ok := strings.Cut(v, "=")
+	if !ok || name == "" || dir == "" {
+		return fmt.Errorf("want name=dir, got %q", v)
+	}
+	if _, dup := m[name]; dup {
+		return fmt.Errorf("duplicate database name %q", name)
+	}
+	m[name] = dir
+	return nil
+}
+
+func main() {
+	mounts := mountFlags{}
+	addr := flag.String("addr", "localhost:8585", "listen address (host:port; port 0 picks a free port)")
+	root := flag.String("root", "", "serve every subdirectory of this directory as a database")
+	timeout := flag.Duration("timeout", 0, "default per-query deadline when the request sets none (0 = unbounded)")
+	maxTimeout := flag.Duration("max-timeout", 0, "hard cap on the per-query timeout parameter (0 = uncapped)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown window for in-flight streams")
+	quiet := flag.Bool("quiet", false, "suppress per-request logging")
+	flag.Var(mounts, "db", "mount a database directory as name=dir (repeatable)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "semwebd: ", log.LstdFlags)
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: semwebd [-addr host:port] [-root DIR] [-db name=dir ...]")
+		os.Exit(2)
+	}
+
+	cfg := serve.Config{
+		Mounts:         mounts,
+		Root:           *root,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	}
+	if !*quiet {
+		cfg.Logf = logger.Printf
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	// Listen before announcing, so "listening on" carries the resolved
+	// address (meaningful with port 0) and startup errors exit non-zero
+	// before any client can connect.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	// The smoke test and operators' scripts key on this exact line.
+	fmt.Printf("semwebd: listening on %s\n", ln.Addr())
+	logger.Printf("serving databases: %v", srv.Names())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigc:
+		logger.Printf("received %v, draining for up to %s", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			// The drain window expired with streams still running; cut
+			// them — closing their connections cancels the request
+			// contexts, which aborts the solvers behind the streams.
+			logger.Printf("drain window expired (%v), aborting in-flight streams", err)
+			_ = httpSrv.Close()
+		}
+		cancel()
+	case err := <-errc:
+		// Serve never returns nil; anything but the Shutdown sentinel is
+		// a listener failure.
+		if !errors.Is(err, http.ErrServerClosed) {
+			_ = srv.Close()
+			logger.Fatal(err)
+		}
+	}
+
+	if err := srv.Close(); err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("shut down cleanly")
+}

@@ -324,7 +324,8 @@ func evaluateAgainst(ctx context.Context, q *Query, data *graph.Graph, opts Opti
 	return evaluateIndexed(ctx, q, match.NewIndex(data), opts)
 }
 
-// evaluateIndexed runs the dictionary-encoded matching loop: the body is
+// evaluateIndexed runs the dictionary-encoded matching loop (see
+// streamIndexed, which it shares with the streaming API): the body is
 // solved over ID range scans, and each matching instantiates the head by
 // ID substitution — single answers share one dictionary with the data,
 // so deduplication and answer assembly compare integers. Strings appear
@@ -340,54 +341,16 @@ func evaluateAgainst(ctx context.Context, q *Query, data *graph.Graph, opts Opti
 // dictionary or its snapshots.
 func evaluateIndexed(ctx context.Context, q *Query, ix *match.Index, opts Options) (*Answer, error) {
 	d := ix.Dict().Scratch()
-	inst := newHeadInstantiator(q, d)
-
-	constrained := make(map[dict.ID]bool, len(q.Constraints))
-	for v := range q.Constraints {
-		constrained[d.Intern(v)] = true
-	}
-
 	ans := &Answer{Semantics: opts.Semantics}
-	seen := map[string]bool{}
-
-	solverOpts := match.Options{
-		Ctx:  ctx,
-		Dict: d,
-		Admissible: func(unknown, value dict.ID) bool {
-			if constrained[unknown] && d.KindOf(value) == term.KindBlank {
-				return false
-			}
-			return true
-		},
-	}
-	solver := match.NewSolver(ix, solverOpts)
-	solver.Solve(q.Body, func(b match.Binding) bool {
-		if opts.MaxMatchings > 0 && ans.Matchings >= opts.MaxMatchings {
-			// A further matching exists beyond the cap: record the
-			// truncation and stop without considering it, so Matchings
-			// stays within the cap and a body with exactly MaxMatchings
-			// matchings is not reported as truncated.
-			ans.Truncated = true
-			return false
-		}
-		ans.Matchings++
-		encs, key, ok := inst.instantiate(b)
-		if !ok {
-			return true // v(H) not a well-formed RDF graph: skipped
-		}
-		if !seen[key] {
-			seen[key] = true
-			single := graph.NewWithDict(d)
-			for _, enc := range encs {
-				single.AddID(enc)
-			}
-			ans.Singles = append(ans.Singles, single)
-		}
+	st, err := streamIndexed(ctx, q, ix, opts, d, func(single *graph.Graph, _ match.Binding, _ int) bool {
+		ans.Singles = append(ans.Singles, single)
 		return true
 	})
-	if err := solver.Err(); err != nil {
+	if err != nil {
 		return nil, err
 	}
+	ans.Matchings = st.Matchings
+	ans.Truncated = st.Truncated
 
 	// Deterministic order for reproducible merges: sort by the canonical
 	// serialization, computed once per single answer.

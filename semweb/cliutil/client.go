@@ -1,0 +1,119 @@
+package cliutil
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"semwebdb/semweb/serve"
+)
+
+// QueryRequest describes one streaming query against a semwebd server,
+// shared by the rdfquery client mode and any scripting callers.
+type QueryRequest struct {
+	// Addr is the server's host:port (no scheme).
+	Addr string
+	// DB is the database name (the {db} path segment).
+	DB string
+	// Query is the tableau query text (semweb.ParseQuery format).
+	Query string
+	// Semantics is "", "union" or "merge"; empty defers to the server's
+	// default.
+	Semantics string
+	// SkipNormalForm requests matching against cl(D+P) instead of
+	// nf(D+P).
+	SkipNormalForm bool
+	// Limit caps the matchings enumerated (0 = unlimited).
+	Limit int
+	// Timeout is the server-side deadline to request (0 = server
+	// default).
+	Timeout time.Duration
+}
+
+// URL renders the query endpoint URL with the option parameters.
+func (req *QueryRequest) URL() string {
+	params := url.Values{}
+	if req.Semantics != "" {
+		params.Set("sem", req.Semantics)
+	}
+	if req.SkipNormalForm {
+		params.Set("skipnf", "true")
+	}
+	if req.Limit > 0 {
+		params.Set("limit", strconv.Itoa(req.Limit))
+	}
+	if req.Timeout > 0 {
+		params.Set("timeout", req.Timeout.String())
+	}
+	u := url.URL{
+		Scheme:   "http",
+		Host:     req.Addr,
+		Path:     "/v1/" + req.DB + "/query",
+		RawQuery: params.Encode(),
+	}
+	return u.String()
+}
+
+// StreamQuery runs req against a semwebd server and copies the NDJSON
+// row lines to w as they arrive — never buffering the whole answer —
+// stopping at the trailer, which it parses and returns. It fails when
+// the server rejects the request, the stream ends without a trailer,
+// or the trailer itself carries an error; rows already written to w
+// stand either way.
+func StreamQuery(ctx context.Context, req *QueryRequest, w io.Writer) (serve.Trailer, error) {
+	var trailer serve.Trailer
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, req.URL(), strings.NewReader(req.Query))
+	if err != nil {
+		return trailer, err
+	}
+	hreq.Header.Set("Content-Type", "text/plain")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return trailer, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var em struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&em) == nil && em.Error != "" {
+			return trailer, fmt.Errorf("server: %s (HTTP %d)", em.Error, resp.StatusCode)
+		}
+		return trailer, fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			Done bool `json:"done"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return trailer, fmt.Errorf("malformed stream line %q: %v", line, err)
+		}
+		if probe.Done {
+			if err := json.Unmarshal(line, &trailer); err != nil {
+				return trailer, err
+			}
+			if trailer.Error != "" {
+				return trailer, fmt.Errorf("stream aborted after %d rows: %s", trailer.Rows, trailer.Error)
+			}
+			return trailer, nil
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return trailer, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return trailer, err
+	}
+	return trailer, fmt.Errorf("stream ended without a trailer (connection cut mid-answer?)")
+}

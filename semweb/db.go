@@ -620,37 +620,39 @@ func (db *DB) Close() error {
 }
 
 // Stats summarizes the current contents and the dictionary-encoded
-// representation behind it.
+// representation behind it. It marshals to stable snake_case JSON —
+// the encoding shared by semwebd's /v1/{db}/stats endpoint and
+// rdfcheck -op stats -json.
 type Stats struct {
 	// Triples is |D|.
-	Triples int
+	Triples int `json:"triples"`
 	// BlankNodes is the number of distinct blank nodes.
-	BlankNodes int
+	BlankNodes int `json:"blank_nodes"`
 	// Terms is the number of distinct terms occurring in D
 	// (|universe(D)|).
-	Terms int
+	Terms int `json:"terms"`
 	// DictTerms is the number of terms interned in the database's
 	// shared dictionary. It is at least Terms; query evaluation never
 	// changes it (evaluation interns into scratch overlays), but
 	// rejected batches, written-to Graph() copies and pre-compaction
 	// snapshots can leave it larger. Compact restores
 	// DictTerms == Terms.
-	DictTerms int
+	DictTerms int `json:"dict_terms"`
 	// IndexSizes are the entry counts of the three sorted index
 	// permutations over the current snapshot, in the order SPO, POS,
 	// OSP. Each permutation holds one entry per triple.
-	IndexSizes [3]int
+	IndexSizes [3]int `json:"index_sizes"`
 	// Persistent reports whether the database is backed by a directory
 	// (OpenAt). The remaining fields are zero when it is not.
-	Persistent bool
+	Persistent bool `json:"persistent"`
 	// SnapshotBytes is the size of the on-disk binary snapshot file; 0
 	// until the first checkpoint (Snapshot or threshold compaction).
-	SnapshotBytes int64
+	SnapshotBytes int64 `json:"snapshot_bytes"`
 	// WALBytes is the size of the valid write-ahead-log records not yet
 	// folded into the snapshot.
-	WALBytes int64
+	WALBytes int64 `json:"wal_bytes"`
 	// WALRecords is the number of valid write-ahead-log records.
-	WALRecords int
+	WALRecords int `json:"wal_records"`
 }
 
 // Stats returns size statistics for the current contents. Each sorted

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"semwebdb/semweb"
+)
+
+// NDJSONContentType is the media type of the query endpoint's streamed
+// response body.
+const NDJSONContentType = "application/x-ndjson"
+
+// RowMessage is one NDJSON line of a query stream: a single answer
+// v(H) with the body-variable bindings of the matching that produced
+// it. Triples and binding values are rendered in N-Triples concrete
+// syntax.
+type RowMessage struct {
+	// Triples are the triples of the single answer, one canonical
+	// N-Triples statement per entry.
+	Triples []string `json:"triples"`
+	// Bindings maps body-variable names (without the '?') to the terms
+	// they matched.
+	Bindings map[string]string `json:"bindings,omitempty"`
+	// Matching is the 1-based ordinal of the matching that produced
+	// this row (see semweb.Row).
+	Matching int `json:"matching"`
+}
+
+// Trailer is the final NDJSON line of a query stream — the only line
+// with "done": true. It carries the end-of-stream statistics, or the
+// error that cut the stream short.
+type Trailer struct {
+	Done bool `json:"done"`
+	// Rows is the number of RowMessage lines that preceded the trailer.
+	Rows int `json:"rows"`
+	// Matchings is the number of body matchings the solver considered
+	// (never above the limit parameter, when one was set).
+	Matchings int `json:"matchings"`
+	// Truncated reports that the enumeration was cut off by the limit
+	// parameter: at least one further matching existed and was
+	// discarded (the semweb.Answer.Truncated contract).
+	Truncated bool `json:"truncated"`
+	// Error is set when the stream ended abnormally — cancellation,
+	// timeout, engine failure — instead of completing. The rows before
+	// the trailer are valid but possibly incomplete.
+	Error string `json:"error,omitempty"`
+}
+
+// errorMessage is the JSON body of every non-streaming error response.
+type errorMessage struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorMessage{Error: err.Error()})
+}
+
+// openForRequest resolves the {db} path segment and writes the error
+// response when it cannot.
+func (s *Server) openForRequest(w http.ResponseWriter, r *http.Request) (*semweb.DB, bool) {
+	name := r.PathValue("db")
+	db, err := s.DB(name)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrUnknownDB):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrServerClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return nil, false
+	}
+	return db, true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleDBs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"dbs": s.Names()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.openForRequest(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, db.Stats())
+}
+
+// requestTimeout resolves the effective deadline for a query request:
+// the client's timeout parameter, clamped to MaxTimeout, defaulting to
+// DefaultTimeout.
+func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
+	d := s.cfg.DefaultTimeout
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		parsed, err := time.ParseDuration(raw)
+		if err != nil || parsed <= 0 {
+			return 0, errors.New("serve: invalid timeout parameter (want a positive Go duration, e.g. 30s)")
+		}
+		d = parsed
+	}
+	if s.cfg.MaxTimeout > 0 && (d == 0 || d > s.cfg.MaxTimeout) {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// handleQuery is the tentpole endpoint: parse the tableau query from
+// the body, stream the single answers as NDJSON rows — flushing each
+// so the client sees them as the solver finds them — and finish with
+// exactly one Trailer line. The cursor is backpressured by the
+// connection; a slow or disconnected client therefore stalls (and on
+// disconnect aborts) the solver instead of buffering the answer.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.openForRequest(w, r)
+	if !ok {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxQueryBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	q, err := semweb.ParseQuery(string(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	params := r.URL.Query()
+	switch sem := params.Get("sem"); sem {
+	case "":
+		// No parameter: the database's configured default applies.
+	case "union":
+		q.Under(semweb.Union)
+	case "merge":
+		q.Under(semweb.Merge)
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("serve: invalid sem parameter (want union or merge)"))
+		return
+	}
+	if params.Get("skipnf") == "true" {
+		q.WithoutNormalForm()
+	}
+	if raw := params.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, errors.New("serve: invalid limit parameter"))
+			return
+		}
+		q.LimitMatchings(n)
+	}
+	timeout, err := s.requestTimeout(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx := r.Context() // cancelled by the server on client disconnect
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	rows, err := db.Stream(ctx, q)
+	if err != nil {
+		if errors.Is(err, semweb.ErrMalformedQuery) {
+			writeError(w, http.StatusBadRequest, err)
+		} else {
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	defer rows.Close()
+
+	w.Header().Set("Content-Type", NDJSONContentType)
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	rc := http.NewResponseController(w)
+
+	sent := 0
+	for rows.Next() {
+		if err := enc.Encode(rowMessage(rows.Row())); err != nil {
+			// The connection is gone; Close below aborts the solver.
+			break
+		}
+		_ = rc.Flush()
+		sent++
+	}
+	// Close is the barrier that makes the final statistics (and the
+	// terminal error, if any) available.
+	_ = rows.Close()
+	tr := Trailer{
+		Done:      true,
+		Rows:      sent,
+		Matchings: rows.Matchings(),
+		Truncated: rows.Truncated(),
+	}
+	if err := rows.Err(); err != nil {
+		tr.Error = err.Error()
+	}
+	_ = enc.Encode(tr)
+	_ = rc.Flush()
+	s.logf("query db=%s rows=%d matchings=%d truncated=%v err=%q in %s",
+		r.PathValue("db"), tr.Rows, tr.Matchings, tr.Truncated, tr.Error, time.Since(start).Round(time.Millisecond))
+}
+
+// rowMessage renders one cursor row for the wire.
+func rowMessage(row semweb.Row) RowMessage {
+	msg := RowMessage{Matching: row.Matching}
+	nt := semweb.NTriples(row.Single)
+	msg.Triples = strings.Split(strings.TrimRight(nt, "\n"), "\n")
+	if len(row.Bindings) > 0 {
+		msg.Bindings = make(map[string]string, len(row.Bindings))
+		for v, b := range row.Bindings {
+			msg.Bindings[v.Value] = b.String()
+		}
+	}
+	return msg
+}
+
+// loadResult is the response body of the load endpoint.
+type loadResult struct {
+	// Added is the number of triples the request inserted (duplicates
+	// of already-stored triples do not count).
+	Added int `json:"added"`
+	// Triples is |D| after the load.
+	Triples int `json:"triples"`
+}
+
+// handleLoad ingests an RDF document into the database: Turtle when the
+// Content-Type says so, N-Triples otherwise. The load is one atomic
+// batch — a syntax error stores nothing.
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.openForRequest(w, r)
+	if !ok {
+		return
+	}
+	before := db.Len()
+	var err error
+	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "turtle") {
+		err = db.LoadTurtle(r.Body)
+	} else {
+		err = db.LoadNTriples(r.Body)
+	}
+	if err != nil {
+		var pe *semweb.ParseError
+		switch {
+		case errors.As(err, &pe), errors.Is(err, semweb.ErrIllFormedTriple):
+			writeError(w, http.StatusBadRequest, err)
+		case errors.Is(err, semweb.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	after := db.Len()
+	s.logf("load db=%s added=%d total=%d", r.PathValue("db"), after-before, after)
+	writeJSON(w, http.StatusOK, loadResult{Added: after - before, Triples: after})
+}
+
+// handleSnapshot checkpoints the database (semweb.DB.Snapshot) and
+// returns the post-checkpoint statistics.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.openForRequest(w, r)
+	if !ok {
+		return
+	}
+	if err := db.Snapshot(); err != nil {
+		writeAdminError(w, err)
+		return
+	}
+	s.logf("snapshot db=%s", r.PathValue("db"))
+	writeJSON(w, http.StatusOK, db.Stats())
+}
+
+// compactResult is the response body of the compact endpoint.
+type compactResult struct {
+	Before semweb.Stats `json:"before"`
+	After  semweb.Stats `json:"after"`
+}
+
+// handleCompact rebuilds the dictionary from the live triple set
+// (semweb.DB.Compact) and returns the before/after statistics.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.openForRequest(w, r)
+	if !ok {
+		return
+	}
+	before := db.Stats()
+	if err := db.Compact(); err != nil {
+		writeAdminError(w, err)
+		return
+	}
+	after := db.Stats()
+	s.logf("compact db=%s dict=%d->%d snapshot=%d->%d bytes",
+		r.PathValue("db"), before.DictTerms, after.DictTerms, before.SnapshotBytes, after.SnapshotBytes)
+	writeJSON(w, http.StatusOK, compactResult{Before: before, After: after})
+}
+
+// writeAdminError maps admin-operation failures to statuses.
+func writeAdminError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, semweb.ErrNotPersistent):
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, semweb.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package serve implements semwebd's HTTP/JSON service tier over
+// semweb databases: multi-database routing by directory, memory-bounded
+// NDJSON answer streaming, bulk-load and admin endpoints, and clean
+// shutdown that drains in-flight streams.
+//
+// # Endpoints
+//
+//	GET  /healthz              liveness probe
+//	GET  /v1/dbs               names of the serveable databases
+//	GET  /v1/{db}/stats        semweb.Stats as JSON
+//	POST /v1/{db}/query        evaluate a tableau query, stream NDJSON rows
+//	POST /v1/{db}/load         ingest an N-Triples or Turtle body
+//	POST /v1/{db}/snapshot     checkpoint the database directory
+//	POST /v1/{db}/compact      rebuild the dictionary from the live triples
+//
+// The query endpoint takes the textual tableau format of
+// semweb.ParseQuery as its body and the options as URL parameters
+// (sem=union|merge, skipnf=true, limit=N, timeout=DURATION). Its
+// response is application/x-ndjson: one RowMessage object per single
+// answer, flushed as produced — the engine's cursor (semweb.Rows) is
+// backpressured by the connection, so answers of any size stream in
+// bounded memory — then exactly one Trailer object carrying the final
+// statistics (or the mid-stream error). Cancellation propagates both
+// ways: a client that disconnects mid-stream aborts the solver, and a
+// timeout or server shutdown cuts the stream with an error trailer.
+//
+// Databases are mounted by directory (Config.Mounts) or discovered as
+// subdirectories of Config.Root, and opened lazily on first touch via
+// semweb.OpenAt — so the usual single-writer/concurrent-readers
+// discipline of semweb.DB applies per database, and a semwebd owns its
+// directories exclusively (the WAL flock rejects a second writer).
+//
+// The tier is deliberately auth-less (see ROADMAP: service tier):
+// deploy it on a trusted network or behind a fronting proxy.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"semwebdb/semweb"
+)
+
+// Sentinel errors of the service tier.
+var (
+	// ErrUnknownDB reports a database name that no mount and no Root
+	// subdirectory provides. It maps to 404.
+	ErrUnknownDB = errors.New("serve: unknown database")
+	// ErrServerClosed reports a request against a Server whose Close has
+	// begun. It maps to 503.
+	ErrServerClosed = errors.New("serve: server closed")
+)
+
+// Config configures a Server.
+type Config struct {
+	// Mounts maps database names to their directories. Mounted
+	// directories are created (by semweb.OpenAt) if missing.
+	Mounts map[string]string
+
+	// Root, when set, serves every subdirectory of this directory as a
+	// database under its own name. Unlike Mounts, the subdirectory must
+	// already exist — URLs cannot conjure new databases — so an
+	// operator provisions one with mkdir. Mounts take precedence over
+	// Root on name collisions.
+	Root string
+
+	// Options are passed to every semweb.OpenAt.
+	Options []semweb.Option
+
+	// DefaultTimeout bounds a query request that carries no explicit
+	// timeout parameter; zero means unbounded.
+	DefaultTimeout time.Duration
+
+	// MaxTimeout caps the timeout parameter a client may request; zero
+	// means uncapped.
+	MaxTimeout time.Duration
+
+	// MaxQueryBytes caps the query-text body size (default 1 MiB).
+	MaxQueryBytes int64
+
+	// Logf, when non-nil, receives one line per completed request.
+	Logf func(format string, args ...any)
+}
+
+const defaultMaxQueryBytes = 1 << 20
+
+// Server routes requests to lazily-opened semweb databases. Create one
+// with New, expose Handler over an http.Server, and Close it after the
+// http.Server has shut down (Close closes every opened database, which
+// rejects further mutations while letting published snapshots serve
+// any reads still draining).
+type Server struct {
+	cfg Config
+
+	mu     sync.Mutex
+	dbs    map[string]*dbEntry
+	closed bool
+}
+
+// dbEntry is one lazily-opened database; once serializes the open so
+// concurrent first requests cannot race two OpenAt calls (the second
+// would fail on the WAL flock).
+type dbEntry struct {
+	dir  string
+	once sync.Once
+	db   *semweb.DB
+	err  error
+}
+
+// New validates the configuration and returns a Server. No database is
+// opened yet; each opens on its first request.
+func New(cfg Config) (*Server, error) {
+	if cfg.Root == "" && len(cfg.Mounts) == 0 {
+		return nil, fmt.Errorf("serve: no databases to serve (set Root or Mounts)")
+	}
+	for name := range cfg.Mounts {
+		if !validDBName(name) {
+			return nil, fmt.Errorf("serve: invalid database name %q", name)
+		}
+	}
+	if cfg.Root != "" {
+		if fi, err := os.Stat(cfg.Root); err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("serve: root %q is not a directory", cfg.Root)
+		}
+	}
+	if cfg.MaxQueryBytes == 0 {
+		cfg.MaxQueryBytes = defaultMaxQueryBytes
+	}
+	return &Server{cfg: cfg, dbs: make(map[string]*dbEntry)}, nil
+}
+
+// dbNamePattern keeps database names path-safe: no separators, no
+// leading dot, nothing a URL could use to escape Root.
+var dbNamePattern = regexp.MustCompile(`^[A-Za-z0-9_][A-Za-z0-9._-]*$`)
+
+func validDBName(name string) bool {
+	return name != "" && len(name) <= 128 && dbNamePattern.MatchString(name)
+}
+
+// resolve maps a database name to its directory, or reports it unknown.
+func (s *Server) resolve(name string) (string, error) {
+	if !validDBName(name) {
+		return "", fmt.Errorf("%w: %q", ErrUnknownDB, name)
+	}
+	if dir, ok := s.cfg.Mounts[name]; ok {
+		return dir, nil
+	}
+	if s.cfg.Root != "" {
+		dir := filepath.Join(s.cfg.Root, name)
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, nil
+		}
+	}
+	return "", fmt.Errorf("%w: %q", ErrUnknownDB, name)
+}
+
+// DB returns the named database, opening it on first use. Concurrent
+// callers share one open; the open's error is sticky (a broken
+// directory stays broken until the operator fixes it and restarts —
+// deliberate, so a flapping directory cannot melt the process with
+// repeated recovery attempts).
+func (s *Server) DB(name string) (*semweb.DB, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	e := s.dbs[name]
+	if e == nil {
+		dir, err := s.resolve(name)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		e = &dbEntry{dir: dir}
+		s.dbs[name] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		e.db, e.err = semweb.OpenAt(e.dir, s.cfg.Options...)
+	})
+	return e.db, e.err
+}
+
+// Names lists the serveable database names — every mount plus every
+// Root subdirectory — sorted.
+func (s *Server) Names() []string {
+	seen := map[string]bool{}
+	for name := range s.cfg.Mounts {
+		seen[name] = true
+	}
+	if s.cfg.Root != "" {
+		if entries, err := os.ReadDir(s.cfg.Root); err == nil {
+			for _, ent := range entries {
+				if ent.IsDir() && validDBName(ent.Name()) {
+					seen[ent.Name()] = true
+				}
+			}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close closes every database this server opened. Call it after the
+// fronting http.Server has drained: mutations then fail with ErrClosed
+// while reads still in flight finish against their snapshots. Close is
+// idempotent; the first error wins.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	entries := make([]*dbEntry, 0, len(s.dbs))
+	for _, e := range s.dbs {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+
+	var first error
+	for _, e := range entries {
+		// Running the once here synchronizes with any in-flight open and
+		// makes the e.db read safe; a never-touched entry opens and
+		// immediately closes, which is harmless.
+		e.once.Do(func() {
+			e.db, e.err = semweb.OpenAt(e.dir, s.cfg.Options...)
+		})
+		if e.err != nil || e.db == nil {
+			continue
+		}
+		if err := e.db.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// logf logs through Config.Logf when set.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Handler returns the HTTP handler serving the /v1 API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/dbs", s.handleDBs)
+	mux.HandleFunc("GET /v1/{db}/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/{db}/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/{db}/load", s.handleLoad)
+	mux.HandleFunc("POST /v1/{db}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /v1/{db}/compact", s.handleCompact)
+	return mux
+}

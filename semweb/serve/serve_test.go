@@ -1,0 +1,532 @@
+package serve_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"semwebdb/semweb"
+	"semwebdb/semweb/serve"
+)
+
+// newTestServer builds a Server over a fresh Root directory containing
+// one provisioned (empty) database named "art", plus an httptest
+// front. The caller gets the base URL; cleanup closes both.
+func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, string) {
+	t.Helper()
+	if cfg.Root == "" && cfg.Mounts == nil {
+		root := t.TempDir()
+		if err := os.Mkdir(filepath.Join(root, "art"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		cfg.Root = root
+	}
+	// Benchmarks and tests run on tmpfs-backed temp dirs; skip fsyncs.
+	cfg.Options = append(cfg.Options, semweb.WithoutFsync())
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := s.Close(); err != nil {
+			t.Errorf("server Close: %v", err)
+		}
+	})
+	return s, ts.URL
+}
+
+// ntDoc builds an N-Triples document with n distinct triples.
+func ntDoc(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<urn:s:%d> <urn:p> <urn:o:%d> .\n", i, i)
+	}
+	return b.String()
+}
+
+const testQuery = `HEAD:
+?X <urn:q> ?Y .
+BODY:
+?X <urn:p> ?Y .
+`
+
+func post(t *testing.T, url, contentType, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(data)
+}
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(data)
+}
+
+// decodeStream splits an NDJSON response into rows and the trailer,
+// failing on any malformed framing.
+func decodeStream(t *testing.T, body string) ([]serve.RowMessage, serve.Trailer) {
+	t.Helper()
+	var rows []serve.RowMessage
+	var trailer serve.Trailer
+	sawTrailer := false
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if sawTrailer {
+			t.Fatalf("line after trailer: %q", line)
+		}
+		var probe struct {
+			Done bool `json:"done"`
+		}
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if probe.Done {
+			if err := json.Unmarshal([]byte(line), &trailer); err != nil {
+				t.Fatal(err)
+			}
+			sawTrailer = true
+			continue
+		}
+		var row serve.RowMessage
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	if !sawTrailer {
+		t.Fatalf("stream ended without a trailer:\n%s", body)
+	}
+	return rows, trailer
+}
+
+// TestLoadQueryStream is the happy path: load N-Triples, stream a
+// query, check rows and trailer.
+func TestLoadQueryStream(t *testing.T) {
+	_, url := newTestServer(t, serve.Config{})
+
+	resp, body := post(t, url+"/v1/art/load", "application/n-triples", ntDoc(5))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("load: %d %s", resp.StatusCode, body)
+	}
+	var lr struct {
+		Added, Triples int
+	}
+	if err := json.Unmarshal([]byte(body), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Added != 5 || lr.Triples != 5 {
+		t.Fatalf("load result = %+v, want 5/5", lr)
+	}
+
+	resp, body = post(t, url+"/v1/art/query", "text/plain", testQuery)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != serve.NDJSONContentType {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	rows, trailer := decodeStream(t, body)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for _, row := range rows {
+		if len(row.Triples) != 1 || !strings.Contains(row.Triples[0], "<urn:q>") {
+			t.Fatalf("bad row triples: %v", row.Triples)
+		}
+		if row.Bindings["X"] == "" || row.Bindings["Y"] == "" {
+			t.Fatalf("bad row bindings: %v", row.Bindings)
+		}
+	}
+	if trailer.Rows != 5 || trailer.Matchings != 5 || trailer.Truncated || trailer.Error != "" {
+		t.Fatalf("trailer = %+v", trailer)
+	}
+}
+
+// TestQueryLimitTruncated surfaces the LimitMatchings contract in the
+// trailer object.
+func TestQueryLimitTruncated(t *testing.T) {
+	_, url := newTestServer(t, serve.Config{})
+	post(t, url+"/v1/art/load", "application/n-triples", ntDoc(6))
+
+	resp, body := post(t, url+"/v1/art/query?limit=2", "text/plain", testQuery)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+	rows, trailer := decodeStream(t, body)
+	if len(rows) != 2 || trailer.Rows != 2 || trailer.Matchings != 2 || !trailer.Truncated {
+		t.Fatalf("rows=%d trailer=%+v, want 2 rows truncated", len(rows), trailer)
+	}
+
+	// limit == matchings is complete, not truncated.
+	_, body = post(t, url+"/v1/art/query?limit=6", "text/plain", testQuery)
+	_, trailer = decodeStream(t, body)
+	if trailer.Truncated {
+		t.Fatalf("trailer = %+v, want not truncated at limit==matchings", trailer)
+	}
+}
+
+// TestQueryTurtleLoadAndSemantics loads Turtle and exercises the sem
+// parameter.
+func TestQueryTurtleLoadAndSemantics(t *testing.T) {
+	_, url := newTestServer(t, serve.Config{})
+	ttl := `@prefix ex: <urn:ex:> . ex:a <urn:p> ex:b . ex:c <urn:p> ex:d .`
+	resp, body := post(t, url+"/v1/art/load", "text/turtle", ttl)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("turtle load: %d %s", resp.StatusCode, body)
+	}
+	for _, sem := range []string{"union", "merge"} {
+		resp, body := post(t, url+"/v1/art/query?sem="+sem, "text/plain", testQuery)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sem=%s: %d %s", sem, resp.StatusCode, body)
+		}
+		rows, trailer := decodeStream(t, body)
+		if len(rows) != 2 || trailer.Error != "" {
+			t.Fatalf("sem=%s: rows=%d trailer=%+v", sem, len(rows), trailer)
+		}
+	}
+	resp, _ = post(t, url+"/v1/art/query?sem=bogus", "text/plain", testQuery)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("sem=bogus: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestErrorStatuses checks the non-streaming error mapping.
+func TestErrorStatuses(t *testing.T) {
+	_, url := newTestServer(t, serve.Config{})
+
+	resp, _ := get(t, url+"/v1/nosuch/stats")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown db: %d, want 404", resp.StatusCode)
+	}
+	// Path traversal must not escape the root.
+	resp, _ = get(t, url+"/v1/..%2F..%2Fetc/stats")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("traversal name: %d, want 404", resp.StatusCode)
+	}
+	resp, _ = post(t, url+"/v1/art/query", "text/plain", "HEAD:\nBODY:\n???")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query: %d, want 400", resp.StatusCode)
+	}
+	resp, _ = post(t, url+"/v1/art/query?limit=-3", "text/plain", testQuery)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit: %d, want 400", resp.StatusCode)
+	}
+	resp, _ = post(t, url+"/v1/art/query?timeout=never", "text/plain", testQuery)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad timeout: %d, want 400", resp.StatusCode)
+	}
+	resp, _ = post(t, url+"/v1/art/load", "application/n-triples", "not ntriples at all")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad load: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStatsAndAdmin exercises stats/snapshot/compact against a durable
+// directory.
+func TestStatsAndAdmin(t *testing.T) {
+	_, url := newTestServer(t, serve.Config{})
+	post(t, url+"/v1/art/load", "application/n-triples", ntDoc(10))
+
+	resp, body := get(t, url+"/v1/art/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d %s", resp.StatusCode, body)
+	}
+	var st semweb.Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Triples != 10 || !st.Persistent {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !strings.Contains(body, `"triples":10`) {
+		t.Fatalf("stats JSON missing snake_case fields: %s", body)
+	}
+
+	resp, body = post(t, url+"/v1/art/snapshot", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SnapshotBytes == 0 {
+		t.Fatalf("snapshot stats = %+v, want on-disk bytes", st)
+	}
+
+	resp, body = post(t, url+"/v1/art/compact", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact: %d %s", resp.StatusCode, body)
+	}
+	var cr struct {
+		Before, After semweb.Stats
+	}
+	if err := json.Unmarshal([]byte(body), &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.After.DictTerms != cr.After.Terms {
+		t.Fatalf("compact result = %+v, want dense dictionary", cr.After)
+	}
+
+	resp, body = get(t, url+"/v1/dbs")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"art"`) {
+		t.Fatalf("dbs: %d %s", resp.StatusCode, body)
+	}
+	resp, body = get(t, url+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "true") {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestMountsAndRootPrecedence serves one database from an explicit
+// mount (created on demand) alongside the root.
+func TestMountsAndRootPrecedence(t *testing.T) {
+	mountDir := filepath.Join(t.TempDir(), "fresh")
+	_, url := newTestServer(t, serve.Config{Mounts: map[string]string{"mounted": mountDir}})
+
+	// The mounted database did not exist; the first load creates it.
+	resp, body := post(t, url+"/v1/mounted/load", "application/n-triples", ntDoc(3))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mounted load: %d %s", resp.StatusCode, body)
+	}
+	resp, body = get(t, url+"/v1/dbs")
+	if !strings.Contains(body, `"mounted"`) {
+		t.Fatalf("dbs missing mount: %d %s", resp.StatusCode, body)
+	}
+}
+
+// crossQuery is a 3-pattern cross join: over n loaded triples it has
+// n^3 matchings, far more than any test should enumerate — the
+// workload for disconnect/timeout abort tests.
+const crossQuery = `HEAD:
+?A <urn:q> ?F .
+BODY:
+?A <urn:p> ?B .
+?C <urn:p> ?D .
+?E <urn:p> ?F .
+`
+
+// TestClientDisconnectAbortsSolver is the acceptance test for
+// mid-stream disconnect: the client reads one row and drops the
+// connection; the handler (and the solver behind it) must finish
+// promptly instead of enumerating the n^3 answer. The proof is
+// httptest.Server.Close, which blocks until every handler returns.
+func TestClientDisconnectAbortsSolver(t *testing.T) {
+	root := t.TempDir()
+	if err := os.Mkdir(filepath.Join(root, "art"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{Root: root, Options: []semweb.Option{semweb.WithoutFsync()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer s.Close()
+
+	if resp, _ := http.Post(ts.URL+"/v1/art/load", "application/n-triples", strings.NewReader(ntDoc(300))); resp.StatusCode != http.StatusOK {
+		t.Fatalf("load: %d", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/art/query", strings.NewReader(crossQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("reading first row: %v", err)
+	}
+	// Drop the connection mid-stream.
+	cancel()
+	resp.Body.Close()
+
+	// 300^3 = 2.7e7 matchings would take many seconds to enumerate; a
+	// prompt Close proves the solver aborted on disconnect.
+	done := make(chan struct{})
+	go func() {
+		ts.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain after client disconnect: solver still enumerating")
+	}
+}
+
+// TestQueryTimeoutTrailer: a server-side timeout mid-stream ends the
+// stream with an error trailer rather than hanging or dropping the
+// framing.
+func TestQueryTimeoutTrailer(t *testing.T) {
+	_, url := newTestServer(t, serve.Config{})
+	post(t, url+"/v1/art/load", "application/n-triples", ntDoc(120))
+
+	resp, err := http.Post(url+"/v1/art/query?timeout=150ms", "text/plain", strings.NewReader(crossQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d", resp.StatusCode)
+	}
+	var trailer serve.Trailer
+	sawTrailer := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var probe serve.Trailer
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		if probe.Done {
+			trailer, sawTrailer = probe, true
+			break
+		}
+	}
+	if !sawTrailer {
+		t.Fatal("timed-out stream ended without a trailer")
+	}
+	if trailer.Error == "" || !strings.Contains(trailer.Error, "cancelled") {
+		t.Fatalf("trailer = %+v, want a cancellation error", trailer)
+	}
+}
+
+// TestConcurrentSessions is the linearizability/race acceptance test:
+// concurrent streaming queries against one database while loads,
+// snapshots and compactions run — everything must succeed, and every
+// stream must observe a consistent snapshot (a complete, untruncated
+// answer of size ≡ 0 mod the per-load batch size). Run under -race.
+func TestConcurrentSessions(t *testing.T) {
+	_, url := newTestServer(t, serve.Config{})
+	const batch = 7
+	post(t, url+"/v1/art/load", "application/n-triples", ntDoc(batch))
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	fail := func(format string, args ...any) {
+		select {
+		case errc <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	// Writers: each loads distinct batches, serialized by the engine.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				var b strings.Builder
+				for j := 0; j < batch; j++ {
+					fmt.Fprintf(&b, "<urn:w:%d:%d> <urn:p> <urn:o:%d:%d:%d> .\n", w, i, w, i, j)
+				}
+				resp, err := http.Post(url+"/v1/art/load", "application/n-triples", strings.NewReader(b.String()))
+				if err != nil {
+					fail("load: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail("load status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Readers: stream full answers; sizes must be whole batches.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				resp, err := http.Post(url+"/v1/art/query", "text/plain", strings.NewReader(testQuery))
+				if err != nil {
+					fail("query: %v", err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					fail("query read: %d %v", resp.StatusCode, err)
+					return
+				}
+				lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+				var trailer serve.Trailer
+				if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil || !trailer.Done {
+					fail("bad trailer: %v %q", err, lines[len(lines)-1])
+					return
+				}
+				if trailer.Error != "" || trailer.Truncated {
+					fail("stream failed mid-flight: %+v", trailer)
+					return
+				}
+				if trailer.Rows%batch != 0 {
+					fail("inconsistent snapshot: %d rows is not a whole number of %d-triple batches", trailer.Rows, batch)
+					return
+				}
+			}
+		}()
+	}
+
+	// Admin: snapshots and compactions interleaved with the above.
+	for _, op := range []string{"snapshot", "compact"} {
+		wg.Add(1)
+		go func(op string) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				resp, err := http.Post(url+"/v1/art/"+op, "", nil)
+				if err != nil {
+					fail("%s: %v", op, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail("%s status %d", op, resp.StatusCode)
+					return
+				}
+			}
+		}(op)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
