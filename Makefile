@@ -5,11 +5,11 @@ GO ?= go
 # Benchmark settings for the JSON perf snapshot. 0.2s per benchmark
 # keeps a full run around a minute while staying reasonably stable.
 BENCHTIME ?= 0.2s
-BENCH_JSON ?= BENCH_pr6.json
+BENCH_JSON ?= BENCH_pr7.json
 # The newest committed per-PR snapshot is the regression baseline.
 BENCH_BASELINE ?= $(shell ls BENCH_pr*.json 2>/dev/null | sort -V | tail -1)
 
-.PHONY: verify check fmt vet test test-race race-closure race-serve serve-smoke bench bench-json bench-gate fuzz build examples
+.PHONY: verify check fmt vet test test-race race-closure race-serve race-delta serve-smoke bench bench-json bench-gate fuzz build examples
 
 # Tier-1: must stay green (ROADMAP.md).
 verify: build test
@@ -35,6 +35,15 @@ race-closure: vet
 # concurrent query/load/snapshot/compact interleavings.
 race-serve:
 	$(GO) test -race -count=1 ./semweb ./semweb/serve/...
+
+# Incremental closure maintenance under the race detector: the delta
+# engine's property tests, the prepared-cache maintenance paths
+# (concurrent Add/Eval/Stream against one DB), and the HTTP
+# load-vs-stream interleavings that ride the delta path.
+race-delta:
+	$(GO) test -race -count=1 ./internal/closure/... -run 'Delta|Maintainer'
+	$(GO) test -race -count=1 ./semweb -run TestDelta
+	$(GO) test -race -count=1 ./semweb/serve/... -run 'TestLoadQueryTakesDeltaPath|TestConcurrentLoadAndStream'
 
 # End-to-end smoke of the semwebd binary: build it, serve a temp dbdir,
 # load the test data over HTTP, stream a query, hit the admin

@@ -134,6 +134,12 @@ type engine struct {
 
 	byPred    map[dict.ID][]dict.Triple3 // predicate -> triples
 	typeByObj map[dict.ID][]dict.ID      // class -> {x : (x,type,class)}
+
+	// journaling makes add record every admitted triple in journal —
+	// the delta engine's channel for reporting exactly which triples a
+	// maintenance round added on top of the seeded base (delta.go).
+	journaling bool
+	journal    []dict.Triple3
 }
 
 func newEngine(d *dict.Dict) *engine {
@@ -179,6 +185,28 @@ func (e *engine) add(t dict.Triple3) {
 	if !e.out.AddID(t) {
 		return
 	}
+	if e.journaling {
+		e.journal = append(e.journal, t)
+	}
+	e.indexTriple(t)
+	e.queue = append(e.queue, t)
+}
+
+// seed admits a triple of an already-saturated base: it is deduped,
+// validated and indexed like any other, but not queued — firings among
+// base triples alone derive nothing new (the base is a fixpoint), so
+// only delta triples need processing. Every rule instantiation with at
+// least one delta premise still fires, because indexes are consulted
+// when the delta premise is processed.
+func (e *engine) seed(t dict.Triple3) {
+	if !e.out.AddID(t) {
+		return
+	}
+	e.indexTriple(t)
+}
+
+// indexTriple folds a triple into the rule-firing indexes.
+func (e *engine) indexTriple(t dict.Triple3) {
 	e.byPred[t[1]] = append(e.byPred[t[1]], t)
 	switch t[1] {
 	case e.sp:
@@ -194,7 +222,6 @@ func (e *engine) add(t dict.Triple3) {
 	case e.typ:
 		e.typeByObj[t[2]] = append(e.typeByObj[t[2]], t[0])
 	}
-	e.queue = append(e.queue, t)
 }
 
 func (e *engine) run(ctx context.Context) error {

@@ -1,0 +1,203 @@
+// This file implements incremental (delta) maintenance of the RDFS
+// closure: given an already-saturated base and a batch of inserted
+// triples, compute RDFS-cl(base ∪ batch) by semi-naive rounds in which
+// at least one premise of every rule firing comes from the delta —
+// never by re-saturating the base. The public entry points are the
+// one-shot DeltaRDFSCl / DeltaCl families and the reusable Maintainer.
+//
+// Correctness rests on the base being a fixpoint of rules (2)–(13):
+// rule instantiations whose premises all lie in the base conclude only
+// triples the base already has, so seeding the base into the engine's
+// indexes and dedup set *without queueing it* loses nothing — every
+// instantiation with a delta premise still fires when that premise is
+// processed against the (always up-to-date) indexes, which is the same
+// exactly-once coverage argument as full saturation. The rule (9)
+// vocabulary loops (p, sp, p) for p ∈ rdfsV are in every saturated
+// base already, so they need no re-bootstrapping.
+//
+// For cl (Definition 3.5) the fallback identity is that cl is a
+// closure operator — monotone and idempotent — hence
+// cl(cl(D) ∪ A) = cl(D ∪ A): whenever delta maintenance is unsound
+// (blank nodes make skolemization interact with the base), a full
+// saturation of the union gives the same answer.
+
+package closure
+
+import (
+	"context"
+	"fmt"
+
+	"semwebdb/internal/dict"
+	"semwebdb/internal/graph"
+)
+
+// Maintainer incrementally maintains the RDFS closure of a growing
+// triple set. It is built once from a saturated base — one O(|base|)
+// indexing pass, with no rule firings — and then folds successive
+// insertion batches in via Apply, each costing work proportional to
+// the batch and its consequences rather than to the whole closure.
+//
+// The maintainer owns private engine state (its own dedup graph and
+// rule indexes over the base's dictionary); it never mutates the base
+// graph it was seeded from. It is not safe for concurrent use —
+// callers serialize Apply — and after an Apply aborts mid-batch
+// (context cancellation) the maintainer is poisoned: its internal
+// state holds a half-applied batch, so every later Apply fails and the
+// caller must fall back to a full saturation.
+type Maintainer struct {
+	e   *engine
+	err error // poisoned: an Apply aborted with this error
+}
+
+// NewMaintainer builds a maintainer over base, which must be
+// RDFS-closed (a fixpoint of rules (2)–(13), e.g. any RDFSCl /
+// RDFSClWorkers result). Feeding a non-closed base yields the closure
+// of nothing in particular; it is the caller's contract, not checked.
+func NewMaintainer(base *graph.Graph) *Maintainer {
+	e := newEngine(base.Dict())
+	base.EachID(func(t dict.Triple3) bool {
+		e.seed(t)
+		return true
+	})
+	e.journaling = true
+	return &Maintainer{e: e}
+}
+
+// Len returns the current closure size |cl| the maintainer tracks.
+func (m *Maintainer) Len() int { return m.e.out.Len() }
+
+// Apply folds a batch of inserted triples (encoded against the base's
+// dictionary) into the maintained closure and returns the triples that
+// are genuinely new — the batch members not already present plus
+// everything the rules derive from them. The returned slice is owned
+// by the caller and is disjoint from the pre-Apply closure, which
+// makes it directly usable with graph.ExtendedByIDs.
+func (m *Maintainer) Apply(ctx context.Context, batch []dict.Triple3) ([]dict.Triple3, error) {
+	if m.err != nil {
+		return nil, m.err
+	}
+	e := m.e
+	e.journal = e.journal[:0]
+	for _, t := range batch {
+		e.add(t)
+	}
+	if err := e.run(ctx); err != nil {
+		m.err = fmt.Errorf("closure: delta maintenance aborted, maintainer unusable: %w", err)
+		return nil, err
+	}
+	out := make([]dict.Triple3, len(e.journal))
+	copy(out, e.journal)
+	return out, nil
+}
+
+// DeltaRDFSCl returns RDFS-cl(base ∪ batch) for an already
+// RDFS-closed base, doing delta work only: the base is indexed but
+// never re-fired. Neither input graph is modified; the result shares
+// base's dictionary, and sorted permutations already built on base are
+// extended by merging the delta run rather than re-sorting
+// (graph.ExtendedByIDs).
+func DeltaRDFSCl(base, batch *graph.Graph) *graph.Graph {
+	out, _ := DeltaRDFSClCtx(context.Background(), base, batch)
+	return out
+}
+
+// DeltaRDFSClCtx is DeltaRDFSCl under a context (see RDFSClCtx).
+func DeltaRDFSClCtx(ctx context.Context, base, batch *graph.Graph) (*graph.Graph, error) {
+	m := NewMaintainer(base)
+	added, err := m.Apply(ctx, batchIDs(base, batch))
+	if err != nil {
+		return nil, err
+	}
+	return base.ExtendedByIDs(added), nil
+}
+
+// DeltaRDFSClWorkers is DeltaRDFSClCtx with an explicit parallelism
+// degree: workers ≤ 1 (or a small base) runs the sequential delta
+// engine, larger values seed the sharded parallel engine from the base
+// and run fire→merge→index rounds over the batch only. Both paths
+// compute the same closure.
+func DeltaRDFSClWorkers(ctx context.Context, base, batch *graph.Graph, workers int) (*graph.Graph, error) {
+	nw := normWorkers(workers)
+	if nw == 1 || base.Len()+batch.Len() < minParallelTriples {
+		return DeltaRDFSClCtx(ctx, base, batch)
+	}
+	return parDeltaRDFSCl(ctx, base, batch, nw)
+}
+
+// DeltaCl returns cl(base ∪ batch) for base = cl(D) of some graph D.
+// When both base and batch are ground — the common shape of loaded
+// databases — this is pure delta work; with blank nodes in play the
+// skolemization step of Definition 3.5 makes in-place maintenance
+// unsound, and the computation falls back to a full saturation of the
+// union, which is equal by the closure-operator identity
+// cl(cl(D) ∪ A) = cl(D ∪ A).
+func DeltaCl(base, batch *graph.Graph) *graph.Graph {
+	out, _ := DeltaClCtx(context.Background(), base, batch)
+	return out
+}
+
+// DeltaClCtx is DeltaCl under a context.
+func DeltaClCtx(ctx context.Context, base, batch *graph.Graph) (*graph.Graph, error) {
+	return DeltaClWorkers(ctx, base, batch, 1)
+}
+
+// DeltaClWorkers is DeltaClCtx with an explicit parallelism degree
+// (see RDFSClWorkers).
+func DeltaClWorkers(ctx context.Context, base, batch *graph.Graph, workers int) (*graph.Graph, error) {
+	if base.IsGround() && batch.IsGround() {
+		return DeltaRDFSClWorkers(ctx, base, batch, workers)
+	}
+	return ClWorkers(ctx, graph.Union(base, batch), workers)
+}
+
+// parDeltaRDFSCl runs the sharded engine seeded from a saturated base:
+// every base triple is admitted into the dedup and rule-index shards
+// without being queued, then the batch bootstraps round zero and the
+// usual fire→merge→index rounds run to the fixpoint — each round's
+// delta journaled. Tests call this directly to cover bases below the
+// parallel cutoff.
+func parDeltaRDFSCl(ctx context.Context, base, batch *graph.Graph, nw int) (*graph.Graph, error) {
+	pe := newParEngineShell(base.Dict(), nw)
+	// Each shard owner scans the base once and keeps what it owns:
+	// concurrent read-only iteration of the base set is safe, and no
+	// cross-shard writes occur.
+	parallelDo(nw, func(i int) {
+		base.EachID(func(t dict.Triple3) bool {
+			if pe.dedupShardOf(t) == i {
+				pe.seen[i][t] = struct{}{}
+			}
+			if pe.predShardOf(t[1]) == i {
+				pe.indexInto(&pe.shards[i], t)
+			}
+			return true
+		})
+	})
+	pe.journaling = true
+	for _, t := range batchIDs(base, batch) {
+		pe.bootstrap(t)
+	}
+	if err := pe.run(ctx); err != nil {
+		return nil, err
+	}
+	return base.ExtendedByIDs(pe.journal), nil
+}
+
+// batchIDs encodes the batch against base's dictionary. A batch
+// already sharing it is collected as-is; otherwise every term is
+// re-interned once.
+func batchIDs(base, batch *graph.Graph) []dict.Triple3 {
+	out := make([]dict.Triple3, 0, batch.Len())
+	if batch.Dict() == base.Dict() {
+		batch.EachID(func(t dict.Triple3) bool {
+			out = append(out, t)
+			return true
+		})
+		return out
+	}
+	d := base.Dict()
+	batch.Each(func(t graph.Triple) bool {
+		out = append(out, dict.Triple3{d.Intern(t.S), d.Intern(t.P), d.Intern(t.O)})
+		return true
+	})
+	return out
+}

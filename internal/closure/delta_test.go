@@ -1,0 +1,237 @@
+package closure
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"semwebdb/internal/dict"
+	"semwebdb/internal/graph"
+	"semwebdb/internal/rdfs"
+)
+
+// splitRandom partitions the triples of g into a base graph and a batch
+// graph (sharing g's dictionary), putting each triple in the batch with
+// the given probability.
+func splitRandom(rng *rand.Rand, g *graph.Graph, pBatch float64) (*graph.Graph, *graph.Graph) {
+	base := graph.NewWithDict(g.Dict())
+	batch := graph.NewWithDict(g.Dict())
+	g.EachID(func(t dict.Triple3) bool {
+		if rng.Float64() < pBatch {
+			batch.AddID(t)
+		} else {
+			base.AddID(t)
+		}
+		return true
+	})
+	return base, batch
+}
+
+// TestDeltaClosureEqualsFromScratch is the core acceptance property of
+// incremental maintenance: for random graphs split into a base and an
+// insert batch, saturating the base and folding the batch in by delta
+// rounds yields exactly RDFS-cl(base ∪ batch) — for the sequential
+// one-shot, the parallel one-shot at workers {1, 2, 8}, and regardless
+// of which triples land in the batch.
+func TestDeltaClosureEqualsFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for round := 0; round < 60; round++ {
+		var g *graph.Graph
+		if round%2 == 0 {
+			g = randClosureGraph(rng, 4+rng.Intn(10))
+		} else {
+			g = randVocabAsDataGraph(rng, 4+rng.Intn(10))
+		}
+		base, batch := splitRandom(rng, g, 0.3)
+		want := RDFSCl(g)
+		baseCl := RDFSCl(base)
+
+		got := DeltaRDFSCl(baseCl, batch)
+		if !got.Equal(want) {
+			t.Fatalf("round %d: sequential delta closure differs on\n%v\nbatch:\n%v\nonly-want: %v\nonly-got: %v",
+				round, base, batch, want.Minus(got), got.Minus(want))
+		}
+		for _, nw := range workerCounts {
+			got, err := parDeltaRDFSCl(context.Background(), baseCl, batch, max(nw, 2))
+			if err != nil {
+				t.Fatalf("round %d w%d: %v", round, nw, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("round %d w%d: parallel delta closure differs\nonly-want: %v\nonly-got: %v",
+					round, nw, want.Minus(got), got.Minus(want))
+			}
+			got2, err := DeltaRDFSClWorkers(context.Background(), baseCl, batch, nw)
+			if err != nil {
+				t.Fatalf("round %d w%d: %v", round, nw, err)
+			}
+			if !got2.Equal(want) {
+				t.Fatalf("round %d w%d: DeltaRDFSClWorkers differs", round, nw)
+			}
+		}
+	}
+}
+
+// TestDeltaClosureInsertionOrders: applying the same batch in different
+// insertion orders and sub-batch splits through one Maintainer reaches
+// the same fixpoint, and each Apply's journal is exactly the set
+// difference it created (disjoint from the pre-Apply closure).
+func TestDeltaClosureInsertionOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for round := 0; round < 40; round++ {
+		g := randClosureGraph(rng, 5+rng.Intn(8))
+		base, batch := splitRandom(rng, g, 0.4)
+		want := RDFSCl(g)
+		baseCl := RDFSCl(base)
+
+		ids := batchIDs(baseCl, batch)
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+
+		// Split the shuffled batch into 1..4 sub-batches applied in
+		// sequence; the closure after the last must equal the closure of
+		// the union, whatever the split points.
+		m := NewMaintainer(baseCl)
+		acc := baseCl
+		for len(ids) > 0 {
+			k := 1 + rng.Intn(len(ids))
+			sub := ids[:k]
+			ids = ids[k:]
+			added, err := m.Apply(context.Background(), sub)
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			for _, a := range added {
+				if acc.HasID(a) {
+					t.Fatalf("round %d: journal reports %v already present", round, a)
+				}
+			}
+			acc = acc.ExtendedByIDs(added)
+			if acc.Len() != m.Len() {
+				t.Fatalf("round %d: extended graph (%d) and maintainer (%d) disagree on size",
+					round, acc.Len(), m.Len())
+			}
+		}
+		if !acc.Equal(want) {
+			t.Fatalf("round %d: incremental batches reached wrong fixpoint\nonly-want: %v\nonly-got: %v",
+				round, want.Minus(acc), acc.Minus(want))
+		}
+	}
+}
+
+// TestDeltaClosureEmptyBatch: folding in nothing adds nothing.
+func TestDeltaClosureEmptyBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	g := randClosureGraph(rng, 8)
+	baseCl := RDFSCl(g)
+	m := NewMaintainer(baseCl)
+	added, err := m.Apply(context.Background(), nil)
+	if err != nil || len(added) != 0 {
+		t.Fatalf("empty batch: added=%v err=%v", added, err)
+	}
+	// Re-inserting triples the closure already holds is also a no-op.
+	added, err = m.Apply(context.Background(), batchIDs(baseCl, g))
+	if err != nil || len(added) != 0 {
+		t.Fatalf("duplicate batch: added=%v err=%v", added, err)
+	}
+	if got := DeltaRDFSCl(baseCl, graph.NewWithDict(baseCl.Dict())); !got.Equal(baseCl) {
+		t.Fatal("one-shot empty delta changed the closure")
+	}
+}
+
+// TestDeltaClEqualsClOfUnion covers the cl-level (Definition 3.5)
+// entry points, including the non-ground fallback path.
+func TestDeltaClEqualsClOfUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	for round := 0; round < 40; round++ {
+		g := randClosureGraph(rng, 4+rng.Intn(8)) // mixes blanks in
+		base, batch := splitRandom(rng, g, 0.35)
+		want := Cl(g)
+		baseCl := Cl(base)
+		for _, nw := range workerCounts {
+			got, err := DeltaClWorkers(context.Background(), baseCl, batch, nw)
+			if err != nil {
+				t.Fatalf("round %d w%d: %v", round, nw, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("round %d w%d: DeltaCl differs from Cl of union\nonly-want: %v\nonly-got: %v",
+					round, nw, want.Minus(got), got.Minus(want))
+			}
+		}
+	}
+}
+
+// TestMaintainerPoisonedAfterCancel: an Apply aborted by its context
+// reports the cancellation and poisons the maintainer for good.
+func TestMaintainerPoisonedAfterCancel(t *testing.T) {
+	baseCl := RDFSCl(scChain(40))
+	m := NewMaintainer(baseCl)
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	batch := graph.NewWithDict(baseCl.Dict())
+	batch.Add(graph.T(iri("n1"), rdfs.SubClassOf, iri("fresh")))
+	if _, err := m.Apply(dead, batchIDs(baseCl, batch)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Apply: err=%v, want context.Canceled", err)
+	}
+	if _, err := m.Apply(context.Background(), nil); err == nil {
+		t.Fatal("poisoned maintainer accepted a later Apply")
+	}
+	// The one-shot variants surface the same error.
+	if out, err := DeltaRDFSClCtx(dead, baseCl, batch); err == nil || out != nil {
+		t.Fatalf("DeltaRDFSClCtx on dead context: out=%v err=%v", out != nil, err)
+	}
+	if out, err := parDeltaRDFSCl(dead, baseCl, batch, 4); err == nil || out != nil {
+		t.Fatalf("parDeltaRDFSCl on dead context: out=%v err=%v", out != nil, err)
+	}
+}
+
+// TestDeltaClosureForeignDictBatch: a batch graph with its own private
+// dictionary is re-interned against the base's.
+func TestDeltaClosureForeignDictBatch(t *testing.T) {
+	base := graph.New(
+		graph.T(iri("c1"), rdfs.SubClassOf, iri("c2")),
+		graph.T(iri("x"), rdfs.Type, iri("c1")),
+	)
+	baseCl := RDFSCl(base)
+	batch := graph.New(graph.T(iri("c2"), rdfs.SubClassOf, iri("c3")))
+	want := RDFSCl(graph.Union(base, batch))
+	got := DeltaRDFSCl(baseCl, batch)
+	if !got.Equal(want) {
+		t.Fatalf("foreign-dict batch: wrong closure\nonly-want: %v\nonly-got: %v",
+			want.Minus(got), got.Minus(want))
+	}
+	if !got.Has(graph.T(iri("x"), rdfs.Type, iri("c3"))) {
+		t.Fatal("expected derived typing through the freshly inserted subclass edge")
+	}
+}
+
+// TestDeltaClosureExtendedIndexesConsistent: the merged permutations of
+// the extended result answer pattern scans exactly like a freshly
+// sorted graph over the same set.
+func TestDeltaClosureExtendedIndexesConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	for round := 0; round < 20; round++ {
+		g := randClosureGraph(rng, 6+rng.Intn(6))
+		base, batch := splitRandom(rng, g, 0.3)
+		baseCl := RDFSCl(base)
+		// Force all three permutations on the base so ExtendedByIDs
+		// takes the merge path for each.
+		for o := 0; o < 3; o++ {
+			baseCl.Index(dict.Order(o))
+		}
+		got := DeltaRDFSCl(baseCl, batch)
+		for o := 0; o < 3; o++ {
+			fo := dict.Order(o)
+			merged := got.Index(fo)
+			rebuilt := graph.NewWithDict(got.Dict()).AddAll(got).Index(fo)
+			if len(merged) != len(rebuilt) {
+				t.Fatalf("round %d order %v: index sizes %d vs %d", round, fo, len(merged), len(rebuilt))
+			}
+			for i := range merged {
+				if merged[i] != rebuilt[i] {
+					t.Fatalf("round %d order %v: merged index diverges at %d: %v vs %v",
+						round, fo, i, merged[i], rebuilt[i])
+				}
+			}
+		}
+	}
+}

@@ -188,10 +188,35 @@ type parEngine struct {
 	workers []parWorker
 	delta   []dict.Triple3
 	aborted atomic.Bool // set by any worker observing ctx cancellation
+
+	// journaling makes run record every delta generation in journal —
+	// the admitted triples beyond whatever the engine was seeded with.
+	// The delta entry points use it to report exactly the triples a
+	// batch added on top of an already-saturated base (delta.go).
+	journaling bool
+	journal    []dict.Triple3
 }
 
 func newParEngine(g *graph.Graph, nw int) *parEngine {
-	d := g.Dict()
+	pe := newParEngineShell(g.Dict(), nw)
+	// Round zero's delta: the (well-formed, deduplicated) input plus
+	// the unconditional rule (9) loops (p, sp, p) for p ∈ rdfsV.
+	g.EachID(func(t dict.Triple3) bool {
+		pe.bootstrap(t)
+		return true
+	})
+	for _, p := range [...]dict.ID{pe.sp, pe.sc, pe.typ, pe.dom, pe.rng} {
+		pe.bootstrap(dict.Triple3{p, pe.sp, p})
+	}
+	return pe
+}
+
+// newParEngineShell builds the sharded engine state — interned
+// vocabulary, empty shards, worker pool — without bootstrapping any
+// input. newParEngine seeds the full input as round zero;
+// parDeltaRDFSCl instead seeds a saturated base unqueued and
+// bootstraps only the inserted batch.
+func newParEngineShell(d *dict.Dict, nw int) *parEngine {
 	pe := &parEngine{d: d, nw: nw}
 	// Rule-produced vocabulary is interned up front in one batch; the
 	// rounds themselves never intern, so every ID the saturation can
@@ -219,16 +244,6 @@ func newParEngine(g *graph.Graph, nw int) *parEngine {
 			local: make(map[dict.Triple3]struct{}),
 			out:   make([][]dict.Triple3, nw),
 		}
-	}
-
-	// Round zero's delta: the (well-formed, deduplicated) input plus
-	// the unconditional rule (9) loops (p, sp, p) for p ∈ rdfsV.
-	g.EachID(func(t dict.Triple3) bool {
-		pe.bootstrap(t)
-		return true
-	})
-	for _, p := range ids {
-		pe.bootstrap(dict.Triple3{p, pe.sp, p})
 	}
 	return pe
 }
@@ -314,6 +329,12 @@ func (pe *parEngine) run(ctx context.Context) error {
 				return ctx.Err()
 			default:
 			}
+		}
+		if pe.journaling {
+			// Each generation passes through pe.delta exactly once, so
+			// journaling here records every admitted triple exactly once
+			// (the bootstrap batch included).
+			pe.journal = append(pe.journal, pe.delta...)
 		}
 		pe.fireRound(done)
 		if pe.aborted.Load() {

@@ -21,11 +21,12 @@ func Compacted(g *Graph) (*Graph, int) {
 	d := g.Dict()
 	oldLen := d.Len()
 	live := make([]bool, oldLen+1)
-	for enc := range g.set {
+	g.EachID(func(enc dict.Triple3) bool {
 		live[enc[0]] = true
 		live[enc[1]] = true
 		live[enc[2]] = true
-	}
+		return true
+	})
 	remap := make([]dict.ID, oldLen+1)
 	nd := dict.New()
 	kept := 0

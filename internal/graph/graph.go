@@ -167,9 +167,56 @@ func (g *Graph) decode(t dict.Triple3) Triple {
 	return Triple{S: g.d.TermOf(t[0]), P: g.d.TermOf(t[1]), O: g.d.TermOf(t[2])}
 }
 
+// A graph normally keeps its triple set as a hash map. ExtendedByIDs
+// returns a *frozen* graph instead: set is nil and the sorted SPO
+// permutation is the authoritative triple set, so extending a large
+// closure by a small delta never pays an O(|G|) map copy. The
+// read-only operations concurrent evaluation touches — HasID, Len,
+// EachID, MatchID, CountID, Index — understand both representations
+// without mutating anything; every other operation materializes the
+// map first (O(|G|) once, idempotent), which is safe because those
+// paths already require exclusive ownership.
+
+// frozenKeys returns the authoritative SPO run of a frozen graph.
+func (g *Graph) frozenKeys() []dict.Triple3 {
+	st := g.idx[dict.SPO].Load()
+	if st == nil {
+		return nil
+	}
+	return st.keys
+}
+
+// materialize builds the hash-map representation of a frozen graph in
+// place. It is not safe under concurrent access to g — callers are
+// mutators (which require exclusive ownership anyway) and whole-graph
+// transforms; the concurrent-read paths never materialize.
+func (g *Graph) materialize() {
+	if g.set != nil {
+		return
+	}
+	keys := g.frozenKeys()
+	set := make(map[dict.Triple3]struct{}, len(keys))
+	for _, t := range keys {
+		set[t] = struct{}{}
+	}
+	g.set = set
+}
+
+// hasEnc reports membership of an encoded triple in either
+// representation: a map probe, or a binary search on the SPO run.
+func (g *Graph) hasEnc(t dict.Triple3) bool {
+	if g.set != nil {
+		_, ok := g.set[t]
+		return ok
+	}
+	lo, hi := dict.SearchRange(g.frozenKeys(), t, 3)
+	return lo < hi
+}
+
 // insert adds a raw encoded triple, bypassing well-formedness checks
 // (Map.Apply relies on this: instances are kept exactly as produced).
 func (g *Graph) insert(t dict.Triple3) bool {
+	g.materialize()
 	if _, ok := g.set[t]; ok {
 		return false
 	}
@@ -194,12 +241,13 @@ func (g *Graph) Add(t Triple) bool {
 // the kind check, keeping re-derivation-heavy callers (saturation) on
 // the cheap path.
 func (g *Graph) AddID(t dict.Triple3) bool {
-	if _, ok := g.set[t]; ok {
+	if g.hasEnc(t) {
 		return false
 	}
 	if !WellFormedID(g.d, t) {
 		return false
 	}
+	g.materialize()
 	g.set[t] = struct{}{}
 	g.version++
 	return true
@@ -220,9 +268,10 @@ func (g *Graph) Remove(t Triple) bool {
 	if !ok {
 		return false
 	}
-	if _, ok := g.set[enc]; !ok {
+	if !g.hasEnc(enc) {
 		return false
 	}
+	g.materialize()
 	delete(g.set, enc)
 	g.version++
 	return true
@@ -234,31 +283,35 @@ func (g *Graph) Has(t Triple) bool {
 	if !ok {
 		return false
 	}
-	_, present := g.set[enc]
-	return present
+	return g.hasEnc(enc)
 }
 
 // HasID reports membership of an encoded triple.
 func (g *Graph) HasID(t dict.Triple3) bool {
-	_, ok := g.set[t]
-	return ok
+	return g.hasEnc(t)
 }
 
 // Len returns the number of triples, written |G| in the paper.
-func (g *Graph) Len() int { return len(g.set) }
+func (g *Graph) Len() int {
+	if g.set == nil {
+		return len(g.frozenKeys())
+	}
+	return len(g.set)
+}
 
 // IsEmpty reports whether the graph has no triples.
-func (g *Graph) IsEmpty() bool { return len(g.set) == 0 }
+func (g *Graph) IsEmpty() bool { return g.Len() == 0 }
 
 // Triples returns the triples in canonical (sorted) order. The sort
 // runs over the 12-byte encoded triples — equal IDs short-circuit the
 // string comparison — and decoding happens once, in final order.
 func (g *Graph) Triples() []Triple {
 	d := g.d
-	encs := make([]dict.Triple3, 0, len(g.set))
-	for enc := range g.set {
+	encs := make([]dict.Triple3, 0, g.Len())
+	g.EachID(func(enc dict.Triple3) bool {
 		encs = append(encs, enc)
-	}
+		return true
+	})
 	sort.Slice(encs, func(i, j int) bool {
 		a, b := encs[i], encs[j]
 		for k := 0; k < 3; k++ {
@@ -282,17 +335,22 @@ func (g *Graph) Triples() []Triple {
 // false, iteration stops early.
 func (g *Graph) Each(fn func(Triple) bool) {
 	d := g.d
-	for enc := range g.set {
-		t := Triple{S: d.TermOf(enc[0]), P: d.TermOf(enc[1]), O: d.TermOf(enc[2])}
-		if !fn(t) {
-			return
-		}
-	}
+	g.EachID(func(enc dict.Triple3) bool {
+		return fn(Triple{S: d.TermOf(enc[0]), P: d.TermOf(enc[1]), O: d.TermOf(enc[2])})
+	})
 }
 
 // EachID calls fn for every encoded triple in unspecified order; if fn
 // returns false, iteration stops early.
 func (g *Graph) EachID(fn func(dict.Triple3) bool) {
+	if g.set == nil {
+		for _, enc := range g.frozenKeys() {
+			if !fn(enc) {
+				return
+			}
+		}
+		return
+	}
 	for enc := range g.set {
 		if !fn(enc) {
 			return
@@ -314,10 +372,11 @@ func (g *Graph) index(o dict.Order) []dict.Triple3 {
 	if st := g.idx[o].Load(); st != nil && st.version == g.version {
 		return st.keys
 	}
-	keys := make([]dict.Triple3, 0, len(g.set))
-	for enc := range g.set {
+	keys := make([]dict.Triple3, 0, g.Len())
+	g.EachID(func(enc dict.Triple3) bool {
 		keys = append(keys, dict.Permute(enc, o))
-	}
+		return true
+	})
 	dict.SortIndex(keys)
 	g.idx[o].Store(&idxState{version: g.version, keys: keys})
 	return keys
@@ -398,7 +457,7 @@ func (g *Graph) CountID(sp, pp, op dict.ID) int {
 	}
 	o, prefix := dict.ChooseOrder(sp != dict.Wildcard, pp != dict.Wildcard, op != dict.Wildcard)
 	if prefix == 0 {
-		return len(g.set)
+		return g.Len()
 	}
 	idx := g.index(o)
 	key := dict.Permute(dict.Triple3{sp, pp, op}, o)
@@ -410,13 +469,65 @@ func (g *Graph) CountID(sp, pp, op dict.ID) int {
 // Already-built permutation indexes are carried over (they are immutable)
 // and invalidated on the clone's first mutation.
 func (g *Graph) Clone() *Graph {
-	h := &Graph{d: g.d, set: make(map[dict.Triple3]struct{}, len(g.set))}
-	for enc := range g.set {
+	h := &Graph{d: g.d, set: make(map[dict.Triple3]struct{}, g.Len())}
+	g.EachID(func(enc dict.Triple3) bool {
 		h.set[enc] = struct{}{}
-	}
+		return true
+	})
 	h.version = g.version
 	for o := range g.idx {
 		h.idx[o].Store(g.idx[o].Load())
+	}
+	return h
+}
+
+// ExtendedByIDs returns a new graph holding g's triples plus added,
+// sharing g's dictionary; g itself is unchanged, so published
+// snapshots stay immutable under concurrent readers. The added triples
+// must be well-formed encoded triples (the closure delta engines
+// return exactly such runs); ones already present in g are skipped.
+//
+// The result is a *frozen* graph (see materialize): its sorted SPO
+// permutation is the authoritative triple set and membership is a
+// binary search, so the cost is O(|g| + |added|) slice merges per
+// order with a handful of allocations — no O(|g|) hash-map copy.
+// Other permutations built and current on g are merged the same way;
+// ones not built stay lazy.
+func (g *Graph) ExtendedByIDs(added []dict.Triple3) *Graph {
+	fresh := make([]dict.Triple3, 0, len(added))
+	seen := make(map[dict.Triple3]struct{}, len(added))
+	for _, t := range added {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		if g.hasEnc(t) {
+			continue
+		}
+		fresh = append(fresh, t)
+	}
+	h := &Graph{d: g.d}
+	for o := range g.idx {
+		ord := dict.Order(o)
+		var base []dict.Triple3
+		if ord == dict.SPO {
+			// The SPO run is the frozen representation's triple set, so
+			// it is always merged — building it once on a map-backed
+			// base amortizes across every later extension.
+			base = g.index(dict.SPO)
+		} else {
+			st := g.idx[o].Load()
+			if st == nil || st.version != g.version {
+				continue // stays lazy on h, derived from the SPO run on demand
+			}
+			base = st.keys
+		}
+		run := make([]dict.Triple3, len(fresh))
+		for i, t := range fresh {
+			run[i] = dict.Permute(t, ord)
+		}
+		dict.SortIndex(run)
+		h.InstallIndex(ord, dict.MergeSortedKeys([][]dict.Triple3{base, run}))
 	}
 	return h
 }
@@ -446,24 +557,7 @@ func (g *Graph) Equal(h *Graph) bool {
 	if g.Len() != h.Len() {
 		return false
 	}
-	if g.d == h.d {
-		for enc := range g.set {
-			if _, ok := h.set[enc]; !ok {
-				return false
-			}
-		}
-		return true
-	}
-	for enc := range g.set {
-		henc, ok := h.lookupTriple(g.decode(enc))
-		if !ok {
-			return false
-		}
-		if _, ok := h.set[henc]; !ok {
-			return false
-		}
-	}
-	return true
+	return g.containedIn(h)
 }
 
 // SubgraphOf reports whether every triple of g is in h (g ⊆ h).
@@ -471,24 +565,31 @@ func (g *Graph) SubgraphOf(h *Graph) bool {
 	if g.Len() > h.Len() {
 		return false
 	}
-	if g.d == h.d {
-		for enc := range g.set {
-			if _, ok := h.set[enc]; !ok {
+	return g.containedIn(h)
+}
+
+// containedIn reports whether every triple of g is in h, re-resolving
+// terms when the graphs do not share a dictionary.
+func (g *Graph) containedIn(h *Graph) bool {
+	sameDict := g.d == h.d
+	contained := true
+	g.EachID(func(enc dict.Triple3) bool {
+		henc := enc
+		if !sameDict {
+			var ok bool
+			henc, ok = h.lookupTriple(g.decode(enc))
+			if !ok {
+				contained = false
 				return false
 			}
 		}
+		if !h.hasEnc(henc) {
+			contained = false
+			return false
+		}
 		return true
-	}
-	for enc := range g.set {
-		henc, ok := h.lookupTriple(g.decode(enc))
-		if !ok {
-			return false
-		}
-		if _, ok := h.set[henc]; !ok {
-			return false
-		}
-	}
-	return true
+	})
+	return contained
 }
 
 // ProperSubgraphOf reports g ⊊ h.
@@ -501,18 +602,20 @@ func (g *Graph) ProperSubgraphOf(h *Graph) bool {
 // re-interned once.
 func (g *Graph) AddAll(h *Graph) *Graph {
 	if g.d == h.d {
-		for enc := range h.set {
+		h.EachID(func(enc dict.Triple3) bool {
 			g.insert(enc)
-		}
+			return true
+		})
 		return g
 	}
-	for enc := range h.set {
+	h.EachID(func(enc dict.Triple3) bool {
 		g.insert(dict.Triple3{
 			g.d.Intern(h.d.TermOf(enc[0])),
 			g.d.Intern(h.d.TermOf(enc[1])),
 			g.d.Intern(h.d.TermOf(enc[2])),
 		})
-	}
+		return true
+	})
 	return g
 }
 
@@ -520,16 +623,17 @@ func (g *Graph) AddAll(h *Graph) *Graph {
 func (g *Graph) Minus(h *Graph) *Graph {
 	out := NewWithDict(g.d)
 	sameDict := g.d == h.d
-	for enc := range g.set {
+	g.EachID(func(enc dict.Triple3) bool {
 		if sameDict {
-			if _, ok := h.set[enc]; ok {
-				continue
+			if h.hasEnc(enc) {
+				return true
 			}
 		} else if h.Has(g.decode(enc)) {
-			continue
+			return true
 		}
 		out.set[enc] = struct{}{}
-	}
+		return true
+	})
 	return out
 }
 
@@ -586,11 +690,12 @@ func freshBlank(base string, used map[term.Term]struct{}, other *Graph) term.Ter
 // universeIDs returns the set of IDs occurring in the triples of G.
 func (g *Graph) universeIDs() map[dict.ID]struct{} {
 	u := make(map[dict.ID]struct{})
-	for enc := range g.set {
+	g.EachID(func(enc dict.Triple3) bool {
 		u[enc[0]] = struct{}{}
 		u[enc[1]] = struct{}{}
 		u[enc[2]] = struct{}{}
-	}
+		return true
+	})
 	return u
 }
 
@@ -635,7 +740,7 @@ func (g *Graph) Vocabulary() map[term.Term]struct{} {
 func (g *Graph) BlankIDs() map[dict.ID]struct{} {
 	d := g.d
 	b := make(map[dict.ID]struct{})
-	for enc := range g.set {
+	g.EachID(func(enc dict.Triple3) bool {
 		if d.KindOf(enc[0]) == term.KindBlank {
 			b[enc[0]] = struct{}{}
 		}
@@ -647,7 +752,8 @@ func (g *Graph) BlankIDs() map[dict.ID]struct{} {
 		if d.KindOf(enc[1]) == term.KindBlank {
 			b[enc[1]] = struct{}{}
 		}
-	}
+		return true
+	})
 	return b
 }
 
@@ -674,26 +780,30 @@ func (g *Graph) BlankNodeList() []term.Term {
 // IsGround reports whether G has no blank nodes.
 func (g *Graph) IsGround() bool {
 	d := g.d
-	for enc := range g.set {
+	ground := true
+	g.EachID(func(enc dict.Triple3) bool {
 		if d.KindOf(enc[0]) == term.KindBlank ||
 			d.KindOf(enc[1]) == term.KindBlank ||
 			d.KindOf(enc[2]) == term.KindBlank {
+			ground = false
 			return false
 		}
-	}
-	return true
+		return true
+	})
+	return ground
 }
 
 // Predicates returns the set of predicates used in G.
 func (g *Graph) Predicates() map[term.Term]struct{} {
 	p := make(map[term.Term]struct{})
 	seen := make(map[dict.ID]struct{})
-	for enc := range g.set {
+	g.EachID(func(enc dict.Triple3) bool {
 		if _, ok := seen[enc[1]]; !ok {
 			seen[enc[1]] = struct{}{}
 			p[g.d.TermOf(enc[1])] = struct{}{}
 		}
-	}
+		return true
+	})
 	return p
 }
 
@@ -750,9 +860,10 @@ func (m Map) ApplyTriple(t Triple) Triple {
 func (m Map) Apply(g *Graph) *Graph {
 	out := NewWithDict(g.d)
 	if len(m) == 0 {
-		for enc := range g.set {
+		g.EachID(func(enc dict.Triple3) bool {
 			out.set[enc] = struct{}{}
-		}
+			return true
+		})
 		return out
 	}
 	idm := make(map[dict.ID]dict.ID, len(m))
@@ -767,9 +878,10 @@ func (m Map) Apply(g *Graph) *Graph {
 		}
 		return id
 	}
-	for enc := range g.set {
+	g.EachID(func(enc dict.Triple3) bool {
 		out.set[dict.Triple3{sub(enc[0]), sub(enc[1]), sub(enc[2])}] = struct{}{}
-	}
+		return true
+	})
 	return out
 }
 
@@ -836,9 +948,10 @@ func Skolemize(g *Graph) *Graph {
 		return id
 	}
 	out := NewWithDict(g.d)
-	for enc := range g.set {
+	g.EachID(func(enc dict.Triple3) bool {
 		out.set[dict.Triple3{sub(enc[0]), enc[1], sub(enc[2])}] = struct{}{}
-	}
+		return true
+	})
 	return out
 }
 
@@ -865,15 +978,16 @@ func Unskolemize(h *Graph) *Graph {
 		return y, skolem
 	}
 	out := NewWithDict(h.d)
-	for enc := range h.set {
+	h.EachID(func(enc dict.Triple3) bool {
 		s, _ := sub(enc[0])
 		p, pSkolem := sub(enc[1])
 		o, _ := sub(enc[2])
 		if pSkolem {
-			continue // blank in predicate position: dropped, per Section 3.1
+			return true // blank in predicate position: dropped, per Section 3.1
 		}
 		out.set[dict.Triple3{s, p, o}] = struct{}{}
-	}
+		return true
+	})
 	return out
 }
 
@@ -897,14 +1011,15 @@ func RenameBlanksApart(g *Graph, suffix string) *Graph {
 func (g *Graph) GroundPart() *Graph {
 	d := g.d
 	out := NewWithDict(g.d)
-	for enc := range g.set {
+	g.EachID(func(enc dict.Triple3) bool {
 		if d.KindOf(enc[0]) == term.KindBlank ||
 			d.KindOf(enc[1]) == term.KindBlank ||
 			d.KindOf(enc[2]) == term.KindBlank {
-			continue
+			return true
 		}
 		out.set[enc] = struct{}{}
-	}
+		return true
+	})
 	return out
 }
 
@@ -913,13 +1028,14 @@ func (g *Graph) GroundPart() *Graph {
 func (g *Graph) NonGroundTriples() []Triple {
 	d := g.d
 	var out []Triple
-	for enc := range g.set {
+	g.EachID(func(enc dict.Triple3) bool {
 		if d.KindOf(enc[0]) == term.KindBlank ||
 			d.KindOf(enc[1]) == term.KindBlank ||
 			d.KindOf(enc[2]) == term.KindBlank {
 			out = append(out, g.decode(enc))
 		}
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }

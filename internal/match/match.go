@@ -130,6 +130,16 @@ func NewIndexMode(g *graph.Graph, mode IndexMode) *Index {
 // Graph returns the indexed data graph.
 func (ix *Index) Graph() *graph.Graph { return ix.g }
 
+// ExtendedByIDs returns an Index over ix's graph extended by the given
+// (well-formed, encoded) triples, preserving the index mode. The
+// underlying graph is not mutated and its built permutations are
+// extended by merging the sorted delta run, not re-sorted (see
+// graph.Graph.ExtendedByIDs) — the index-layer step of incremental
+// closure maintenance.
+func (ix *Index) ExtendedByIDs(added []dict.Triple3) *Index {
+	return &Index{g: ix.g.ExtendedByIDs(added), mode: ix.mode}
+}
+
 // Dict returns the dictionary bindings resolve through.
 func (ix *Index) Dict() *dict.Dict { return ix.g.Dict() }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"semwebdb/internal/closure"
 	"semwebdb/internal/core"
@@ -15,6 +16,7 @@ import (
 	"semwebdb/internal/match"
 	"semwebdb/internal/persist"
 	"semwebdb/internal/query"
+	"semwebdb/internal/term"
 )
 
 // DB is an RDF database with RDFS semantics: a graph of triples plus
@@ -67,23 +69,71 @@ type DB struct {
 	closed   bool
 
 	// prepared caches, per skip-normal-form flag, the premise-free
-	// matching universe (nf(D) or cl(D)) for the current snapshot
+	// matching universe (nf(D) or cl(D)) for the snapshot preparedFor
 	// together with the match.Index view over it. Retaining the
 	// prepared graph is what keeps the matcher's lookup structures
 	// alive — the sorted SPO/POS/OSP permutations are built lazily on
 	// the graph itself and cached there — so repeated Evals neither
 	// redo the closure saturation and the coNP-hard core retraction
-	// nor re-sort the scan indexes. Invalidated on every mutation.
-	prepared map[bool]*preparedState
+	// nor re-sort the scan indexes.
+	//
+	// Since PR 7 a mutation no longer discards the cache outright:
+	// when the cached snapshot and the inserted batch are both ground,
+	// the batch is queued in pending and the next query folds it in by
+	// semi-naive delta saturation (closure.Maintainer), publishing a
+	// fresh extended graph/index pair — readers streaming from the old
+	// state are never disturbed. Groundness is what makes this sound
+	// for both universes at once: a ground graph has no proper
+	// retraction, so nf(D) = cl(D), and delta-maintaining the RDFS
+	// closure maintains them both. Anything else — blank nodes in the
+	// base or the batch, Compact's dictionary rebuild, a maintenance
+	// error — drops the cache and falls back to full re-preparation
+	// (counted per reason in Stats).
+	//
+	// Invariants (under mu): preparedFor is nil iff prepared is nil;
+	// pending is non-empty only when prepared is non-nil, holds
+	// triples absent from preparedFor in commit order, pairwise
+	// distinct, all ground, encoded against dict; preparedGround
+	// reports whether preparedFor is ground. The *contents* of the
+	// prepared map are only written while holding prepMu.
+	prepared       map[bool]*preparedState
+	preparedFor    *graph.Graph
+	preparedGround bool
+	pending        []dict.Triple3
+
+	// prepMu serializes matching-universe computation — full prepares
+	// and delta maintenance alike — so concurrent first queries wait
+	// for one result instead of racing duplicate saturations. Lock
+	// order: prepMu strictly before mu.
+	prepMu sync.Mutex
+
+	prepStats prepCounters
 
 	cfg config
 }
 
 // preparedState is one cached matching universe plus the (cheap,
-// reusable) match index view over it.
+// reusable) match index view over it and, once delta maintenance has
+// run, the closure maintainer that extends it. m is lazily built and
+// only touched under prepMu; readers use data/ix exclusively.
 type preparedState struct {
 	data *graph.Graph
 	ix   *match.Index
+	m    *closure.Maintainer
+}
+
+// prepCounters are the monotonic prepared-cache maintenance counters
+// behind Stats (atomics: they are bumped under different locks).
+type prepCounters struct {
+	full         atomic.Uint64
+	delta        atomic.Uint64
+	deltaTriples atomic.Uint64
+
+	fbNonGroundBase  atomic.Uint64
+	fbNonGroundBatch atomic.Uint64
+	fbCompact        atomic.Uint64
+	fbError          atomic.Uint64
+	fbDisabled       atomic.Uint64
 }
 
 // config collects the Open options.
@@ -93,7 +143,8 @@ type config struct {
 	initial        *Graph
 	walThreshold   int64
 	noFsync        bool
-	parallelism    int // closure saturation workers; 0 means 1
+	parallelism    int  // closure saturation workers; 0 means 1
+	noDeltaPrepare bool // disable incremental prepared-cache maintenance
 }
 
 // File names inside a durable database directory (see OpenAt).
@@ -163,6 +214,17 @@ func WithParallelism(n int) Option {
 // parallelismPerCore is the config sentinel for WithParallelism(0):
 // "one worker per core", resolved against the runtime at use time.
 const parallelismPerCore = -1
+
+// WithoutIncrementalPrepare disables delta maintenance of the cached
+// matching universe: every mutation invalidates the prepared state, so
+// the first query after any insert re-runs saturation (and the
+// normal-form retraction) from scratch — the pre-incremental behavior.
+// It exists as the A/B baseline for BenchmarkAddThenQuery and as an
+// escape hatch; production write-heavy deployments should leave
+// incremental maintenance on.
+func WithoutIncrementalPrepare() Option {
+	return func(c *config) { c.noDeltaPrepare = true }
+}
 
 // WithoutFsync disables fsync on WAL batches and snapshot writes.
 // Mutations remain crash-atomic (torn tails are discarded on reopen)
@@ -327,44 +389,227 @@ func (db *DB) addGraphs(adds []*graph.Graph) error {
 	db.mu.Lock()
 	db.g = next
 	db.mem = nil
-	db.prepared = nil
+	db.noteInsertLocked(fresh)
 	db.mu.Unlock()
 	return nil
 }
 
+// noteInsertLocked records freshly inserted triples against the
+// prepared-universe cache (caller holds mu). When incremental
+// maintenance applies — cache present, maintenance enabled, cached
+// snapshot and batch both ground — the batch is queued for semi-naive
+// delta application on the next query. Otherwise the cache is dropped
+// and the matching fallback counter bumped: blank nodes make the
+// lean-core step non-incremental (an inserted triple can make
+// previously-core blanks mappable, retracting triples from nf(D)), so
+// only the ground paths, where nf(D) = cl(D), are maintained in place.
+func (db *DB) noteInsertLocked(fresh []dict.Triple3) {
+	if db.prepared == nil {
+		return
+	}
+	switch {
+	case db.cfg.noDeltaPrepare:
+		db.prepStats.fbDisabled.Add(1)
+	case !db.preparedGround:
+		db.prepStats.fbNonGroundBase.Add(1)
+	case !groundBatch(db.dict, fresh):
+		db.prepStats.fbNonGroundBatch.Add(1)
+	default:
+		db.pending = append(db.pending, fresh...)
+		return
+	}
+	db.dropPreparedLocked()
+}
+
+// dropPreparedLocked discards the prepared-universe cache and its
+// pending delta queue (caller holds mu).
+func (db *DB) dropPreparedLocked() {
+	db.prepared = nil
+	db.preparedFor = nil
+	db.pending = nil
+}
+
+// groundBatch reports whether no triple of the batch mentions a blank
+// node, resolving kinds through the dictionary the IDs were encoded by.
+func groundBatch(d *dict.Dict, ts []dict.Triple3) bool {
+	for _, t := range ts {
+		if d.KindOf(t[0]) == term.KindBlank ||
+			d.KindOf(t[1]) == term.KindBlank ||
+			d.KindOf(t[2]) == term.KindBlank {
+			return false
+		}
+	}
+	return true
+}
+
 // preparedData returns the cached premise-free matching universe and
-// match index for the snapshot g, computing and caching both on first
-// use. Concurrent first calls may compute them twice; only one result
-// is retained.
+// match index for the snapshot g, computing (or incrementally
+// extending) and caching both on first use.
 //
 // The universe is prepared over a scratch overlay of the shared
 // dictionary: the skolem constants and vocabulary the saturation
 // interns live in the overlay, which the cached prepared graph keeps
-// alive until the next mutation — so even the first Eval after a load
-// leaves DictTerms untouched. Per-query interning then goes into a
-// second, evaluation-owned overlay layered on this one (see
+// alive until the cache is replaced — so even the first Eval after a
+// load leaves DictTerms untouched. Per-query interning then goes into
+// a second, evaluation-owned overlay layered on this one (see
 // query.EvaluatePreparedIndexCtx).
+//
+// Resolution order: an exact cache hit is lock-cheap; otherwise, under
+// prepMu, the pending insert queue is folded into the cached states by
+// delta saturation when eligible, and whatever is still missing is
+// computed from scratch. prepMu serializes all of this, so concurrent
+// first queries after a mutation wait for one maintenance pass instead
+// of racing duplicate saturations.
 func (db *DB) preparedData(ctx context.Context, g *graph.Graph, skipNF bool) (*preparedState, error) {
-	db.mu.RLock()
-	var st *preparedState
-	if db.g == g && db.prepared != nil {
-		st = db.prepared[skipNF]
-	}
-	db.mu.RUnlock()
-	if st != nil {
+	if st := db.preparedHit(g, skipNF); st != nil {
 		return st, nil
 	}
+	db.prepMu.Lock()
+	defer db.prepMu.Unlock()
+	if st := db.preparedHit(g, skipNF); st != nil {
+		return st, nil // filled while waiting for prepMu
+	}
+	st, err := db.deltaPrepare(ctx, g, skipNF)
+	if st != nil || err != nil {
+		return st, err
+	}
+	return db.fullPrepare(ctx, g, skipNF)
+}
+
+// preparedHit returns the cached state when the cache exactly covers
+// the snapshot g (a pending queue does not spoil the hit: the cache
+// reflects preparedFor itself, and pending holds only later inserts).
+func (db *DB) preparedHit(g *graph.Graph, skipNF bool) *preparedState {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.preparedFor != g {
+		return nil
+	}
+	return db.prepared[skipNF]
+}
+
+// deltaPrepare folds the pending insert queue into the cached prepared
+// universes by semi-naive delta saturation when g is the current
+// snapshot and a cache with pending inserts exists. It returns
+// (nil, nil) when ineligible — or when the requested flag has no
+// cached state yet — and the caller then falls back to fullPrepare;
+// an extension already published for the other flag is kept either
+// way. Caller holds prepMu.
+func (db *DB) deltaPrepare(ctx context.Context, g *graph.Graph, skipNF bool) (*preparedState, error) {
+	db.mu.RLock()
+	base, states := db.preparedFor, db.prepared
+	eligible := states != nil && db.g == g && len(db.pending) > 0
+	var batch []dict.Triple3
+	var from *dict.Dict
+	if eligible {
+		// Snapshot the queue and the dictionary it was encoded against
+		// together: a Compact would replace both, and it also drops the
+		// cache, which the publish step below re-checks.
+		batch = append([]dict.Triple3(nil), db.pending...)
+		from = db.dict
+	}
+	db.mu.RUnlock()
+	if !eligible {
+		return nil, nil
+	}
+	next := make(map[bool]*preparedState, len(states))
+	for f, st := range states {
+		nst, err := extendPrepared(ctx, st, from, batch)
+		if err != nil {
+			// A cancelled or failed apply poisons the maintainer and
+			// leaves no usable extension: drop the cache so the next
+			// query re-prepares from scratch, and report the error.
+			db.mu.Lock()
+			if db.preparedFor == base {
+				db.dropPreparedLocked()
+			}
+			db.mu.Unlock()
+			db.prepStats.fbError.Add(1)
+			return nil, err
+		}
+		next[f] = nst
+	}
+	db.mu.Lock()
+	// Publish unless the cache was dropped concurrently (non-ground
+	// insert, Compact). Mutations that merely appended more pending
+	// triples do not invalidate the extension: it reflects base∪batch
+	// = g exactly, and the queue keeps the later entries.
+	ok := db.preparedFor == base
+	if ok {
+		db.prepared = next
+		db.preparedFor = g
+		db.pending = db.pending[len(batch):]
+		if len(db.pending) == 0 {
+			db.pending = nil
+		}
+	}
+	db.mu.Unlock()
+	if !ok {
+		return nil, nil
+	}
+	db.prepStats.delta.Add(1)
+	db.prepStats.deltaTriples.Add(uint64(len(batch)))
+	return next[skipNF], nil
+}
+
+// extendPrepared folds one pending batch (encoded against the shared
+// base dictionary from) into one cached universe and returns the
+// extended state. The prepared graph lives on a scratch overlay
+// created at prepare time, and base-dictionary IDs interned after that
+// point collide with the overlay's private range — so the batch cannot
+// be replayed by ID: each triple is decoded through the base
+// dictionary and re-interned through the overlay, the same translation
+// evaluation applies to query pattern terms. The published graph and
+// index are never mutated — the maintainer touches only its private
+// engine state, and the extension is a fresh graph/index pair
+// (ExtendedByIDs) — so readers streaming from the old state are
+// undisturbed.
+func extendPrepared(ctx context.Context, st *preparedState, from *dict.Dict, batch []dict.Triple3) (*preparedState, error) {
+	if st.m == nil {
+		// First maintenance over this state: seed the maintainer from
+		// the prepared universe (ground, hence RDFS-closed for both
+		// the cl and the nf = cl flavors). It rides along in every
+		// extended state, so later batches skip this O(|cl|) pass.
+		st.m = closure.NewMaintainer(st.data)
+	}
+	to := st.data.Dict()
+	ids := make([]dict.Triple3, len(batch))
+	for i, t := range batch {
+		ids[i] = dict.Triple3{
+			to.Intern(from.TermOf(t[0])),
+			to.Intern(from.TermOf(t[1])),
+			to.Intern(from.TermOf(t[2])),
+		}
+	}
+	added, err := st.m.Apply(ctx, ids)
+	if err != nil {
+		return nil, err
+	}
+	nix := st.ix.ExtendedByIDs(added)
+	return &preparedState{data: nix.Graph(), ix: nix, m: st.m}, nil
+}
+
+// fullPrepare computes the matching universe for g from scratch and
+// caches it when g can still be served from the cache — as the missing
+// flag of a cache already covering g, or as a fresh cache when g is
+// the current snapshot. Caller holds prepMu.
+func (db *DB) fullPrepare(ctx context.Context, g *graph.Graph, skipNF bool) (*preparedState, error) {
 	data, err := query.PrepareWorkers(ctx, scratchView(g), skipNF, db.parallelism())
 	if err != nil {
 		return nil, err
 	}
-	st = &preparedState{data: data, ix: match.NewIndex(data)}
+	st := &preparedState{data: data, ix: match.NewIndex(data)}
+	db.prepStats.full.Add(1)
+	ground := g.IsGround() // O(n) scan, outside the write lock
 	db.mu.Lock()
-	if db.g == g { // cache only if no mutation slipped in
-		if db.prepared == nil {
-			db.prepared = make(map[bool]*preparedState, 2)
-		}
+	switch {
+	case db.preparedFor == g:
 		db.prepared[skipNF] = st
+	case db.g == g:
+		db.prepared = map[bool]*preparedState{skipNF: st}
+		db.preparedFor = g
+		db.preparedGround = ground
+		db.pending = nil
 	}
 	db.mu.Unlock()
 	return st, nil
@@ -597,7 +842,12 @@ func (db *DB) compactLocked(g *graph.Graph) error {
 	db.dict = ng.Dict()
 	db.g = ng
 	db.mem = nil
-	db.prepared = nil
+	// The dense renumbering invalidates every cached ID, pending queue
+	// entries included; incremental maintenance cannot survive it.
+	if db.prepared != nil {
+		db.prepStats.fbCompact.Add(1)
+	}
+	db.dropPreparedLocked()
 	db.mu.Unlock()
 	return nil
 }
@@ -653,6 +903,30 @@ type Stats struct {
 	WALBytes int64 `json:"wal_bytes"`
 	// WALRecords is the number of valid write-ahead-log records.
 	WALRecords int `json:"wal_records"`
+
+	// PreparedFull counts matching-universe preparations computed from
+	// scratch (closure saturation plus, unless skipped, the
+	// normal-form retraction) since the database was opened.
+	PreparedFull uint64 `json:"prepared_full"`
+	// PreparedDelta counts incremental maintenance passes: pending
+	// insert batches folded into the cached prepared universe by
+	// semi-naive delta saturation instead of a full re-preparation.
+	PreparedDelta uint64 `json:"prepared_delta"`
+	// PreparedDeltaTriples is the total number of inserted triples
+	// those delta passes folded in.
+	PreparedDeltaTriples uint64 `json:"prepared_delta_triples"`
+	// The PreparedFallback* counters tally mutations that dropped the
+	// prepared cache instead of queueing a delta, by reason: the
+	// cached snapshot had blank nodes, the inserted batch had blank
+	// nodes (either makes the lean-core step non-incremental), a
+	// Compact renumbered the dictionary, a maintenance pass failed
+	// (e.g. cancelled mid-apply), or incremental maintenance was
+	// disabled with WithoutIncrementalPrepare.
+	PreparedFallbackNonGroundBase  uint64 `json:"prepared_fallback_non_ground_base"`
+	PreparedFallbackNonGroundBatch uint64 `json:"prepared_fallback_non_ground_batch"`
+	PreparedFallbackCompact        uint64 `json:"prepared_fallback_compact"`
+	PreparedFallbackError          uint64 `json:"prepared_fallback_error"`
+	PreparedFallbackDisabled       uint64 `json:"prepared_fallback_disabled"`
 }
 
 // Stats returns size statistics for the current contents. Each sorted
@@ -668,6 +942,15 @@ func (db *DB) Stats() Stats {
 		Terms:      g.UniverseSize(),
 		DictTerms:  g.Dict().Len(),
 		IndexSizes: [3]int{n, n, n},
+
+		PreparedFull:                   db.prepStats.full.Load(),
+		PreparedDelta:                  db.prepStats.delta.Load(),
+		PreparedDeltaTriples:           db.prepStats.deltaTriples.Load(),
+		PreparedFallbackNonGroundBase:  db.prepStats.fbNonGroundBase.Load(),
+		PreparedFallbackNonGroundBatch: db.prepStats.fbNonGroundBatch.Load(),
+		PreparedFallbackCompact:        db.prepStats.fbCompact.Load(),
+		PreparedFallbackError:          db.prepStats.fbError.Load(),
+		PreparedFallbackDisabled:       db.prepStats.fbDisabled.Load(),
 	}
 	switch {
 	case db.eng != nil:
