@@ -5,11 +5,11 @@ GO ?= go
 # Benchmark settings for the JSON perf snapshot. 0.2s per benchmark
 # keeps a full run around a minute while staying reasonably stable.
 BENCHTIME ?= 0.2s
-BENCH_JSON ?= BENCH_pr7.json
+BENCH_JSON ?= BENCH_pr8.json
 # The newest committed per-PR snapshot is the regression baseline.
 BENCH_BASELINE ?= $(shell ls BENCH_pr*.json 2>/dev/null | sort -V | tail -1)
 
-.PHONY: verify check fmt vet test test-race race-closure race-serve race-delta serve-smoke bench bench-json bench-gate fuzz build examples
+.PHONY: verify check fmt vet test test-race race-closure race-serve race-delta race-obs serve-smoke metrics-smoke bench bench-json bench-gate fuzz build examples
 
 # Tier-1: must stay green (ROADMAP.md).
 verify: build test
@@ -45,11 +45,25 @@ race-delta:
 	$(GO) test -race -count=1 ./semweb -run TestDelta
 	$(GO) test -race -count=1 ./semweb/serve/... -run 'TestLoadQueryTakesDeltaPath|TestConcurrentLoadAndStream'
 
+# The observability surface under the race detector: registry scrapes
+# racing updates, and the engine-seam instrumentation under concurrent
+# load/stream/snapshot traffic.
+race-obs:
+	$(GO) test -race -count=1 ./internal/obs/...
+	$(GO) test -race -count=1 ./semweb -run TestMetrics
+	$(GO) test -race -count=1 ./semweb/serve/... -run 'TestMetrics|TestRequestLog'
+
 # End-to-end smoke of the semwebd binary: build it, serve a temp dbdir,
 # load the test data over HTTP, stream a query, hit the admin
 # endpoints, SIGINT, and require a clean drain + exit 0.
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 -v ./cmd/semwebd
+
+# End-to-end smoke of the observability surface: build semwebd with
+# JSON logs, pprof and a slow-query threshold, drive traffic, scrape
+# /metrics, and validate the Prometheus exposition and structured logs.
+metrics-smoke:
+	$(GO) test -run TestMetricsSmoke -count=1 -v ./cmd/semwebd
 
 # verify + static hygiene.
 check: verify vet fmt

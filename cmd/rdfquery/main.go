@@ -116,7 +116,8 @@ func runRemote(tool *cliutil.Tool, addr, dbName, sem string, skipNF bool, limit 
 		tool.Fail(err)
 	}
 	if stats {
-		fmt.Printf("rows: %d\nmatchings: %d\ntruncated: %v\n", trailer.Rows, trailer.Matchings, trailer.Truncated)
+		fmt.Printf("rows: %d\nmatchings: %d\ntruncated: %v\nelapsed_ms: %.3f\n",
+			trailer.Rows, trailer.Matchings, trailer.Truncated, trailer.ElapsedMS)
 	} else if trailer.Truncated {
 		fmt.Fprintf(os.Stderr, "rdfquery: answer truncated at %d matchings (raise -limit)\n", trailer.Matchings)
 	}

@@ -1,17 +1,27 @@
 // Command semwebd serves semweb databases over HTTP: tableau-query
 // evaluation with memory-bounded NDJSON answer streaming, bulk loads,
-// and snapshot/compact administration (package semweb/serve documents
-// the endpoints and wire format).
+// snapshot/compact administration, and a Prometheus /metrics endpoint
+// (package semweb/serve documents the endpoints and wire format).
 //
 // Usage:
 //
 //	semwebd [-addr host:port] [-root DIR] [-db name=dir ...]
-//	        [-timeout D] [-max-timeout D] [-drain D] [-quiet]
+//	        [-timeout D] [-max-timeout D] [-drain D]
+//	        [-log text|json] [-log-level LEVEL] [-quiet]
+//	        [-slow-query D] [-pprof]
 //
 // Databases come from two sources: every "-db name=dir" flag mounts one
 // directory under the given name (created on first use if missing), and
 // "-root DIR" serves every existing subdirectory of DIR under its own
 // name. At least one of the two is required.
+//
+// Logs are structured (log/slog) on stderr: "-log" selects the text or
+// JSON rendering, "-log-level" the threshold, and "-quiet" suppresses
+// the per-request lines while keeping lifecycle messages. Every request
+// carries a request id (echoed in the X-Request-Id response header);
+// "-slow-query D" adds a warning line with per-phase timings for query
+// requests slower than D, and "-pprof" exposes the Go profiler under
+// /debug/pprof/.
 //
 // semwebd owns its database directories exclusively while running (the
 // write-ahead log takes an advisory lock); point other tools at them
@@ -25,7 +35,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -54,6 +64,24 @@ func (m mountFlags) Set(v string) error {
 	return nil
 }
 
+// newLogger builds the process logger from the -log and -log-level
+// flags.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("invalid -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("invalid -log %q (want text or json)", format)
+	}
+}
+
 func main() {
 	mounts := mountFlags{}
 	addr := flag.String("addr", "localhost:8585", "listen address (host:port; port 0 picks a free port)")
@@ -61,11 +89,23 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-query deadline when the request sets none (0 = unbounded)")
 	maxTimeout := flag.Duration("max-timeout", 0, "hard cap on the per-query timeout parameter (0 = uncapped)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown window for in-flight streams")
-	quiet := flag.Bool("quiet", false, "suppress per-request logging")
+	logFormat := flag.String("log", "text", "log rendering: text or json")
+	logLevel := flag.String("log-level", "info", "log threshold: debug, info, warn or error")
+	quiet := flag.Bool("quiet", false, "suppress per-request logging (lifecycle messages remain)")
+	slowQuery := flag.Duration("slow-query", 0, "log a warning with per-phase timings for query requests slower than this (0 = off)")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Var(mounts, "db", "mount a database directory as name=dir (repeatable)")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "semwebd: ", log.LstdFlags)
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semwebd:", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, err error) {
+		logger.Error(msg, slog.String("err", err.Error()))
+		os.Exit(1)
+	}
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: semwebd [-addr host:port] [-root DIR] [-db name=dir ...]")
 		os.Exit(2)
@@ -76,13 +116,15 @@ func main() {
 		Root:           *root,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		SlowQuery:      *slowQuery,
+		EnablePprof:    *pprofFlag,
 	}
 	if !*quiet {
-		cfg.Logf = logger.Printf
+		cfg.Logger = logger
 	}
 	srv, err := serve.New(cfg)
 	if err != nil {
-		logger.Fatal(err)
+		fatal("startup failed", err)
 	}
 
 	// Listen before announcing, so "listening on" carries the resolved
@@ -90,13 +132,13 @@ func main() {
 	// before any client can connect.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		logger.Fatal(err)
+		fatal("listen failed", err)
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 
 	// The smoke test and operators' scripts key on this exact line.
 	fmt.Printf("semwebd: listening on %s\n", ln.Addr())
-	logger.Printf("serving databases: %v", srv.Names())
+	logger.Info("serving", slog.Any("dbs", srv.Names()), slog.String("addr", ln.Addr().String()))
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -106,13 +148,13 @@ func main() {
 
 	select {
 	case sig := <-sigc:
-		logger.Printf("received %v, draining for up to %s", sig, *drain)
+		logger.Info("draining", slog.String("signal", sig.String()), slog.Duration("window", *drain))
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			// The drain window expired with streams still running; cut
 			// them — closing their connections cancels the request
 			// contexts, which aborts the solvers behind the streams.
-			logger.Printf("drain window expired (%v), aborting in-flight streams", err)
+			logger.Warn("drain window expired, aborting in-flight streams", slog.String("err", err.Error()))
 			_ = httpSrv.Close()
 		}
 		cancel()
@@ -121,12 +163,12 @@ func main() {
 		// a listener failure.
 		if !errors.Is(err, http.ErrServerClosed) {
 			_ = srv.Close()
-			logger.Fatal(err)
+			fatal("serve failed", err)
 		}
 	}
 
 	if err := srv.Close(); err != nil {
-		logger.Fatal(err)
+		fatal("close failed", err)
 	}
-	logger.Printf("shut down cleanly")
+	logger.Info("shut down cleanly")
 }

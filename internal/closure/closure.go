@@ -8,6 +8,7 @@ package closure
 import (
 	"context"
 	"math/rand"
+	"time"
 
 	"semwebdb/internal/dict"
 	"semwebdb/internal/graph"
@@ -40,6 +41,7 @@ func RDFSClCtx(ctx context.Context, g *graph.Graph) (*graph.Graph, error) {
 // explicit queue drain order (tests use FIFO/shuffled to assert the
 // result is order-independent).
 func rdfsClSequential(ctx context.Context, g *graph.Graph, order queueOrder, rng *rand.Rand) (*graph.Graph, error) {
+	t0 := time.Now()
 	e := newEngine(g.Dict())
 	e.order, e.shuffleRng = order, rng
 	g.EachID(func(t dict.Triple3) bool {
@@ -54,6 +56,8 @@ func rdfsClSequential(ctx context.Context, g *graph.Graph, order queueOrder, rng
 	if err := e.run(ctx); err != nil {
 		return nil, err
 	}
+	satFullSeq.Inc()
+	satSecondsFull.ObserveSince(t0)
 	return e.out, nil
 }
 
@@ -140,6 +144,11 @@ type engine struct {
 	// maintenance round added on top of the seeded base (delta.go).
 	journaling bool
 	journal    []dict.Triple3
+
+	// Local metric tallies: plain fields, flushed to the process-global
+	// counters once per run (metrics.go), never atomics per firing.
+	fired   uint64 // add calls — conclusions emitted, duplicates included
+	derived uint64 // add admissions — novel triples entering the closure
 }
 
 func newEngine(d *dict.Dict) *engine {
@@ -182,9 +191,11 @@ func addEdge(m map[dict.ID]map[dict.ID]struct{}, a, b dict.ID) {
 // add inserts a triple (if well-formed and new — AddID checks both),
 // updates the indexes and enqueues it for processing.
 func (e *engine) add(t dict.Triple3) {
+	e.fired++
 	if !e.out.AddID(t) {
 		return
 	}
+	e.derived++
 	if e.journaling {
 		e.journal = append(e.journal, t)
 	}
@@ -225,6 +236,7 @@ func (e *engine) indexTriple(t dict.Triple3) {
 }
 
 func (e *engine) run(ctx context.Context) error {
+	defer e.flushMetrics()
 	done := ctx.Done()
 	for n := 0; len(e.queue) > 0; n++ {
 		if done != nil && n&0x3ff == 0 {
@@ -237,6 +249,15 @@ func (e *engine) run(ctx context.Context) error {
 		e.process(e.pop())
 	}
 	return nil
+}
+
+// flushMetrics publishes the tallies accumulated since the previous
+// flush and zeroes them; a Maintainer-held engine runs many times, so
+// each run contributes exactly its own delta.
+func (e *engine) flushMetrics() {
+	ruleFirings.Add(e.fired)
+	triplesDerived.Add(e.derived)
+	e.fired, e.derived = 0, 0
 }
 
 // pop removes and returns the next queued triple according to the

@@ -26,6 +26,7 @@ package closure
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"semwebdb/internal/dict"
 	"semwebdb/internal/graph"
@@ -76,6 +77,7 @@ func (m *Maintainer) Apply(ctx context.Context, batch []dict.Triple3) ([]dict.Tr
 	if m.err != nil {
 		return nil, m.err
 	}
+	t0 := time.Now()
 	e := m.e
 	e.journal = e.journal[:0]
 	for _, t := range batch {
@@ -85,6 +87,8 @@ func (m *Maintainer) Apply(ctx context.Context, batch []dict.Triple3) ([]dict.Tr
 		m.err = fmt.Errorf("closure: delta maintenance aborted, maintainer unusable: %w", err)
 		return nil, err
 	}
+	satDeltaSeq.Inc()
+	satSecondsDelta.ObserveSince(t0)
 	out := make([]dict.Triple3, len(e.journal))
 	copy(out, e.journal)
 	return out, nil
@@ -157,6 +161,7 @@ func DeltaClWorkers(ctx context.Context, base, batch *graph.Graph, workers int) 
 // delta journaled. Tests call this directly to cover bases below the
 // parallel cutoff.
 func parDeltaRDFSCl(ctx context.Context, base, batch *graph.Graph, nw int) (*graph.Graph, error) {
+	t0 := time.Now()
 	pe := newParEngineShell(base.Dict(), nw)
 	// Each shard owner scans the base once and keeps what it owns:
 	// concurrent read-only iteration of the base set is safe, and no
@@ -179,6 +184,8 @@ func parDeltaRDFSCl(ctx context.Context, base, batch *graph.Graph, nw int) (*gra
 	if err := pe.run(ctx); err != nil {
 		return nil, err
 	}
+	satDeltaPar.Inc()
+	satSecondsDelta.ObserveSince(t0)
 	return base.ExtendedByIDs(pe.journal), nil
 }
 

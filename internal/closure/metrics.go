@@ -1,0 +1,30 @@
+package closure
+
+import "semwebdb/internal/obs"
+
+// Saturation metric families (process-global; see internal/obs). The
+// engines never touch an atomic per rule firing: both keep plain local
+// counters — fields on the sequential engine, per-worker tallies on the
+// sharded one — and flush them once per run, so instrumentation cost is
+// a handful of adds per saturation, not per instantiation.
+var (
+	saturationsVec = obs.Default.CounterVec("semweb_closure_saturations_total",
+		"Saturation runs, by mode (full = from scratch, delta = incremental over a closed base) and engine (seq = semi-naive queue, par = sharded BSP).",
+		"mode", "engine")
+	satFullSeq  = saturationsVec.With("full", "seq")
+	satDeltaSeq = saturationsVec.With("delta", "seq")
+	satFullPar  = saturationsVec.With("full", "par")
+	satDeltaPar = saturationsVec.With("delta", "par")
+
+	saturationSecondsVec = obs.Default.HistogramVec("semweb_closure_seconds",
+		"Wall-clock saturation latency, by mode.", nil, "mode")
+	satSecondsFull  = saturationSecondsVec.With("full")
+	satSecondsDelta = saturationSecondsVec.With("delta")
+
+	ruleFirings = obs.Default.Counter("semweb_closure_rule_firings_total",
+		"Rule-instantiation conclusions emitted by the engines, duplicates included (the semi-naive work measure).")
+	triplesDerived = obs.Default.Counter("semweb_closure_triples_derived_total",
+		"Triples admitted into a closure under construction (novel conclusions plus seeded input).")
+	bspRounds = obs.Default.Counter("semweb_closure_rounds_total",
+		"Fire/merge/index rounds executed by the parallel (BSP) engine.")
+)

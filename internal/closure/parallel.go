@@ -8,6 +8,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"semwebdb/internal/dict"
 	"semwebdb/internal/graph"
@@ -79,10 +80,13 @@ func ClWorkers(ctx context.Context, g *graph.Graph, workers int) (*graph.Graph, 
 // (nw ≥ 2); RDFSClWorkers applies the small-input cutoff, tests call
 // this directly to cover tiny graphs too.
 func parRDFSCl(ctx context.Context, g *graph.Graph, nw int) (*graph.Graph, error) {
+	t0 := time.Now()
 	pe := newParEngine(g, nw)
 	if err := pe.run(ctx); err != nil {
 		return nil, err
 	}
+	satFullPar.Inc()
+	satSecondsFull.ObserveSince(t0)
 	return pe.finish(), nil
 }
 
@@ -125,6 +129,9 @@ type parWorker struct {
 	local map[dict.Triple3]struct{}
 	// out buffers novel conclusions routed per dedup shard.
 	out [][]dict.Triple3
+	// fired tallies emitted conclusions across rounds; run flushes it
+	// to the process-global counter once per saturation (metrics.go).
+	fired uint64
 }
 
 // parEngine is the sharded, bulk-synchronous variant of the semi-naive
@@ -321,6 +328,17 @@ func (pe *parEngine) indexInto(sh *parShard, t dict.Triple3) {
 
 // run drives rounds to the fixpoint.
 func (pe *parEngine) run(ctx context.Context) error {
+	var rounds, admitted uint64
+	defer func() {
+		bspRounds.Add(rounds)
+		triplesDerived.Add(admitted)
+		var fired uint64
+		for i := range pe.workers {
+			fired += pe.workers[i].fired
+			pe.workers[i].fired = 0
+		}
+		ruleFirings.Add(fired)
+	}()
 	done := ctx.Done()
 	for len(pe.delta) > 0 {
 		if done != nil {
@@ -330,6 +348,8 @@ func (pe *parEngine) run(ctx context.Context) error {
 			default:
 			}
 		}
+		rounds++
+		admitted += uint64(len(pe.delta))
 		if pe.journaling {
 			// Each generation passes through pe.delta exactly once, so
 			// journaling here records every admitted triple exactly once
@@ -406,6 +426,7 @@ func (pe *parEngine) fireRound(done <-chan struct{}) {
 			}
 			pe.fire(delta[i], emit)
 		}
+		wk.fired += uint64(emits)
 	})
 }
 

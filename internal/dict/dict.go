@@ -254,6 +254,7 @@ func (d *Dict) Scratch() *Dict {
 	s.segs = append(s.segs, d.segs...)
 	s.segs = append(s.segs, segment{lo: d.off, hi: d.off + len(bv.terms), terms: bv.terms, kinds: bv.kinds})
 	s.v.Store(&view{})
+	scratchOverlays.Inc()
 	return s
 }
 
@@ -311,6 +312,7 @@ func (d *Dict) Intern(t term.Term) ID {
 	id = ID(d.off + len(nv.terms))
 	d.ids[t] = id
 	d.v.Store(nv)
+	d.noteInterned(1)
 	return id
 }
 
@@ -325,6 +327,7 @@ func (d *Dict) InternMany(ts []term.Term) []ID {
 	defer d.mu.Unlock()
 	old := d.v.Load()
 	terms, kinds := old.terms, old.kinds
+	fresh := uint64(0)
 	dirty := false
 	for i, t := range ts {
 		if d.base != nil {
@@ -342,10 +345,12 @@ func (d *Dict) InternMany(ts []term.Term) []ID {
 		id := ID(d.off + len(terms))
 		d.ids[t] = id
 		out[i] = id
+		fresh++
 		dirty = true
 	}
 	if dirty {
 		d.v.Store(&view{terms: terms, kinds: kinds})
+		d.noteInterned(fresh)
 	}
 	return out
 }

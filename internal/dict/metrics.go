@@ -1,0 +1,28 @@
+package dict
+
+import "semwebdb/internal/obs"
+
+// Dictionary metric families (process-global; see internal/obs). The
+// intern counters tick only on the slow path that actually appends a
+// term — the lock-free lookup hit pays nothing — and the overlay
+// counter measures scratch-space churn: one tick per Scratch call,
+// i.e. roughly one per read operation on a live database.
+var (
+	internsVec = obs.Default.CounterVec("semweb_dict_interns_total",
+		"Terms interned, by dictionary layer (base = the shared database dictionary, scratch = per-evaluation overlays).",
+		"layer")
+	internsBase    = internsVec.With("base")
+	internsScratch = internsVec.With("scratch")
+
+	scratchOverlays = obs.Default.Counter("semweb_dict_scratch_overlays_total",
+		"Scratch overlays created (one per read operation on a live database, plus nested premise/evaluation layers).")
+)
+
+// noteInterned records n freshly appended terms against the layer of d.
+func (d *Dict) noteInterned(n uint64) {
+	if d.base != nil {
+		internsScratch.Add(n)
+	} else {
+		internsBase.Add(n)
+	}
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file is a small, strict-enough checker for the Prometheus text
+// exposition format (version 0.0.4): the metrics-smoke CI leg scrapes
+// semwebd's /metrics and runs the payload through ValidateExposition,
+// so a formatting regression in the hand-rolled writer fails loudly
+// instead of being noticed by the first real scraper.
+
+var (
+	expMetricName = `[a-zA-Z_:][a-zA-Z0-9_:]*`
+	expSampleRe   = regexp.MustCompile(
+		`^(` + expMetricName + `)(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (\S+)( [0-9-]+)?$`)
+	expTypeRe = regexp.MustCompile(`^# TYPE (` + expMetricName + `) (counter|gauge|histogram|summary|untyped)$`)
+	expHelpRe = regexp.MustCompile(`^# HELP (` + expMetricName + `) (.*)$`)
+)
+
+// ValidateExposition checks that data parses as Prometheus text
+// exposition format: every non-comment line is a well-formed sample
+// with a parseable value, TYPE/HELP lines are well-formed and precede
+// their family's samples, no family's TYPE is declared twice, and
+// histogram families have consistent _bucket/_sum/_count series
+// (cumulative non-decreasing buckets, an +Inf bucket equal to _count).
+// It returns nil for valid input and a line-numbered error otherwise.
+func ValidateExposition(data []byte) error {
+	typeOf := map[string]string{}
+	samplesSeen := map[string]bool{}
+	type histState struct {
+		lastCum   uint64
+		infCount  uint64
+		haveInf   bool
+		count     uint64
+		haveCount bool
+	}
+	hists := map[string]*histState{} // base name + label set (minus le)
+
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 64*1024), 16<<20)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			switch {
+			case strings.HasPrefix(line, "# TYPE "):
+				m := expTypeRe.FindStringSubmatch(line)
+				if m == nil {
+					return fmt.Errorf("line %d: malformed TYPE line: %q", ln, line)
+				}
+				name := m[1]
+				if _, dup := typeOf[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", ln, name)
+				}
+				if samplesSeen[name] {
+					return fmt.Errorf("line %d: TYPE for %s after its samples", ln, name)
+				}
+				typeOf[name] = m[2]
+			case strings.HasPrefix(line, "# HELP "):
+				if !expHelpRe.MatchString(line) {
+					return fmt.Errorf("line %d: malformed HELP line: %q", ln, line)
+				}
+			default:
+				// Plain comment: ignored by the format.
+			}
+			continue
+		}
+		m := expSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample line: %q", ln, line)
+		}
+		name, labels, value := m[1], m[2], m[7]
+		v, err := parseExpositionValue(value)
+		if err != nil {
+			return fmt.Errorf("line %d: bad value %q: %v", ln, value, err)
+		}
+		base := histBaseName(name)
+		samplesSeen[base] = true
+		samplesSeen[name] = true
+
+		if t, ok := typeOf[base]; ok && t == "histogram" {
+			key, le, isBucket := base+"\x00"+stripLE(labels), leOf(labels), strings.HasSuffix(name, "_bucket")
+			h := hists[key]
+			if h == nil {
+				h = &histState{}
+				hists[key] = h
+			}
+			switch {
+			case isBucket && le == "":
+				return fmt.Errorf("line %d: histogram bucket without le label: %q", ln, line)
+			case isBucket:
+				cum := uint64(v)
+				if cum < h.lastCum {
+					return fmt.Errorf("line %d: histogram %s buckets not cumulative", ln, base)
+				}
+				h.lastCum = cum
+				if le == "+Inf" {
+					h.infCount, h.haveInf = cum, true
+				}
+			case strings.HasSuffix(name, "_count"):
+				h.count, h.haveCount = uint64(v), true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if ln == 0 {
+		return fmt.Errorf("empty exposition")
+	}
+	for key, h := range hists {
+		base := key[:strings.IndexByte(key, 0)]
+		if !h.haveInf {
+			return fmt.Errorf("histogram %s: no +Inf bucket", base)
+		}
+		if h.haveCount && h.infCount != h.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %d != _count %d", base, h.infCount, h.count)
+		}
+	}
+	return nil
+}
+
+func parseExpositionValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// histBaseName strips the histogram series suffixes.
+func histBaseName(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// stripLE removes the le pair from a label block so bucket series of
+// one histogram child share a key.
+func stripLE(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	parts := splitLabelPairs(inner)
+	out := parts[:0]
+	for _, p := range parts {
+		if !strings.HasPrefix(p, "le=") {
+			out = append(out, p)
+		}
+	}
+	return strings.Join(out, ",")
+}
+
+// leOf extracts the unquoted le label value, or "".
+func leOf(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	for _, p := range splitLabelPairs(inner) {
+		if strings.HasPrefix(p, "le=") {
+			v := strings.TrimPrefix(p, "le=")
+			if u, err := strconv.Unquote(v); err == nil {
+				return u
+			}
+			return v
+		}
+	}
+	return ""
+}
+
+// splitLabelPairs splits k="v" pairs on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if depth {
+				i++
+			}
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

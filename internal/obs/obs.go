@@ -1,0 +1,388 @@
+// Package obs is the engine-wide observability substrate: a
+// dependency-free metrics registry (atomic counters, gauges and
+// fixed-bucket latency histograms organized into labeled families), a
+// Prometheus text-exposition writer, Go runtime families backed by
+// runtime/metrics, and a lightweight per-query trace that records
+// phase spans (parse → prepare → solve → stream).
+//
+// The package is deliberately tiny and allocation-free on the hot
+// paths: updating a counter or observing a histogram is a handful of
+// atomic operations, and label resolution (Family.With) is expected to
+// happen once at instrumentation-site setup, not per event. All engine
+// layers register into the process-global Default registry; semwebd
+// exposes it on GET /metrics.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the exposition type of a metric family.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// LatencyBuckets is the default histogram bucket layout for latencies,
+// in seconds: 100µs to 10s in a coarse log scale. Fixed buckets keep
+// Observe a constant-time loop over a small array with no allocation.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket latency histogram. Observations are
+// durations; the exposition renders bucket bounds and the sum in
+// seconds, following the Prometheus histogram convention (cumulative
+// buckets, _sum, _count).
+type Histogram struct {
+	bounds []float64       // ascending upper bounds, seconds
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count  atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// ObserveSince records the time elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Family is one named metric family: a help string, a kind, a fixed
+// label-name set, and one child metric per distinct label-value tuple.
+// Children are created on first With and live forever (the usual
+// Prometheus model; label values must be low-cardinality).
+type Family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu       sync.RWMutex
+	children map[string]any // joined label values -> *Counter/*Gauge/*Histogram
+	fn       func() float64 // callback gauge; exclusive with children
+}
+
+// Name returns the family name.
+func (f *Family) Name() string { return f.name }
+
+const labelSep = "\x1f"
+
+// child returns (creating if needed) the metric for the label values.
+func (f *Family) child(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: family %s has labels %v, got %d values", f.name, f.labels, len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.RLock()
+	m, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.children[key]; ok {
+		return m
+	}
+	switch f.kind {
+	case KindCounter:
+		m = &Counter{}
+	case KindGauge:
+		m = &Gauge{}
+	case KindHistogram:
+		h := &Histogram{bounds: f.buckets}
+		h.counts = make([]atomic.Uint64, len(f.buckets)+1)
+		m = h
+	}
+	f.children[key] = m
+	return m
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *Family }
+
+// With returns the counter for the given label values (one per label
+// name, in registration order). Resolve once at setup, not per event.
+func (v CounterVec) With(values ...string) *Counter { return v.f.child(values).(*Counter) }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *Family }
+
+// With returns the gauge for the given label values.
+func (v GaugeVec) With(values ...string) *Gauge { return v.f.child(values).(*Gauge) }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *Family }
+
+// With returns the histogram for the given label values.
+func (v HistogramVec) With(values ...string) *Histogram { return v.f.child(values).(*Histogram) }
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. Families are registered once (idempotently:
+// re-registering the same name with the same kind returns the existing
+// family) and emitted in name order.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*Family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*Family)} }
+
+// Default is the process-global registry every engine layer registers
+// into; semwebd's GET /metrics exposes it.
+var Default = NewRegistry()
+
+var nameOK = func(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// family registers (or fetches) a family. Kind or label mismatches on
+// an existing name are programmer errors and panic.
+func (r *Registry) family(name, help string, kind Kind, buckets []float64, labels []string) *Family {
+	if !nameOK(name) {
+		panic("obs: invalid metric name " + name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic("obs: conflicting re-registration of " + name)
+		}
+		return f
+	}
+	f := &Family{
+		name: name, help: help, kind: kind,
+		labels: labels, buckets: buckets,
+		children: make(map[string]any),
+	}
+	r.fams[name] = f
+	return f
+}
+
+// Counter registers an unlabeled counter family and returns its metric.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, KindCounter, nil, nil).child(nil).(*Counter)
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) CounterVec {
+	return CounterVec{r.family(name, help, KindCounter, nil, labels)}
+}
+
+// Gauge registers an unlabeled gauge family and returns its metric.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, KindGauge, nil, nil).child(nil).(*Gauge)
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) GaugeVec {
+	return GaugeVec{r.family(name, help, KindGauge, nil, labels)}
+}
+
+// GaugeFunc registers a callback gauge: fn is invoked at scrape time.
+// It must be safe for concurrent use and cheap.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, KindGauge, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// Histogram registers an unlabeled histogram family with the given
+// bucket upper bounds (nil selects LatencyBuckets) and returns its
+// metric.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = LatencyBuckets
+	}
+	return r.family(name, help, KindHistogram, buckets, nil).child(nil).(*Histogram)
+}
+
+// HistogramVec registers a labeled histogram family (nil buckets
+// selects LatencyBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) HistogramVec {
+	if buckets == nil {
+		buckets = LatencyBuckets
+	}
+	return HistogramVec{r.family(name, help, KindHistogram, buckets, labels)}
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4), families in name order, children
+// in label order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	fams := make([]*Family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.RUnlock()
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Family) write(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+
+	f.mu.RLock()
+	fn := f.fn
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]any, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.RUnlock()
+
+	if fn != nil {
+		fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(fn()))
+	}
+	for i, k := range keys {
+		var pairs []string
+		if len(f.labels) > 0 {
+			values := strings.Split(k, labelSep)
+			pairs = make([]string, len(f.labels))
+			for j, l := range f.labels {
+				pairs[j] = fmt.Sprintf("%s=%q", l, values[j])
+			}
+		}
+		switch m := children[i].(type) {
+		case *Counter:
+			fmt.Fprintf(&b, "%s%s %d\n", f.name, labelBlock(pairs), m.Value())
+		case *Gauge:
+			fmt.Fprintf(&b, "%s%s %d\n", f.name, labelBlock(pairs), m.Value())
+		case *Histogram:
+			// The totals are derived from the bucket reads themselves, not
+			// from the count field: a concurrent Observe lands in its bucket
+			// before it bumps the count, so mixing the two sources could
+			// render an +Inf line below an earlier cumulative bucket.
+			cum := uint64(0)
+			for j, bound := range m.bounds {
+				cum += m.counts[j].Load()
+				le := fmt.Sprintf("le=%q", formatFloat(bound))
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labelBlock(append(append([]string(nil), pairs...), le)), cum)
+			}
+			cum += m.counts[len(m.bounds)].Load()
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labelBlock(append(append([]string(nil), pairs...), `le="+Inf"`)), cum)
+			fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, labelBlock(pairs), formatFloat(m.Sum().Seconds()))
+			fmt.Fprintf(&b, "%s_count%s %d\n", f.name, labelBlock(pairs), cum)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func labelBlock(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

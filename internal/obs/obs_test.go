@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+	h := r.Histogram("test_latency_seconds", "latency", nil)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	h.Observe(time.Hour) // beyond the last bound: +Inf bucket
+	if h.Count() != 3 {
+		t.Fatalf("hist count = %d, want 3", h.Count())
+	}
+	if want := time.Hour + 32*time.Millisecond; h.Sum() != want {
+		t.Fatalf("hist sum = %s, want %s", h.Sum(), want)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_h_seconds", "h", []float64{0.001, 0.01})
+	h.Observe(time.Millisecond)      // exactly the first bound: le="0.001"
+	h.Observe(5 * time.Millisecond)  // second bucket
+	h.Observe(50 * time.Millisecond) // +Inf
+	if got := h.counts[0].Load(); got != 1 {
+		t.Fatalf("bucket[0] = %d, want 1 (le is inclusive)", got)
+	}
+	if got := h.counts[1].Load(); got != 1 {
+		t.Fatalf("bucket[1] = %d, want 1", got)
+	}
+	if got := h.counts[2].Load(); got != 1 {
+		t.Fatalf("bucket[+Inf] = %d, want 1", got)
+	}
+}
+
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_by_path_total", "by path", "path")
+	v.With("full").Add(2)
+	v.With("delta").Inc()
+	if v.With("full").Value() != 2 || v.With("delta").Value() != 1 {
+		t.Fatal("labeled children not independent")
+	}
+	// Same labels resolve to the same child.
+	if v.With("full") != v.With("full") {
+		t.Fatal("With not idempotent")
+	}
+	// Idempotent re-registration returns the same family.
+	v2 := r.CounterVec("test_by_path_total", "by path", "path")
+	if v2.With("full").Value() != 2 {
+		t.Fatal("re-registration lost state")
+	}
+}
+
+func TestWritePrometheusIsValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_a_total", "a").Add(3)
+	r.Gauge("test_b", `help with "quotes" and \backslash`).Set(-2)
+	hv := r.HistogramVec("test_c_seconds", "c", nil, "path", "mode")
+	hv.With("full", "eval").Observe(3 * time.Millisecond)
+	hv.With("delta", "stream").Observe(100 * time.Millisecond)
+	r.GaugeFunc("test_d", "callback", func() float64 { return 1.5 })
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE test_a_total counter",
+		"test_a_total 3",
+		"test_b -2",
+		`test_c_seconds_bucket{path="delta",mode="stream",le="+Inf"} 1`,
+		`test_c_seconds_count{path="full",mode="eval"} 1`,
+		"test_d 1.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteGoRuntimeIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGoRuntime(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("invalid runtime exposition: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{"go_goroutines", "go_gc_cycles_total", "process_start_time_seconds"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("runtime exposition missing %q", want)
+		}
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad sample":      "foo{ 3\n",
+		"bad value":       "foo bar\n",
+		"dup type":        "# TYPE foo counter\n# TYPE foo gauge\nfoo 1\n",
+		"type after":      "foo 1\n# TYPE foo counter\n",
+		"non-cum buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"no inf bucket":   "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"inf != count":    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 7\n",
+		"empty":           "",
+	}
+	for name, in := range cases {
+		if err := ValidateExposition([]byte(in)); err == nil {
+			t.Errorf("%s: accepted invalid exposition %q", name, in)
+		}
+	}
+	if err := ValidateExposition([]byte("# random comment\nup 1\n")); err != nil {
+		t.Errorf("rejected valid exposition: %v", err)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	tr := NewTrace()
+	end := tr.StartSpan("parse")
+	time.Sleep(time.Millisecond)
+	end()
+	tr.AddSpan("solve", time.Now(), 5*time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "parse" || spans[1].Name != "solve" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Duration < time.Millisecond {
+		t.Fatalf("parse span too short: %s", spans[0].Duration)
+	}
+	if s := tr.String(); !strings.Contains(s, "parse=") || !strings.Contains(s, "solve=5ms") {
+		t.Fatalf("trace string = %q", s)
+	}
+
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("TraceFrom lost the trace")
+	}
+	// Nil traces are inert on every method.
+	var nilT *Trace
+	nilT.StartSpan("x")()
+	nilT.AddSpan("y", time.Now(), 0)
+	if nilT.Spans() != nil || nilT.String() != "" {
+		t.Fatal("nil trace not inert")
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("TraceFrom on empty ctx")
+	}
+}
+
+// TestConcurrentUpdatesAndScrape is the package's race-detector
+// workout: writers on every metric kind race a scraper.
+func TestConcurrentUpdatesAndScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "c")
+	g := r.Gauge("test_conc_gauge", "g")
+	hv := r.HistogramVec("test_conc_seconds", "h", nil, "path")
+	var wg sync.WaitGroup
+	const perWorker = 2000
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			paths := []string{"a", "b", "c"}
+			for n := 0; n < perWorker; n++ {
+				c.Inc()
+				g.Add(1)
+				hv.With(paths[n%3]).Observe(time.Duration(n) * time.Microsecond)
+			}
+		}(i)
+	}
+	for i := 0; i < 20; i++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateExposition(buf.Bytes()); err != nil {
+			t.Fatalf("scrape %d invalid: %v", i, err)
+		}
+	}
+	wg.Wait()
+	if c.Value() != 4*perWorker {
+		t.Fatalf("counter = %d, want %d", c.Value(), 4*perWorker)
+	}
+}

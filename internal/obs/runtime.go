@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"time"
+)
+
+// Go process families, backed by runtime/metrics and sampled at scrape
+// time. The set is fixed and conservative — metrics the runtime has
+// served stably — and an entry the running runtime does not know is
+// skipped rather than rendered as garbage.
+var runtimeFamilies = []struct {
+	sample string // runtime/metrics name
+	name   string // exposition name
+	kind   Kind
+	help   string
+}{
+	{"/sched/goroutines:goroutines", "go_goroutines", KindGauge,
+		"Number of live goroutines."},
+	{"/memory/classes/heap/objects:bytes", "go_memory_heap_objects_bytes", KindGauge,
+		"Bytes occupied by live heap objects plus dead objects not yet swept."},
+	{"/memory/classes/total:bytes", "go_memory_total_bytes", KindGauge,
+		"All memory mapped by the Go runtime."},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", KindCounter,
+		"Completed GC cycles."},
+	{"/gc/heap/allocs:bytes", "go_gc_heap_allocs_bytes_total", KindCounter,
+		"Cumulative bytes allocated on the heap."},
+	{"/gc/heap/frees:bytes", "go_gc_heap_frees_bytes_total", KindCounter,
+		"Cumulative bytes freed from the heap."},
+}
+
+var processStart = time.Now()
+
+// WriteGoRuntime writes the Go process families (go_*) plus
+// process_start_time_seconds in the text exposition format. It samples
+// runtime/metrics on every call; the cost is a few microseconds.
+func WriteGoRuntime(w io.Writer) error {
+	samples := make([]metrics.Sample, len(runtimeFamilies))
+	for i, f := range runtimeFamilies {
+		samples[i].Name = f.sample
+	}
+	metrics.Read(samples)
+
+	var b strings.Builder
+	for i, f := range runtimeFamilies {
+		var v float64
+		switch samples[i].Value.Kind() {
+		case metrics.KindUint64:
+			v = float64(samples[i].Value.Uint64())
+		case metrics.KindFloat64:
+			v = samples[i].Value.Float64()
+		default:
+			continue // metric unknown to this runtime
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+			f.name, escapeHelp(f.help), f.name, f.kind, f.name, formatFloat(v))
+	}
+	fmt.Fprintf(&b, "# HELP go_gomaxprocs Value of GOMAXPROCS.\n# TYPE go_gomaxprocs gauge\ngo_gomaxprocs %d\n",
+		runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&b, "# HELP process_start_time_seconds Unix time the process started.\n# TYPE process_start_time_seconds gauge\nprocess_start_time_seconds %s\n",
+		formatFloat(float64(processStart.UnixNano())/1e9))
+	_, err := io.WriteString(w, b.String())
+	return err
+}

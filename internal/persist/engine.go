@@ -84,11 +84,13 @@ func Open(dir string, opts Options) (*Engine, *dict.Dict, *graph.Graph, error) {
 			f.Close()
 			return nil, nil, nil, serr
 		}
+		t0 := time.Now()
 		d, g, err = ReadSnapshot(bufio.NewReaderSize(f, 1<<20))
 		f.Close()
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("%s: %w", snapPath, err)
 		}
+		snapshotOpenSeconds.ObserveSince(t0)
 		e.snapBytes = st.Size()
 	} else if os.IsNotExist(ferr) {
 		d = dict.New()
@@ -248,6 +250,7 @@ func (e *Engine) writeSnapshotTmp(g *graph.Graph) (int64, int, error) {
 	if err != nil {
 		return 0, 0, err
 	}
+	t0 := time.Now()
 	n, persistedTerms, err := writeSnapshotSynced(f, g, !e.opts.NoSync)
 	if err != nil {
 		f.Close()
@@ -258,6 +261,8 @@ func (e *Engine) writeSnapshotTmp(g *graph.Graph) (int64, int, error) {
 		os.Remove(tmp)
 		return 0, 0, err
 	}
+	snapshotWrites.Inc()
+	snapshotWriteSeconds.ObserveSince(t0)
 	return n, persistedTerms, nil
 }
 
@@ -322,7 +327,11 @@ func (e *Engine) Swap(cur, rewritten *graph.Graph) error {
 		os.Remove(filepath.Join(e.dir, snapshotTmp))
 		return err
 	}
-	return e.renameSnapshot(n)
+	if err := e.renameSnapshot(n); err != nil {
+		return err
+	}
+	snapshotSwaps.Inc()
+	return nil
 }
 
 func writeSnapshotSynced(f *os.File, g *graph.Graph, sync bool) (int64, int, error) {

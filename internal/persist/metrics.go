@@ -1,0 +1,25 @@
+package persist
+
+import "semwebdb/internal/obs"
+
+// Durable-storage metric families (process-global; see internal/obs).
+// The fsync histogram is the one the replication PRs will watch: group
+// commit pays exactly one fsync per Append batch, so its latency bounds
+// write throughput.
+var (
+	walAppends = obs.Default.Counter("semweb_wal_appends_total",
+		"WAL append batches logged (one group commit, hence at most one fsync, each).")
+	walAppendBytes = obs.Default.Counter("semweb_wal_append_bytes_total",
+		"Bytes appended to the WAL, framing included.")
+	walFsyncSeconds = obs.Default.Histogram("semweb_wal_fsync_seconds",
+		"Latency of the per-batch WAL fsync (absent when fsync is disabled).", nil)
+
+	snapshotWrites = obs.Default.Counter("semweb_snapshot_writes_total",
+		"Snapshot files written (checkpoints, threshold compactions and swaps).")
+	snapshotWriteSeconds = obs.Default.Histogram("semweb_snapshot_write_seconds",
+		"Time to write, flush and sync one snapshot tmp file.", nil)
+	snapshotOpenSeconds = obs.Default.Histogram("semweb_snapshot_open_seconds",
+		"Time to decode a snapshot file on open (dictionary re-intern + permutation install).", nil)
+	snapshotSwaps = obs.Default.Counter("semweb_snapshot_swaps_total",
+		"Epoch-compaction swaps: durable dictionary rebuilds (Engine.Swap).")
+)

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"semwebdb/internal/dict"
 	"semwebdb/internal/graph"
@@ -310,10 +311,14 @@ func (w *WAL) Append(d *dict.Dict, triples []dict.Triple3) error {
 		return w.rollback(startSize, startRecords, startDefined, err)
 	}
 	if w.sync {
+		t0 := time.Now()
 		if err := w.f.Sync(); err != nil {
 			return w.rollback(startSize, startRecords, startDefined, err)
 		}
+		walFsyncSeconds.ObserveSince(t0)
 	}
+	walAppends.Inc()
+	walAppendBytes.Add(uint64(w.size - startSize))
 	return nil
 }
 

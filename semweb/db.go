@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"semwebdb/internal/closure"
 	"semwebdb/internal/core"
@@ -14,6 +15,7 @@ import (
 	"semwebdb/internal/entail"
 	"semwebdb/internal/graph"
 	"semwebdb/internal/match"
+	"semwebdb/internal/obs"
 	"semwebdb/internal/persist"
 	"semwebdb/internal/query"
 	"semwebdb/internal/term"
@@ -460,20 +462,23 @@ func groundBatch(d *dict.Dict, ts []dict.Triple3) bool {
 // computed from scratch. prepMu serializes all of this, so concurrent
 // first queries after a mutation wait for one maintenance pass instead
 // of racing duplicate saturations.
-func (db *DB) preparedData(ctx context.Context, g *graph.Graph, skipNF bool) (*preparedState, error) {
+// The returned path names which branch resolved the request (the
+// prepPath* constants) and labels semweb_query_seconds.
+func (db *DB) preparedData(ctx context.Context, g *graph.Graph, skipNF bool) (*preparedState, string, error) {
 	if st := db.preparedHit(g, skipNF); st != nil {
-		return st, nil
+		return st, prepPathCached, nil
 	}
 	db.prepMu.Lock()
 	defer db.prepMu.Unlock()
 	if st := db.preparedHit(g, skipNF); st != nil {
-		return st, nil // filled while waiting for prepMu
+		return st, prepPathCached, nil // filled while waiting for prepMu
 	}
 	st, err := db.deltaPrepare(ctx, g, skipNF)
 	if st != nil || err != nil {
-		return st, err
+		return st, prepPathDelta, err
 	}
-	return db.fullPrepare(ctx, g, skipNF)
+	st, err = db.fullPrepare(ctx, g, skipNF)
+	return st, prepPathFull, err
 }
 
 // preparedHit returns the cached state when the cache exactly covers
@@ -769,7 +774,7 @@ func (db *DB) Snapshot() error {
 		return ErrClosed
 	}
 	if shouldAutoCompact(g) {
-		return db.compactLocked(g)
+		return db.compactLocked(g, compactionsAuto)
 	}
 	// The checkpoint runs without mu: the snapshot is immutable and
 	// commitMu keeps concurrent mutations from appending to the log it
@@ -825,13 +830,14 @@ func (db *DB) Compact() error {
 	if closed {
 		return ErrClosed
 	}
-	return db.compactLocked(g)
+	return db.compactLocked(g, compactionsManual)
 }
 
 // compactLocked rebuilds and publishes the compacted state for the
 // snapshot g (the current one; the caller holds commitMu, so no
 // mutation can slip between reading g and publishing its rebuild).
-func (db *DB) compactLocked(g *graph.Graph) error {
+// trigger is the semweb_db_compactions_total child to credit.
+func (db *DB) compactLocked(g *graph.Graph, trigger *obs.Counter) error {
 	ng, _ := graph.Compacted(g)
 	if db.eng != nil {
 		if err := db.eng.Swap(g, ng); err != nil {
@@ -849,6 +855,7 @@ func (db *DB) compactLocked(g *graph.Graph) error {
 	}
 	db.dropPreparedLocked()
 	db.mu.Unlock()
+	trigger.Inc()
 	return nil
 }
 
@@ -1007,6 +1014,8 @@ func (db *DB) Eval(ctx context.Context, q *Query) (*Answer, error) {
 	if q == nil {
 		return nil, &malformedQueryError{cause: fmt.Errorf("nil query")}
 	}
+	t0 := time.Now()
+	tr := obs.TraceFrom(ctx)
 	iq, err := q.compile()
 	if err != nil {
 		return nil, err
@@ -1025,22 +1034,35 @@ func (db *DB) Eval(ctx context.Context, q *Query) (*Answer, error) {
 	}
 	g := db.snapshot()
 	var ans *query.Answer
+	path := prepPathPremise
 	if iq.Premise == nil || iq.Premise.Len() == 0 {
 		// Premise-free: match against the cached nf(D) (or cl(D)) and
 		// its cached match index, computed once per snapshot instead of
 		// once per query.
-		st, perr := db.preparedData(ctx, g, opts.SkipNormalForm)
+		endPrepare := tr.StartSpan("prepare")
+		st, p, perr := db.preparedData(ctx, g, opts.SkipNormalForm)
+		endPrepare()
 		if perr != nil {
 			return nil, wrapEngineError(perr)
 		}
+		path = p
+		endSolve := tr.StartSpan("solve")
 		ans, err = query.EvaluatePreparedIndexCtx(ctx, iq, st.ix, opts)
+		endSolve()
 	} else {
 		// A premise changes the matching universe to nf(D + P); no
 		// caching across queries is possible.
+		endSolve := tr.StartSpan("solve")
 		ans, err = query.EvaluateCtx(ctx, iq, g, opts)
+		endSolve()
 	}
 	if err != nil {
 		return nil, wrapEngineError(err)
+	}
+	querySecondsFor(path).ObserveSince(t0)
+	queryRows.Add(uint64(len(ans.Singles)))
+	if ans.Truncated {
+		queryTruncations.Inc()
 	}
 	return &Answer{inner: ans}, nil
 }

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"semwebdb/internal/obs"
 	"semwebdb/internal/query"
 )
 
@@ -59,6 +61,13 @@ type Rows struct {
 	ch     chan Row
 	cur    Row
 
+	// Metric/trace state, fixed by Stream before the producer starts:
+	// the wall-clock origin, the matching-universe path labeling
+	// semweb_query_seconds, and the per-query trace (nil-safe).
+	t0   time.Time
+	path string
+	tr   *obs.Trace
+
 	mu        sync.Mutex
 	closed    bool  // Close was called
 	finished  bool  // producer goroutine has exited
@@ -100,16 +109,20 @@ func (db *DB) Stream(ctx context.Context, q *Query) (*Rows, error) {
 	g := db.snapshot()
 
 	sctx, cancel := context.WithCancel(ctx)
-	r := &Rows{cancel: cancel, ch: make(chan Row)}
+	r := &Rows{cancel: cancel, ch: make(chan Row),
+		t0: time.Now(), path: prepPathPremise, tr: obs.TraceFrom(ctx)}
 	if iq.Premise == nil || iq.Premise.Len() == 0 {
 		// Premise-free: resolve the cached matching universe up front so
 		// preparation errors surface synchronously, then stream against
 		// the cached match index.
-		st, perr := db.preparedData(sctx, g, opts.SkipNormalForm)
+		endPrepare := r.tr.StartSpan("prepare")
+		st, path, perr := db.preparedData(sctx, g, opts.SkipNormalForm)
+		endPrepare()
 		if perr != nil {
 			cancel()
 			return nil, wrapEngineError(perr)
 		}
+		r.path = path
 		go r.run(sctx, func(yield func(query.Single) bool) (query.StreamStats, error) {
 			return query.StreamPreparedIndexCtx(sctx, iq, st.ix, opts, yield)
 		})
@@ -135,6 +148,7 @@ func (q *Query) Iter(ctx context.Context, db *DB) (*Rows, error) {
 // handing each row over the unbuffered channel (backpressure), and
 // records the terminal state before closing the channel.
 func (r *Rows) run(ctx context.Context, stream func(func(query.Single) bool) (query.StreamStats, error)) {
+	endStream := r.tr.StartSpan("stream")
 	st, err := stream(func(s query.Single) bool {
 		select {
 		case r.ch <- Row{Single: s.Graph, Bindings: s.Binding, Matching: s.Matching}:
@@ -163,6 +177,15 @@ func (r *Rows) run(ctx context.Context, stream func(func(query.Single) bool) (qu
 	}
 	r.finished = true
 	r.mu.Unlock()
+	endStream()
+	// Stream observations include consumer pacing: the producer is
+	// backpressured by Next, so this is the row-delivery wall time, not
+	// pure solver time.
+	querySecondsFor(r.path).ObserveSince(r.t0)
+	queryRows.Add(uint64(st.Singles))
+	if st.Truncated {
+		queryTruncations.Inc()
+	}
 	close(r.ch)
 }
 

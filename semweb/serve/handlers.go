@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
+	"semwebdb/internal/obs"
 	"semwebdb/semweb"
 )
 
@@ -51,6 +53,9 @@ type Trailer struct {
 	// timeout, engine failure — instead of completing. The rows before
 	// the trailer are valid but possibly incomplete.
 	Error string `json:"error,omitempty"`
+	// ElapsedMS is the server-side wall time of the request in
+	// milliseconds, from body read to trailer write.
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // errorMessage is the JSON body of every non-streaming error response.
@@ -133,12 +138,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	start := time.Now()
+	trace := obs.NewTrace()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxQueryBytes))
 	if err != nil {
 		writeError(w, http.StatusRequestEntityTooLarge, err)
 		return
 	}
+	endParse := trace.StartSpan("parse")
 	q, err := semweb.ParseQuery(string(body))
+	endParse()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -179,8 +188,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	ctx = obs.WithTrace(ctx, trace) // the engine records prepare/stream spans
 
-	start := time.Now()
 	rows, err := db.Stream(ctx, q)
 	if err != nil {
 		if errors.Is(err, semweb.ErrMalformedQuery) {
@@ -209,19 +218,32 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Close is the barrier that makes the final statistics (and the
 	// terminal error, if any) available.
 	_ = rows.Close()
+	elapsed := time.Since(start)
 	tr := Trailer{
 		Done:      true,
 		Rows:      sent,
 		Matchings: rows.Matchings(),
 		Truncated: rows.Truncated(),
+		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
 	}
 	if err := rows.Err(); err != nil {
 		tr.Error = err.Error()
 	}
 	_ = enc.Encode(tr)
 	_ = rc.Flush()
-	s.logf("query db=%s rows=%d matchings=%d truncated=%v err=%q in %s",
-		r.PathValue("db"), tr.Rows, tr.Matchings, tr.Truncated, tr.Error, time.Since(start).Round(time.Millisecond))
+	lg := s.reqLogger(r)
+	lg.Info("query",
+		slog.Int("rows", tr.Rows),
+		slog.Int("matchings", tr.Matchings),
+		slog.Bool("truncated", tr.Truncated),
+		slog.String("err", tr.Error),
+		slog.Duration("elapsed", elapsed.Round(time.Microsecond)))
+	if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
+		lg.Warn("slow query",
+			slog.Duration("elapsed", elapsed.Round(time.Microsecond)),
+			slog.String("phases", trace.String()),
+			slog.String("query", string(body)))
+	}
 }
 
 // rowMessage renders one cursor row for the wire.
@@ -275,7 +297,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	after := db.Len()
-	s.logf("load db=%s added=%d total=%d", r.PathValue("db"), after-before, after)
+	s.reqLogger(r).Info("load", slog.Int("added", after-before), slog.Int("total", after))
 	writeJSON(w, http.StatusOK, loadResult{Added: after - before, Triples: after})
 }
 
@@ -290,7 +312,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeAdminError(w, err)
 		return
 	}
-	s.logf("snapshot db=%s", r.PathValue("db"))
+	s.reqLogger(r).Info("snapshot")
 	writeJSON(w, http.StatusOK, db.Stats())
 }
 
@@ -313,8 +335,11 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	after := db.Stats()
-	s.logf("compact db=%s dict=%d->%d snapshot=%d->%d bytes",
-		r.PathValue("db"), before.DictTerms, after.DictTerms, before.SnapshotBytes, after.SnapshotBytes)
+	s.reqLogger(r).Info("compact",
+		slog.Int64("dict_before", int64(before.DictTerms)),
+		slog.Int64("dict_after", int64(after.DictTerms)),
+		slog.Int64("snapshot_bytes_before", before.SnapshotBytes),
+		slog.Int64("snapshot_bytes_after", after.SnapshotBytes))
 	writeJSON(w, http.StatusOK, compactResult{Before: before, After: after})
 }
 

@@ -1,0 +1,190 @@
+package serve_test
+
+// Tests for the service tier's observability surface: the /metrics
+// exposition, request IDs, pprof gating, structured request logs and
+// the slow-query trace dump.
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"semwebdb/internal/obs"
+	"semwebdb/semweb/serve"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing slog output
+// (the middleware logs from request goroutines).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// waitForLog polls until the captured log contains every substring (the
+// completion line is written after the response body is flushed, so a
+// client can observe the response before the line lands).
+func waitForLog(t *testing.T, buf *syncBuffer, subs ...string) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := buf.String()
+		ok := true
+		for _, sub := range subs {
+			if !strings.Contains(s, sub) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("log never contained %q; captured:\n%s", subs, s)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMetricsEndpoint drives load, query and snapshot traffic and then
+// scrapes /metrics: the response must be valid Prometheus text
+// exposition and cover the engine families (query, closure, WAL, dict),
+// the HTTP-tier families and the Go runtime families.
+func TestMetricsEndpoint(t *testing.T) {
+	_, url := newTestServer(t, serve.Config{})
+
+	if resp, body := post(t, url+"/v1/art/load", "text/plain", ntDoc(12)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("load: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := post(t, url+"/v1/art/query", "text/plain", testQuery); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	} else {
+		_, trailer := decodeStream(t, body)
+		if trailer.ElapsedMS <= 0 {
+			t.Errorf("trailer elapsed_ms = %v, want > 0", trailer.ElapsedMS)
+		}
+	}
+	if resp, body := post(t, url+"/v1/art/snapshot", "", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d %s", resp.StatusCode, body)
+	}
+
+	resp, body := get(t, url+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want the 0.0.4 text exposition", ct)
+	}
+	if err := obs.ValidateExposition([]byte(body)); err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	for _, family := range []string{
+		"semweb_query_seconds",
+		"semweb_query_rows_total",
+		"semweb_closure_saturations_total",
+		"semweb_closure_rule_firings_total",
+		"semweb_wal_appends_total",
+		"semweb_snapshot_writes_total",
+		"semweb_dict_interns_total",
+		"semweb_dict_scratch_overlays_total",
+		"semwebd_http_requests_total",
+		"semwebd_http_request_seconds",
+		"go_goroutines",
+		"process_start_time_seconds",
+	} {
+		if !strings.Contains(body, "# TYPE "+family+" ") {
+			t.Errorf("/metrics is missing family %s", family)
+		}
+	}
+	// The traffic above must be visible: a query against a live database
+	// pays at least one saturation, one WAL append and one query row.
+	for _, sample := range []string{
+		`semwebd_http_requests_total{handler="query",code="200"}`,
+		`semweb_query_seconds_count{path="full"}`,
+	} {
+		if !strings.Contains(body, sample) {
+			t.Errorf("/metrics is missing sample %s", sample)
+		}
+	}
+}
+
+// TestRequestIDs checks that every response carries a generated
+// X-Request-Id and that a client-supplied one is propagated.
+func TestRequestIDs(t *testing.T) {
+	_, url := newTestServer(t, serve.Config{})
+
+	resp, _ := get(t, url+"/healthz")
+	if id := resp.Header.Get("X-Request-Id"); id == "" {
+		t.Error("no X-Request-Id on response")
+	}
+
+	req, err := http.NewRequest("GET", url+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "upstream-42")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if id := resp2.Header.Get("X-Request-Id"); id != "upstream-42" {
+		t.Errorf("X-Request-Id = %q, want the propagated upstream-42", id)
+	}
+}
+
+// TestPprofGating checks /debug/pprof is absent by default and present
+// under Config.EnablePprof.
+func TestPprofGating(t *testing.T) {
+	_, url := newTestServer(t, serve.Config{})
+	if resp, _ := get(t, url+"/debug/pprof/"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without EnablePprof: %d, want 404", resp.StatusCode)
+	}
+
+	_, url2 := newTestServer(t, serve.Config{EnablePprof: true})
+	if resp, _ := get(t, url2+"/debug/pprof/"); resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof with EnablePprof: %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestRequestLogAndSlowQuery captures the structured log and checks the
+// per-request completion line (request id, handler, db, status,
+// duration) and the slow-query warning with its phase trace.
+func TestRequestLogAndSlowQuery(t *testing.T) {
+	buf := &syncBuffer{}
+	logger := slog.New(slog.NewTextHandler(buf, nil))
+	_, url := newTestServer(t, serve.Config{Logger: logger, SlowQuery: time.Nanosecond})
+
+	if resp, body := post(t, url+"/v1/art/load", "text/plain", ntDoc(4)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("load: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := post(t, url+"/v1/art/query", "text/plain", testQuery); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+
+	log := waitForLog(t, buf,
+		"msg=request", `handler=query`, `db=art`, "status=200", "req=", "duration=",
+		"msg=\"slow query\"", "phases=", "parse=")
+	// The engine threads the trace through the stream: prepare and
+	// stream spans must have been recorded for a premise-free query.
+	for _, span := range []string{"prepare=", "stream="} {
+		if !strings.Contains(log, span) {
+			t.Errorf("slow-query phase trace is missing the %s span; log:\n%s", span, log)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"semwebdb/internal/obs"
+)
+
+// MetricsContentType is the Content-Type of the /metrics response: the
+// Prometheus text exposition format, version 0.0.4.
+const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// HTTP-tier metric families. The per-handler latency children are
+// resolved once per route at Handler time; only the (handler, code)
+// counter resolves a child per request, which is a read-locked map hit.
+var (
+	httpRequests = obs.Default.CounterVec("semwebd_http_requests_total",
+		"Completed HTTP requests, by route handler and status code.",
+		"handler", "code")
+	httpSecondsVec = obs.Default.HistogramVec("semwebd_http_request_seconds",
+		"HTTP request latency (first byte in to handler return, response streaming included), by route handler.",
+		nil, "handler")
+	httpInflight = obs.Default.Gauge("semwebd_http_inflight_requests",
+		"HTTP requests currently being served.")
+)
+
+// Request IDs are "<boot-prefix>-<seq>": a per-process random prefix so
+// IDs from successive restarts never collide in aggregated logs, and an
+// atomic sequence number for cheap uniqueness within the process. A
+// client-supplied X-Request-Id is honored instead, so a fronting proxy
+// can stitch its own trace through.
+var (
+	reqIDPrefix = func() string {
+		var b [4]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqIDSeq atomic.Uint64
+)
+
+func nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqIDPrefix, reqIDSeq.Add(1))
+}
+
+// loggerKey carries the request-scoped logger through the context.
+type loggerKey struct{}
+
+// reqLogger returns the request-scoped logger installed by instrument
+// (falling back to the server logger for un-instrumented paths).
+func (s *Server) reqLogger(r *http.Request) *slog.Logger {
+	if lg, ok := r.Context().Value(loggerKey{}).(*slog.Logger); ok {
+		return lg
+	}
+	return s.logger
+}
+
+// statusWriter captures the response status for logging and metrics.
+// Unwrap keeps http.NewResponseController working through it (the query
+// handler flushes per row).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// instrument wraps one route handler with the service-tier
+// observability: request ID (generated or propagated, always echoed in
+// X-Request-Id), a request-scoped logger in the context, per-handler
+// latency and per-(handler, code) request counters, and one structured
+// completion line per request.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
+	seconds := httpSecondsVec.With(name)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		httpInflight.Add(1)
+		defer httpInflight.Add(-1)
+
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = nextRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+
+		attrs := []any{slog.String("req", id), slog.String("handler", name)}
+		if db := r.PathValue("db"); db != "" {
+			attrs = append(attrs, slog.String("db", db))
+		}
+		lg := s.logger.With(attrs...)
+
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(context.WithValue(r.Context(), loggerKey{}, lg)))
+
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		d := time.Since(t0)
+		seconds.Observe(d)
+		httpRequests.With(name, strconv.Itoa(code)).Inc()
+		lg.Info("request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("remote", r.RemoteAddr),
+			slog.Int("status", code),
+			slog.Duration("duration", d.Round(time.Microsecond)))
+	})
+}
+
+// handleMetrics renders the process-global registry plus the Go runtime
+// families in the Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", MetricsContentType)
+	_ = obs.Default.WritePrometheus(w)
+	_ = obs.WriteGoRuntime(w)
+}

@@ -6,6 +6,7 @@
 // # Endpoints
 //
 //	GET  /healthz              liveness probe
+//	GET  /metrics              Prometheus text exposition (engine + HTTP tier + Go runtime)
 //	GET  /v1/dbs               names of the serveable databases
 //	GET  /v1/{db}/stats        semweb.Stats as JSON
 //	POST /v1/{db}/query        evaluate a tableau query, stream NDJSON rows
@@ -30,6 +31,9 @@
 // discipline of semweb.DB applies per database, and a semwebd owns its
 // directories exclusively (the WAL flock rejects a second writer).
 //
+// Config.EnablePprof additionally mounts the net/http/pprof profile
+// endpoints under /debug/pprof/.
+//
 // The tier is deliberately auth-less (see ROADMAP: service tier):
 // deploy it on a trusted network or behind a fronting proxy.
 package serve
@@ -37,7 +41,9 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -85,8 +91,21 @@ type Config struct {
 	// MaxQueryBytes caps the query-text body size (default 1 MiB).
 	MaxQueryBytes int64
 
-	// Logf, when non-nil, receives one line per completed request.
-	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives the structured request log: one
+	// Info line per completed request (request id, handler, db, remote,
+	// status, duration) plus handler-specific lines. Nil discards all
+	// logging.
+	Logger *slog.Logger
+
+	// SlowQuery, when positive, is the latency threshold above which a
+	// completed query request additionally logs a Warn line carrying the
+	// per-phase trace (parse → prepare → solve/stream timings).
+	SlowQuery time.Duration
+
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the tier is auth-less, and profile endpoints leak more
+	// than metrics do.
+	EnablePprof bool
 }
 
 const defaultMaxQueryBytes = 1 << 20
@@ -97,7 +116,8 @@ const defaultMaxQueryBytes = 1 << 20
 // rejects further mutations while letting published snapshots serve
 // any reads still draining).
 type Server struct {
-	cfg Config
+	cfg    Config
+	logger *slog.Logger // never nil; discards when Config.Logger was nil
 
 	mu     sync.Mutex
 	dbs    map[string]*dbEntry
@@ -133,7 +153,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxQueryBytes == 0 {
 		cfg.MaxQueryBytes = defaultMaxQueryBytes
 	}
-	return &Server{cfg: cfg, dbs: make(map[string]*dbEntry)}, nil
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	return &Server{cfg: cfg, logger: logger, dbs: make(map[string]*dbEntry)}, nil
 }
 
 // dbNamePattern keeps database names path-safe: no separators, no
@@ -248,22 +272,27 @@ func (s *Server) Close() error {
 	return first
 }
 
-// logf logs through Config.Logf when set.
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
-}
-
-// Handler returns the HTTP handler serving the /v1 API.
+// Handler returns the HTTP handler serving the /v1 API, the Prometheus
+// /metrics endpoint, and — when Config.EnablePprof is set — the
+// net/http/pprof profile endpoints under /debug/pprof/. Every route is
+// instrumented: request IDs, per-handler metrics, structured request
+// logs (see instrument).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/dbs", s.handleDBs)
-	mux.HandleFunc("GET /v1/{db}/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/{db}/query", s.handleQuery)
-	mux.HandleFunc("POST /v1/{db}/load", s.handleLoad)
-	mux.HandleFunc("POST /v1/{db}/snapshot", s.handleSnapshot)
-	mux.HandleFunc("POST /v1/{db}/compact", s.handleCompact)
+	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.Handle("GET /v1/dbs", s.instrument("dbs", s.handleDBs))
+	mux.Handle("GET /v1/{db}/stats", s.instrument("stats", s.handleStats))
+	mux.Handle("POST /v1/{db}/query", s.instrument("query", s.handleQuery))
+	mux.Handle("POST /v1/{db}/load", s.instrument("load", s.handleLoad))
+	mux.Handle("POST /v1/{db}/snapshot", s.instrument("snapshot", s.handleSnapshot))
+	mux.Handle("POST /v1/{db}/compact", s.instrument("compact", s.handleCompact))
+	if s.cfg.EnablePprof {
+		mux.Handle("GET /debug/pprof/", http.HandlerFunc(pprof.Index))
+		mux.Handle("GET /debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+		mux.Handle("GET /debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+		mux.Handle("GET /debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+		mux.Handle("GET /debug/pprof/trace", http.HandlerFunc(pprof.Trace))
+	}
 	return mux
 }
