@@ -5,11 +5,11 @@ GO ?= go
 # Benchmark settings for the JSON perf snapshot. 0.2s per benchmark
 # keeps a full run around a minute while staying reasonably stable.
 BENCHTIME ?= 0.2s
-BENCH_JSON ?= BENCH_pr8.json
+BENCH_JSON ?= BENCH_pr9.json
 # The newest committed per-PR snapshot is the regression baseline.
 BENCH_BASELINE ?= $(shell ls BENCH_pr*.json 2>/dev/null | sort -V | tail -1)
 
-.PHONY: verify check fmt vet test test-race race-closure race-serve race-delta race-obs serve-smoke metrics-smoke bench bench-json bench-gate fuzz build examples
+.PHONY: verify check fmt vet test test-race race-closure race-serve race-delta race-obs race-repl serve-smoke metrics-smoke repl-smoke bench bench-json bench-gate fuzz build examples
 
 # Tier-1: must stay green (ROADMAP.md).
 verify: build test
@@ -53,6 +53,16 @@ race-obs:
 	$(GO) test -race -count=1 ./semweb -run TestMetrics
 	$(GO) test -race -count=1 ./semweb/serve/... -run 'TestMetrics|TestRequestLog'
 
+# The replication stack under the race detector: the follower's
+# bootstrap/tail/apply loop against a live leader (kills, generation
+# switches, local restarts), the crash/failover matrix in package
+# semweb, and the HTTP follower serving queries while batches stream
+# through the long-poll tail.
+race-repl:
+	$(GO) test -race -count=1 ./internal/repl/...
+	$(GO) test -race -count=1 ./semweb -run TestRepl
+	$(GO) test -race -count=1 ./semweb/serve/... -run 'TestServeFollower|TestReplEndpoints'
+
 # End-to-end smoke of the semwebd binary: build it, serve a temp dbdir,
 # load the test data over HTTP, stream a query, hit the admin
 # endpoints, SIGINT, and require a clean drain + exit 0.
@@ -64,6 +74,13 @@ serve-smoke:
 # /metrics, and validate the Prometheus exposition and structured logs.
 metrics-smoke:
 	$(GO) test -run TestMetricsSmoke -count=1 -v ./cmd/semwebd
+
+# End-to-end smoke of WAL-shipping replication: build semwebd, run a
+# leader and a -follow replica as separate processes, load through the
+# leader, watch convergence on /repl/state, query both sides, and
+# require clean SIGINT exits.
+repl-smoke:
+	$(GO) test -run TestReplSmoke -count=1 -v ./cmd/semwebd
 
 # verify + static hygiene.
 check: verify vet fmt
@@ -111,6 +128,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/turtle/
 	$(GO) test -fuzz FuzzDecodeSnapshot -fuzztime 30s ./internal/persist/
 	$(GO) test -fuzz FuzzReplayWAL -fuzztime 30s ./internal/persist/
+	$(GO) test -fuzz FuzzReplStream -fuzztime 30s ./internal/repl/
 
 # Run every example program (living API documentation).
 examples:

@@ -451,3 +451,74 @@ func TestRdfnormFingerprint(t *testing.T) {
 		t.Fatalf("canon output:\n%s", out)
 	}
 }
+
+// TestRdfcheckReplStatus drives rdfcheck's one network operation
+// against a real semwebd: human and -json renderings of the
+// /v1/{db}/repl/state answer, plus the unknown-database failure.
+func TestRdfcheckReplStatus(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "art"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	srv := exec.Command(filepath.Join(tools(t), "semwebd"), "-addr", "127.0.0.1:0", "-root", root, "-quiet")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Signal(os.Interrupt)
+		srv.Wait()
+	}()
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no semwebd startup line: %v", sc.Err())
+	}
+	const marker = "listening on "
+	line := sc.Text()
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	addr := strings.TrimSpace(line[i+len(marker):])
+
+	resp, err := http.Post("http://"+addr+"/v1/art/load", "application/n-triples",
+		strings.NewReader("<urn:s> <urn:p> <urn:o> .\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("load: %d", resp.StatusCode)
+	}
+
+	out, code := run(t, "rdfcheck", "-op", "repl-status", "-addr", addr, "-db", "art")
+	if code != 0 || !strings.Contains(out, "replica:    false") || !strings.Contains(out, "generation:") {
+		t.Fatalf("repl-status (exit %d):\n%s", code, out)
+	}
+
+	out, code = run(t, "rdfcheck", "-op", "repl-status", "-addr", addr, "-db", "art", "-json")
+	if code != 0 {
+		t.Fatalf("repl-status -json exit %d:\n%s", code, out)
+	}
+	var st struct {
+		Replica    bool   `json:"replica"`
+		Generation uint64 `json:"generation"`
+		WALSize    int64  `json:"wal_size"`
+		WALRecords int    `json:"wal_records"`
+	}
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatalf("repl-status -json is not JSON: %v\n%s", err, out)
+	}
+	if st.Replica || st.Generation == 0 || st.WALRecords == 0 || st.WALSize == 0 {
+		t.Fatalf("implausible repl state: %+v", st)
+	}
+
+	// Unknown database: clean failure, exit 2.
+	out, code = run(t, "rdfcheck", "-op", "repl-status", "-addr", addr, "-db", "nosuch")
+	if code != 2 || !strings.Contains(out, "unknown database") {
+		t.Fatalf("unknown-db exit %d:\n%s", code, out)
+	}
+}

@@ -13,6 +13,7 @@
 //	rdfcheck -op snapshot g.nt dbdir    # load G and checkpoint it into a database directory
 //	rdfcheck -op restore  dbdir         # dump a database directory as canonical N-Triples
 //	rdfcheck -op compact  dbdir         # rebuild the dictionary from the live triples
+//	rdfcheck -op repl-status [-addr host:port] [-db name]  # replication state of a running semwebd
 //
 // snapshot, restore and compact work on the durable database
 // directories of semweb.OpenAt (binary snapshot + write-ahead log);
@@ -22,29 +23,44 @@
 // before/after term and byte counts — the maintenance command for
 // long-lived databases whose dictionaries outgrew their data. With
 // -proof, entailment also prints a checked derivation in the deductive
-// system of Section 2.3.2. Exit status: 0 when the relation holds, 1
-// when it does not, 2 on errors.
+// system of Section 2.3.2.
+//
+// repl-status is the one network operation: it asks the semwebd at
+// -addr for GET /v1/{db}/repl/state and reports WAL generation,
+// applied offset and replication lag — on a leader, the log position
+// followers replicate from; on a replica (semwebd -follow), how far
+// behind its leader it is. -json prints the response verbatim.
+//
+// Exit status: 0 when the relation holds, 1 when it does not, 2 on
+// errors.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"semwebdb/semweb"
 	"semwebdb/semweb/cliutil"
 )
 
 func main() {
-	op := flag.String("op", "entails", "operation: entails | equiv | iso | lean | simple | stats | snapshot | restore | compact")
+	op := flag.String("op", "entails", "operation: entails | equiv | iso | lean | simple | stats | snapshot | restore | compact | repl-status")
 	proof := flag.Bool("proof", false, "with -op entails: print a checked proof (Definition 2.5)")
-	asJSON := flag.Bool("json", false, "with -op stats: print semweb.Stats as JSON (the semwebd stats encoding)")
+	asJSON := flag.Bool("json", false, "with -op stats or repl-status: print the JSON encoding (the semwebd wire format)")
+	addr := flag.String("addr", "localhost:8585", "with -op repl-status: address of the semwebd to query (host:port or URL)")
+	dbName := flag.String("db", "default", "with -op repl-status: database name on that semwebd")
 	quiet := flag.Bool("q", false, "suppress output; use the exit status only")
 	flag.Parse()
 
-	tool := cliutil.New("rdfcheck", "rdfcheck -op entails|equiv|iso|lean|simple|stats|snapshot|restore|compact [-proof] [-json] [-q] file|dir [file|dir]")
+	tool := cliutil.New("rdfcheck", "rdfcheck -op entails|equiv|iso|lean|simple|stats|snapshot|restore|compact|repl-status [-proof] [-json] [-addr host:port] [-db name] [-q] [file|dir ...]")
 	ctx := tool.Context()
 
 	say := func(format string, args ...any) {
@@ -188,6 +204,32 @@ func main() {
 		say("snapshot:   %d -> %d bytes on disk", before.SnapshotBytes, after.SnapshotBytes)
 		say("wal:        %d -> %d bytes", before.WALBytes, after.WALBytes)
 		holds = true
+	case "repl-status":
+		needArgs(0)
+		st, err := fetchReplState(ctx, *addr, *dbName)
+		if err != nil {
+			tool.Fail(err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			if err := enc.Encode(st); err != nil {
+				tool.Fail(err)
+			}
+			holds = true
+			break
+		}
+		say("replica:    %v", st.Replica)
+		say("generation: %d", st.Generation)
+		say("wal:        %d bytes in %d records", st.WALSize, st.WALRecords)
+		say("snapshot:   %d bytes", st.SnapshotBytes)
+		if st.Replica {
+			say("leader gen: %d", st.LeaderGeneration)
+			say("applied:    %d bytes, %d records", st.AppliedBytes, st.AppliedRecords)
+			say("leader wal: %d bytes in %d records", st.LeaderWALSize, st.LeaderWALRecords)
+			say("lag:        %d bytes, %d records", st.LagBytes, st.LagRecords)
+			say("bootstraps: %d (reconnects %d)", st.Bootstraps, st.Reconnects)
+		}
+		holds = true
 	case "restore":
 		args := needArgs(1)
 		db, err := openExistingDB(tool, args[0])
@@ -205,6 +247,34 @@ func main() {
 	if !holds {
 		os.Exit(1)
 	}
+}
+
+// fetchReplState asks the semwebd at addr for the replication state of
+// the named database.
+func fetchReplState(ctx context.Context, addr, db string) (semweb.ReplState, error) {
+	var st semweb.ReplState
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	u := strings.TrimRight(base, "/") + "/v1/" + url.PathEscape(db) + "/repl/state"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return st, fmt.Errorf("%s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return st, fmt.Errorf("%s: decoding response: %w", u, err)
+	}
+	return st, nil
 }
 
 // requireDBDir fails unless dir already holds a database — a writable

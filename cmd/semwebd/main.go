@@ -6,6 +6,7 @@
 // Usage:
 //
 //	semwebd [-addr host:port] [-root DIR] [-db name=dir ...]
+//	        [-follow leader-addr]
 //	        [-timeout D] [-max-timeout D] [-drain D]
 //	        [-log text|json] [-log-level LEVEL] [-quiet]
 //	        [-slow-query D] [-pprof]
@@ -14,6 +15,14 @@
 // directory under the given name (created on first use if missing), and
 // "-root DIR" serves every existing subdirectory of DIR under its own
 // name. At least one of the two is required.
+//
+// With "-follow leader-addr" the process runs as a read replica:
+// every database opens as a mirror of the same-named database on the
+// leader semwebd at that address (host:port or a full URL),
+// bootstrapping from its snapshot and tailing its write-ahead log.
+// Queries and reads serve locally; writes answer 503. Replication
+// progress is visible in /v1/{db}/stats, GET /v1/{db}/repl/state, and
+// the semwebd_repl_* metrics; a replica can itself be followed.
 //
 // Logs are structured (log/slog) on stderr: "-log" selects the text or
 // JSON rendering, "-log-level" the threshold, and "-quiet" suppresses
@@ -86,6 +95,7 @@ func main() {
 	mounts := mountFlags{}
 	addr := flag.String("addr", "localhost:8585", "listen address (host:port; port 0 picks a free port)")
 	root := flag.String("root", "", "serve every subdirectory of this directory as a database")
+	follow := flag.String("follow", "", "run as a read replica of the semwebd at this address (host:port or URL); writes answer 503")
 	timeout := flag.Duration("timeout", 0, "default per-query deadline when the request sets none (0 = unbounded)")
 	maxTimeout := flag.Duration("max-timeout", 0, "hard cap on the per-query timeout parameter (0 = uncapped)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown window for in-flight streams")
@@ -114,6 +124,7 @@ func main() {
 	cfg := serve.Config{
 		Mounts:         mounts,
 		Root:           *root,
+		Follow:         *follow,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		SlowQuery:      *slowQuery,

@@ -55,6 +55,11 @@ type Engine struct {
 	wal       *WAL
 	snapBytes int64
 	closed    bool
+	// gen is the current WAL generation token (see TailState.Gen);
+	// tailCh is closed and replaced whenever the tail state changes, to
+	// wake WaitTail callers.
+	gen    uint64
+	tailCh chan struct{}
 }
 
 // Open opens (creating if needed) the database directory and returns
@@ -70,7 +75,7 @@ func Open(dir string, opts Options) (*Engine, *dict.Dict, *graph.Graph, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, nil, err
 	}
-	e := &Engine{dir: dir, opts: opts}
+	e := &Engine{dir: dir, opts: opts, gen: newGeneration(), tailCh: make(chan struct{})}
 
 	var (
 		d   *dict.Dict
@@ -206,7 +211,11 @@ func (e *Engine) Append(d *dict.Dict, triples []dict.Triple3) error {
 	if e.closed {
 		return fmt.Errorf("persist: engine is closed")
 	}
-	return e.wal.Append(d, triples)
+	if err := e.wal.Append(d, triples); err != nil {
+		return err
+	}
+	e.notifyTailLocked()
+	return nil
 }
 
 // Compact checkpoints the given state: it writes a fresh snapshot
@@ -239,7 +248,13 @@ func (e *Engine) checkpointLocked(g *graph.Graph) error {
 	// the write (the shared dictionary interns lock-free outside any
 	// database lock). A base beyond the persisted terms would make
 	// every future open fail its base-vs-dictionary check.
-	return e.wal.Reset(dict.ID(persistedTerms))
+	if err := e.wal.Reset(dict.ID(persistedTerms)); err != nil {
+		return err
+	}
+	// The log was truncated: offsets from the old generation are void.
+	e.gen = newGeneration()
+	e.notifyTailLocked()
+	return nil
 }
 
 // writeSnapshotTmp writes and syncs the snapshot of g to the tmp file
@@ -327,6 +342,8 @@ func (e *Engine) Swap(cur, rewritten *graph.Graph) error {
 		os.Remove(filepath.Join(e.dir, snapshotTmp))
 		return err
 	}
+	e.gen = newGeneration()
+	e.notifyTailLocked()
 	if err := e.renameSnapshot(n); err != nil {
 		return err
 	}
@@ -398,5 +415,6 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
+	e.notifyTailLocked() // wake tailers so they observe the close
 	return e.wal.Close()
 }

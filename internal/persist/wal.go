@@ -76,6 +76,106 @@ type ReplayStats struct {
 	Valid int64
 }
 
+// Applier applies WAL record payloads, one at a time, to a dictionary
+// and graph. It factors the application half of ReplayWAL out so that
+// a replication follower can feed records as they arrive off the wire
+// through the exact same idempotent path a crash-recovery replay uses.
+//
+// base is the durable ID watermark the record stream starts above:
+// triple records referencing IDs at or below it resolve directly
+// against the dictionary, IDs above it must be introduced by earlier
+// define-term records in the same stream. For a full-log replay that
+// is the WAL header's baseTerms; for a follower resuming mid-log it is
+// base + the defines already applied (Engine.TailState().Defined).
+// Define records are re-interned through the live dictionary rather
+// than trusted positionally, so re-applying an already-applied suffix
+// is harmless.
+type Applier struct {
+	d       *dict.Dict
+	base    uint64
+	defines int
+	records int
+	// remap resolves define-record IDs (walID = base + ordinal) to the
+	// IDs the live dictionary actually assigned.
+	remap map[dict.ID]dict.ID
+}
+
+// NewApplier returns an Applier for records whose ordinal ID space
+// starts just above base.
+func NewApplier(d *dict.Dict, base dict.ID) *Applier {
+	return &Applier{d: d, base: uint64(base), remap: make(map[dict.ID]dict.ID)}
+}
+
+// AppliedRecord describes the effect of one applied record.
+type AppliedRecord struct {
+	// IsTriple is true for an add-triple record, false for define-term.
+	IsTriple bool
+	// Triple is the triple in live-dictionary IDs (add-triple only).
+	Triple dict.Triple3
+	// New is true when the graph did not already hold the triple.
+	New bool
+}
+
+// Defines returns the number of define-term records applied so far.
+func (a *Applier) Defines() int { return a.defines }
+
+// Apply applies one intact record payload (CRC already verified by the
+// framing layer) to g. Errors mean the record is semantically invalid
+// for the state it was applied to — for a follower, the only safe
+// recovery is a fresh bootstrap.
+func (a *Applier) Apply(g *graph.Graph, payload []byte) (AppliedRecord, error) {
+	var rec AppliedRecord
+	c := &cursor{p: payload}
+	kind, err := c.byte1()
+	if err != nil {
+		return rec, err
+	}
+	switch kind {
+	case recDefineTerm:
+		t, err := decodeTerm(c)
+		if err != nil {
+			return rec, fmt.Errorf("record %d: %w", a.records+1, err)
+		}
+		a.defines++
+		a.remap[dict.ID(a.base+uint64(a.defines))] = a.d.Intern(t)
+	case recAddTriple:
+		var t dict.Triple3
+		for i := 0; i < 3; i++ {
+			raw, err := c.uvarint()
+			if err != nil {
+				return rec, fmt.Errorf("record %d: %w", a.records+1, err)
+			}
+			id := dict.ID(raw)
+			if uint64(id) != raw || id == dict.Wildcard {
+				return rec, corruptf("record %d: invalid term ID %d", a.records+1, raw)
+			}
+			if raw > a.base {
+				real, ok := a.remap[id]
+				if !ok {
+					return rec, corruptf("record %d: triple references undefined term ID %d", a.records+1, raw)
+				}
+				id = real
+			}
+			t[i] = id
+		}
+		rec.IsTriple = true
+		rec.Triple = t
+		if !g.HasID(t) {
+			if !g.AddID(t) {
+				return rec, corruptf("record %d: ill-formed triple %v", a.records+1, t)
+			}
+			rec.New = true
+		}
+	default:
+		return rec, corruptf("record %d: unknown kind %d", a.records+1, kind)
+	}
+	if !c.done() {
+		return rec, corruptf("record %d: %d trailing bytes", a.records+1, c.remaining())
+	}
+	a.records++
+	return rec, nil
+}
+
 // ReplayWAL reads a WAL stream, applying its records to the
 // dictionary and graph (normally the state just decoded from the
 // snapshot the WAL rides beside). A torn tail is not an error — the
@@ -100,57 +200,21 @@ func ReplayWAL(r io.Reader, d *dict.Dict, g *graph.Graph) (ReplayStats, error) {
 	res.Base = dict.ID(base)
 	res.Valid = walHeaderSize
 
-	// remap resolves define-record IDs (walID = base + ordinal) to the
-	// IDs the live dictionary actually assigned.
-	remap := make(map[dict.ID]dict.ID)
+	a := NewApplier(d, res.Base)
 	br := bufio.NewReader(r)
 	for {
 		payload, frame, ok := readRecord(br)
 		if !ok {
 			return res, nil // torn or clean end
 		}
-		c := &cursor{p: payload}
-		kind, err := c.byte1()
+		rec, err := a.Apply(g, payload)
 		if err != nil {
 			return res, err
 		}
-		switch kind {
-		case recDefineTerm:
-			t, err := decodeTerm(c)
-			if err != nil {
-				return res, fmt.Errorf("record %d: %w", res.Records+1, err)
-			}
-			res.Defines++
-			remap[dict.ID(base+uint64(res.Defines))] = d.Intern(t)
-		case recAddTriple:
-			var t dict.Triple3
-			for i := 0; i < 3; i++ {
-				raw, err := c.uvarint()
-				if err != nil {
-					return res, fmt.Errorf("record %d: %w", res.Records+1, err)
-				}
-				id := dict.ID(raw)
-				if uint64(id) != raw || id == dict.Wildcard {
-					return res, corruptf("record %d: invalid term ID %d", res.Records+1, raw)
-				}
-				if raw > base {
-					real, ok := remap[id]
-					if !ok {
-						return res, corruptf("record %d: triple references undefined term ID %d", res.Records+1, raw)
-					}
-					id = real
-				}
-				t[i] = id
-			}
-			if !g.HasID(t) && !g.AddID(t) {
-				return res, corruptf("record %d: ill-formed triple %v", res.Records+1, t)
-			}
+		if rec.IsTriple {
 			res.Applied++
-		default:
-			return res, corruptf("record %d: unknown kind %d", res.Records+1, kind)
-		}
-		if !c.done() {
-			return res, corruptf("record %d: %d trailing bytes", res.Records+1, c.remaining())
+		} else {
+			res.Defines++
 		}
 		res.Records++
 		res.Valid += frame
@@ -320,6 +384,51 @@ func (w *WAL) Append(d *dict.Dict, triples []dict.Triple3) error {
 	walAppends.Inc()
 	walAppendBytes.Add(uint64(w.size - startSize))
 	return nil
+}
+
+// AppendRaw appends pre-framed record bytes verbatim — a replication
+// follower mirroring a leader's log. The caller has already verified
+// every frame's CRC and applied its records, and passes the record and
+// define counts the bytes carry so the accounting (and the durable ID
+// watermark replay ordinals resolve against) stays exact. The batch is
+// flushed and fsynced like an ordinary Append, and rolled back like
+// one on failure.
+func (w *WAL) AppendRaw(b []byte, records, defines int) error {
+	if w.failed != nil {
+		return fmt.Errorf("persist: WAL is failed: %w", w.failed)
+	}
+	startSize, startRecords, startDefined := w.size, w.records, w.defined
+	if _, err := w.bw.Write(b); err != nil {
+		return w.rollback(startSize, startRecords, startDefined, err)
+	}
+	w.size += int64(len(b))
+	w.records += records
+	w.defined += dict.ID(defines)
+	if err := w.bw.Flush(); err != nil {
+		return w.rollback(startSize, startRecords, startDefined, err)
+	}
+	if w.sync {
+		t0 := time.Now()
+		if err := w.f.Sync(); err != nil {
+			return w.rollback(startSize, startRecords, startDefined, err)
+		}
+		walFsyncSeconds.ObserveSince(t0)
+	}
+	walAppends.Inc()
+	walAppendBytes.Add(uint64(len(b)))
+	return nil
+}
+
+// ReadValidAt fills p from the valid byte range of the log starting at
+// off (positional read; the append position is untouched). The caller
+// must keep [off, off+len(p)) within the valid size, and must hold the
+// owning database's serialization so no append or reset is in flight.
+func (w *WAL) ReadValidAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > w.size {
+		return fmt.Errorf("persist: WAL read [%d,%d) outside valid size %d", off, off+int64(len(p)), w.size)
+	}
+	_, err := w.f.ReadAt(p, off)
+	return err
 }
 
 func (w *WAL) writeRecord(payload []byte) error {

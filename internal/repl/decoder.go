@@ -1,0 +1,91 @@
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// maxFramePayload bounds a single record frame's claimed payload. Real
+// records are a term or three varints; anything near this is garbage,
+// and the bound keeps a corrupt or hostile length prefix from pinning
+// the buffered partial frame (and the decoder's memory) at gigabytes.
+const maxFramePayload = 64 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrFrameCorrupt reports a frame the decoder cannot accept: a
+// checksum mismatch, a zero or absurd length. Unlike local WAL replay
+// — where an unreadable record is the expected crash-torn tail — a
+// corrupt frame inside a replication stream means the transport or the
+// leader handed over damaged bytes; the follower must not apply or
+// mirror them, and recovers by re-reading the leader's (immutable
+// within a generation) log from its last durable offset.
+var ErrFrameCorrupt = errors.New("repl: corrupt record frame")
+
+// Decoder incrementally splits a replication stream back into WAL
+// record payloads. Feed it the chunk payloads in log order; it hands
+// back every complete, CRC-verified record and buffers a trailing
+// partial frame until later bytes complete it. The zero value is not
+// ready; use NewDecoder.
+type Decoder struct {
+	buf []byte // undecoded tail: zero or more partial frame bytes
+	// payloads and frames of the records decoded so far, drained by
+	// Next.
+	out   [][]byte
+	sizes []int
+}
+
+// NewDecoder returns an empty Decoder.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// Feed appends stream bytes and decodes every complete frame they
+// finish. It returns the number of stream bytes consumed into complete
+// frames so far this call (0 when b only extends a partial frame). On
+// ErrFrameCorrupt the decoder's state is undefined; the caller
+// discards it and re-reads from a durable offset.
+func (d *Decoder) Feed(b []byte) (int, error) {
+	d.buf = append(d.buf, b...)
+	done := 0
+	for {
+		if len(d.buf) < 8 {
+			return done, nil
+		}
+		n := binary.LittleEndian.Uint32(d.buf[:4])
+		if n == 0 || n > maxFramePayload {
+			return done, fmt.Errorf("%w: frame length %d", ErrFrameCorrupt, n)
+		}
+		frame := 8 + int(n)
+		if len(d.buf) < frame {
+			return done, nil
+		}
+		payload := d.buf[8:frame]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(d.buf[4:8]) {
+			return done, fmt.Errorf("%w: checksum mismatch", ErrFrameCorrupt)
+		}
+		// The payload slice aliases d.buf, which the next Feed appends
+		// to; copy it out so handed-back records stay stable.
+		p := make([]byte, n)
+		copy(p, payload)
+		d.out = append(d.out, p)
+		d.sizes = append(d.sizes, frame)
+		d.buf = d.buf[frame:]
+		done += frame
+	}
+}
+
+// Next returns the next decoded record payload and its framed size in
+// stream bytes, or ok=false when all decoded records have been
+// drained.
+func (d *Decoder) Next() (payload []byte, frame int, ok bool) {
+	if len(d.out) == 0 {
+		return nil, 0, false
+	}
+	payload, frame = d.out[0], d.sizes[0]
+	d.out, d.sizes = d.out[1:], d.sizes[1:]
+	return payload, frame, true
+}
+
+// Buffered returns the number of bytes held for a partial frame.
+func (d *Decoder) Buffered() int { return len(d.buf) }

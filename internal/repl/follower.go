@@ -1,0 +1,634 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"semwebdb/internal/dict"
+	"semwebdb/internal/graph"
+	"semwebdb/internal/persist"
+)
+
+// MetaFile marks a database directory as a replication mirror and
+// records which leader generation its bytes belong to. Its presence is
+// also the ownership check: a follower refuses to bootstrap (wipe)
+// into a directory that holds a database but no meta file, so pointing
+// -follow at a leader's own dbdir cannot destroy it.
+const MetaFile = "repl.json"
+
+// replMeta is the MetaFile payload. The generation is a full-range
+// uint64, which JSON numbers cannot carry exactly, so it travels as a
+// decimal string. Generation zero is the provisional marker written
+// before a bootstrap wipes the directory: a crash mid-bootstrap leaves
+// it behind, and reopening treats it as "mine, but unusable —redo".
+type replMeta struct {
+	Generation string `json:"generation"`
+}
+
+// Config configures a Follower.
+type Config struct {
+	// Dir is the local mirror directory (created if missing). It must
+	// be dedicated to this follower.
+	Dir string
+	// Source is the leader.
+	Source Source
+	// Name labels this follower's metrics (the db label; "default" when
+	// empty).
+	Name string
+	// NoSync disables fsync on the local mirror.
+	NoSync bool
+	// MaxChunk is the per-request tail byte budget (DefaultMaxChunk
+	// when 0).
+	MaxChunk int
+	// Wait is the long-poll window per tail request (10s when 0).
+	Wait time.Duration
+	// Backoff is the delay before retrying after a transport error
+	// (500ms when 0).
+	Backoff time.Duration
+}
+
+// Status is a point-in-time view of a follower's progress.
+type Status struct {
+	// Generation is the leader WAL generation the mirror tracks.
+	Generation uint64
+	// AppliedBytes/AppliedRecords are the durable local mirror totals —
+	// byte-for-byte prefixes of the leader's log, so AppliedBytes is
+	// also the replication offset.
+	AppliedBytes   int64
+	AppliedRecords int
+	// LeaderWALSize/LeaderWALRecords are the leader's durable totals as
+	// of the last tail response (or bootstrap).
+	LeaderWALSize    int64
+	LeaderWALRecords int
+	// LagBytes/LagRecords are the leader totals minus the applied
+	// totals at that same observation.
+	LagBytes   int64
+	LagRecords int
+	// Bootstraps counts full snapshot syncs (initial plus generation
+	// switches); Reconnects counts transport-error retries.
+	Bootstraps uint64
+	Reconnects uint64
+}
+
+// Sink receives the follower's replicated state. Publish is called
+// once per applied batch, after the batch is durable in the local
+// mirror, with the new graph (a fresh value; the previous one is never
+// mutated) and the triples this batch actually added. Reset replaces
+// everything after a re-bootstrap: prior dictionaries and graphs are
+// obsolete.
+type Sink interface {
+	Reset(d *dict.Dict, g *graph.Graph)
+	Publish(g *graph.Graph, fresh []dict.Triple3)
+}
+
+// Follower mirrors a leader's durable log into a local database
+// directory and applies it to an in-memory graph as it arrives. Open
+// establishes a servable state (bootstrapping from the leader only
+// when the local mirror is missing or unusable); Run tails the leader
+// until the context ends, feeding a Sink. Methods other than Run and
+// Close are safe to call concurrently with Run.
+type Follower struct {
+	cfg Config
+	mg  gauges
+
+	mu      sync.Mutex
+	eng     *persist.Engine
+	d       *dict.Dict
+	cur     *graph.Graph
+	applier *persist.Applier
+	gen     uint64 // leader generation mirrored
+	stage   []byte // fetched beyond durable: a partial record frame
+	status  Status
+}
+
+// Open prepares a follower over dir. When dir already holds a mirror
+// of the leader's current or a previous generation, it is recovered
+// locally (torn tails truncated by ordinary WAL recovery) without
+// contacting the leader — a replica restarts into service even while
+// its leader is down, serving its last applied state until Run
+// reconnects. Otherwise the leader is contacted for a full bootstrap:
+// snapshot, then the WAL prefix, then the meta marker, in an order
+// that makes every crash point recoverable.
+func Open(ctx context.Context, cfg Config) (*Follower, error) {
+	if cfg.Dir == "" || cfg.Source == nil {
+		return nil, fmt.Errorf("repl: Config.Dir and Config.Source are required")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "default"
+	}
+	if cfg.MaxChunk <= 0 {
+		cfg.MaxChunk = DefaultMaxChunk
+	}
+	if cfg.Wait <= 0 {
+		cfg.Wait = 10 * time.Second
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 500 * time.Millisecond
+	}
+	f := &Follower{cfg: cfg, mg: newGauges(cfg.Name)}
+
+	gen, ok, err := f.readMeta()
+	if err != nil {
+		return nil, err
+	}
+	if ok && gen != 0 {
+		if err := f.openLocal(gen); err == nil {
+			return f, nil
+		}
+		// The local mirror did not recover (damage past what WAL
+		// recovery absorbs). It is only a cache of the leader's log:
+		// fall through to a fresh bootstrap.
+	}
+	if !ok {
+		// No meta marker: only ever bootstrap into a directory that
+		// holds no database, so a leader's dbdir cannot be wiped by a
+		// misdirected -follow.
+		for _, name := range []string{persist.SnapshotFile, persist.WALFile} {
+			if _, err := os.Stat(filepath.Join(cfg.Dir, name)); err == nil {
+				return nil, fmt.Errorf("repl: %s holds a database but no %s marker; refusing to overwrite it with a replica bootstrap", cfg.Dir, MetaFile)
+			}
+		}
+	}
+	if err := f.bootstrap(ctx); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// readMeta returns the recorded generation and whether a meta file
+// exists.
+func (f *Follower) readMeta() (uint64, bool, error) {
+	b, err := os.ReadFile(filepath.Join(f.cfg.Dir, MetaFile))
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	var m replMeta
+	if err := json.Unmarshal(b, &m); err != nil {
+		return 0, true, nil // ours but unreadable: treat as provisional
+	}
+	gen, err := strconv.ParseUint(m.Generation, 10, 64)
+	if err != nil {
+		return 0, true, nil
+	}
+	return gen, true, nil
+}
+
+func (f *Follower) writeMeta(gen uint64) error {
+	b, err := json.Marshal(replMeta{Generation: strconv.FormatUint(gen, 10)})
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(f.cfg.Dir, MetaFile)
+	tmp := path + ".tmp"
+	if err := writeFileSynced(tmp, b, !f.cfg.NoSync); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if !f.cfg.NoSync {
+		return syncDirBestEffort(f.cfg.Dir)
+	}
+	return nil
+}
+
+// openLocal recovers the existing mirror without contacting the
+// leader.
+func (f *Follower) openLocal(gen uint64) error {
+	eng, d, g, err := persist.Open(f.cfg.Dir, persist.Options{
+		// Never compact a mirror: its WAL must stay a byte prefix of
+		// the leader's.
+		CompactThreshold: -1,
+		NoSync:           f.cfg.NoSync,
+	})
+	if err != nil {
+		return err
+	}
+	f.install(eng, d, g, gen)
+	return nil
+}
+
+// install publishes a freshly opened mirror into the follower.
+func (f *Follower) install(eng *persist.Engine, d *dict.Dict, g *graph.Graph, gen uint64) {
+	ts := eng.TailState()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.eng = eng
+	f.d = d
+	f.cur = g
+	f.applier = persist.NewApplier(d, ts.Defined)
+	f.gen = gen
+	f.stage = nil
+	f.status.Generation = gen
+	f.status.AppliedBytes = ts.WALSize
+	f.status.AppliedRecords = ts.WALRecords
+	// The mirror is a prefix of this generation's leader log, so its
+	// totals are the best-known leader state until the first tail
+	// chunk refreshes them; zero lag, not a stale pre-install reading.
+	f.status.LeaderWALSize = ts.WALSize
+	f.status.LeaderWALRecords = ts.WALRecords
+	f.status.LagBytes = 0
+	f.status.LagRecords = 0
+	f.mg.appliedBytes.Set(ts.WALSize)
+	f.mg.lagBytes.Set(0)
+	f.mg.lagRecords.Set(0)
+}
+
+// bootstrap wipes the mirror and rebuilds it from the leader's current
+// generation. The meta marker is written provisionally (generation 0)
+// before the wipe and finally (the real generation) only after the
+// snapshot and WAL prefix are durable, so any crash point leaves
+// either a usable previous state or an unmistakably incomplete one.
+// A generation switch racing the bootstrap restarts it.
+func (f *Follower) bootstrap(ctx context.Context) error {
+	if err := os.MkdirAll(f.cfg.Dir, 0o755); err != nil {
+		return err
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := f.bootstrapOnce(ctx)
+		if err == nil {
+			f.mg.bootstraps.Inc()
+			f.mu.Lock()
+			f.status.Bootstraps++
+			f.mu.Unlock()
+			return nil
+		}
+		if !errors.Is(err, persist.ErrWrongGeneration) {
+			return err
+		}
+		// The leader compacted or swapped mid-bootstrap; start over on
+		// its new generation.
+	}
+}
+
+func (f *Follower) bootstrapOnce(ctx context.Context) error {
+	if f.eng != nil {
+		f.eng.Close()
+		f.mu.Lock()
+		f.eng = nil
+		f.mu.Unlock()
+	}
+	if err := f.writeMeta(0); err != nil {
+		return err
+	}
+	for _, name := range []string{persist.SnapshotFile, persist.WALFile, persist.WALFile + ".torn", persist.SnapshotFile + ".tmp"} {
+		if err := os.Remove(filepath.Join(f.cfg.Dir, name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+
+	st, err := f.cfg.Source.State(ctx)
+	if err != nil {
+		return err
+	}
+	gen := st.Generation
+
+	// Snapshot first (the big transfer), via tmp+rename like the
+	// leader's own checkpoint.
+	rc, _, err := f.cfg.Source.Snapshot(ctx, gen)
+	if err != nil {
+		return err
+	}
+	if rc != nil {
+		snapPath := filepath.Join(f.cfg.Dir, persist.SnapshotFile)
+		tmp := snapPath + ".tmp"
+		err := copyFileSynced(tmp, rc, !f.cfg.NoSync)
+		rc.Close()
+		if err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		if err := os.Rename(tmp, snapPath); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+	}
+
+	// Then the WAL prefix, verbatim from byte 0 (including the file
+	// header), so the mirror's offsets are the leader's offsets.
+	wf, err := os.OpenFile(filepath.Join(f.cfg.Dir, persist.WALFile), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var off int64
+	for {
+		chunk, err := f.cfg.Source.Tail(ctx, gen, off, f.cfg.MaxChunk, 0)
+		if err != nil {
+			wf.Close()
+			return err
+		}
+		if len(chunk.Data) > 0 {
+			if _, err := wf.Write(chunk.Data); err != nil {
+				wf.Close()
+				return err
+			}
+			off += int64(len(chunk.Data))
+		}
+		if off >= chunk.WALSize {
+			break
+		}
+	}
+	if !f.cfg.NoSync {
+		if err := wf.Sync(); err != nil {
+			wf.Close()
+			return err
+		}
+	}
+	if err := wf.Close(); err != nil {
+		return err
+	}
+	if !f.cfg.NoSync {
+		if err := syncDirBestEffort(f.cfg.Dir); err != nil {
+			return err
+		}
+	}
+
+	// Only now does the meta marker claim the generation: everything it
+	// promises is durable.
+	if err := f.writeMeta(gen); err != nil {
+		return err
+	}
+	return f.openLocal(gen)
+}
+
+// Run tails the leader until ctx ends, applying batches through sink.
+// Transport errors retry with backoff; generation switches re-bootstrap
+// (the sink gets a Reset); the only non-ctx error returns are local
+// ones a retry cannot fix (disk failures, a wiped directory that can
+// no longer be written).
+func (f *Follower) Run(ctx context.Context, sink Sink) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		from := f.fetchedOffset()
+		chunk, err := f.cfg.Source.Tail(ctx, f.gen, from, f.cfg.MaxChunk, f.cfg.Wait)
+		switch {
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case errors.Is(err, persist.ErrWrongGeneration):
+			if err := f.rebootstrap(ctx, sink); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				if !f.noteRetry(ctx, err) {
+					return err
+				}
+			}
+		case err != nil:
+			if !f.noteRetry(ctx, err) {
+				return err
+			}
+		default:
+			if chunk.Generation != f.gen || chunk.From != from {
+				// A response for coordinates we did not ask for cannot
+				// be applied at this offset; treat it like damage in
+				// transit and re-request.
+				if !f.noteRetry(ctx, fmt.Errorf("repl: chunk for gen %d offset %d, asked for gen %d offset %d", chunk.Generation, chunk.From, f.gen, from)) {
+					return ctx.Err()
+				}
+				continue
+			}
+			if err := f.applyChunk(chunk, sink); err != nil {
+				if errors.Is(err, ErrFrameCorrupt) {
+					// Damaged in transit: drop the staged bytes and
+					// re-read the (immutable within the generation)
+					// range from the last durable offset.
+					f.mu.Lock()
+					f.stage = nil
+					f.mu.Unlock()
+					if !f.noteRetry(ctx, err) {
+						return err
+					}
+					continue
+				}
+				// Anything else — a record that does not apply to this
+				// state, a local append failure — means the mirror can
+				// no longer be trusted to extend; rebuild it.
+				if rerr := f.rebootstrap(ctx, sink); rerr != nil {
+					if ctx.Err() != nil {
+						return ctx.Err()
+					}
+					if !f.noteRetry(ctx, rerr) {
+						return rerr
+					}
+				}
+			}
+		}
+	}
+}
+
+// fetchedOffset is the leader-log offset to request next: durable
+// mirror bytes plus any staged partial frame.
+func (f *Follower) fetchedOffset() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.status.AppliedBytes + int64(len(f.stage))
+}
+
+// noteRetry counts a transport retry and sleeps the backoff; false
+// means ctx ended first.
+func (f *Follower) noteRetry(ctx context.Context, cause error) bool {
+	f.mg.reconnects.Inc()
+	f.mu.Lock()
+	f.status.Reconnects++
+	f.mu.Unlock()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(f.cfg.Backoff):
+		return true
+	}
+}
+
+// rebootstrap rebuilds the mirror on the leader's current generation
+// and resets the sink to the fresh state.
+func (f *Follower) rebootstrap(ctx context.Context, sink Sink) error {
+	if err := f.bootstrap(ctx); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	d, g := f.d, f.cur
+	f.mu.Unlock()
+	sink.Reset(d, g)
+	return nil
+}
+
+// applyChunk stages the chunk's bytes, applies every frame they
+// complete, appends those frames verbatim to the local WAL (durability
+// before visibility, the leader's own ordering), and publishes the new
+// graph to the sink.
+func (f *Follower) applyChunk(chunk Chunk, sink Sink) error {
+	f.mu.Lock()
+	stage := append(f.stage, chunk.Data...)
+	f.mu.Unlock()
+
+	dec := NewDecoder()
+	consumed, err := dec.Feed(stage)
+	if err != nil {
+		return err
+	}
+
+	var (
+		next    *graph.Graph
+		fresh   []dict.Triple3
+		records int
+	)
+	if consumed > 0 {
+		defines0 := f.applier.Defines()
+		next = f.cur.Clone()
+		for {
+			payload, _, ok := dec.Next()
+			if !ok {
+				break
+			}
+			rec, err := f.applier.Apply(next, payload)
+			if err != nil {
+				return fmt.Errorf("repl: applying streamed record: %w", err)
+			}
+			if rec.IsTriple && rec.New {
+				fresh = append(fresh, rec.Triple)
+			}
+			records++
+		}
+		defines := f.applier.Defines() - defines0
+		if err := f.eng.AppendRaw(stage[:consumed], records, defines); err != nil {
+			return fmt.Errorf("repl: mirroring batch: %w", err)
+		}
+	}
+
+	rest := make([]byte, len(stage)-consumed)
+	copy(rest, stage[consumed:])
+
+	ts := f.eng.TailState()
+	lagBytes := chunk.WALSize - ts.WALSize
+	lagRecords := chunk.WALRecords - ts.WALRecords
+	if lagBytes < 0 {
+		lagBytes = 0
+	}
+	if lagRecords < 0 {
+		lagRecords = 0
+	}
+
+	f.mu.Lock()
+	f.stage = rest
+	if next != nil {
+		f.cur = next
+	}
+	f.status.AppliedBytes = ts.WALSize
+	f.status.AppliedRecords = ts.WALRecords
+	f.status.LeaderWALSize = chunk.WALSize
+	f.status.LeaderWALRecords = chunk.WALRecords
+	f.status.LagBytes = lagBytes
+	f.status.LagRecords = lagRecords
+	f.mu.Unlock()
+
+	f.mg.appliedBytes.Set(ts.WALSize)
+	f.mg.lagBytes.Set(lagBytes)
+	f.mg.lagRecords.Set(int64(lagRecords))
+	if records > 0 {
+		f.mg.batches.Inc()
+		f.mg.records.Add(uint64(records))
+		sink.Publish(next, fresh)
+	}
+	return nil
+}
+
+// Current returns the dictionary and graph of the follower's latest
+// applied state.
+func (f *Follower) Current() (*dict.Dict, *graph.Graph) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.d, f.cur
+}
+
+// Engine exposes the mirror's storage engine — its tail API is what
+// lets a replica lead further replicas, and its Stats feed the serving
+// layer.
+func (f *Follower) Engine() *persist.Engine {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eng
+}
+
+// Status returns a copy of the follower's progress counters.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.status
+}
+
+// Close closes the local mirror. Call after Run has returned.
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	eng := f.eng
+	f.mu.Unlock()
+	if eng == nil {
+		return nil
+	}
+	return eng.Close()
+}
+
+// writeFileSynced writes b to path and optionally fsyncs it.
+func writeFileSynced(path string, b []byte, sync bool) error {
+	fh, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := fh.Write(b); err != nil {
+		fh.Close()
+		return err
+	}
+	if sync {
+		if err := fh.Sync(); err != nil {
+			fh.Close()
+			return err
+		}
+	}
+	return fh.Close()
+}
+
+// copyFileSynced streams r into path and optionally fsyncs it.
+func copyFileSynced(path string, r io.Reader, sync bool) error {
+	fh, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(fh, r); err != nil {
+		fh.Close()
+		return err
+	}
+	if sync {
+		if err := fh.Sync(); err != nil {
+			fh.Close()
+			return err
+		}
+	}
+	return fh.Close()
+}
+
+// syncDirBestEffort fsyncs a directory so completed renames survive a
+// crash.
+func syncDirBestEffort(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	return df.Sync()
+}

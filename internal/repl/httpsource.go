@@ -1,0 +1,116 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"semwebdb/internal/persist"
+)
+
+// httpSource speaks to a leader semwebd's /v1/{db}/repl/* endpoints.
+type httpSource struct {
+	base string // e.g. "http://host:port"
+	db   string
+	c    *http.Client
+}
+
+// Dial returns a Source backed by the replication endpoints of the
+// database db on the semwebd at base (scheme://host:port; a bare
+// host:port gets http://). client may be nil for a default client;
+// whatever is used must not set a global timeout, or it will cut
+// long-polled tails short — per-request deadlines come from contexts.
+func Dial(base, db string, client *http.Client) Source {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &httpSource{base: strings.TrimRight(base, "/"), db: db, c: client}
+}
+
+func (s *httpSource) get(ctx context.Context, path string, q url.Values) (*http.Response, error) {
+	u := s.base + "/v1/" + url.PathEscape(s.db) + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusNoContent:
+		return resp, nil
+	case http.StatusConflict:
+		resp.Body.Close()
+		return nil, persist.ErrWrongGeneration
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		return nil, fmt.Errorf("repl: leader %s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+}
+
+// State implements Source.
+func (s *httpSource) State(ctx context.Context) (State, error) {
+	var st State
+	resp, err := s.get(ctx, "/repl/state", nil)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return st, fmt.Errorf("repl: decoding leader state: %w", err)
+	}
+	return st, nil
+}
+
+// Snapshot implements Source.
+func (s *httpSource) Snapshot(ctx context.Context, gen uint64) (io.ReadCloser, int64, error) {
+	q := url.Values{"gen": {strconv.FormatUint(gen, 10)}}
+	resp, err := s.get(ctx, "/repl/snapshot", q)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode == http.StatusNoContent {
+		resp.Body.Close()
+		return nil, 0, nil
+	}
+	return resp.Body, resp.ContentLength, nil
+}
+
+// Tail implements Source.
+func (s *httpSource) Tail(ctx context.Context, gen uint64, from int64, max int, wait time.Duration) (Chunk, error) {
+	q := url.Values{
+		"gen":  {strconv.FormatUint(gen, 10)},
+		"from": {strconv.FormatInt(from, 10)},
+	}
+	if max > 0 {
+		q.Set("max", strconv.Itoa(max))
+	}
+	if wait > 0 {
+		q.Set("wait", wait.String())
+		// Give the response a hard deadline past the server's poll
+		// window so a wedged connection cannot hang the follower.
+		wctx, cancel := context.WithTimeout(ctx, wait+30*time.Second)
+		defer cancel()
+		ctx = wctx
+	}
+	resp, err := s.get(ctx, "/repl/wal", q)
+	if err != nil {
+		return Chunk{}, err
+	}
+	defer resp.Body.Close()
+	return ReadChunk(resp.Body)
+}

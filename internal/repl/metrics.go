@@ -1,0 +1,45 @@
+package repl
+
+import "semwebdb/internal/obs"
+
+// Replication metrics, labeled by database name — the first families
+// with the per-database label dimension the ROADMAP observability item
+// asks for. The lag gauges are what a fleet alerts on: bytes/records
+// of leader log the replica has not yet applied, refreshed on every
+// chunk (including heartbeats, so an idle replica converges to zero
+// rather than freezing at its last batch).
+var (
+	lagBytesVec = obs.Default.GaugeVec("semwebd_repl_lag_bytes",
+		"Replication lag in WAL bytes behind the leader's durable log.", "db")
+	lagRecordsVec = obs.Default.GaugeVec("semwebd_repl_lag_records",
+		"Replication lag in WAL records behind the leader's durable log.", "db")
+	appliedBytesVec = obs.Default.GaugeVec("semwebd_repl_applied_bytes",
+		"Replica applied offset: durable bytes of the leader's WAL mirrored and applied locally.", "db")
+	batchesAppliedVec = obs.Default.CounterVec("semwebd_repl_batches_applied_total",
+		"Replication batches (non-empty tail chunks) applied.", "db")
+	recordsAppliedVec = obs.Default.CounterVec("semwebd_repl_records_applied_total",
+		"WAL records applied from the replication stream.", "db")
+	bootstrapsVec = obs.Default.CounterVec("semwebd_repl_bootstraps_total",
+		"Full snapshot bootstraps (initial sync and generation switches).", "db")
+	reconnectsVec = obs.Default.CounterVec("semwebd_repl_reconnects_total",
+		"Reconnects to the leader after transport errors.", "db")
+)
+
+// gauges holds a follower's pre-resolved metric children.
+type gauges struct {
+	lagBytes, lagRecords, appliedBytes *obs.Gauge
+	batches, records                   *obs.Counter
+	bootstraps, reconnects             *obs.Counter
+}
+
+func newGauges(db string) gauges {
+	return gauges{
+		lagBytes:     lagBytesVec.With(db),
+		lagRecords:   lagRecordsVec.With(db),
+		appliedBytes: appliedBytesVec.With(db),
+		batches:      batchesAppliedVec.With(db),
+		records:      recordsAppliedVec.With(db),
+		bootstraps:   bootstrapsVec.With(db),
+		reconnects:   reconnectsVec.With(db),
+	}
+}

@@ -1,0 +1,71 @@
+package repl
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"semwebdb/internal/persist"
+)
+
+// DefaultMaxChunk is the default byte budget for one tail chunk.
+const DefaultMaxChunk = 1 << 20
+
+// Leader serves a persist.Engine's durable log as a replication
+// Source — the in-process half behind the HTTP repl endpoints, and
+// what chains replicas: a follower's own engine is a byte-exact mirror
+// of its leader's log, so it can lead downstream followers unchanged.
+type Leader struct {
+	eng *persist.Engine
+}
+
+// NewLeader wraps an engine.
+func NewLeader(e *persist.Engine) *Leader { return &Leader{eng: e} }
+
+// State implements Source.
+func (l *Leader) State(ctx context.Context) (State, error) {
+	ts := l.eng.TailState()
+	return State{
+		Generation:    ts.Gen,
+		WALSize:       ts.WALSize,
+		WALRecords:    ts.WALRecords,
+		SnapshotBytes: ts.SnapshotBytes,
+	}, nil
+}
+
+// Snapshot implements Source.
+func (l *Leader) Snapshot(ctx context.Context, gen uint64) (io.ReadCloser, int64, error) {
+	return l.eng.OpenSnapshot(gen)
+}
+
+// Tail implements Source: it reads [from, from+max) of the named
+// generation, long-polling up to wait when the log holds nothing past
+// from. The expiry of wait yields an empty heartbeat chunk, not an
+// error; cancellation of ctx is an error.
+func (l *Leader) Tail(ctx context.Context, gen uint64, from int64, max int, wait time.Duration) (Chunk, error) {
+	if max <= 0 {
+		max = DefaultMaxChunk
+	}
+	if wait > 0 {
+		wctx, cancel := context.WithTimeout(ctx, wait)
+		_, err := l.eng.WaitTail(wctx, gen, from)
+		cancel()
+		if err != nil && ctx.Err() != nil {
+			return Chunk{}, ctx.Err()
+		}
+		// A wait expiry falls through: ReadWALAt reports the (possibly
+		// unchanged) state, and an empty chunk is the heartbeat. Other
+		// WaitTail errors (engine closed) surface from ReadWALAt too.
+	}
+	b, st, err := l.eng.ReadWALAt(gen, from, max)
+	if err != nil {
+		return Chunk{}, err
+	}
+	return Chunk{
+		Generation: st.Gen,
+		From:       from,
+		WALSize:    st.WALSize,
+		WALRecords: st.WALRecords,
+		Data:       b,
+	}, nil
+}

@@ -68,6 +68,7 @@ type DB struct {
 	mem      *closure.Membership // lazy closure-membership index for g
 	eng      *persist.Engine     // nil for purely in-memory databases
 	ro       *persist.Stats      // read-only open: frozen on-disk stats
+	replica  *replica            // non-nil on a read replica (FollowAt)
 	closed   bool
 
 	// prepared caches, per skip-normal-form flag, the premise-free
@@ -332,6 +333,9 @@ func (db *DB) addGraphs(adds []*graph.Graph) error {
 	db.mu.RUnlock()
 	if closed {
 		return ErrClosed
+	}
+	if db.replica != nil {
+		return ErrReplica
 	}
 	next := base.Clone()
 	var fresh []dict.Triple3
@@ -764,6 +768,9 @@ func (db *DB) Graph() *Graph { return db.snapshot().Clone() }
 func (db *DB) Snapshot() error {
 	db.commitMu.Lock()
 	defer db.commitMu.Unlock()
+	if db.replica != nil {
+		return ErrReplica
+	}
 	if db.eng == nil {
 		return ErrNotPersistent
 	}
@@ -830,6 +837,12 @@ func (db *DB) Compact() error {
 	if closed {
 		return ErrClosed
 	}
+	if db.replica != nil {
+		// A replica's mirror must stay a byte prefix of the leader's
+		// log; the leader's own compaction reaches it as a generation
+		// switch.
+		return ErrReplica
+	}
 	return db.compactLocked(g, compactionsManual)
 }
 
@@ -865,12 +878,22 @@ func (db *DB) compactLocked(g *graph.Graph, trigger *obs.Counter) error {
 // closed. Close is idempotent.
 func (db *DB) Close() error {
 	db.commitMu.Lock()
-	defer db.commitMu.Unlock()
 	db.mu.Lock()
 	wasClosed := db.closed
 	db.closed = true
 	db.mu.Unlock()
-	if wasClosed || db.eng == nil {
+	db.commitMu.Unlock()
+	if wasClosed {
+		return nil
+	}
+	// On a replica the tail loop may be blocked on commitMu inside a
+	// publish, so stopping it (which waits for the loop to exit) must
+	// happen after commitMu is released; closed is already set, so no
+	// new mutation can slip in between.
+	if db.replica != nil {
+		return db.replica.stop()
+	}
+	if db.eng == nil {
 		return nil
 	}
 	return db.eng.Close()
@@ -910,6 +933,23 @@ type Stats struct {
 	WALBytes int64 `json:"wal_bytes"`
 	// WALRecords is the number of valid write-ahead-log records.
 	WALRecords int `json:"wal_records"`
+
+	// Replica reports whether the database is a read replica
+	// (FollowAt). The Repl* fields below are zero when it is not; on a
+	// replica, SnapshotBytes/WALBytes/WALRecords above describe the
+	// local mirror (a byte prefix of the leader's log).
+	Replica bool `json:"replica"`
+	// ReplAppliedBytes is the replica's applied offset: the durable
+	// bytes of the leader's write-ahead log mirrored and applied
+	// locally (including the log file header).
+	ReplAppliedBytes int64 `json:"repl_applied_bytes"`
+	// ReplAppliedRecords is the number of leader log records applied.
+	ReplAppliedRecords int `json:"repl_applied_records"`
+	// ReplLagBytes/ReplLagRecords are the leader's durable totals
+	// minus the applied totals, as of the last tail response — the
+	// same quantities the semwebd_repl_lag_* gauges export.
+	ReplLagBytes   int64 `json:"repl_lag_bytes"`
+	ReplLagRecords int   `json:"repl_lag_records"`
 
 	// PreparedFull counts matching-universe preparations computed from
 	// scratch (closure saturation plus, unless skipped, the
@@ -960,6 +1000,22 @@ func (db *DB) Stats() Stats {
 		PreparedFallbackDisabled:       db.prepStats.fbDisabled.Load(),
 	}
 	switch {
+	case db.replica != nil:
+		fs := db.replica.f.Status()
+		st.Persistent = true
+		// The engine is transiently nil mid-rebootstrap; the footprint
+		// fields read zero then ("not servable right now").
+		if eng := db.replica.f.Engine(); eng != nil {
+			es := eng.Stats()
+			st.SnapshotBytes = es.SnapshotBytes
+			st.WALBytes = es.WALBytes
+			st.WALRecords = es.WALRecords
+		}
+		st.Replica = true
+		st.ReplAppliedBytes = fs.AppliedBytes
+		st.ReplAppliedRecords = fs.AppliedRecords
+		st.ReplLagBytes = fs.LagBytes
+		st.ReplLagRecords = fs.LagRecords
 	case db.eng != nil:
 		es := db.eng.Stats()
 		st.Persistent = true

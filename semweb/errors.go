@@ -44,6 +44,18 @@ var (
 	// intact records contradict the snapshot. A torn final WAL record is
 	// not corruption — crash recovery discards it silently.
 	ErrCorrupt = persist.ErrCorrupt
+
+	// ErrReplica is returned by mutations (Add, Snapshot, Compact and
+	// friends) on a read replica (FollowAt): replicas apply the
+	// leader's log and nothing else. Write to the leader instead.
+	ErrReplica = errors.New("semweb: database is a read replica")
+
+	// ErrWrongGeneration is returned by the replication tail methods
+	// (ReplSnapshot, ReplTail) when the requested WAL generation is not
+	// the current one: the log was truncated by a checkpoint, an epoch
+	// compaction or a restart, and the follower must re-bootstrap from
+	// the current snapshot.
+	ErrWrongGeneration = persist.ErrWrongGeneration
 )
 
 // ParseError reports a syntax error from one of the parsers (N-Triples,

@@ -289,7 +289,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.As(err, &pe), errors.Is(err, semweb.ErrIllFormedTriple):
 			writeError(w, http.StatusBadRequest, err)
-		case errors.Is(err, semweb.ErrClosed):
+		case errors.Is(err, semweb.ErrClosed), errors.Is(err, semweb.ErrReplica):
 			writeError(w, http.StatusServiceUnavailable, err)
 		default:
 			writeError(w, http.StatusInternalServerError, err)
@@ -343,12 +343,14 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, compactResult{Before: before, After: after})
 }
 
-// writeAdminError maps admin-operation failures to statuses.
+// writeAdminError maps admin-operation failures to statuses. A replica
+// answers 503 to writes and admin mutations: the request is valid, this
+// server just does not take writes — retry against the leader.
 func writeAdminError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, semweb.ErrNotPersistent):
 		writeError(w, http.StatusConflict, err)
-	case errors.Is(err, semweb.ErrClosed):
+	case errors.Is(err, semweb.ErrClosed), errors.Is(err, semweb.ErrReplica):
 		writeError(w, http.StatusServiceUnavailable, err)
 	default:
 		writeError(w, http.StatusInternalServerError, err)

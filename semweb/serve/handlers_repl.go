@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"semwebdb/internal/repl"
+	"semwebdb/semweb"
+)
+
+// Tail-request limits: the chunk byte budget keeps one response
+// bounded regardless of what a client asks for, and the wait cap keeps
+// long-polls short enough that graceful shutdown (which waits for
+// in-flight handlers) is never held hostage by an idle follower.
+const (
+	defaultTailBytes = 1 << 20
+	maxTailBytes     = 8 << 20
+	maxTailWait      = 30 * time.Second
+)
+
+// writeReplError maps replication-endpoint failures to statuses. A
+// generation mismatch is 409 — the follower's cue to re-bootstrap —
+// and so is asking a non-persistent database for a log it does not
+// have.
+func writeReplError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, semweb.ErrWrongGeneration):
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, semweb.ErrNotPersistent):
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, semweb.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// handleReplState reports the database's replication state.
+func (s *Server) handleReplState(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.openForRequest(w, r)
+	if !ok {
+		return
+	}
+	st, err := db.ReplState()
+	if err != nil {
+		writeReplError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleReplSnapshot streams the base snapshot of the WAL generation
+// named by ?gen= to a bootstrapping follower. 204 means the generation
+// has no snapshot (its full state is the log alone).
+func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.openForRequest(w, r)
+	if !ok {
+		return
+	}
+	gen, err := strconv.ParseUint(r.URL.Query().Get("gen"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errors.New("serve: invalid gen parameter"))
+		return
+	}
+	rc, size, err := db.ReplSnapshot(gen)
+	if err != nil {
+		writeReplError(w, err)
+		return
+	}
+	if rc == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	w.WriteHeader(http.StatusOK)
+	n, err := io.Copy(w, rc)
+	s.reqLogger(r).Info("repl snapshot", slog.Uint64("gen", gen), slog.Int64("bytes", n))
+	_ = err // the client owns mid-stream disconnects
+}
+
+// handleReplWAL serves one replication chunk: the byte range of the
+// durable WAL named by ?gen=&from=, up to ?max= bytes, long-polling up
+// to ?wait= when nothing past from is durable yet (the expiry answers
+// an empty heartbeat chunk). The response body is the binary chunk
+// framing of internal/repl.
+func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.openForRequest(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	gen, err := strconv.ParseUint(q.Get("gen"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errors.New("serve: invalid gen parameter"))
+		return
+	}
+	from, err := strconv.ParseInt(q.Get("from"), 10, 64)
+	if err != nil || from < 0 {
+		writeError(w, http.StatusBadRequest, errors.New("serve: invalid from parameter"))
+		return
+	}
+	max := defaultTailBytes
+	if raw := q.Get("max"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, errors.New("serve: invalid max parameter"))
+			return
+		}
+		max = min(n, maxTailBytes)
+	}
+	var wait time.Duration
+	if raw := q.Get("wait"); raw != "" {
+		wait, err = time.ParseDuration(raw)
+		if err != nil || wait < 0 {
+			writeError(w, http.StatusBadRequest, errors.New("serve: invalid wait parameter (want a non-negative Go duration)"))
+			return
+		}
+		wait = min(wait, maxTailWait)
+	}
+
+	chunk, err := db.ReplTail(r.Context(), gen, from, max, wait)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; nothing to answer
+		}
+		writeReplError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_ = repl.WriteChunk(w, repl.Chunk(chunk))
+}

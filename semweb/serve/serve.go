@@ -13,6 +13,19 @@
 //	POST /v1/{db}/load         ingest an N-Triples or Turtle body
 //	POST /v1/{db}/snapshot     checkpoint the database directory
 //	POST /v1/{db}/compact      rebuild the dictionary from the live triples
+//	GET  /v1/{db}/repl/state   replication state (semweb.ReplState as JSON)
+//	GET  /v1/{db}/repl/snapshot  stream the base snapshot of a WAL generation
+//	GET  /v1/{db}/repl/wal     long-poll a byte range of the durable WAL
+//
+// The three repl endpoints serve WAL-shipping replication (see
+// internal/repl): a follower bootstraps from state + snapshot, then
+// tails wal with ?gen=&from=&max=&wait=. A generation mismatch answers
+// 409, which tells the follower to re-bootstrap. Every database —
+// leader or replica — serves them, so replicas can chain.
+//
+// When Config.Follow names a leader, every database is opened as a
+// read replica of the same-named database there (semweb.FollowAt);
+// write endpoints (load, snapshot, compact) then answer 503.
 //
 // The query endpoint takes the textual tableau format of
 // semweb.ParseQuery as its body and the options as URL parameters
@@ -80,6 +93,14 @@ type Config struct {
 	// Options are passed to every semweb.OpenAt.
 	Options []semweb.Option
 
+	// Follow, when set, is the base URL (scheme://host:port, or a bare
+	// host:port) of a leader semwebd: every database opens as a read
+	// replica of the same-named database there instead of as a local
+	// writer. Mounted directories hold the replica mirrors. Writes are
+	// rejected with 503; reads, queries and the repl endpoints work as
+	// usual.
+	Follow string
+
 	// DefaultTimeout bounds a query request that carries no explicit
 	// timeout parameter; zero means unbounded.
 	DefaultTimeout time.Duration
@@ -128,6 +149,7 @@ type Server struct {
 // concurrent first requests cannot race two OpenAt calls (the second
 // would fail on the WAL flock).
 type dbEntry struct {
+	name string
 	dir  string
 	once sync.Once
 	db   *semweb.DB
@@ -203,14 +225,24 @@ func (s *Server) DB(name string) (*semweb.DB, error) {
 			s.mu.Unlock()
 			return nil, err
 		}
-		e = &dbEntry{dir: dir}
+		e = &dbEntry{name: name, dir: dir}
 		s.dbs[name] = e
 	}
 	s.mu.Unlock()
 	e.once.Do(func() {
-		e.db, e.err = semweb.OpenAt(e.dir, s.cfg.Options...)
+		e.db, e.err = s.open(name, e.dir)
 	})
 	return e.db, e.err
+}
+
+// open opens one database directory: as a local writer, or — under
+// Config.Follow — as a read replica of the same-named database on the
+// leader.
+func (s *Server) open(name, dir string) (*semweb.DB, error) {
+	if s.cfg.Follow != "" {
+		return semweb.FollowAt(dir, s.cfg.Follow, name, s.cfg.Options...)
+	}
+	return semweb.OpenAt(dir, s.cfg.Options...)
 }
 
 // Names lists the serveable database names — every mount plus every
@@ -260,7 +292,7 @@ func (s *Server) Close() error {
 		// makes the e.db read safe; a never-touched entry opens and
 		// immediately closes, which is harmless.
 		e.once.Do(func() {
-			e.db, e.err = semweb.OpenAt(e.dir, s.cfg.Options...)
+			e.db, e.err = s.open(e.name, e.dir)
 		})
 		if e.err != nil || e.db == nil {
 			continue
@@ -287,6 +319,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/{db}/load", s.instrument("load", s.handleLoad))
 	mux.Handle("POST /v1/{db}/snapshot", s.instrument("snapshot", s.handleSnapshot))
 	mux.Handle("POST /v1/{db}/compact", s.instrument("compact", s.handleCompact))
+	mux.Handle("GET /v1/{db}/repl/state", s.instrument("repl_state", s.handleReplState))
+	mux.Handle("GET /v1/{db}/repl/snapshot", s.instrument("repl_snapshot", s.handleReplSnapshot))
+	mux.Handle("GET /v1/{db}/repl/wal", s.instrument("repl_wal", s.handleReplWAL))
 	if s.cfg.EnablePprof {
 		mux.Handle("GET /debug/pprof/", http.HandlerFunc(pprof.Index))
 		mux.Handle("GET /debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
