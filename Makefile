@@ -5,11 +5,11 @@ GO ?= go
 # Benchmark settings for the JSON perf snapshot. 0.2s per benchmark
 # keeps a full run around a minute while staying reasonably stable.
 BENCHTIME ?= 0.2s
-BENCH_JSON ?= BENCH_pr9.json
+BENCH_JSON ?= BENCH_pr10.json
 # The newest committed per-PR snapshot is the regression baseline.
 BENCH_BASELINE ?= $(shell ls BENCH_pr*.json 2>/dev/null | sort -V | tail -1)
 
-.PHONY: verify check fmt vet test test-race race-closure race-serve race-delta race-obs race-repl serve-smoke metrics-smoke repl-smoke bench bench-json bench-gate fuzz build examples
+.PHONY: verify check fmt vet lint test test-race race-closure race-serve race-delta race-obs race-repl serve-smoke metrics-smoke repl-smoke bench bench-json bench-gate fuzz build examples
 
 # Tier-1: must stay green (ROADMAP.md).
 verify: build test
@@ -83,10 +83,18 @@ repl-smoke:
 	$(GO) test -run TestReplSmoke -count=1 -v ./cmd/semwebd
 
 # verify + static hygiene.
-check: verify vet fmt
+check: verify vet fmt lint
 
 vet:
 	$(GO) vet ./...
+
+# Project-invariant analyzers (internal/lint via cmd/semweblint):
+# mutexguard, scratchsafe, obsflush, fsyncrename, senterr, plus the
+# stock vet passes (copylocks, lostcancel, unusedresult; nilness when
+# golang.org/x/tools is in the module graph). See the README's
+# "Linting" section for the annotation and suppression conventions.
+lint:
+	$(GO) run ./cmd/semweblint ./...
 
 fmt:
 	@out="$$(gofmt -l .)"; \

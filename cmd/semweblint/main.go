@@ -1,0 +1,133 @@
+// Command semweblint runs semwebdb's project-invariant analyzers
+// (internal/lint: mutexguard, scratchsafe, obsflush, fsyncrename,
+// senterr) over the packages matching its arguments, plus the
+// high-value stock vet passes. It is the mechanized form of the
+// disciplines the engine's past PRs established — see the package
+// documentation of internal/lint and the "Linting" section of the
+// README.
+//
+// Usage:
+//
+//	semweblint [-stock=false] [packages]
+//
+// With no package arguments it checks ./.... Test files are included:
+// the invariants bind tests too (a test comparing a sentinel with ==
+// rots exactly like production code). Exit status is 0 when clean, 1
+// when any analyzer reported a diagnostic, 2 on operational errors.
+//
+// The stock passes run through `go vet` (copylocks, lostcancel,
+// unusedresult — the passes the go distribution itself ships).
+// nilness needs golang.org/x/tools and is gated on that module being
+// in the build: when `go list -m golang.org/x/tools` resolves, its
+// nilness command is run as well; otherwise it is skipped with a
+// note. No dependency is required to run everything else.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"semwebdb/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	stock := flag.Bool("stock", true, "also run the stock vet passes (copylocks, lostcancel, unusedresult; nilness when golang.org/x/tools is available)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: semweblint [flags] [packages]\n\nProject analyzers:\n")
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "\n  %s\n    %s\n", a.Name, wrapDoc(a.Doc))
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semweblint:", err)
+		return 2
+	}
+
+	pkgs, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semweblint:", err)
+		return 2
+	}
+
+	bad := false
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, lint.Analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semweblint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			bad = true
+			fmt.Printf("%s\n", d)
+		}
+	}
+
+	if *stock {
+		switch runStock(patterns) {
+		case 1:
+			bad = true
+		case 2:
+			return 2
+		}
+	}
+
+	if bad {
+		return 1
+	}
+	return 0
+}
+
+// runStock runs the distribution's own high-value vet passes, and
+// nilness when golang.org/x/tools happens to be in the module graph.
+// Returns 0 (clean), 1 (findings), 2 (operational error).
+func runStock(patterns []string) int {
+	ret := 0
+	vet := exec.Command("go", append([]string{"vet", "-copylocks", "-lostcancel", "-unusedresult"}, patterns...)...)
+	vet.Stdout = os.Stdout
+	vet.Stderr = os.Stderr
+	if err := vet.Run(); err != nil {
+		if _, ok := err.(*exec.ExitError); !ok {
+			fmt.Fprintln(os.Stderr, "semweblint: go vet:", err)
+			return 2
+		}
+		ret = 1
+	}
+
+	if _, err := exec.Command("go", "list", "-m", "golang.org/x/tools").Output(); err != nil {
+		fmt.Fprintln(os.Stderr, "semweblint: note: nilness skipped (golang.org/x/tools is not in the module graph; add it to enable the SSA-based stock pass)")
+		return ret
+	}
+	nilness := exec.Command("go", append([]string{"run", "golang.org/x/tools/go/analysis/passes/nilness/cmd/nilness"}, patterns...)...)
+	nilness.Stdout = os.Stdout
+	nilness.Stderr = os.Stderr
+	if err := nilness.Run(); err != nil {
+		if _, ok := err.(*exec.ExitError); !ok {
+			fmt.Fprintln(os.Stderr, "semweblint: nilness:", err)
+			return 2
+		}
+		ret = 1
+	}
+	return ret
+}
+
+// wrapDoc reflows an analyzer doc string for the usage message.
+func wrapDoc(doc string) string {
+	return strings.Join(strings.Fields(doc), " ")
+}

@@ -1,0 +1,37 @@
+package lint_test
+
+import (
+	"testing"
+
+	"semwebdb/internal/lint"
+	"semwebdb/internal/lint/linttest"
+)
+
+func TestMutexGuard(t *testing.T) {
+	linttest.Run(t, lint.MutexGuard, "mutexguard/a")
+}
+
+func TestScratchSafe(t *testing.T) {
+	// The second package sits outside the hot set: the analyzer must
+	// gate itself off and report nothing there.
+	linttest.Run(t, lint.ScratchSafe,
+		"scratchsafe/internal/match", "scratchsafe/internal/persist")
+}
+
+func TestObsFlush(t *testing.T) {
+	linttest.Run(t, lint.ObsFlush, "obsflush/internal/closure")
+}
+
+func TestFsyncRename(t *testing.T) {
+	linttest.Run(t, lint.FsyncRename, "fsyncrename/internal/persist")
+}
+
+func TestSentErr(t *testing.T) {
+	linttest.Run(t, lint.SentErr, "senterr/a", "senterr/b")
+}
+
+func TestIgnoreComments(t *testing.T) {
+	// Malformed //lint:ignore comments (missing reason) are reported
+	// by the framework itself, under any analyzer.
+	linttest.Run(t, lint.SentErr, "lintignore/a")
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// namedFrom reports the named type behind t (unwrapping pointers and
+// aliases), or nil.
+func namedFrom(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// typeIsFrom reports whether t (unwrapping pointers) is the named
+// type typeName declared in a package whose base name is pkgBase.
+// Matching on the package base name rather than the full import path
+// keeps analyzers applicable to both the real packages and the stub
+// packages under linttest testdata.
+func typeIsFrom(t types.Type, pkgBase, typeName string) bool {
+	n := namedFrom(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Name() != typeName {
+		return false
+	}
+	p := n.Obj().Pkg().Path()
+	return p == pkgBase || strings.HasSuffix(p, "/"+pkgBase) ||
+		n.Obj().Pkg().Name() == pkgBase
+}
+
+// pkgBaseOf returns the base name of the package an object is
+// declared in ("" for builtins).
+func pkgBaseOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Name()
+}
+
+// calleeObj resolves the object a call expression invokes (function,
+// method, or nil for builtins, conversions and indirect calls).
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		return info.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (exact import path).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	obj := calleeObj(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// baseIdent unwraps x to its leftmost identifier: for a.b.c it
+// returns a; for (*p).f it returns p; nil when the base is not a
+// plain identifier.
+func baseIdent(x ast.Expr) *ast.Ident {
+	for {
+		switch e := x.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			x = e.X
+		case *ast.ParenExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		case *ast.IndexExpr:
+			x = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprText renders an expression as source text (for diagnostics and
+// textual heuristics).
+func exprText(fset *token.FileSet, x ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, x); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// isErrorInterface reports whether t is an interface type satisfying
+// error (the opaque view of an error, as opposed to a concrete
+// implementation whose rendered message may legitimately be
+// inspected by its own tests).
+func isErrorInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := types.Unalias(t).Underlying().(*types.Interface)
+	return ok && types.Implements(t, errorIface)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// wordInSentenceWith reports whether any sentence (or line) of doc
+// contains word together with one of the trigger words. Used for the
+// caller-locked doc convention: "... caller must hold mu ...".
+func wordInSentenceWith(doc, word string, triggers []string) bool {
+	for _, chunk := range splitSentences(doc) {
+		words := fieldsWords(chunk)
+		if !words[word] {
+			continue
+		}
+		for _, t := range triggers {
+			if words[t] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func splitSentences(s string) []string {
+	return strings.FieldsFunc(s, func(r rune) bool {
+		return r == '.' || r == ';' || r == '\n'
+	})
+}
+
+func fieldsWords(s string) map[string]bool {
+	out := make(map[string]bool)
+	for _, w := range strings.FieldsFunc(s, func(r rune) bool {
+		return !('a' <= r && r <= 'z' || 'A' <= r && r <= 'Z' ||
+			'0' <= r && r <= '9' || r == '_')
+	}) {
+		out[strings.ToLower(w)] = true
+	}
+	return out
+}

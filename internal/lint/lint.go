@@ -1,0 +1,235 @@
+// Package lint is semwebdb's project-invariant analyzer suite: a set
+// of static analyses that mechanically enforce the disciplines the
+// engine's correctness and performance rest on — disciplines no
+// compiler checks and that were each established by a past PR:
+//
+//   - mutexguard: fields annotated "// guarded by <mu>" are only
+//     accessed with that mutex held (or from methods documented as
+//     caller-locked), the convention used across internal/persist,
+//     internal/repl, semweb and semweb/serve.
+//   - scratchsafe: no Dict.Terms()/Kinds() flattening in the hot
+//     packages (internal/match, internal/closure, internal/query,
+//     internal/graph) — per-ID TermOf/KindOf stay scratch-safe (PR 5).
+//   - obsflush: no obs counter/gauge/histogram operations, vec
+//     lookups or label formatting inside for bodies in
+//     internal/closure, internal/dict, internal/match — hot loops
+//     tally locally and flush once per saturation (PR 8).
+//   - fsyncrename: in internal/persist and internal/repl, renaming a
+//     tmp path into place is preceded in-function by a sync of the
+//     source and followed by a directory fsync (PR 3).
+//   - senterr: sentinel errors (ErrClosed, ErrCorrupt, ErrReplica, …)
+//     are wrapped only via %w and tested only via errors.Is — never
+//     == / != / switch, never string matching (PR 6/9).
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic, and an analysistest-style golden
+// runner in linttest) so the analyzers port mechanically if that
+// module is ever added to the build; it is implemented on the
+// standard library alone — go/parser + go/types over export data
+// from `go list -export` — because the shipped library and binaries
+// stay dependency-free and this container has no module proxy.
+//
+// Diagnostics are suppressed, one site at a time and with a recorded
+// reason, by a comment on the flagged line or the line above:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// A malformed ignore comment (unknown analyzer set is fine; a missing
+// reason is not) is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis: a name, a doc string, an
+// optional package filter, and the function that runs it on one
+// package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore comments. Lower-case, no spaces.
+	Name string
+
+	// Doc is the one-paragraph description printed by
+	// `semweblint -help`.
+	Doc string
+
+	// AppliesTo, when non-nil, restricts the analyzer to packages
+	// whose import path it accepts. The path passed in is the logical
+	// package path (test variants are resolved to the package under
+	// test; external test packages keep their _test suffix).
+	AppliesTo func(pkgPath string) bool
+
+	// Run performs the analysis, reporting findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass is the single application of one analyzer to one package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// PkgPath is the logical import path (see Analyzer.AppliesTo).
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// SuffixMatcher returns an AppliesTo filter accepting packages whose
+// import path equals one of the suffixes or ends in "/"+suffix. The
+// repo's own packages match their full path ("semwebdb/internal/dict"
+// matches suffix "internal/dict"); the testdata trees under
+// linttest mirror the layout ("fsyncrename/internal/persist").
+func SuffixMatcher(suffixes ...string) func(string) bool {
+	return func(path string) bool {
+		for _, s := range suffixes {
+			if path == s || strings.HasSuffix(path, "/"+s) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Run applies every applicable analyzer to pkg and returns the
+// surviving diagnostics: findings suppressed by a well-formed
+// //lint:ignore comment are dropped, malformed ignore comments are
+// added. The result is sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			PkgPath:  pkg.Path,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	diags = applyIgnores(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+var ignoreRe = regexp.MustCompile(`^lint:ignore\s+(\S+)(\s+(.*))?$`)
+
+// ignoreKey identifies one suppressible site: an analyzer name (or
+// "*") effective at a file line.
+type ignoreKey struct {
+	file string
+	line int
+	name string
+}
+
+// applyIgnores drops diagnostics covered by a //lint:ignore comment
+// on the same line or the line immediately above, and reports ignore
+// comments that lack the mandatory reason.
+func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
+	ignores := make(map[ignoreKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := ignoreRe.FindStringSubmatch(text)
+				if m == nil || strings.TrimSpace(m[3]) == "" {
+					diags = append(diags, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore comment: need \"//lint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					ignores[ignoreKey{pos.Filename, pos.Line, name}] = true
+				}
+			}
+		}
+	}
+	if len(ignores) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != "lint" && ignoredAt(ignores, d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func ignoredAt(ignores map[ignoreKey]bool, d Diagnostic) bool {
+	for _, name := range []string{d.Analyzer, "*"} {
+		if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, name}] ||
+			ignores[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, name}] {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers is the full project suite in stable order.
+var Analyzers = []*Analyzer{
+	MutexGuard,
+	ScratchSafe,
+	ObsFlush,
+	FsyncRename,
+	SentErr,
+}

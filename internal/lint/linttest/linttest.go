@@ -1,0 +1,339 @@
+// Package linttest is an analysistest-style golden-file runner for
+// the internal/lint analyzers, built (like the framework itself) on
+// the standard library alone.
+//
+// A test calls Run with an analyzer and one or more package paths
+// under testdata/src. Each package's files carry expectations as
+// comments on the offending lines:
+//
+//	d.Terms() // want `Dict\.Terms\(\) flattens`
+//
+// Every diagnostic must match a want on its line and every want must
+// be matched by a diagnostic — including the implicit "no
+// diagnostics" assertion for files with no want comments, which is
+// how suppressed-negative and false-positive-guard cases are
+// expressed. Import paths inside testdata resolve against the
+// testdata/src tree first (stub packages: a "dict" with Terms/Kinds,
+// an "obs" with Counter/Vec, …) and against the standard library
+// otherwise.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"semwebdb/internal/lint"
+)
+
+// Run applies a to each package under testdata/src and compares
+// diagnostics against the // want expectations in its files.
+func Run(t *testing.T, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := newLoader(root)
+	for _, path := range pkgs {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := lint.Run(pkg, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, pkg, diags)
+	}
+}
+
+// want is one expectation.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`^want\s+(.*)$`)
+
+func checkWants(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+				text = strings.TrimSuffix(text, "*/")
+				m := wantRe.FindStringSubmatch(strings.TrimSpace(text))
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, raw := range splitPatterns(m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitPatterns parses a sequence of quoted or backquoted regexps.
+func splitPatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			break
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			break
+		}
+		raw := s[:end+2]
+		if unq, err := strconv.Unquote(raw); err == nil {
+			out = append(out, unq)
+		}
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}
+
+// loader type-checks packages rooted at testdata/src.
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*lint.Package
+	std  *stdImporter
+}
+
+func newLoader(root string) *loader {
+	return &loader{
+		root: root,
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*lint.Package),
+		std:  sharedStd(root),
+	}
+}
+
+func (ld *loader) load(path string) (*lint.Package, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return p, nil
+	}
+	ld.pkgs[path] = nil // cycle marker
+	dir := filepath.Join(ld.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importerFunc(func(p string) (*types.Package, error) {
+		if fi, err := os.Stat(filepath.Join(ld.root, filepath.FromSlash(p))); err == nil && fi.IsDir() {
+			pkg, err := ld.load(p)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
+		return ld.std.Import(p)
+	})}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &lint.Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  ld.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	ld.pkgs[path] = p
+	return p, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// stdImporter resolves standard-library imports through build-cache
+// export data, shared process-wide (the export map is built once from
+// the union of out-of-tree imports appearing under testdata/src).
+type stdImporter struct {
+	mu      sync.Mutex
+	exports map[string]string
+	inner   types.Importer
+	err     error
+}
+
+var (
+	stdOnce   sync.Once
+	stdShared *stdImporter
+)
+
+func sharedStd(root string) *stdImporter {
+	stdOnce.Do(func() {
+		stdShared = buildStd(root)
+	})
+	return stdShared
+}
+
+func (s *stdImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return nil, s.err
+	}
+	return s.inner.Import(path)
+}
+
+func buildStd(root string) *stdImporter {
+	s := &stdImporter{exports: make(map[string]string)}
+	paths, err := outOfTreeImports(root)
+	if err != nil {
+		s.err = err
+		return s
+	}
+	if len(paths) > 0 {
+		args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export", "--"}, paths...)
+		cmd := exec.Command("go", args...)
+		out, err := cmd.Output()
+		if err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				err = fmt.Errorf("go list: %v\n%s", err, ee.Stderr)
+			}
+			s.err = err
+			return s
+		}
+		type pkg struct{ ImportPath, Export string }
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p pkg
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				s.err = err
+				return s
+			}
+			if p.Export != "" {
+				s.exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	fset := token.NewFileSet()
+	s.inner = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := s.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+	return s
+}
+
+// outOfTreeImports scans every .go file under root for import paths
+// with no corresponding in-tree directory.
+func outOfTreeImports(root string) ([]string, error) {
+	seen := make(map[string]bool)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || p == "unsafe" {
+				continue
+			}
+			if fi, err := os.Stat(filepath.Join(root, filepath.FromSlash(p))); err == nil && fi.IsDir() {
+				continue
+			}
+			seen[p] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for p := range seen {
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the logical import path: for a test variant
+	// ("p [p.test]") the package under test ("p"); for an external
+	// test package its _test path. Analyzer filters match on it.
+	Path string
+	Dir  string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir,
+// usually a module root) with `go list -test -export -deps` and
+// type-checks each from source, resolving imports through the build
+// cache's export data — the same information `go vet` hands its
+// analyzers, obtained without any dependency beyond the go tool
+// itself.
+//
+// Test files are included: each package with tests is analyzed as its
+// test variant (package files + in-package test files) plus, when
+// present, the external _test package. The plain variant of a tested
+// package is skipped so files are analyzed exactly once.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// A package with an in-package test variant is superseded by it.
+	superseded := make(map[string]bool)
+	for _, p := range pkgs {
+		if p.ForTest != "" && !p.DepOnly && !strings.HasSuffix(p.ImportPath, ".test") &&
+			trimVariant(p.ImportPath) == p.ForTest {
+			superseded[p.ForTest] = true
+		}
+	}
+
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, p := range pkgs {
+		switch {
+		case p.DepOnly || p.Standard:
+			continue
+		case strings.HasSuffix(p.ImportPath, ".test"): // synthesized test main
+			continue
+		case p.ForTest == "" && superseded[p.ImportPath]:
+			continue
+		case len(p.CgoFiles) > 0:
+			return nil, fmt.Errorf("lint: %s uses cgo (unsupported)", p.ImportPath)
+		case p.Error != nil:
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := typeCheck(fset, p, exports)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := []string{
+		"list", "-test", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,Standard,DepOnly,ForTest,Name,GoFiles,CgoFiles,Imports,ImportMap,Error",
+		"--",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// trimVariant maps "p [p.test]" to "p".
+func trimVariant(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+func typeCheck(fset *token.FileSet, p *listPackage, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through this package's ImportMap (vendoring and
+	// test variants) to an export-data file from the build cache.
+	lookup := func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (importer of %s)", path, p.ImportPath)
+		}
+		return os.Open(e)
+	}
+	inner := importer.ForCompiler(fset, "gc", lookup)
+	imp := mappedImporter{m: p.ImportMap, inner: inner}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(trimVariant(p.ImportPath), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", p.ImportPath, err)
+	}
+	path := p.ImportPath
+	if p.ForTest != "" {
+		if name := trimVariant(path); strings.HasSuffix(name, "_test") {
+			path = name // external test package
+		} else {
+			path = p.ForTest // in-package test variant
+		}
+	}
+	return &Package{
+		Path:  path,
+		Dir:   p.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// mappedImporter applies a package's ImportMap before delegating to
+// the export-data importer.
+type mappedImporter struct {
+	m     map[string]string
+	inner types.Importer
+}
+
+func (mi mappedImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if r, ok := mi.m[path]; ok {
+		path = r
+	}
+	return mi.inner.Import(path)
+}

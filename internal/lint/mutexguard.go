@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MutexGuard enforces the "// guarded by <mu>" convention: a struct
+// field carrying that annotation may only be accessed through the
+// method receiver while the named sibling mutex is held.
+//
+// The check is flow-insensitive on purpose — it is a lint, not a
+// proof. An access r.f (f annotated "guarded by mu") inside a method
+// of the declaring struct is accepted when any of these hold:
+//
+//   - the method body acquires the guard on the same receiver
+//     (r.mu.Lock / RLock / TryLock / TryRLock appears anywhere in the
+//     method, including inside function literals);
+//   - the method's name ends in "Locked" — the repo's convention for
+//     helpers whose callers hold the lock (checkpointLocked,
+//     tailStateLocked, …);
+//   - the method's doc comment documents the contract: a sentence
+//     containing the guard's name together with hold/holds/holding/
+//     held/locked (e.g. "callers must hold mu").
+//
+// Accesses whose base is not the method receiver (constructors
+// building a value that has not escaped yet, free functions the
+// caller serializes) are outside the contract. The annotation itself
+// is validated: naming a sibling that does not exist or is not a
+// sync.Mutex / sync.RWMutex is reported.
+var MutexGuard = &Analyzer{
+	Name: "mutexguard",
+	Doc: "check that fields annotated \"// guarded by <mu>\" are only accessed " +
+		"with that mutex held or from methods documented as caller-locked",
+	Run: runMutexGuard,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\S+)`)
+
+var callerLockedTriggers = []string{"hold", "holds", "holding", "held", "locked"}
+
+// guardedField records one annotated field.
+type guardedField struct {
+	guard string // sibling mutex field name
+}
+
+func runMutexGuard(pass *Pass) error {
+	guards := collectGuardedFields(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			checkMethod(pass, fd, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields finds every "// guarded by <mu>" annotation,
+// validates it, and returns the annotated field objects.
+func collectGuardedFields(pass *Pass) map[*types.Var]guardedField {
+	guards := make(map[*types.Var]guardedField)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := guardAnnotation(field)
+				if guard == "" {
+					continue
+				}
+				if !validGuard(pass, st, guard) {
+					pass.Reportf(field.Pos(),
+						"\"guarded by %s\" names no sibling sync.Mutex or sync.RWMutex field", guard)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						guards[v] = guardedField{guard: guard}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation extracts the guard name from a field's doc or line
+// comment.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return strings.TrimRight(m[1], ".,;:")
+		}
+	}
+	return ""
+}
+
+// validGuard reports whether guard names a field of st whose type is
+// sync.Mutex or sync.RWMutex (possibly behind a pointer).
+func validGuard(pass *Pass, st *ast.StructType, guard string) bool {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name != guard {
+				continue
+			}
+			if v, ok := pass.Info.Defs[name].(*types.Var); ok && isMutex(v.Type()) {
+				return true
+			}
+		}
+		// Embedded sync.Mutex promoted under the name "Mutex".
+		if len(field.Names) == 0 {
+			if tv, ok := pass.Info.Types[field.Type]; ok && isMutex(tv.Type) {
+				if n := namedFrom(tv.Type); n != nil && n.Obj().Name() == guard {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isMutex(t types.Type) bool {
+	return typeIsFrom(t, "sync", "Mutex") || typeIsFrom(t, "sync", "RWMutex")
+}
+
+// checkMethod reports unblessed accesses to guarded fields through
+// the receiver of fd.
+func checkMethod(pass *Pass, fd *ast.FuncDecl, guards map[*types.Var]guardedField) {
+	recv := receiverIdent(fd)
+	if recv == nil {
+		return
+	}
+	blessed := blessedGuards(pass, fd, recv)
+	callerLocked := strings.HasSuffix(fd.Name.Name, "Locked")
+	doc := ""
+	if fd.Doc != nil {
+		doc = fd.Doc.Text()
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+		if !ok {
+			return true
+		}
+		gf, ok := guards[obj]
+		if !ok {
+			return true
+		}
+		base := baseIdent(sel.X)
+		if base == nil || pass.Info.Uses[base] != pass.Info.Defs[recv] {
+			return true
+		}
+		if blessed[gf.guard] || callerLocked {
+			return true
+		}
+		if doc != "" && wordInSentenceWith(doc, gf.guard, callerLockedTriggers) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"%s is guarded by %s, but %s neither acquires it nor is documented as caller-locked (acquire %s.%s, suffix the method name with Locked, or say \"caller must hold %s\" in its doc)",
+			sel.Sel.Name, gf.guard, fd.Name.Name, recv.Name, gf.guard, gf.guard)
+		return true
+	})
+}
+
+func receiverIdent(fd *ast.FuncDecl) *ast.Ident {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return nil
+	}
+	return names[0]
+}
+
+// blessedGuards returns the guard names the method acquires on its
+// own receiver: r.mu.Lock(), r.mu.RLock(), r.mu.TryLock(),
+// r.mu.TryRLock() anywhere in the body.
+func blessedGuards(pass *Pass, fd *ast.FuncDecl, recv *ast.Ident) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+		default:
+			return true
+		}
+		mutexSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || !isMutex(pass.Info.Types[sel.X].Type) {
+			return true
+		}
+		base := baseIdent(mutexSel.X)
+		if base == nil || pass.Info.Uses[base] != pass.Info.Defs[recv] {
+			return true
+		}
+		out[mutexSel.Sel.Name] = true
+		return true
+	})
+	return out
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ObsFlush enforces the PR 8 hot-loop metrics discipline in
+// internal/closure, internal/dict and internal/match: the innermost
+// saturation/intern/join loops tally into plain local fields and
+// flush to the shared internal/obs instruments once per saturation
+// (or once per call). An obs operation — Counter.Inc/Add,
+// Gauge.Set/Add, Histogram.Observe/ObserveSince, or a Vec.With label
+// lookup — inside a for body is one atomic RMW (or a map lookup plus
+// label formatting) per iteration on the paths the bench gate
+// protects.
+var ObsFlush = &Analyzer{
+	Name: "obsflush",
+	Doc: "forbid obs counter/gauge/histogram operations and vec label lookups " +
+		"inside for bodies in internal/closure, internal/dict, internal/match; " +
+		"tally locally and flush once per saturation",
+	AppliesTo: SuffixMatcher(
+		"internal/closure", "internal/dict", "internal/match",
+		"internal/closure_test", "internal/dict_test", "internal/match_test",
+	),
+	Run: runObsFlush,
+}
+
+// obsTypes are the instrument and vec types of internal/obs whose
+// methods are per-event costs.
+var obsTypes = []string{
+	"Counter", "Gauge", "Histogram",
+	"CounterVec", "GaugeVec", "HistogramVec",
+	"Registry", "Family",
+}
+
+func runObsFlush(pass *Pass) error {
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || reported[sel.Sel.Pos()] {
+					return true
+				}
+				tv, ok := pass.Info.Types[sel.X]
+				if !ok {
+					return true
+				}
+				for _, tn := range obsTypes {
+					if typeIsFrom(tv.Type, "obs", tn) {
+						reported[sel.Sel.Pos()] = true
+						pass.Reportf(sel.Sel.Pos(),
+							"obs.%s.%s inside a for body: tally into a local and flush once per saturation (PR 8 discipline)",
+							tn, sel.Sel.Name)
+						break
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ScratchSafe enforces the PR 5 leak rule on the hot packages: read
+// paths intern only into copy-on-write scratch overlays, and the
+// overlay contract is per-ID lookups (Dict.TermOf / Dict.KindOf).
+// Calling Dict.Terms() or Dict.Kinds() flattens the base segments
+// plus the overlay into a fresh slice — an O(dictionary) allocation
+// that silently re-introduces the leak-shaped cost the scratch design
+// removed. Cold paths (persist snapshots, store dumps, tests) may
+// flatten; the packages on the query hot path may not.
+var ScratchSafe = &Analyzer{
+	Name: "scratchsafe",
+	Doc: "forbid Dict.Terms()/Dict.Kinds() flattening in the hot packages " +
+		"(internal/match, internal/closure, internal/query, internal/graph); " +
+		"use per-ID TermOf/KindOf instead",
+	AppliesTo: SuffixMatcher(
+		"internal/match", "internal/closure", "internal/query", "internal/graph",
+		"internal/match_test", "internal/closure_test", "internal/query_test", "internal/graph_test",
+	),
+	Run: runScratchSafe,
+}
+
+func runScratchSafe(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "Terms" && name != "Kinds" {
+				return true
+			}
+			tv, ok := pass.Info.Types[sel.X]
+			if !ok || !typeIsFrom(tv.Type, "dict", "Dict") {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"Dict.%s() flattens the dictionary (O(terms) allocation, scratch-overlay copy) on a hot path: use per-ID %s instead",
+				name, map[string]string{"Terms": "TermOf", "Kinds": "KindOf"}[name])
+			return true
+		})
+	}
+	return nil
+}

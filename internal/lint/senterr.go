@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SentErr enforces the error-taxonomy rule from the serve/repl
+// layers: sentinel errors (package-level "var ErrX = errors.New(…)"
+// values such as ErrClosed, ErrCorrupt, ErrReplica, ErrCancelled,
+// ErrWrongGeneration) flow through the system wrapped — %w at every
+// fmt.Errorf — and are therefore only testable with errors.Is. Three
+// shapes defeat that and are reported:
+//
+//   - comparing a sentinel with == or != (including switch cases on
+//     an error value): breaks as soon as any layer wraps;
+//   - wrapping a sentinel with a verb other than %w: strips the
+//     identity errors.Is needs;
+//   - string-matching an opaque error (strings.Contains/HasPrefix/
+//     HasSuffix on err.Error(), or comparing err.Error() with ==):
+//     couples callers to message text. Inspecting the rendered
+//     message of a concrete error type (e.g. a *ParseError in its own
+//     formatting tests) is fine and not flagged.
+var SentErr = &Analyzer{
+	Name: "senterr",
+	Doc: "require sentinel errors to be wrapped via %w and tested via errors.Is " +
+		"— never == / != / switch, never string matching",
+	Run: runSentErr,
+}
+
+func runSentErr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.SwitchStmt:
+				checkErrSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+				checkStringMatch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelObj resolves x to a package-level error variable named
+// ErrXxx, or nil.
+func sentinelObj(info *types.Info, x ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || len(v.Name()) < 4 {
+		return nil
+	}
+	if c := v.Name()[3]; c < 'A' || c > 'Z' {
+		// ErrX with lower-case continuation ("Errors") is not the
+		// sentinel naming convention.
+		if v.Name()[3] < '0' || v.Name()[3] > '9' {
+			return nil
+		}
+	}
+	if !types.Implements(v.Type(), errorIface) && !isErrorInterface(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func checkComparison(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if v := sentinelObj(pass.Info, side); v != nil {
+			pass.Reportf(be.OpPos,
+				"sentinel %s compared with %s: use errors.Is(err, %s) so wrapped errors keep matching",
+				v.Name(), be.Op, v.Name())
+			return
+		}
+	}
+	checkErrorStringCompare(pass, be)
+}
+
+func checkErrSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.Info.Types[sw.Tag]
+	if !ok || !isErrorInterface(tv.Type) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, x := range cc.List {
+			if v := sentinelObj(pass.Info, x); v != nil {
+				pass.Reportf(x.Pos(),
+					"switch case compares sentinel %s with ==: use if/else with errors.Is(err, %s)",
+					v.Name(), v.Name())
+			}
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass a sentinel under a
+// verb other than %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if !isPkgFunc(pass.Info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs, exact := formatVerbs(constant.StringVal(tv.Value))
+	for i, arg := range call.Args[1:] {
+		v := sentinelObj(pass.Info, arg)
+		if v == nil {
+			continue
+		}
+		if exact && i < len(verbs) && verbs[i] == 'w' {
+			continue
+		}
+		if !exact && strings.Contains(constant.StringVal(tv.Value), "%w") {
+			continue // indexed/exotic format: be lenient if %w appears
+		}
+		verb := "a non-%w verb"
+		if exact && i < len(verbs) {
+			verb = "%" + string(verbs[i])
+		}
+		pass.Reportf(arg.Pos(),
+			"sentinel %s wrapped with %s: use %%w so errors.Is(err, %s) sees through the wrap",
+			v.Name(), verb, v.Name())
+	}
+}
+
+// formatVerbs extracts the verb letter consumed by each successive
+// argument of a Printf-style format. exact is false when the format
+// uses explicit argument indexes ("%[1]d"), in which case the mapping
+// is unreliable.
+func formatVerbs(format string) (verbs []byte, exact bool) {
+	exact = true
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		if format[i] == '[' {
+			exact = false
+			continue
+		}
+		// flags, width, precision — each '*' consumes one argument.
+		for i < len(format) && strings.IndexByte("+-# 0123456789.*", format[i]) >= 0 {
+			if format[i] == '*' {
+				verbs = append(verbs, '*')
+			}
+			i++
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs, exact
+}
+
+// checkStringMatch flags strings.Contains/HasPrefix/HasSuffix over
+// the rendered message of an opaque error.
+func checkStringMatch(pass *Pass, call *ast.CallExpr) {
+	for _, fn := range []string{"Contains", "HasPrefix", "HasSuffix", "EqualFold", "Index"} {
+		if isPkgFunc(pass.Info, call, "strings", fn) {
+			for _, arg := range call.Args {
+				if errCallOnOpaque(pass, arg) {
+					pass.Reportf(call.Pos(),
+						"strings.%s over err.Error(): match errors with errors.Is / errors.As, not by message text",
+						fn)
+					return
+				}
+			}
+		}
+	}
+}
+
+// checkErrorStringCompare flags err.Error() == "…".
+func checkErrorStringCompare(pass *Pass, be *ast.BinaryExpr) {
+	if errCallOnOpaque(pass, be.X) || errCallOnOpaque(pass, be.Y) {
+		pass.Reportf(be.OpPos,
+			"comparing err.Error() text: match errors with errors.Is / errors.As, not by message text")
+	}
+}
+
+// errCallOnOpaque reports whether x is a call err.Error() where err's
+// static type is the error interface (not a concrete implementation,
+// whose own tests may legitimately inspect its rendered message).
+func errCallOnOpaque(pass *Pass, x ast.Expr) bool {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	return ok && isErrorInterface(tv.Type)
+}

@@ -1,0 +1,95 @@
+// Package persist exercises fsyncrename: the full protocol, each
+// missing half, helper-based syncs, deferred directory syncs, the
+// non-tmp false-positive guard, and suppression.
+package persist
+
+import "os"
+
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+func writeFileSynced(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// install follows the full protocol: sync, rename, directory fsync.
+func install(f *os.File, tmp, dst, dir string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// helperSynced relies on a *Synced helper for the content sync.
+func helperSynced(tmp, dst, dir string, b []byte) error {
+	if err := writeFileSynced(tmp, b); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// deferredDir uses a deferred directory sync: still "after".
+func deferredDir(f *os.File, tmp, dst, dir string) error {
+	defer syncDir(dir)
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst)
+}
+
+// noContentSync renames a tmp file whose bytes were never synced.
+func noContentSync(tmp, dst, dir string) error {
+	if err := os.Rename(tmp, dst); err != nil { // want `without a preceding sync of the source`
+		return err
+	}
+	return syncDir(dir)
+}
+
+// noDirSync leaves the rename itself volatile.
+func noDirSync(f *os.File, tmp, dst string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst) // want `without a following directory fsync`
+}
+
+// neither misses both halves of the protocol.
+func neither(tmp, dst string) error {
+	return os.Rename(tmp, dst) // want `without a preceding sync of the source` `without a following directory fsync`
+}
+
+// nonTmp renames between durable names: not the staging pattern, not
+// checked (false-positive guard).
+func nonTmp(oldPath, newPath string) error {
+	return os.Rename(oldPath, newPath)
+}
+
+// suppressed documents a protocol split across functions.
+func suppressed(tmp, dst string) error {
+	//lint:ignore fsyncrename caller synced the tmp file and fsyncs the directory
+	return os.Rename(tmp, dst)
+}

@@ -1,0 +1,17 @@
+// Package a exercises the framework's //lint:ignore handling: a
+// reason is mandatory.
+package a
+
+import "errors"
+
+var ErrGone = errors.New("a: gone")
+
+func f(err error) bool {
+	ok := err == nil /* want `malformed //lint:ignore comment` */ //lint:ignore senterr
+	return ok
+}
+
+func g(err error) bool {
+	//lint:ignore senterr,mutexguard multi-analyzer ignores apply to each name
+	return err == ErrGone
+}

@@ -1,0 +1,89 @@
+// Package a exercises mutexguard: positive hits, every blessing
+// (acquired lock, *Locked suffix, caller-locked doc), the ignore
+// comment, and the false-positive guards (constructors, non-receiver
+// access, unannotated fields).
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int            // guarded by mu
+	m  map[string]int // guarded by mu
+	ok int            // unannotated: never checked
+
+	// guarded by wrong
+	bad int // want `"guarded by wrong" names no sibling sync\.Mutex`
+}
+
+// Get acquires the guard: blessed.
+func (s *S) Get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Bad reads and writes guarded fields without the lock.
+func (s *S) Bad() int {
+	s.m["x"] = 1 // want `m is guarded by mu`
+	return s.n   // want `n is guarded by mu`
+}
+
+// getLocked follows the *Locked naming convention: blessed.
+func (s *S) getLocked() int {
+	return s.n
+}
+
+// bump increments the counter. The caller must hold mu.
+func (s *S) bump() {
+	s.n++
+}
+
+// Suppressed demonstrates //lint:ignore.
+func (s *S) Suppressed() int {
+	//lint:ignore mutexguard single-goroutine setup path
+	return s.n
+}
+
+// Unannotated fields are outside the contract.
+func (s *S) Free() int { return s.ok }
+
+// NewS builds an S that has not escaped: accesses are not through a
+// method receiver and are out of scope.
+func NewS() *S {
+	s := &S{}
+	s.n = 1
+	s.m = map[string]int{}
+	return s
+}
+
+// touch is a free function; the value's owner serializes access.
+func touch(s *S) { s.n = 2 }
+
+// R exercises the RWMutex read path.
+type R struct {
+	mu sync.RWMutex
+	v  int // guarded by mu
+}
+
+// View holds the read lock: blessed.
+func (r *R) View() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+// Peek takes no lock at all.
+func (r *R) Peek() int {
+	return r.v // want `v is guarded by mu`
+}
+
+// Spawn launches a goroutine: the flow-insensitive blessing covers
+// function literals too (the method does acquire the lock).
+func (r *R) Spawn() {
+	go func() {
+		r.mu.Lock()
+		r.v++
+		r.mu.Unlock()
+	}()
+}

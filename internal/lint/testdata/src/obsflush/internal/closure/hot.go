@@ -1,0 +1,63 @@
+// Package closure is a hot package for obsflush: obs operations may
+// not appear inside for bodies.
+package closure
+
+import (
+	"sync"
+
+	"obsflush/obs"
+)
+
+var (
+	firings = obs.Default.Counter("firings", "rule firings")
+	vec     = obs.CounterVec{}
+)
+
+// tallyThenFlush is the PR 8 discipline: locals in the loop, one
+// flush after it.
+func tallyThenFlush(work []int) {
+	var fired uint64
+	for range work {
+		fired++
+	}
+	firings.Add(fired) // fine: outside the loop
+}
+
+func perIteration(work []int) {
+	for range work {
+		firings.Inc() // want `obs\.Counter\.Inc inside a for body`
+	}
+	for i := 0; i < len(work); i++ {
+		vec.With("label").Add(1) // want `obs\.CounterVec\.With inside a for body` `obs\.Counter\.Add inside a for body`
+	}
+}
+
+func nested(work [][]int) {
+	for _, row := range work {
+		for range row {
+			firings.Inc() // want `obs\.Counter\.Inc inside a for body`
+		}
+	}
+}
+
+// localCounter is a same-named type outside package obs: its methods
+// are free to run per iteration (false-positive guard).
+type localCounter struct{ n uint64 }
+
+func (c *localCounter) Inc() { c.n++ }
+
+func locals(work []int, wg *sync.WaitGroup) {
+	var c localCounter
+	for range work {
+		c.Inc()   // fine: not an obs type
+		wg.Add(1) // fine: sync.WaitGroup, not obs
+	}
+	wg.Add(-len(work))
+}
+
+func suppressed(work []int) {
+	for range work {
+		//lint:ignore obsflush error path, once per saturation in practice
+		firings.Inc()
+	}
+}

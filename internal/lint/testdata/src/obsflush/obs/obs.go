@@ -1,0 +1,29 @@
+// Package obs is a stub of semwebdb/internal/obs for the obsflush
+// golden tests: same instrument type and method names, no behavior.
+package obs
+
+type Counter struct{}
+
+func (c *Counter) Inc()          {}
+func (c *Counter) Add(n uint64)  {}
+func (c *Counter) Value() uint64 { return 0 }
+
+type Gauge struct{}
+
+func (g *Gauge) Set(n int64) {}
+func (g *Gauge) Add(n int64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(ns int64)      {}
+func (h *Histogram) ObserveSince(ns int64) {}
+
+type CounterVec struct{}
+
+func (v CounterVec) With(values ...string) *Counter { return nil }
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) *Counter { return nil }
+
+var Default = &Registry{}

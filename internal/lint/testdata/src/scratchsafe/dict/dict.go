@@ -1,0 +1,18 @@
+// Package dict is a stub of semwebdb/internal/dict for the
+// scratchsafe golden tests: same type and method names, no behavior.
+package dict
+
+type ID uint32
+
+type Term string
+
+type Kind uint8
+
+type Dict struct{}
+
+func (d *Dict) Terms() []Term     { return nil }
+func (d *Dict) Kinds() []Kind     { return nil }
+func (d *Dict) TermOf(id ID) Term { return "" }
+func (d *Dict) KindOf(id ID) Kind { return 0 }
+func (d *Dict) Intern(t Term) ID  { return 0 }
+func (d *Dict) Scratch() *Dict    { return d }

@@ -1,0 +1,79 @@
+// Package a exercises senterr: sentinel comparisons, switch cases,
+// non-%w wraps, string matching on opaque errors, and the
+// false-positive guards (nil checks, non-sentinel names, concrete
+// error types inspecting their own rendered message).
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+var (
+	ErrClosed  = errors.New("a: closed")
+	ErrCorrupt = errors.New("a: corrupt")
+
+	// Errata is not a sentinel name (no capital after Err).
+	Errata = errors.New("a: errata")
+)
+
+func compare(err error) bool {
+	if err == ErrClosed { // want `sentinel ErrClosed compared with ==`
+		return true
+	}
+	if ErrCorrupt != err { // want `sentinel ErrCorrupt compared with !=`
+		return false
+	}
+	return errors.Is(err, ErrClosed) // fine
+}
+
+func viaSwitch(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case ErrClosed: // want `switch case compares sentinel ErrClosed`
+		return "closed"
+	default:
+		return "other"
+	}
+}
+
+func wrap(err error) error {
+	if err == nil { // fine: nil check
+		return nil
+	}
+	if err == io.EOF { // fine: EOF is not an Err* sentinel
+		return nil
+	}
+	if err == Errata { // fine: not the sentinel naming convention
+		return nil
+	}
+	bad := fmt.Errorf("load %q: %v", "x", ErrClosed) // want `sentinel ErrClosed wrapped with %v`
+	good := fmt.Errorf("load %q: %w", "x", ErrClosed)
+	plain := fmt.Errorf("plain %v", err) // fine: not a sentinel reference
+	return errors.Join(bad, good, plain)
+}
+
+func match(err error) bool {
+	if strings.Contains(err.Error(), "closed") { // want `strings\.Contains over err\.Error\(\)`
+		return true
+	}
+	return err.Error() == "a: closed" // want `comparing err\.Error\(\) text`
+}
+
+// ParseError is a concrete error type; its own tests may inspect the
+// rendered message (false-positive guard).
+type ParseError struct{ Line int }
+
+func (e *ParseError) Error() string { return fmt.Sprintf("line %d", e.Line) }
+
+func concrete(pe *ParseError) bool {
+	return strings.Contains(pe.Error(), "line") // fine: concrete type, formatting test
+}
+
+func suppressed(err error) bool {
+	//lint:ignore senterr pre-wrap fast path, identity established by construction
+	return err == ErrClosed
+}

@@ -1,0 +1,24 @@
+// Package b exercises senterr across a package boundary: imported
+// sentinels resolve through selector expressions.
+package b
+
+import (
+	"errors"
+	"fmt"
+
+	"senterr/a"
+)
+
+func check(err error) bool {
+	if err == a.ErrClosed { // want `sentinel ErrClosed compared with ==`
+		return true
+	}
+	return errors.Is(err, a.ErrCorrupt) // fine
+}
+
+func wrap(err error) error {
+	if errors.Is(err, a.ErrCorrupt) {
+		return fmt.Errorf("apply: %s", a.ErrCorrupt) // want `sentinel ErrCorrupt wrapped with %s`
+	}
+	return fmt.Errorf("apply: %w", a.ErrClosed)
+}

@@ -52,14 +52,14 @@ type Engine struct {
 	opts Options
 
 	mu        sync.Mutex // guards the fields below against Stats readers
-	wal       *WAL
-	snapBytes int64
-	closed    bool
+	wal       *WAL       // guarded by mu
+	snapBytes int64      // guarded by mu
+	closed    bool       // guarded by mu
 	// gen is the current WAL generation token (see TailState.Gen);
 	// tailCh is closed and replaced whenever the tail state changes, to
 	// wake WaitTail callers.
-	gen    uint64
-	tailCh chan struct{}
+	gen    uint64        // guarded by mu
+	tailCh chan struct{} // guarded by mu
 }
 
 // Open opens (creating if needed) the database directory and returns
@@ -239,7 +239,7 @@ func (e *Engine) checkpointLocked(g *graph.Graph) error {
 	if err != nil {
 		return err
 	}
-	if err := e.renameSnapshot(n); err != nil {
+	if err := e.renameSnapshotLocked(n); err != nil {
 		return err
 	}
 	// The new WAL generation's base is the term count the snapshot
@@ -281,10 +281,12 @@ func (e *Engine) writeSnapshotTmp(g *graph.Graph) (int64, int, error) {
 	return n, persistedTerms, nil
 }
 
-// renameSnapshot atomically installs the previously written tmp
-// snapshot of size n as the current one.
-func (e *Engine) renameSnapshot(n int64) error {
+// renameSnapshotLocked atomically installs the previously written tmp
+// snapshot of size n as the current one. Callers hold e.mu and have
+// already written and synced the tmp file via writeSnapshotTmp.
+func (e *Engine) renameSnapshotLocked(n int64) error {
 	tmp := filepath.Join(e.dir, snapshotTmp)
+	//lint:ignore fsyncrename the tmp file is written and synced by writeSnapshotTmp in every caller before this rename
 	if err := os.Rename(tmp, filepath.Join(e.dir, SnapshotFile)); err != nil {
 		os.Remove(tmp)
 		return err
@@ -344,7 +346,7 @@ func (e *Engine) Swap(cur, rewritten *graph.Graph) error {
 	}
 	e.gen = newGeneration()
 	e.notifyTailLocked()
-	if err := e.renameSnapshot(n); err != nil {
+	if err := e.renameSnapshotLocked(n); err != nil {
 		return err
 	}
 	snapshotSwaps.Inc()

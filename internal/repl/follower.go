@@ -99,14 +99,17 @@ type Follower struct {
 	cfg Config
 	mg  gauges
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// eng through gen are published under mu for concurrent readers
+	// (Current, Engine, Status); the Run/bootstrap goroutine is their
+	// sole writer and reads them without the lock.
 	eng     *persist.Engine
 	d       *dict.Dict
 	cur     *graph.Graph
 	applier *persist.Applier
 	gen     uint64 // leader generation mirrored
-	stage   []byte // fetched beyond durable: a partial record frame
-	status  Status
+	stage   []byte // guarded by mu; fetched beyond durable: a partial record frame
+	status  Status // guarded by mu
 }
 
 // Open prepares a follower over dir. When dir already holds a mirror

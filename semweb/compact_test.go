@@ -2,6 +2,7 @@ package semweb_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -238,14 +239,14 @@ func TestCompactClosedAndReadOnly(t *testing.T) {
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := db.Compact(); err != semweb.ErrClosed {
+	if err := db.Compact(); !errors.Is(err, semweb.ErrClosed) {
 		t.Fatalf("Compact on closed DB = %v, want ErrClosed", err)
 	}
 	ro, err := semweb.OpenAtReadOnly(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ro.Compact(); err != semweb.ErrClosed {
+	if err := ro.Compact(); !errors.Is(err, semweb.ErrClosed) {
 		t.Fatalf("Compact on read-only DB = %v, want ErrClosed", err)
 	}
 }

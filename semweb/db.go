@@ -63,13 +63,13 @@ type DB struct {
 	// publish. Lock order: commitMu before mu, always.
 	commitMu sync.Mutex
 	mu       sync.RWMutex
-	dict     *dict.Dict          // shared across all snapshots
-	g        *graph.Graph        // current snapshot; treated as immutable
-	mem      *closure.Membership // lazy closure-membership index for g
-	eng      *persist.Engine     // nil for purely in-memory databases
-	ro       *persist.Stats      // read-only open: frozen on-disk stats
-	replica  *replica            // non-nil on a read replica (FollowAt)
-	closed   bool
+	dict     *dict.Dict          // shared across all snapshots; internally synchronized
+	g        *graph.Graph        // guarded by mu; current snapshot; treated as immutable
+	mem      *closure.Membership // guarded by mu; lazy closure-membership index for g
+	eng      *persist.Engine     // set at open, immutable after; nil for purely in-memory databases
+	ro       *persist.Stats      // set at open, immutable after; read-only open: frozen on-disk stats
+	replica  *replica            // set at open, immutable after; non-nil on a read replica (FollowAt)
+	closed   bool                // guarded by mu
 
 	// prepared caches, per skip-normal-form flag, the premise-free
 	// matching universe (nf(D) or cl(D)) for the snapshot preparedFor
@@ -99,10 +99,10 @@ type DB struct {
 	// distinct, all ground, encoded against dict; preparedGround
 	// reports whether preparedFor is ground. The *contents* of the
 	// prepared map are only written while holding prepMu.
-	prepared       map[bool]*preparedState
-	preparedFor    *graph.Graph
-	preparedGround bool
-	pending        []dict.Triple3
+	prepared       map[bool]*preparedState // guarded by mu (values' contents by prepMu)
+	preparedFor    *graph.Graph            // guarded by mu
+	preparedGround bool                    // guarded by mu
+	pending        []dict.Triple3          // guarded by mu
 
 	// prepMu serializes matching-universe computation — full prepares
 	// and delta maintenance alike — so concurrent first queries wait

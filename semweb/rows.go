@@ -69,12 +69,12 @@ type Rows struct {
 	tr   *obs.Trace
 
 	mu        sync.Mutex
-	closed    bool  // Close was called
-	finished  bool  // producer goroutine has exited
-	err       error // terminal stream error (wrapped), nil while running
-	matchings int
-	rows      int
-	truncated bool
+	closed    bool  // guarded by mu; Close was called
+	finished  bool  // guarded by mu; producer goroutine has exited
+	err       error // guarded by mu; terminal stream error (wrapped), nil while running
+	matchings int   // guarded by mu
+	rows      int   // guarded by mu
+	truncated bool  // guarded by mu
 }
 
 // Stream evaluates q like Eval but returns a cursor over the single

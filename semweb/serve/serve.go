@@ -141,8 +141,8 @@ type Server struct {
 	logger *slog.Logger // never nil; discards when Config.Logger was nil
 
 	mu     sync.Mutex
-	dbs    map[string]*dbEntry
-	closed bool
+	dbs    map[string]*dbEntry // guarded by mu
+	closed bool                // guarded by mu
 }
 
 // dbEntry is one lazily-opened database; once serializes the open so
